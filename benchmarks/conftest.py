@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's figures (5, 6, 7) and quantify the
+design claims (channel separation, RPC cost, data-channel latency).
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+transcript/series output alongside the timing tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.facility.ice import ElectrochemistryICE, ICEConfig
+from repro.ml.datasets import DatasetSpec, generate_dataset
+from repro.ml.features import extract_features_batch
+from repro.ml.normality import NormalityClassifier
+
+
+@pytest.fixture(scope="module")
+def ice():
+    """One simulated ecosystem per benchmark module."""
+    ecosystem = ElectrochemistryICE.build()
+    yield ecosystem
+    ecosystem.shutdown()
+
+
+@pytest.fixture(scope="session")
+def ml_bundle():
+    """(train/test corpus, trained classifier) shared across ML benches."""
+    import numpy as np
+
+    traces, labels = generate_dataset(DatasetSpec(n_per_class=30, seed=11))
+    features = extract_features_batch(traces)
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(labels))
+    split = int(0.7 * len(labels))
+    train_idx, test_idx = order[:split], order[split:]
+    classifier = NormalityClassifier().fit_features(
+        features[train_idx], labels[train_idx]
+    )
+    return {
+        "traces": traces,
+        "labels": labels,
+        "features": features,
+        "test_idx": test_idx,
+        "classifier": classifier,
+    }

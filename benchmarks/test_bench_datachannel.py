@@ -1,0 +1,114 @@
+"""DC1 — the data channel (paper §3.3).
+
+The CIFS-style share is how measurements reach the analysis host. This
+bench measures write-at-ACL -> readable-at-K200 visibility latency (with
+the polling-vs-interval ablation DESIGN.md calls out), sustained read
+throughput, and the cost of parsing a fetched ``.mpt``.
+
+Expected shape: visibility latency ~ poll interval / 2 + one listdir
+round trip, so the interval dominates; throughput approaches the
+modelled link bandwidth for large files; checksum verification adds a
+fixed hashing cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.chemistry.cv_engine import CVEngine, CVParameters
+from repro.chemistry.species import FERROCENE, ferrocene_solution
+from repro.datachannel import MeasurementWatcher, write_mpt
+
+
+@pytest.fixture(scope="module")
+def mounted(ice, tmp_path_factory):
+    mount = ice.mount(cache_dir=tmp_path_factory.mktemp("dgx-cache"))
+    yield ice, mount
+    mount.unmount()
+
+
+@pytest.fixture(scope="module")
+def big_file(ice):
+    payload = np.random.default_rng(1).bytes(4 * 1024 * 1024)
+    path = ice.measurement_dir / "large.bin"
+    path.write_bytes(payload)
+    return "large.bin", len(payload)
+
+
+@pytest.fixture(scope="module")
+def mpt_file(ice):
+    solution = ferrocene_solution(2.0)
+    engine = CVEngine(
+        FERROCENE, solution.concentration(FERROCENE), 0.0707
+    )
+    trace = engine.run(CVParameters())
+    write_mpt(ice.measurement_dir / "bench_cv.mpt", trace)
+    return "bench_cv.mpt", len(trace)
+
+
+def test_bench_listdir(benchmark, mounted):
+    """Directory poll: the primitive the watcher spends its life in."""
+    _ice, mount = mounted
+    benchmark(mount.listdir)
+
+
+def test_bench_read_throughput(benchmark, mounted, big_file):
+    """Sustained bulk read of a 4 MiB file."""
+    _ice, mount = mounted
+    name, size = big_file
+    data = benchmark(mount.read_bytes, name)
+    assert len(data) == size
+
+
+def test_bench_read_verified(benchmark, mounted, big_file):
+    """Same read with end-to-end checksum verification."""
+    _ice, mount = mounted
+    name, size = big_file
+    data = benchmark(mount.read_bytes, name, True)
+    assert len(data) == size
+
+
+def test_bench_fetch_and_parse_mpt(benchmark, mounted, mpt_file):
+    """What the workflow's analysis step pays per measurement."""
+    _ice, mount = mounted
+    name, samples = mpt_file
+    trace = benchmark(mount.read_voltammogram, name)
+    assert len(trace) == samples
+
+
+@pytest.mark.parametrize("interval_ms", [10, 50, 200])
+def test_visibility_latency_vs_poll_interval(benchmark, mounted, interval_ms):
+    """DESIGN.md ablation: polling cadence vs arrival-detection latency."""
+    ice, mount = mounted
+    watcher = MeasurementWatcher(
+        mount, pattern="*.marker", interval_s=interval_ms / 1e3
+    )
+    watcher.snapshot()
+    latencies = []
+
+    def measure():
+        for round_index in range(5):
+            name = f"arrival_{interval_ms}_{round_index}.marker"
+
+            def writer():
+                time.sleep(0.02)
+                (ice.measurement_dir / name).write_text("x")
+
+            thread = threading.Thread(target=writer)
+            start = time.perf_counter()
+            thread.start()
+            watcher.wait_for(name, timeout_s=10.0)
+            latencies.append(time.perf_counter() - start - 0.02)
+            thread.join()
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\npoll interval {interval_ms:>4} ms: median visibility latency "
+        f"{np.median(latencies)*1e3:7.1f} ms"
+    )
+    # latency is bounded by roughly one interval plus transfer cost
+    assert np.median(latencies) < interval_ms / 1e3 + 0.25

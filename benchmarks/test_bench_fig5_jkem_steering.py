@@ -1,0 +1,80 @@
+"""FIG5 — remote J-Kem steering (paper Fig 5a/5b).
+
+Regenerates the demonstration: the notebook-side command sequence with
+its OK confirmations (Fig 5a) and the single-board computer's console
+echo (Fig 5b), then times the remote command round trip — the number
+that makes or breaks interactive steering.
+
+Paper-reported behaviour: every remote command returns "OK" and appears
+on the SBC console as ``VERB(args) OK``. Expected here: identical
+transcript; per-command latency dominated by the modelled cross-facility
+network (a few ms), far below human/instrument timescales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+FILL_SEQUENCE = [
+    ("Set_Rate_SyringePump", (1, 5.0)),
+    ("Set_Port_SyringePump", (1, 1)),
+    ("Set_Vial_FractionCollector", (1, "BOTTOM")),
+    ("Withdraw_SyringePump", (1, 0.5)),
+    ("Set_Port_SyringePump", (1, 8)),
+    ("Dispense_SyringePump", (1, 0.5)),
+]
+
+
+@pytest.fixture(scope="module")
+def client(ice):
+    handle = ice.client()
+    yield handle
+    handle.close()
+
+
+def test_fig5_transcript(benchmark, ice, client):
+    """Replay Fig 5a exactly and print both sides of the exchange."""
+
+    def replay():
+        print("\n--- Fig 5a: notebook cells (client side) ---")
+        for method, args in FILL_SEQUENCE:
+            reply = getattr(client, f"call_{method}")(*args)
+            print(f"{method:<28} {reply}")
+            assert reply == "OK"
+
+    benchmark.pedantic(replay, rounds=1, iterations=1)
+
+    print("\n--- Fig 5b: J-Kem SBC console (server side) ---")
+    echoes = ice.workstation.sbc.log.messages(source="jkem.sbc", kind="command")
+    for line in echoes[-len(FILL_SEQUENCE):]:
+        print(f"  {line}")
+    assert any("SYRINGEPUMP_RATE(1,5.000000) OK" in line for line in echoes)
+    assert any("FRACTIONCOLLECTOR_VIAL(1,BOTTOM) OK" in line for line in echoes)
+
+
+def test_bench_remote_jkem_command(benchmark, client):
+    """Latency of one remote J-Kem command (Set_Rate, cheapest op)."""
+    result = benchmark(client.call_Set_Rate_SyringePump, 1, 5.0)
+    assert result == "OK"
+
+
+def test_bench_fill_cell_sequence(benchmark, ice, client):
+    """The whole Fig 5a fill sequence as one unit of work."""
+
+    def fill():
+        for method, args in FILL_SEQUENCE:
+            getattr(client, f"call_{method}")(*args)
+        ice.workstation.cell.drain()
+        ice.workstation.stock.fill(0.5)  # keep the stock level steady
+
+    benchmark(fill)
+
+
+def test_bench_local_vs_remote_overhead(benchmark, ice):
+    """Ablation: the same command issued locally on the control agent.
+
+    The difference to ``test_bench_remote_jkem_command`` is the price of
+    crossing the ICE (RPC + modelled network)."""
+    api = ice.workstation.jkem_api
+    result = benchmark(api.set_rate_syringe_pump, 1, 5.0)
+    assert result == "OK"

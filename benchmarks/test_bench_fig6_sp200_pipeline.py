@@ -1,0 +1,102 @@
+"""FIG6 — remote SP200 pipeline (paper Fig 6a/6b).
+
+Regenerates the 8-step potentiostat lifecycle driven from the remote
+host, printing the client confirmations (Fig 6a) and the control-agent
+log (Fig 6b), then times each phase: configuration steps are cheap
+control-channel round trips; the acquisition step carries the physics.
+
+Paper-reported behaviour: each step confirms in order; the channel
+disconnects automatically after acquisition. Expected here: the same
+eight confirmations; configuration latency ~ control-channel RTT;
+acquisition dominated by the CV solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def prepared(ice):
+    """Client with a filled cell, ready for repeated pipeline runs."""
+    client = ice.client()
+    client.call_Set_Rate_SyringePump(1, 10.0)
+    client.call_Set_Vial_FractionCollector(1, "BOTTOM")
+    client.call_Set_Port_SyringePump(1, 1)
+    client.call_Withdraw_SyringePump(1, 6.0)
+    client.call_Set_Port_SyringePump(1, 8)
+    client.call_Dispense_SyringePump(1, 6.0)
+    yield client
+    client.close()
+
+
+def run_pipeline(client, e_step_v=0.002):
+    client.call_Initialize_SP200_API({"channel": 1})              # (1)
+    client.call_Connect_SP200()                                   # (2)
+    client.call_Load_Firmware_SP200()                             # (3)
+    client.call_Initialize_CV_Tech_SP200({"e_step_v": e_step_v})  # (4)
+    client.call_Load_Technique_SP200()                            # (5)
+    client.call_Start_Channel_SP200()                             # (6)
+    result = client.call_Get_Tech_Path_Rslt()                     # (7)+(8)
+    client.call_Disconnect_SP200()
+    return result
+
+
+def test_fig6_transcript(benchmark, ice, prepared):
+    """Replay Fig 6a and print the confirmations plus the agent log."""
+    client = prepared
+    collected: list[dict] = []
+
+    def replay():
+        print("\n--- Fig 6a: notebook pipeline (client side) ---")
+        print("(1)", client.call_Initialize_SP200_API({"channel": 1}))
+        print("(2)", client.call_Connect_SP200())
+        print("(3)", client.call_Load_Firmware_SP200())
+        print("(4)", client.call_Initialize_CV_Tech_SP200({"e_step_v": 0.002}))
+        print("(5)", client.call_Load_Technique_SP200())
+        print("(6)", client.call_Start_Channel_SP200())
+        collected.append(client.call_Get_Tech_Path_Rslt())
+        print("(7) collected:", collected[-1])
+        client.call_Disconnect_SP200()
+
+    benchmark.pedantic(replay, rounds=1, iterations=1)
+    result = collected[-1]
+
+    print("\n--- Fig 6b: control agent / instrument log (server side) ---")
+    for line in ice.workstation.event_log.messages(source="sp200"):
+        print("  ", line)
+    for line in ice.workstation.event_log.messages(source="sp200.api"):
+        print("  ", line)
+
+    assert result["n_samples"] == 600
+    assert result["file"].endswith(".mpt")
+    messages = ice.workstation.event_log.messages(source="sp200")
+    assert "> Loading kernel4.bin ..." in messages
+    assert any("channel disconnected" in m for m in messages)
+
+
+def test_bench_full_pipeline(benchmark, prepared):
+    """Steps 1-8 end to end (includes the CV physics)."""
+    result = benchmark(run_pipeline, prepared)
+    assert result["n_samples"] == 600
+
+
+def test_bench_configuration_steps_only(benchmark, prepared):
+    """Steps 1-5: pure control-channel cost, no acquisition."""
+
+    def configure():
+        prepared.call_Initialize_SP200_API({"channel": 1})
+        prepared.call_Connect_SP200()
+        prepared.call_Load_Firmware_SP200()
+        prepared.call_Initialize_CV_Tech_SP200({"e_step_v": 0.002})
+        prepared.call_Load_Technique_SP200()
+        prepared.call_Disconnect_SP200()
+
+    benchmark(configure)
+
+
+def test_bench_status_probe(benchmark, prepared):
+    """Step 7's polling primitive (Probe_Status_SP200)."""
+    prepared.call_Initialize_SP200_API({"channel": 1})
+    status = benchmark(prepared.call_Probe_Status_SP200)
+    assert status["channel"] == 1

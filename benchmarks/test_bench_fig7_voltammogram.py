@@ -1,0 +1,145 @@
+"""FIG7 — the ferrocene I-V profile (paper Fig 7).
+
+Regenerates the voltammogram of 2 mM ferrocene/MeCN over 0.2-0.8 V at
+100 mV/s as measured through the full remote workflow, prints the series
+summary the paper plots, and checks the shape:
+
+- duck-shaped curve with the anodic peak near +0.43 V and the cathodic
+  near +0.37 V (E1/2 ~ +0.40 V vs the cell reference);
+- peak currents on the 1e-5 A scale (paper's y-axis);
+- classified "normal" by the ML method (paper §4.3.3).
+
+Also benchmarks the CV solver itself, including the grid-resolution
+ablation called out in DESIGN.md (substeps sweep: accuracy against the
+Randles-Sevcik analytic peak vs runtime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import characterize, randles_sevcik_current
+from repro.chemistry.cv_engine import CVEngine, CVParameters
+from repro.chemistry.species import FERROCENE, ferrocene_solution
+from repro.core.cv_workflow import run_cv_workflow
+
+CONC = ferrocene_solution(2.0).concentration(FERROCENE)
+AREA = 0.0707
+
+
+def test_fig7_series(benchmark, ice, ml_bundle):
+    """The figure itself: run the workflow, print the I-V series summary."""
+    result = benchmark.pedantic(
+        lambda: run_cv_workflow(ice, classifier=ml_bundle["classifier"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.succeeded
+    trace = result.voltammogram
+    metrics = result.metrics
+    assert trace is not None and metrics is not None
+
+    print("\n--- Fig 7: I-V profile of 2 mM ferrocene (workflow output) ---")
+    print(f"{'E (V)':>8} {'I (A)':>12}")
+    stride = max(1, len(trace) // 24)
+    for index in range(0, len(trace), stride):
+        print(f"{trace.potential_v[index]:>8.3f} {trace.current_a[index]:>12.3e}")
+    print("\nsummary:", metrics.format_summary())
+    print("verdict:", result.normality)
+
+    # shape checks against the paper's plot
+    assert 0.40 < metrics.anodic_peak_v < 0.47
+    assert 0.33 < metrics.cathodic_peak_v < 0.40
+    assert 1e-5 < metrics.anodic_peak_a < 1e-4  # the 1e-5 scale of Fig 7
+    assert metrics.e_half_v == pytest.approx(0.40, abs=0.01)
+    assert result.normality is not None and result.normality.normal
+
+
+def test_bench_cv_solver_paper_settings(benchmark):
+    """The physics kernel at the paper's acquisition settings."""
+    engine = CVEngine(FERROCENE, CONC, AREA)
+    trace = benchmark(engine.run, CVParameters())
+    assert len(trace) == 1200
+
+
+@pytest.mark.parametrize("substeps", [1, 2, 4, 8])
+def test_bench_fd_resolution_ablation(benchmark, substeps):
+    """DESIGN.md ablation: FD grid resolution vs Randles-Sevcik accuracy.
+
+    The timing table gives the runtime side; this prints the accuracy
+    side (relative peak-current error against the analytic value).
+    """
+    engine = CVEngine(
+        FERROCENE, CONC, AREA, double_layer_f_cm2=0.0, substeps=substeps
+    )
+    trace = benchmark(engine.run, CVParameters())
+    _, peak = trace.peak_anodic()
+    analytic = randles_sevcik_current(1, AREA, CONC, FERROCENE.diffusion_cm2_s, 0.1)
+    error = abs(peak - analytic) / analytic
+    print(f"\nsubsteps={substeps}: ip error vs Randles-Sevcik = {error*100:.2f} %")
+    assert error < 0.02
+
+
+def test_scan_rate_shape_table(benchmark):
+    """The sqrt(v) law across the instrument's scan-rate range."""
+
+    def sweep():
+        print("\n--- peak current vs scan rate (Randles-Sevcik shape) ---")
+        print(f"{'v (V/s)':>8} {'ip_sim (A)':>12} {'ip_RS (A)':>12} {'ratio':>7}")
+        for scan_rate in (0.02, 0.05, 0.1, 0.2, 0.5, 1.0):
+            engine = CVEngine(
+                FERROCENE, CONC, AREA, double_layer_f_cm2=0.0, substeps=1
+            )
+            trace = engine.run(
+                CVParameters(scan_rate_v_s=scan_rate, e_step_v=0.002)
+            )
+            _, peak = trace.peak_anodic()
+            analytic = randles_sevcik_current(
+                1, AREA, CONC, FERROCENE.diffusion_cm2_s, scan_rate
+            )
+            print(f"{scan_rate:>8.2f} {peak:>12.3e} {analytic:>12.3e} "
+                  f"{peak/analytic:>7.3f}")
+            assert peak / analytic == pytest.approx(1.0, abs=0.03)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+
+def test_bench_dpv_technique(benchmark):
+    """Extension technique cost: DPV over the same window (many short
+    pulse solves vs one long sweep)."""
+    from repro.chemistry.cell import ElectrochemicalCell
+    from repro.instruments.potentiostat.techniques import DPVTechnique
+
+    cell = ElectrochemicalCell()
+    cell.add_liquid(8.0, ferrocene_solution(2.0))
+    technique = DPVTechnique()
+    trace = benchmark(technique.execute, cell)
+    assert len(trace) == technique.n_steps
+
+
+def test_bench_nicholson_analysis(benchmark):
+    """Kinetics post-analysis cost per trace (working-curve interpolation
+    plus peak finding)."""
+    from repro.analysis import estimate_k0_from_trace
+    from repro.chemistry.species import RedoxSpecies
+
+    sluggish = RedoxSpecies(
+        name="slow", formal_potential_v=0.4, diffusion_cm2_s=1e-5, k0_cm_s=0.005
+    )
+    engine = CVEngine(sluggish, 2e-6, AREA, double_layer_f_cm2=0.0, substeps=1)
+    trace = engine.run(
+        CVParameters(e_begin_v=0.0, e_vertex_v=0.8, scan_rate_v_s=0.2, e_step_v=0.002)
+    )
+    estimate = benchmark(estimate_k0_from_trace, trace, 1e-5)
+    assert estimate.k0_cm_s == pytest.approx(0.005, rel=0.2)
+
+
+def test_bench_ec_mechanism_solver(benchmark):
+    """Solver cost with the EC following-reaction term active."""
+    engine = CVEngine(
+        FERROCENE, CONC, AREA, double_layer_f_cm2=0.0,
+        following_reaction_per_s=0.5,
+    )
+    trace = benchmark(engine.run, CVParameters(e_step_v=0.002))
+    assert len(trace) == 600

@@ -1,0 +1,109 @@
+"""ML1 — the I-V normality method (paper §4.3.3, ref [11]).
+
+The paper reports: normal runs flagged "normal"; disconnected-electrode
+and low-analyte-volume runs flagged "abnormal". This bench trains the
+GPR+EOT classifier on simulator data, prints the held-out confusion
+matrix, and times the two halves of the method (feature extraction with
+its GPR fit, and ensemble inference).
+
+Expected shape: near-perfect recall on disconnected electrodes (the
+signature is orders of magnitude), high accuracy overall; feature
+extraction dominates inference cost (the GPR hyperparameter fit is the
+expensive part).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import EnsembleOfTreesClassifier
+from repro.ml.features import extract_features
+
+
+def test_ml1_confusion_matrix(benchmark, ml_bundle):
+    """Held-out classification quality, printed as the paper would report."""
+    labels = ml_bundle["labels"]
+    features = ml_bundle["features"]
+    test_idx = ml_bundle["test_idx"]
+    classifier = ml_bundle["classifier"]
+
+    predictions = benchmark.pedantic(
+        lambda: classifier.ensemble.predict(features[test_idx]),
+        rounds=1,
+        iterations=1,
+    )
+    truth = labels[test_idx]
+    classes = sorted(set(labels))
+
+    print("\n--- ML1: held-out confusion matrix (rows = truth) ---")
+    header = " " * 24 + "".join(f"{c[:12]:>14}" for c in classes)
+    print(header)
+    for actual in classes:
+        row = [
+            int(np.sum((truth == actual) & (predictions == predicted)))
+            for predicted in classes
+        ]
+        print(f"{actual:<24}" + "".join(f"{n:>14d}" for n in row))
+
+    accuracy = float(np.mean(predictions == truth))
+    print(f"\naccuracy = {accuracy:.3f}   oob = {classifier.oob_score:.3f}")
+    assert accuracy >= 0.85
+
+    # the paper's headline: abnormal conditions are flagged abnormal
+    abnormal_mask = truth != "normal"
+    flagged = predictions[abnormal_mask] != "normal"
+    print(f"abnormal runs flagged abnormal: {flagged.mean()*100:.0f} %")
+    assert flagged.mean() >= 0.9
+
+
+def test_bench_feature_extraction(benchmark, ml_bundle):
+    """GPR feature extraction per trace (the expensive half)."""
+    trace = ml_bundle["traces"][0]
+    features = benchmark(extract_features, trace)
+    assert np.all(np.isfinite(features))
+
+
+def test_bench_ensemble_inference(benchmark, ml_bundle):
+    """EOT inference per feature vector (the cheap half)."""
+    classifier = ml_bundle["classifier"]
+    row = ml_bundle["features"][:1]
+    proba = benchmark(classifier.ensemble.predict_proba, row)
+    assert proba.shape[1] >= 2
+
+
+def test_bench_end_to_end_classify(benchmark, ml_bundle):
+    """Full verdict for one fresh trace (what the workflow calls)."""
+    classifier = ml_bundle["classifier"]
+    trace = ml_bundle["traces"][1]
+    report = benchmark(classifier.classify, trace)
+    assert 0.0 <= report.confidence <= 1.0
+
+
+def test_bench_ensemble_training(benchmark, ml_bundle):
+    """EOT training on the full feature matrix."""
+    features = ml_bundle["features"]
+    labels = ml_bundle["labels"]
+
+    def train():
+        return EnsembleOfTreesClassifier(n_trees=60, random_state=1).fit(
+            features, labels
+        )
+
+    model = benchmark(train)
+    assert model.oob_score_ > 0.8
+
+
+@pytest.mark.parametrize("n_trees", [10, 30, 60, 120])
+def test_bench_ensemble_size_ablation(benchmark, ml_bundle, n_trees):
+    """Ablation: ensemble size vs OOB accuracy (printed) and fit time."""
+    features = ml_bundle["features"]
+    labels = ml_bundle["labels"]
+
+    def train():
+        return EnsembleOfTreesClassifier(n_trees=n_trees, random_state=1).fit(
+            features, labels
+        )
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    print(f"\nn_trees={n_trees}: oob accuracy = {model.oob_score_:.3f}")

@@ -1,0 +1,143 @@
+"""RPC1 — the control channel itself (paper §3.2.3 / Fig 3).
+
+Cost model of the Pyro-style layer the whole ICE rides on: per-call
+latency over real TCP, payload-size scaling, serialisation ablation
+(tagged-JSON ndarray frames vs plain lists), and concurrent-client
+throughput.
+
+Expected shape: small calls are dominated by the round trip; beyond the
+serialisation knee (~10 kB) time grows linearly with payload; ndarray
+framing beats list-of-float framing by a wide factor at measurement
+sizes (one base64 of a contiguous buffer vs per-element JSON).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.rpc import Daemon, Proxy, expose
+from repro.rpc.serialization import deserialize, serialize
+
+
+@expose
+class BenchService:
+    def ping(self):
+        return None
+
+    def echo(self, value):
+        return value
+
+
+@pytest.fixture(scope="module")
+def served():
+    daemon = Daemon()
+    uri = daemon.register(BenchService(), object_id="Bench")
+    daemon.start_background()
+    proxy = Proxy(uri)
+    yield proxy
+    proxy.close()
+    daemon.shutdown()
+
+
+def test_bench_null_call(benchmark, served):
+    """The floor: an argument-less remote call over loopback TCP."""
+    benchmark(served.ping)
+
+
+@pytest.mark.parametrize("samples", [100, 1_000, 10_000, 100_000])
+def test_bench_payload_scaling(benchmark, served, samples):
+    """Measurement-shaped payload (float64 array) round trip vs size."""
+    payload = np.linspace(0.0, 1.0, samples)
+    result = benchmark(served.echo, payload)
+    assert len(result) == samples
+
+
+def test_bench_serialisation_ndarray_vs_list(benchmark):
+    """Ablation: the ndarray fast path against per-element JSON."""
+    array = np.linspace(0.0, 1.0, 10_000)
+
+    def array_round_trip():
+        return deserialize(serialize(array))
+
+    benchmark(array_round_trip)
+
+
+def test_bench_serialisation_list_path(benchmark):
+    """The slow path the ndarray tagging avoids."""
+    values = list(np.linspace(0.0, 1.0, 10_000))
+
+    def list_round_trip():
+        return deserialize(serialize(values))
+
+    benchmark(list_round_trip)
+
+
+def test_bench_concurrent_clients(benchmark, served):
+    """Aggregate throughput with 8 clients hammering one daemon."""
+    uri = served.uri
+
+    def storm():
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                with Proxy(uri) as proxy:
+                    for _ in range(25):
+                        proxy.ping()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    benchmark.pedantic(storm, rounds=3, iterations=1)
+
+
+def test_bench_connection_setup(benchmark, served):
+    """Dial + first call: what a fresh proxy pays."""
+    uri = served.uri
+
+    def dial_and_call():
+        with Proxy(uri) as proxy:
+            proxy.ping()
+
+    benchmark(dial_and_call)
+
+
+def test_bench_authenticated_call(benchmark):
+    """Security ablation: per-call cost with the HMAC handshake enabled.
+
+    The handshake is per *connection*, so steady-state calls should cost
+    the same as the unauthenticated floor; only dials pay extra."""
+    daemon = Daemon(secret=b"bench-secret")
+    uri = daemon.register(BenchService(), object_id="Auth")
+    daemon.start_background()
+    proxy = Proxy(uri, secret=b"bench-secret")
+    try:
+        benchmark(proxy.ping)
+    finally:
+        proxy.close()
+        daemon.shutdown()
+
+
+def test_bench_authenticated_connection_setup(benchmark):
+    """Dial + handshake + first call with authentication on."""
+    daemon = Daemon(secret=b"bench-secret")
+    uri = daemon.register(BenchService(), object_id="Auth2")
+    daemon.start_background()
+
+    def dial_and_call():
+        with Proxy(uri, secret=b"bench-secret") as proxy:
+            proxy.ping()
+
+    try:
+        benchmark(dial_and_call)
+    finally:
+        daemon.shutdown()

@@ -1,0 +1,88 @@
+"""WF1 — the end-to-end workflow (paper §4.2).
+
+Times the five-task CV workflow and prints the per-task breakdown, which
+is the operational answer to "what does cross-facility automation cost
+per experiment": the acquisition dominates, the orchestration overhead
+(Pyro calls + file fetch) is marginal — exactly the trade the paper's
+human-in-the-loop comparison motivates.
+
+Also benches the multi-round campaign to show per-round marginal cost
+once the cell is filled and the SP200 session is warm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import Campaign, scan_rate_strategy
+from repro.core.cv_workflow import CVWorkflowSettings, run_cv_workflow
+
+FAST = CVWorkflowSettings(e_step_v=0.002)
+
+
+def test_wf1_per_task_breakdown(benchmark, ice, ml_bundle):
+    """One workflow run with the task table the paper's demo implies."""
+    result = benchmark.pedantic(
+        lambda: run_cv_workflow(ice, classifier=ml_bundle["classifier"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.succeeded
+
+    print("\n--- WF1: per-task wall time ---")
+    print(f"{'task':<30} {'state':<10} {'ms':>9} {'attempts':>9}")
+    total = 0.0
+    for name, task in result.workflow.tasks.items():
+        total += task.duration_s
+        print(
+            f"{name:<30} {task.state.value:<10} "
+            f"{task.duration_s*1e3:>9.1f} {task.attempts:>9d}"
+        )
+    print(f"{'TOTAL':<30} {'':<10} {total*1e3:>9.1f}")
+    acquisition = result.workflow.tasks["D_run_cv"].duration_s
+    assert acquisition > 0.0
+    ice.workstation.cell.drain()
+
+
+def test_bench_full_workflow(benchmark, ice):
+    """Tasks A-E + analysis end to end."""
+
+    def run():
+        result = run_cv_workflow(ice, settings=FAST)
+        assert result.succeeded
+        ice.workstation.cell.drain()
+        return result
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_bench_campaign_three_rounds(benchmark, ice):
+    """Three-round scan-rate campaign on one cell fill."""
+
+    def run():
+        rounds = Campaign(
+            ice, scan_rate_strategy((0.1, 0.2, 0.4), base=FAST)
+        ).run()
+        assert len(rounds) == 3
+        assert all(record.result.succeeded for record in rounds)
+        ice.workstation.cell.drain()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_workflow_orchestration_overhead(benchmark, ice):
+    """Everything except the acquisition: tasks A, B, E plus teardown.
+
+    The difference between this and the full workflow is the physics,
+    isolating what the ICE machinery itself costs per experiment."""
+
+    def overhead_only():
+        client = ice.client()
+        client.ping()
+        client.call_Connect_JKem_API()
+        client.call_Status_JKem()
+        client.call_Set_Rate_SyringePump(1, 5.0)
+        client.call_Exit_JKem_API()
+        client.close()
+
+    benchmark(overhead_only)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's future-work workflow, running today: electrolysis, robotic
+sample transfer, and HPLC-MS characterization of the product.
+
+Paper §5 plans "mobile robots to transfer materials between different
+instruments" and "more comprehensive electrochemical workflows ...
+involving most of ACL instruments". This example runs exactly that
+pipeline across three remote agents:
+
+1. J-Kem fills the cell with ferrocene solution (workstation agent);
+2. the SP200 holds +0.8 V (chronoamperometry) to oxidise part of the
+   ferrocene to ferrocenium (workstation agent);
+3. a fraction is collected into a fresh vial, the robot drives it from
+   the electrochemistry dock to the HPLC autosampler, and the HPLC-MS
+   injects it (characterization agent);
+4. the chromatogram is verified on the analysis host: both the analyte
+   and its oxidation product must be present.
+
+Run:  python examples/electrolysis_characterization.py
+"""
+
+from repro import ElectrochemistryICE
+from repro.core.characterization_workflow import (
+    CharacterizationSettings,
+    run_characterization_workflow,
+)
+
+
+def main() -> None:
+    settings = CharacterizationSettings(
+        electrolysis_potential_v=0.8,
+        electrolysis_duration_s=120.0,
+        fraction_volume_ml=1.0,
+    )
+    with ElectrochemistryICE.build() as ice:
+        print("Running the multi-instrument workflow ...\n")
+        result = run_characterization_workflow(ice, settings=settings)
+
+        print("Per-task outcome:")
+        for name, task in result.workflow.tasks.items():
+            print(f"  {name:<28} {task.state.value}")
+        assert result.succeeded, result.summary()
+
+        chromatogram = result.chromatogram
+        assert chromatogram is not None
+        print("\nChromatogram peak table:")
+        print(f"  {'compound':<22} {'rt (min)':>9} {'m/z':>8} {'area':>12}")
+        for peak in chromatogram.peaks:
+            print(
+                f"  {peak.compound or '(unknown)':<22} "
+                f"{peak.retention_min:>9.2f} {peak.mz:>8.2f} "
+                f"{peak.area:>12.3e}"
+            )
+        print(
+            f"\nconversion after electrolysis: ferrocenium/ferrocene = "
+            f"{result.conversion_ratio:.2e}"
+        )
+        print("robot:", ice.characterization.robot.status_summary())
+        print("\n" + result.summary())
+
+
+if __name__ == "__main__":
+    main()

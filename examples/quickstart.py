@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's demonstration in ~20 lines.
+
+Builds the cross-facility ecosystem (ACL workstation + K200 analysis
+host over a simulated network), runs the five-task CV workflow on
+2 mM ferrocene, and prints the analysis — the same story as paper
+Figs 5-7.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ElectrochemistryICE, NormalityClassifier, run_cv_workflow
+
+
+def main() -> None:
+    print("Training the I-V normality classifier on simulated data ...")
+    classifier = NormalityClassifier.train_default()
+    print(f"  out-of-bag accuracy: {classifier.oob_score:.2f}\n")
+
+    print("Standing up the electrochemistry ICE (ACL + K200) ...")
+    with ElectrochemistryICE.build() as ice:
+        print(f"  control channel: {ice.control_uri}")
+        print(f"  data channel:    {ice.share_uri}\n")
+
+        print("Running the paper's workflow (tasks A-E) ...")
+        result = run_cv_workflow(ice, classifier=classifier)
+
+        print("\nPer-task outcome:")
+        for name, task in result.workflow.tasks.items():
+            print(f"  {name:<28} {task.state.value:<10} {task.duration_s*1e3:7.1f} ms")
+
+        print(f"\n{result.summary()}")
+
+        trace = result.voltammogram
+        assert trace is not None and result.metrics is not None
+        print("\nI-V profile (Fig 7 equivalent):")
+        print(f"  samples:        {len(trace)}")
+        print(f"  window:         {trace.potential_v.min():.2f} .. "
+              f"{trace.potential_v.max():.2f} V")
+        print(f"  anodic peak:    {result.metrics.anodic_peak_a:.3e} A "
+              f"at {result.metrics.anodic_peak_v:.3f} V")
+        print(f"  cathodic peak:  {result.metrics.cathodic_peak_a:.3e} A "
+              f"at {result.metrics.cathodic_peak_v:.3f} V")
+        print(f"  E1/2:           {result.metrics.e_half_v:.3f} V")
+        print(f"  dEp:            {result.metrics.peak_separation_v*1e3:.1f} mV")
+        print(f"  ML verdict:     {result.normality}")
+
+
+if __name__ == "__main__":
+    main()

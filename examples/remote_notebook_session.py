@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The Jupyter-notebook experience of paper Figs 5a/6a, as a script.
+
+Each block mirrors a notebook cell: J-Kem liquid handling answered with
+"OK", then the eight-step SP200 pipeline with its confirmations, then
+analysis of the fetched I-V profile — including the device-side console
+transcript that Figs 5b/6b show.
+
+Run:  python examples/remote_notebook_session.py
+"""
+
+from repro import ElectrochemistryICE
+
+
+def main() -> None:
+    with ElectrochemistryICE.build() as ice:
+        client = ice.client()
+        mount = ice.mount()
+
+        print("# -- Fill syringe with liquid from fraction collector (Fig 5a)")
+        print("Set_Rate_SyringePump      ->", client.call_Set_Rate_SyringePump(1, 5.0))
+        print("Set_Port_SyringePump      ->", client.call_Set_Port_SyringePump(1, 1))
+        print("Set_Vial_FractionCollector->",
+              client.call_Set_Vial_FractionCollector(1, "BOTTOM"))
+        print("Withdraw_SyringePump      ->", client.call_Withdraw_SyringePump(1, 5.0))
+
+        print("\n# -- Send liquid to electrochemical cell")
+        print("Set_Port_SyringePump      ->", client.call_Set_Port_SyringePump(1, 8))
+        print("Dispense_SyringePump      ->", client.call_Dispense_SyringePump(1, 5.0))
+        print("Cell status               ->", client.call_Cell_Status())
+
+        print("\n# -- SP200 working pipeline (Fig 6a)")
+        print("(1)", client.call_Initialize_SP200_API({"channel": 1}))
+        print("(2)", client.call_Connect_SP200())
+        print("(3)", client.call_Load_Firmware_SP200())
+        print("(4)", client.call_Initialize_CV_Tech_SP200(
+            {"e_begin_v": 0.2, "e_vertex_v": 0.8, "scan_rate_v_s": 0.1}))
+        print("(5)", client.call_Load_Technique_SP200())
+        print("(6)", client.call_Start_Channel_SP200())
+        result = client.call_Get_Tech_Path_Rslt(save_as="notebook_cv")
+        print("(7) Measurements are collected ->", result)
+
+        print("\n# -- Fetch the I-V profile over the data channel (Fig 7)")
+        trace = mount.read_voltammogram(result["file"])
+        peak_e, peak_i = trace.peak_anodic()
+        print(f"{len(trace)} samples; anodic peak {peak_i:.3e} A at {peak_e:.3f} V")
+
+        print("\n# -- Teardown (task E)")
+        print(client.call_Exit_JKem_API())
+        print(client.call_Disconnect_SP200())
+        mount.unmount()
+        client.close()
+
+        print("\n# -- Control-agent / SBC console transcript (Figs 5b, 6b)")
+        log = ice.workstation.event_log
+        for line in log.messages(source="jkem.sbc", kind="command"):
+            print("  [sbc]  ", line)
+        for line in log.messages(source="sp200.api"):
+            print("  [sp200]", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro: cross-facility orchestration of electrochemistry experiments.
+
+A production-quality reproduction of "Cross-Facility Orchestration of
+Electrochemistry Experiments and Computations" (Al-Najjar, Rao, Bridges,
+Dai -- SC-W 2023): an instrument-computing ecosystem (ICE) where a remote
+analysis host steers an electrochemistry workstation over a Pyro-style
+control channel and receives measurements over a CIFS-style data channel.
+
+Hardware is simulated (see DESIGN.md for the substitution map); the
+orchestration software -- Python instrument wrappers, remote-object layer,
+network/firewall model, file share, workflow engine, and the GPR+EOT
+normality method -- is fully implemented.
+
+Quickstart::
+
+    from repro import ElectrochemistryICE, run_cv_workflow
+
+    with ElectrochemistryICE.build() as ice:
+        result = run_cv_workflow(ice)
+        print(result.summary())
+
+Subpackages: :mod:`repro.rpc` (remote objects), :mod:`repro.net` (ICE
+network model), :mod:`repro.serialio`, :mod:`repro.instruments`
+(J-Kem + SP200), :mod:`repro.chemistry` (CV physics),
+:mod:`repro.datachannel`, :mod:`repro.ml`, :mod:`repro.analysis`,
+:mod:`repro.facility` (assembly), :mod:`repro.core` (workflows).
+"""
+
+from repro.facility.ice import ElectrochemistryICE, ICEConfig
+from repro.facility.workstation import (
+    ElectrochemistryWorkstation,
+    WorkstationConfig,
+)
+from repro.core.cv_workflow import (
+    CVWorkflowResult,
+    CVWorkflowSettings,
+    build_cv_workflow,
+    run_cv_workflow,
+)
+from repro.core.session import RemoteSession
+from repro.core.campaign import (
+    Campaign,
+    scan_rate_strategy,
+    window_centering_strategy,
+)
+from repro.core.characterization_workflow import (
+    CharacterizationSettings,
+    CharacterizationResult,
+    run_characterization_workflow,
+)
+from repro.chemistry.voltammogram import Voltammogram
+from repro.ml.normality import NormalityClassifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElectrochemistryICE",
+    "ICEConfig",
+    "ElectrochemistryWorkstation",
+    "WorkstationConfig",
+    "CVWorkflowResult",
+    "CVWorkflowSettings",
+    "build_cv_workflow",
+    "run_cv_workflow",
+    "RemoteSession",
+    "Campaign",
+    "scan_rate_strategy",
+    "window_centering_strategy",
+    "CharacterizationSettings",
+    "CharacterizationResult",
+    "run_characterization_workflow",
+    "Voltammogram",
+    "NormalityClassifier",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Voltammogram analysis: peaks, reversibility, Randles-Sevcik.
+
+These are the computations the paper runs on the DGX once the measurement
+file arrives: locating the anodic/cathodic peaks of the I-V profile,
+deriving E1/2 and the peak separation, checking reversibility criteria,
+and estimating the diffusion coefficient from a scan-rate series.
+"""
+
+from repro.analysis.peaks import find_peaks, PeakPair
+from repro.analysis.metrics import (
+    CVMetrics,
+    characterize,
+    reversibility_checks,
+)
+from repro.analysis.randles_sevcik import (
+    randles_sevcik_current,
+    estimate_diffusion_coefficient,
+    ScanRateStudy,
+)
+from repro.analysis.kinetics import (
+    KineticsEstimate,
+    estimate_k0,
+    estimate_k0_from_trace,
+    psi_from_separation,
+)
+
+__all__ = [
+    "find_peaks",
+    "PeakPair",
+    "CVMetrics",
+    "characterize",
+    "reversibility_checks",
+    "randles_sevcik_current",
+    "estimate_diffusion_coefficient",
+    "ScanRateStudy",
+    "KineticsEstimate",
+    "estimate_k0",
+    "estimate_k0_from_trace",
+    "psi_from_separation",
+]

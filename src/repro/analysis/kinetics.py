@@ -1,0 +1,140 @@
+"""Electrode-kinetics analysis: Nicholson's method for k0.
+
+For a quasi-reversible couple the peak separation dEp grows beyond the
+reversible 2.218 RT/nF as the scan rate outruns the electron-transfer
+kinetics. Nicholson (Anal. Chem. 1965) tabulated the dimensionless
+kinetic parameter psi against dEp; from psi at a known scan rate,
+
+    k0 = psi * sqrt(pi * D * n F v / (R T))
+
+so a dEp measured at one scan rate (or better, a series) yields the
+standard rate constant. This is exactly the kind of "subsequent analysis"
+the paper runs on the DGX after measurements arrive (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import FARADAY, GAS_CONSTANT, celsius_to_kelvin
+from repro.chemistry.voltammogram import Voltammogram
+from repro.analysis.peaks import find_peaks
+
+# Nicholson's working curve: n*dEp (mV) -> psi (alpha = 0.5, 25 C).
+# Values from the 1965 paper's Table I (plus the widely used extension
+# points at the reversible and fully irreversible ends).
+_NICHOLSON_TABLE = (
+    # n*dEp_mV, psi
+    (61.0, 20.0),
+    (63.0, 7.0),
+    (64.0, 6.0),
+    (65.0, 5.0),
+    (66.0, 4.0),
+    (68.0, 3.0),
+    (72.0, 2.0),
+    (84.0, 1.0),
+    (92.0, 0.75),
+    (105.0, 0.50),
+    (121.0, 0.35),
+    (141.0, 0.25),
+    (212.0, 0.10),
+)
+
+
+@dataclass(frozen=True)
+class KineticsEstimate:
+    """Result of a Nicholson analysis.
+
+    Attributes:
+        k0_cm_s: estimated standard heterogeneous rate constant.
+        psi: the dimensionless kinetic parameter used.
+        separation_v: the measured peak separation.
+        reversible: True when dEp is at/below the reversible limit, in
+            which case only a *lower bound* on k0 can be stated and
+            ``k0_cm_s`` carries that bound.
+    """
+
+    k0_cm_s: float
+    psi: float
+    separation_v: float
+    reversible: bool
+
+
+def psi_from_separation(
+    separation_v: float, n_electrons: int = 1
+) -> tuple[float, bool]:
+    """Interpolate Nicholson's working curve.
+
+    Returns (psi, at_reversible_limit). Separations beyond the table's
+    irreversible end extrapolate with the known psi ~ 1/dEp^2 tail.
+    """
+    n_dep_mv = separation_v * 1e3 * n_electrons
+    table_x = np.array([row[0] for row in _NICHOLSON_TABLE])
+    table_psi = np.array([row[1] for row in _NICHOLSON_TABLE])
+    if n_dep_mv <= table_x[0]:
+        return float(table_psi[0]), True
+    if n_dep_mv >= table_x[-1]:
+        # tail: psi * dEp^2 approximately constant
+        scale = table_psi[-1] * table_x[-1] ** 2
+        return float(scale / n_dep_mv**2), False
+    # log-psi is smooth in dEp: interpolate there
+    log_psi = np.interp(n_dep_mv, table_x, np.log(table_psi))
+    return float(np.exp(log_psi)), False
+
+
+def estimate_k0(
+    separation_v: float,
+    scan_rate_v_s: float,
+    diffusion_cm2_s: float,
+    n_electrons: int = 1,
+    temperature_c: float = 25.0,
+) -> KineticsEstimate:
+    """k0 from one (dEp, scan rate) pair.
+
+    Raises:
+        ValueError: non-positive scan rate or diffusion coefficient.
+    """
+    if scan_rate_v_s <= 0 or diffusion_cm2_s <= 0:
+        raise ValueError("scan rate and D must be > 0")
+    psi, at_limit = psi_from_separation(separation_v, n_electrons)
+    f_term = (
+        n_electrons
+        * FARADAY
+        / (GAS_CONSTANT * celsius_to_kelvin(temperature_c))
+    )
+    k0 = psi * np.sqrt(np.pi * diffusion_cm2_s * f_term * scan_rate_v_s)
+    return KineticsEstimate(
+        k0_cm_s=float(k0),
+        psi=psi,
+        separation_v=separation_v,
+        reversible=at_limit,
+    )
+
+
+def estimate_k0_from_trace(
+    voltammogram: Voltammogram,
+    diffusion_cm2_s: float,
+    n_electrons: int = 1,
+    temperature_c: float = 25.0,
+) -> KineticsEstimate:
+    """Nicholson analysis straight off a measured CV.
+
+    Raises:
+        ValueError: trace has no complete peak pair or no scan-rate
+            metadata.
+    """
+    pair = find_peaks(voltammogram)
+    if not pair.complete:
+        raise ValueError("no complete peak pair; cannot run Nicholson analysis")
+    scan_rate = voltammogram.metadata.get("scan_rate_v_s")
+    if not scan_rate or scan_rate <= 0:
+        raise ValueError("trace metadata lacks a positive scan_rate_v_s")
+    return estimate_k0(
+        separation_v=pair.separation_v,
+        scan_rate_v_s=float(scan_rate),
+        diffusion_cm2_s=diffusion_cm2_s,
+        n_electrons=n_electrons,
+        temperature_c=temperature_c,
+    )

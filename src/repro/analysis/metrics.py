@@ -1,0 +1,89 @@
+"""Derived CV metrics and reversibility diagnostics.
+
+``characterize`` condenses a voltammogram into the numbers an
+electrochemist reads off Fig 7: peak potentials and currents, dEp, E1/2,
+peak-current ratio. ``reversibility_checks`` applies the textbook criteria
+for an electrochemically reversible couple (Bard & Faulkner §6.5):
+
+- dEp close to 2.218 RT/nF (~59 mV at 25 C, n=1);
+- |ip_a / ip_c| close to 1;
+- ip proportional to sqrt(scan rate) (checked by the scan-rate study);
+- E1/2 independent of scan rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import nernst_slope
+from repro.chemistry.voltammogram import Voltammogram
+from repro.analysis.peaks import PeakPair, find_peaks
+
+
+@dataclass(frozen=True)
+class CVMetrics:
+    """Summary numbers for one cycle of a CV."""
+
+    anodic_peak_v: float
+    anodic_peak_a: float
+    cathodic_peak_v: float
+    cathodic_peak_a: float
+    peak_separation_v: float
+    e_half_v: float
+    peak_ratio: float
+    scan_rate_v_s: float
+
+    def format_summary(self) -> str:
+        """One-paragraph console rendering."""
+        return (
+            f"anodic peak {self.anodic_peak_a:.3e} A at {self.anodic_peak_v:.3f} V; "
+            f"cathodic peak {self.cathodic_peak_a:.3e} A at "
+            f"{self.cathodic_peak_v:.3f} V; dEp = {self.peak_separation_v*1e3:.1f} mV; "
+            f"E1/2 = {self.e_half_v:.3f} V; |ipa/ipc| = {self.peak_ratio:.2f}"
+        )
+
+
+def characterize(
+    voltammogram: Voltammogram, cycle: int = 0, peaks: PeakPair | None = None
+) -> CVMetrics:
+    """Compute :class:`CVMetrics` for one cycle.
+
+    Raises:
+        ValueError: the trace has no identifiable redox wave.
+    """
+    pair = peaks or find_peaks(voltammogram, cycle=cycle)
+    if not pair.complete:
+        raise ValueError(
+            "no complete anodic/cathodic peak pair found "
+            "(blank, disconnected, or featureless trace)"
+        )
+    assert pair.anodic is not None and pair.cathodic is not None
+    return CVMetrics(
+        anodic_peak_v=pair.anodic.potential_v,
+        anodic_peak_a=pair.anodic.current_a,
+        cathodic_peak_v=pair.cathodic.potential_v,
+        cathodic_peak_a=pair.cathodic.current_a,
+        peak_separation_v=pair.separation_v,
+        e_half_v=pair.e_half_v,
+        peak_ratio=abs(pair.anodic.current_a / pair.cathodic.current_a),
+        scan_rate_v_s=float(voltammogram.metadata.get("scan_rate_v_s", float("nan"))),
+    )
+
+
+def reversibility_checks(
+    metrics: CVMetrics,
+    temperature_c: float = 25.0,
+    n_electrons: int = 1,
+    separation_tolerance_v: float = 0.015,
+    ratio_tolerance: float = 0.35,
+) -> dict[str, bool]:
+    """Textbook reversibility criteria as named pass/fail flags."""
+    ideal_separation = 2.218 * nernst_slope(temperature_c, n_electrons)
+    return {
+        "peak_separation_nernstian": (
+            abs(metrics.peak_separation_v - ideal_separation)
+            <= separation_tolerance_v
+        ),
+        "peak_ratio_unity": abs(metrics.peak_ratio - 1.0) <= ratio_tolerance,
+        "peaks_ordered": metrics.anodic_peak_v > metrics.cathodic_peak_v,
+    }

@@ -1,0 +1,140 @@
+"""Randles-Sevcik analysis: peak current vs scan rate.
+
+For a reversible couple at 25 C the peak current follows
+
+    ip = 0.4463 n F A C sqrt(n F v D / (R T))
+
+so ip against sqrt(v) is a line through the origin whose slope yields the
+diffusion coefficient. :class:`ScanRateStudy` automates the sweep: run a
+CV per scan rate (through any runner callable — local engine or the full
+remote workflow), collect the anodic peaks, fit the line, and report D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.units import FARADAY, GAS_CONSTANT, celsius_to_kelvin
+from repro.chemistry.voltammogram import Voltammogram
+from repro.analysis.peaks import find_peaks
+
+RANDLES_SEVCIK_COEFF = 0.4463
+
+
+def randles_sevcik_current(
+    n_electrons: int,
+    area_cm2: float,
+    concentration_mol_cm3: float,
+    diffusion_cm2_s: float,
+    scan_rate_v_s: float,
+    temperature_c: float = 25.0,
+) -> float:
+    """Predicted reversible peak current (A)."""
+    if min(area_cm2, concentration_mol_cm3, diffusion_cm2_s, scan_rate_v_s) < 0:
+        raise ValueError("physical parameters must be non-negative")
+    f_term = n_electrons * FARADAY / (
+        GAS_CONSTANT * celsius_to_kelvin(temperature_c)
+    )
+    return (
+        RANDLES_SEVCIK_COEFF
+        * n_electrons
+        * FARADAY
+        * area_cm2
+        * concentration_mol_cm3
+        * np.sqrt(f_term * scan_rate_v_s * diffusion_cm2_s)
+    )
+
+
+def estimate_diffusion_coefficient(
+    scan_rates_v_s: np.ndarray,
+    peak_currents_a: np.ndarray,
+    n_electrons: int,
+    area_cm2: float,
+    concentration_mol_cm3: float,
+    temperature_c: float = 25.0,
+) -> tuple[float, float]:
+    """Fit ip = slope * sqrt(v); returns (D in cm^2/s, R^2 of the fit).
+
+    Raises:
+        ValueError: fewer than 2 scan rates, or non-positive inputs.
+    """
+    scan_rates = np.asarray(scan_rates_v_s, dtype=np.float64)
+    peaks = np.asarray(peak_currents_a, dtype=np.float64)
+    if len(scan_rates) != len(peaks):
+        raise ValueError("scan rate and peak arrays differ in length")
+    if len(scan_rates) < 2:
+        raise ValueError("need at least two scan rates")
+    if np.any(scan_rates <= 0):
+        raise ValueError("scan rates must be > 0")
+    sqrt_v = np.sqrt(scan_rates)
+    # least squares through the origin: slope = <x y> / <x^2>
+    slope = float(np.dot(sqrt_v, peaks) / np.dot(sqrt_v, sqrt_v))
+    predicted = slope * sqrt_v
+    residual = peaks - predicted
+    total = peaks - peaks.mean()
+    r_squared = 1.0 - float(residual @ residual) / float(total @ total + 1e-300)
+
+    f_term = n_electrons * FARADAY / (
+        GAS_CONSTANT * celsius_to_kelvin(temperature_c)
+    )
+    denom = (
+        RANDLES_SEVCIK_COEFF
+        * n_electrons
+        * FARADAY
+        * area_cm2
+        * concentration_mol_cm3
+        * np.sqrt(f_term)
+    )
+    diffusion = (slope / denom) ** 2
+    return float(diffusion), r_squared
+
+
+@dataclass
+class ScanRateStudy:
+    """Sweep scan rates and extract the Randles-Sevcik line.
+
+    Args:
+        runner: callable ``scan_rate -> Voltammogram`` — the local engine
+            in unit tests, the full remote workflow in the examples.
+        scan_rates_v_s: rates to sweep.
+    """
+
+    runner: Callable[[float], Voltammogram]
+    scan_rates_v_s: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4)
+    results: list[Voltammogram] = field(default_factory=list)
+    peak_currents_a: list[float] = field(default_factory=list)
+
+    def run(self) -> "ScanRateStudy":
+        """Execute all sweeps, collecting anodic peak currents."""
+        self.results.clear()
+        self.peak_currents_a.clear()
+        for rate in self.scan_rates_v_s:
+            trace = self.runner(rate)
+            self.results.append(trace)
+            pair = find_peaks(trace)
+            if pair.anodic is None:
+                raise ValueError(f"no anodic peak at scan rate {rate} V/s")
+            self.peak_currents_a.append(pair.anodic.current_a)
+        return self
+
+    def estimate_diffusion(
+        self,
+        n_electrons: int,
+        area_cm2: float,
+        concentration_mol_cm3: float,
+        temperature_c: float = 25.0,
+    ) -> tuple[float, float]:
+        """(D, R^2) from the collected peaks."""
+        if not self.peak_currents_a:
+            raise ValueError("run() the study first")
+        return estimate_diffusion_coefficient(
+            np.asarray(self.scan_rates_v_s),
+            np.asarray(self.peak_currents_a),
+            n_electrons=n_electrons,
+            area_cm2=area_cm2,
+            concentration_mol_cm3=concentration_mol_cm3,
+            temperature_c=temperature_c,
+        )

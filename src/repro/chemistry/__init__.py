@@ -1,0 +1,46 @@
+"""Electrochemistry models: species, solutions, the cell, and CV physics.
+
+The paper's experiment cycles 2 mM ferrocene in acetonitrile between
+Fe(Cp)2 and [Fe(Cp)2]+ and records the I-V profile (Fig 7). Real chemistry
+is replaced by a 1-D semi-infinite diffusion model with Butler-Volmer
+electrode kinetics (the textbook treatment, Bard & Faulkner ch. 6 / app.
+B), solved by an explicit finite-difference scheme vectorised with NumPy.
+
+The simulated voltammograms have the properties the analysis and ML layers
+rely on: duck-shaped curves, ~59 mV anodic/cathodic peak separation for
+reversible couples, Randles-Sevcik square-root-of-scan-rate peak scaling,
+and fault signatures (flat noise for a disconnected electrode, shrunken
+distorted waves for an under-filled cell).
+"""
+
+from repro.chemistry.species import (
+    RedoxSpecies,
+    Solution,
+    FERROCENE,
+    ACETONITRILE,
+    TBA_TRIFLATE,
+    ferrocene_solution,
+)
+from repro.chemistry.cell import ElectrochemicalCell, Electrode
+from repro.chemistry.cv_engine import CVParameters, CVEngine, potential_waveform
+from repro.chemistry.voltammogram import Voltammogram
+from repro.chemistry.noise import NoiseModel
+from repro.chemistry.faults import FaultKind, apply_fault
+
+__all__ = [
+    "RedoxSpecies",
+    "Solution",
+    "FERROCENE",
+    "ACETONITRILE",
+    "TBA_TRIFLATE",
+    "ferrocene_solution",
+    "ElectrochemicalCell",
+    "Electrode",
+    "CVParameters",
+    "CVEngine",
+    "potential_waveform",
+    "Voltammogram",
+    "NoiseModel",
+    "FaultKind",
+    "apply_fault",
+]

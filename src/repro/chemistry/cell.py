@@ -1,0 +1,236 @@
+"""The electrochemical cell: liquid state, electrodes, gas purge.
+
+The cell is the physical meeting point of the J-Kem fluidics (which fill
+and withdraw liquid) and the potentiostat (which polarises the working
+electrode). Its state is what couples the two instrument simulations:
+
+- the syringe pump changes ``volume_ml``;
+- the immersed fraction of the working electrode depends on fill level, so
+  an under-filled cell shrinks the effective electrode area — one of the
+  two abnormal conditions the ML method must flag;
+- a disconnected electrode lead breaks the circuit entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import CellOverflowError, CellUnderflowError, ChemistryError
+from repro.chemistry.species import Solution
+
+
+@dataclass(frozen=True)
+class Electrode:
+    """One electrode of the three-electrode setup.
+
+    Attributes:
+        role: ``"working"``, ``"reference"`` or ``"counter"``.
+        material: e.g. ``"glassy carbon"``, ``"Pt wire"``, ``"Ag wire"``.
+        area_cm2: geometric area (meaningful for the working electrode).
+        immersion_depth_ml: cell volume at which the electrode is fully
+            immersed; below this the wetted area scales with fill level.
+    """
+
+    role: str
+    material: str
+    area_cm2: float
+    immersion_depth_ml: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.role not in ("working", "reference", "counter"):
+            raise ValueError(f"unknown electrode role: {self.role!r}")
+        if self.area_cm2 <= 0:
+            raise ValueError("electrode area must be > 0")
+
+
+#: A 3 mm glassy-carbon disc, the standard bench working electrode.
+GC_DISC_3MM = Electrode(
+    role="working", material="glassy carbon", area_cm2=0.0707, immersion_depth_ml=4.0
+)
+PT_WIRE = Electrode(role="counter", material="Pt wire", area_cm2=0.5)
+AG_WIRE = Electrode(role="reference", material="Ag wire", area_cm2=0.05)
+
+
+class ElectrochemicalCell:
+    """Stirred-tank liquid model plus electrode circuit state.
+
+    Thread-safe: the J-Kem simulation mutates liquid state from its device
+    thread while the potentiostat samples electrode conditions.
+    """
+
+    def __init__(
+        self,
+        capacity_ml: float = 20.0,
+        working: Electrode = GC_DISC_3MM,
+        counter: Electrode = PT_WIRE,
+        reference: Electrode = AG_WIRE,
+        temperature_c: float = 25.0,
+    ):
+        if capacity_ml <= 0:
+            raise ValueError("capacity must be > 0")
+        self.capacity_ml = capacity_ml
+        self.working = working
+        self.counter = counter
+        self.reference = reference
+        self.temperature_c = temperature_c
+        self._volume_ml = 0.0
+        self._contents: Solution | None = None
+        self._purge_gas: str | None = None
+        self._purge_sccm = 0.0
+        self._connected = {"working": True, "reference": True, "counter": True}
+        self._lock = threading.Lock()
+
+    # -- liquid handling ----------------------------------------------------
+    @property
+    def volume_ml(self) -> float:
+        with self._lock:
+            return self._volume_ml
+
+    @property
+    def contents(self) -> Solution | None:
+        with self._lock:
+            return self._contents
+
+    def add_liquid(self, volume_ml: float, solution: Solution) -> None:
+        """Dispense ``volume_ml`` of ``solution`` into the cell.
+
+        Mixing is idealised: the incoming solution replaces/augments the
+        current contents; concentration bookkeeping assumes the same
+        solution is used throughout a workflow (true for the paper's run).
+        """
+        if volume_ml < 0:
+            raise ChemistryError(f"cannot add negative volume: {volume_ml}")
+        with self._lock:
+            if self._volume_ml + volume_ml > self.capacity_ml + 1e-9:
+                raise CellOverflowError(
+                    f"adding {volume_ml:.3f} mL exceeds capacity "
+                    f"({self._volume_ml:.3f}/{self.capacity_ml:.3f} mL)"
+                )
+            self._volume_ml += volume_ml
+            self._contents = solution
+
+    def withdraw_liquid(self, volume_ml: float) -> float:
+        """Remove liquid; returns the volume actually removed."""
+        if volume_ml < 0:
+            raise ChemistryError(f"cannot withdraw negative volume: {volume_ml}")
+        with self._lock:
+            if volume_ml > self._volume_ml + 1e-9:
+                raise CellUnderflowError(
+                    f"withdrawing {volume_ml:.3f} mL from a cell holding "
+                    f"{self._volume_ml:.3f} mL"
+                )
+            self._volume_ml -= volume_ml
+            if self._volume_ml <= 1e-12:
+                self._volume_ml = 0.0
+                self._contents = None
+            return volume_ml
+
+    def drain(self) -> float:
+        """Empty the cell completely; returns the removed volume."""
+        with self._lock:
+            removed = self._volume_ml
+            self._volume_ml = 0.0
+            self._contents = None
+            return removed
+
+    # -- gas purge ---------------------------------------------------------
+    def set_purge(self, gas: str | None, sccm: float = 0.0) -> None:
+        """Start/stop inert-gas purge (argon in the paper's setup)."""
+        if sccm < 0:
+            raise ChemistryError(f"flow must be >= 0, got {sccm}")
+        with self._lock:
+            self._purge_gas = gas if sccm > 0 else None
+            self._purge_sccm = sccm if gas else 0.0
+
+    @property
+    def purge(self) -> tuple[str | None, float]:
+        with self._lock:
+            return self._purge_gas, self._purge_sccm
+
+    def apply_electrolysis(
+        self,
+        from_species,
+        to_species,
+        moles: float,
+    ) -> None:
+        """Convert ``moles`` of ``from_species`` into ``to_species``.
+
+        Called by the potentiostat after an acquisition with the net
+        faradaic charge converted to moles (Q / nF): bulk composition
+        tracks what the electrode actually did, so a later fraction sent
+        to the HPLC-MS shows the oxidation product. Conversion is capped
+        at what is present; a negative ``moles`` converts the other way.
+        """
+        if from_species is None or to_species is None:
+            return
+        with self._lock:
+            if self._contents is None or self._volume_ml <= 0:
+                return
+            volume_cm3 = self._volume_ml  # 1 mL == 1 cm^3
+            concentrations = dict(self._contents.species)
+            available = concentrations.get(from_species, 0.0) * volume_cm3
+            converted = min(max(moles, 0.0), available)
+            if converted <= 0.0:
+                return
+            concentrations[from_species] = (
+                available - converted
+            ) / volume_cm3
+            concentrations[to_species] = (
+                concentrations.get(to_species, 0.0) + converted / volume_cm3
+            )
+            self._contents = Solution(
+                solvent=self._contents.solvent,
+                species=concentrations,
+                supporting_electrolyte=self._contents.supporting_electrolyte,
+                label=self._contents.label,
+            )
+
+    # -- electrical circuit --------------------------------------------------
+    def set_electrode_connected(self, role: str, connected: bool) -> None:
+        """Fault injection: connect/disconnect an electrode lead."""
+        if role not in self._connected:
+            raise ChemistryError(f"unknown electrode role: {role!r}")
+        with self._lock:
+            self._connected[role] = connected
+
+    def electrode_connected(self, role: str) -> bool:
+        with self._lock:
+            return self._connected[role]
+
+    @property
+    def circuit_closed(self) -> bool:
+        """True when all three electrode leads are attached."""
+        with self._lock:
+            return all(self._connected.values())
+
+    @property
+    def effective_working_area_cm2(self) -> float:
+        """Wetted working-electrode area given the current fill level.
+
+        Full immersion above ``immersion_depth_ml``; below it the wetted
+        area scales linearly with volume — an under-filled cell produces a
+        proportionally smaller current, the second abnormal signature.
+        """
+        with self._lock:
+            depth = self.working.immersion_depth_ml
+            fraction = min(1.0, self._volume_ml / depth) if depth > 0 else 1.0
+            return self.working.area_cm2 * fraction
+
+    def measurement_conditions(self) -> dict:
+        """Snapshot consumed by the potentiostat when a technique starts."""
+        with self._lock:
+            wetted_fraction = (
+                min(1.0, self._volume_ml / self.working.immersion_depth_ml)
+                if self.working.immersion_depth_ml > 0
+                else 1.0
+            )
+            return {
+                "volume_ml": self._volume_ml,
+                "solution": self._contents,
+                "area_cm2": self.working.area_cm2 * wetted_fraction,
+                "wetted_fraction": wetted_fraction,
+                "circuit_closed": all(self._connected.values()),
+                "temperature_c": self.temperature_c,
+                "purge_gas": self._purge_gas,
+            }

@@ -1,0 +1,105 @@
+"""Abnormal experimental conditions (paper §4.3.3 / ref [11]).
+
+The ML normality method is trained to distinguish a healthy voltammogram
+from the two failure modes the paper names, plus a bubble transient we add
+as an extension:
+
+- ``DISCONNECTED_ELECTRODE``: the circuit is open; the potentiostat
+  records only its input-stage noise around zero — no faradaic wave.
+- ``LOW_VOLUME``: the under-filled cell wets a fraction of the electrode,
+  shrinking the current proportionally and adding fill-level flutter from
+  the meniscus moving across the electrode.
+- ``BUBBLE``: a gas bubble transiently masks part of the electrode,
+  causing a localised dropout in the current trace.
+
+``apply_fault`` post-processes an ideal trace so datasets can be built
+without re-running the solver per fault; the cell-level route (actually
+under-filling the cell so the engine sees a smaller area) is exercised by
+the workflow integration tests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.chemistry.voltammogram import Voltammogram
+
+
+class FaultKind(Enum):
+    NONE = "normal"
+    DISCONNECTED_ELECTRODE = "disconnected_electrode"
+    LOW_VOLUME = "low_volume"
+    BUBBLE = "bubble"
+
+
+def apply_fault(
+    voltammogram: Voltammogram,
+    fault: FaultKind,
+    severity: float = 0.7,
+    seed: int = 0,
+    scale_current: bool = True,
+) -> Voltammogram:
+    """Return a trace as it would look under ``fault``.
+
+    Args:
+        voltammogram: the healthy trace.
+        fault: which abnormal condition to emulate.
+        severity: 0..1, how bad (0.7 = cell at 30 % of proper volume, or a
+            bubble masking 70 % of the electrode at its peak).
+        seed: RNG seed for the stochastic parts.
+        scale_current: for ``LOW_VOLUME`` only — set False when the caller
+            already simulated the reduced wetted area physically (smaller
+            engine area/higher Ru) and only the meniscus flutter should be
+            added here.
+
+    Raises:
+        ValueError: severity outside [0, 1].
+    """
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"severity must be in [0, 1], got {severity}")
+    rng = np.random.default_rng(seed)
+    current = voltammogram.current_a.copy()
+    time = voltammogram.time_s
+    n = len(current)
+
+    if fault is FaultKind.NONE:
+        pass
+    elif fault is FaultKind.DISCONNECTED_ELECTRODE:
+        # Open circuit: only input-referred noise remains; its scale does
+        # not depend on what the chemistry would have produced.
+        floor = 2e-8 * (1.0 + 4.0 * severity)
+        current = rng.normal(0.0, floor, size=n)
+    elif fault is FaultKind.LOW_VOLUME:
+        # Wetted fraction of the electrode shrinks; meniscus flutter
+        # modulates it at sub-Hz frequency, worse the lower the level.
+        fraction = (1.0 - severity) if scale_current else 1.0
+        amplitude = 0.03 + 0.10 * severity
+        flutter = amplitude * np.sin(
+            2.0 * np.pi * 0.5 * time + rng.uniform(0, 2 * np.pi)
+        )
+        current *= fraction * (1.0 + flutter)
+        current += rng.normal(0.0, 3e-8, size=n)
+    elif fault is FaultKind.BUBBLE:
+        # A bubble grows over the electrode and detaches: smooth dip with a
+        # sharp recovery, at a random position in the run.
+        center = rng.uniform(0.2, 0.8) * time[-1]
+        width = max(0.05 * time[-1], 1e-6)
+        envelope = np.exp(-0.5 * ((time - center) / width) ** 2)
+        # sharp recovery: zero the envelope after the detach point
+        envelope[time > center] *= 0.2
+        current *= 1.0 - severity * envelope
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown fault kind: {fault}")
+
+    metadata = dict(voltammogram.metadata)
+    metadata["fault"] = fault.value
+    metadata["fault_severity"] = severity if fault is not FaultKind.NONE else 0.0
+    return Voltammogram(
+        time_s=voltammogram.time_s,
+        potential_v=voltammogram.potential_v,
+        current_a=current,
+        cycle_index=voltammogram.cycle_index,
+        metadata=metadata,
+    )

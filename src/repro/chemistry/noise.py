@@ -1,0 +1,89 @@
+"""Measurement noise: what separates the solver's ideal trace from what a
+real potentiostat records.
+
+Components, each individually switchable so tests can isolate them:
+
+- white current noise (amplifier/ADC floor);
+- slow baseline drift (thermal/reference drift over the acquisition);
+- mains pickup at 50/60 Hz;
+- ADC quantisation at the current-range resolution.
+
+The model is deterministic given its seed, which keeps the ML dataset
+generation and the property tests reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chemistry.voltammogram import Voltammogram
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Additive noise description.
+
+    Attributes:
+        white_sigma_a: standard deviation of white noise (A).
+        drift_a_per_s: linear baseline drift rate (A/s).
+        mains_amplitude_a: amplitude of mains interference (A).
+        mains_hz: mains frequency (50 or 60 Hz).
+        quantization_a: ADC step size (A); 0 disables quantisation.
+        seed: RNG seed for the white component.
+    """
+
+    white_sigma_a: float = 5e-8
+    drift_a_per_s: float = 0.0
+    mains_amplitude_a: float = 0.0
+    mains_hz: float = 60.0
+    quantization_a: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.white_sigma_a < 0:
+            raise ValueError("white_sigma_a must be >= 0")
+        if self.mains_amplitude_a < 0:
+            raise ValueError("mains_amplitude_a must be >= 0")
+        if self.quantization_a < 0:
+            raise ValueError("quantization_a must be >= 0")
+
+    def apply(self, voltammogram: Voltammogram) -> Voltammogram:
+        """Return a new voltammogram with noise added to the current."""
+        rng = np.random.default_rng(self.seed)
+        current = voltammogram.current_a.copy()
+        time = voltammogram.time_s
+        if self.white_sigma_a > 0:
+            current += rng.normal(0.0, self.white_sigma_a, size=current.shape)
+        if self.drift_a_per_s != 0.0:
+            current += self.drift_a_per_s * time
+        if self.mains_amplitude_a > 0:
+            current += self.mains_amplitude_a * np.sin(
+                2.0 * np.pi * self.mains_hz * time
+            )
+        if self.quantization_a > 0:
+            np.round(current / self.quantization_a, out=current)
+            current *= self.quantization_a
+        metadata = dict(voltammogram.metadata)
+        metadata["noise"] = {
+            "white_sigma_a": self.white_sigma_a,
+            "drift_a_per_s": self.drift_a_per_s,
+            "mains_amplitude_a": self.mains_amplitude_a,
+            "seed": self.seed,
+        }
+        return Voltammogram(
+            time_s=voltammogram.time_s,
+            potential_v=voltammogram.potential_v,
+            current_a=current,
+            cycle_index=voltammogram.cycle_index,
+            metadata=metadata,
+        )
+
+
+#: Noise level of a well-behaved benchtop acquisition.
+BENCH_NOISE = NoiseModel(white_sigma_a=5e-8)
+#: A noisier environment with drift and mains pickup.
+NOISY_LAB = NoiseModel(
+    white_sigma_a=2e-7, drift_a_per_s=2e-9, mains_amplitude_a=1e-7, seed=1
+)

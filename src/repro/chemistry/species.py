@@ -1,0 +1,158 @@
+"""Redox species, solvents and electrolyte solutions.
+
+Units follow electrochemical convention: concentrations in mol/cm^3
+internally (accepting mM at the API edge), diffusion coefficients in
+cm^2/s, potentials in volts against the cell reference electrode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import mm_to_mol_per_cm3
+
+
+@dataclass(frozen=True)
+class RedoxSpecies:
+    """An electroactive couple O + n e- <-> R.
+
+    Attributes:
+        name: label, e.g. ``"ferrocene"``.
+        formal_potential_v: E0' vs the reference electrode (V).
+        n_electrons: electrons transferred per molecule.
+        diffusion_cm2_s: diffusion coefficient of both forms (cm^2/s);
+            the engine supports distinct D_O/D_R but ferrocene's forms
+            are close enough to share one value.
+        k0_cm_s: standard heterogeneous rate constant (cm/s). Ferrocene is
+            fast (>1 cm/s on Pt/GC), i.e. electrochemically reversible at
+            the paper's scan rates.
+        alpha: transfer coefficient (0..1).
+    """
+
+    name: str
+    formal_potential_v: float
+    n_electrons: int = 1
+    diffusion_cm2_s: float = 1.0e-5
+    k0_cm_s: float = 1.0
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_electrons < 1:
+            raise ValueError(f"n_electrons must be >= 1, got {self.n_electrons}")
+        if self.diffusion_cm2_s <= 0:
+            raise ValueError(f"diffusion coefficient must be > 0")
+        if self.k0_cm_s <= 0:
+            raise ValueError("k0 must be > 0")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+
+
+@dataclass(frozen=True)
+class Solvent:
+    """A solvent with the properties the models care about."""
+
+    name: str
+    density_g_ml: float
+    viscosity_cp: float
+
+
+@dataclass(frozen=True)
+class SupportingElectrolyte:
+    """Inert salt that carries migration current so analyte moves by diffusion."""
+
+    name: str
+    concentration_m: float
+
+
+ACETONITRILE = Solvent(name="acetonitrile", density_g_ml=0.786, viscosity_cp=0.343)
+TBA_TRIFLATE = SupportingElectrolyte(
+    name="tetrabutylammonium triflate", concentration_m=0.1
+)
+
+#: The paper's analyte: ferrocene/ferrocenium in acetonitrile. E0' vs the
+#: pseudo-reference used in Fig 7 sits near +0.40 V; D from MeCN literature.
+FERROCENE = RedoxSpecies(
+    name="ferrocene",
+    formal_potential_v=0.40,
+    n_electrons=1,
+    diffusion_cm2_s=2.4e-5,
+    k0_cm_s=1.0,
+    alpha=0.5,
+)
+
+#: The oxidised form [Fe(Cp)2]+ tracked separately so bulk electrolysis
+#: and the HPLC-MS can see the product of cycling (paper §4.2 cycles
+#: between the two).
+FERROCENIUM = RedoxSpecies(
+    name="ferrocenium",
+    formal_potential_v=0.40,
+    n_electrons=1,
+    diffusion_cm2_s=2.2e-5,
+    k0_cm_s=1.0,
+    alpha=0.5,
+)
+
+#: reduced form -> its one-electron oxidation product
+OXIDATION_PRODUCTS: dict[RedoxSpecies, RedoxSpecies] = {
+    FERROCENE: FERROCENIUM,
+}
+
+
+@dataclass
+class Solution:
+    """A prepared electrolyte solution.
+
+    Attributes:
+        solvent: the solvent.
+        species: analyte -> bulk concentration in mol/cm^3.
+        supporting_electrolyte: the inert salt (affects solution resistance).
+        label: human-readable description for measurement metadata.
+    """
+
+    solvent: Solvent
+    species: dict[RedoxSpecies, float] = field(default_factory=dict)
+    supporting_electrolyte: SupportingElectrolyte | None = None
+    label: str = ""
+
+    def concentration(self, species: RedoxSpecies) -> float:
+        """Bulk concentration of ``species`` in mol/cm^3 (0 if absent)."""
+        return self.species.get(species, 0.0)
+
+    def with_concentration_mm(
+        self, species: RedoxSpecies, millimolar: float
+    ) -> "Solution":
+        """Return a copy with ``species`` at the given mM concentration."""
+        if millimolar < 0:
+            raise ValueError(f"concentration must be >= 0, got {millimolar}")
+        updated = dict(self.species)
+        updated[species] = mm_to_mol_per_cm3(millimolar)
+        return Solution(
+            solvent=self.solvent,
+            species=updated,
+            supporting_electrolyte=self.supporting_electrolyte,
+            label=self.label,
+        )
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Uncompensated solution resistance estimate.
+
+        Well-supported organic electrolyte (0.1 M TBA salt in MeCN) gives
+        tens to a couple hundred ohms in a small cell; without supporting
+        electrolyte the resistance balloons — the model makes that ~30x
+        worse, enough to visibly tilt a voltammogram.
+        """
+        if self.supporting_electrolyte is None:
+            return 3000.0
+        base = 100.0 * (0.1 / max(self.supporting_electrolyte.concentration_m, 1e-4))
+        return base * (self.solvent.viscosity_cp / ACETONITRILE.viscosity_cp)
+
+
+def ferrocene_solution(concentration_mm: float = 2.0) -> Solution:
+    """The paper's test solution: ferrocene in MeCN with 0.1 M TBAOTf."""
+    return Solution(
+        solvent=ACETONITRILE,
+        species={FERROCENE: mm_to_mol_per_cm3(concentration_mm)},
+        supporting_electrolyte=TBA_TRIFLATE,
+        label=f"{concentration_mm:g} mM ferrocene / MeCN / 0.1 M TBAOTf",
+    )

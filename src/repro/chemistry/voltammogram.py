@@ -1,0 +1,98 @@
+"""The I-V measurement record produced by a CV run.
+
+A :class:`Voltammogram` is what travels over the data channel: time,
+applied potential and measured current arrays plus the acquisition
+metadata (analyte, scan rate, cycle count). It converts losslessly to and
+from plain dicts so both the ``.mpt`` file writer and the RPC layer can
+carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class Voltammogram:
+    """One cyclic-voltammetry acquisition.
+
+    Attributes:
+        time_s: sample timestamps from technique start.
+        potential_v: applied working-electrode potential (V vs ref).
+        current_a: measured current (A; anodic positive).
+        cycle_index: integer cycle number of each sample (0-based).
+        metadata: acquisition context (scan rate, analyte label, ...).
+    """
+
+    time_s: np.ndarray
+    potential_v: np.ndarray
+    current_a: np.ndarray
+    cycle_index: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.time_s),
+            len(self.potential_v),
+            len(self.current_a),
+            len(self.cycle_index),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"array lengths differ: {lengths}")
+        self.time_s = np.asarray(self.time_s, dtype=np.float64)
+        self.potential_v = np.asarray(self.potential_v, dtype=np.float64)
+        self.current_a = np.asarray(self.current_a, dtype=np.float64)
+        self.cycle_index = np.asarray(self.cycle_index, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    @property
+    def n_cycles(self) -> int:
+        return int(self.cycle_index.max()) + 1 if len(self) else 0
+
+    def cycle(self, index: int) -> "Voltammogram":
+        """Slice out one cycle (views where possible)."""
+        mask = self.cycle_index == index
+        if not mask.any():
+            raise IndexError(f"no cycle {index} in voltammogram")
+        return Voltammogram(
+            time_s=self.time_s[mask],
+            potential_v=self.potential_v[mask],
+            current_a=self.current_a[mask],
+            cycle_index=self.cycle_index[mask],
+            metadata=dict(self.metadata),
+        )
+
+    def peak_anodic(self) -> tuple[float, float]:
+        """(potential, current) of the maximum (anodic) current sample."""
+        index = int(np.argmax(self.current_a))
+        return float(self.potential_v[index]), float(self.current_a[index])
+
+    def peak_cathodic(self) -> tuple[float, float]:
+        """(potential, current) of the minimum (cathodic) current sample."""
+        index = int(np.argmin(self.current_a))
+        return float(self.potential_v[index]), float(self.current_a[index])
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for serialisation."""
+        return {
+            "time_s": self.time_s,
+            "potential_v": self.potential_v,
+            "current_a": self.current_a,
+            "cycle_index": self.cycle_index,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Voltammogram":
+        return cls(
+            time_s=np.asarray(data["time_s"], dtype=np.float64),
+            potential_v=np.asarray(data["potential_v"], dtype=np.float64),
+            current_a=np.asarray(data["current_a"], dtype=np.float64),
+            cycle_index=np.asarray(data["cycle_index"], dtype=np.int64),
+            metadata=dict(data.get("metadata", {})),
+        )

@@ -1,0 +1,172 @@
+"""Command-line interface: the ecosystem from a shell.
+
+Subcommands:
+
+- ``repro-ice demo`` — stand the simulated ICE up, run the paper's
+  workflow, print the analysis (the quickstart, scriptable);
+- ``repro-ice serve`` — run the control agents over real TCP and print
+  their URIs, then serve until interrupted: the two-machine mode (point
+  a remote client at the printed URIs);
+- ``repro-ice scan-rate`` — the Randles-Sevcik campaign, printing D;
+- ``repro-ice analyze FILE.mpt`` — offline analysis of a measurement
+  file (peaks, E1/2, dEp, optional Nicholson k0).
+
+Run as ``python -m repro.cli <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import ElectrochemistryICE, run_cv_workflow
+    from repro.core.cv_workflow import CVWorkflowSettings
+
+    settings = CVWorkflowSettings(
+        scan_rate_v_s=args.scan_rate,
+        fill_volume_ml=args.volume,
+        e_step_v=args.e_step,
+    )
+    with ElectrochemistryICE.build() as ice:
+        print(f"control: {ice.control_uri}")
+        print(f"data:    {ice.share_uri}")
+        result = run_cv_workflow(ice, settings=settings)
+        for name, task in result.workflow.tasks.items():
+            print(f"  {name:<28} {task.state.value}")
+        print(result.summary())
+        return 0 if result.succeeded else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.facility.ice import ElectrochemistryICE, ICEConfig
+
+    secret = args.secret.encode() if args.secret else None
+    config = ICEConfig(transport="tcp", control_secret=secret)
+    ice = ElectrochemistryICE.build(config)
+    print(f"workstation:       {ice.control_uri}")
+    print(f"measurement share: {ice.share_uri}")
+    print(f"characterization:  {ice.characterization_uri}")
+    print("serving; Ctrl-C to stop", flush=True)
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        ice.shutdown()
+    return 0
+
+
+def _cmd_scan_rate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import (
+        Campaign,
+        CVWorkflowSettings,
+        ElectrochemistryICE,
+        scan_rate_strategy,
+    )
+    from repro.analysis import estimate_diffusion_coefficient
+    from repro.chemistry.species import FERROCENE
+
+    rates = tuple(args.rates)
+    with ElectrochemistryICE.build() as ice:
+        campaign = Campaign(
+            ice,
+            scan_rate_strategy(rates, base=CVWorkflowSettings(e_step_v=args.e_step)),
+        )
+        rounds = campaign.run()
+        peaks = []
+        for record in rounds:
+            metrics = record.result.metrics
+            if metrics is None:
+                print(f"round {record.index}: no wave found", file=sys.stderr)
+                return 1
+            peaks.append(metrics.anodic_peak_a)
+            print(
+                f"v={record.settings.scan_rate_v_s:6.3f} V/s  "
+                f"ip={metrics.anodic_peak_a:.3e} A  "
+                f"dEp={metrics.peak_separation_v*1e3:5.1f} mV"
+            )
+        diffusion, r_squared = estimate_diffusion_coefficient(
+            np.asarray(rates), np.asarray(peaks), 1, 0.0707, 2e-6
+        )
+        print(
+            f"D = {diffusion:.2e} cm^2/s (R^2={r_squared:.4f}; "
+            f"literature {FERROCENE.diffusion_cm2_s:.2e})"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import characterize, estimate_k0_from_trace, find_peaks
+    from repro.datachannel.formats import read_mpt
+
+    trace = read_mpt(args.file)
+    print(f"{args.file}: {len(trace)} samples, "
+          f"technique {trace.metadata.get('technique', '?')}")
+    pair = find_peaks(trace)
+    if not pair.complete:
+        print("no complete redox wave found")
+        return 1
+    metrics = characterize(trace, peaks=pair)
+    print(metrics.format_summary())
+    if args.diffusion:
+        estimate = estimate_k0_from_trace(trace, diffusion_cm2_s=args.diffusion)
+        bound = ">=" if estimate.reversible else "~"
+        print(
+            f"Nicholson: psi={estimate.psi:.3f}, k0 {bound} "
+            f"{estimate.k0_cm_s:.3e} cm/s"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ice",
+        description="Cross-facility electrochemistry ICE (SC-W 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's workflow on a fresh ICE")
+    demo.add_argument("--scan-rate", type=float, default=0.1, metavar="V_S")
+    demo.add_argument("--volume", type=float, default=5.0, metavar="ML")
+    demo.add_argument("--e-step", type=float, default=0.001, metavar="V")
+    demo.set_defaults(fn=_cmd_demo)
+
+    serve = sub.add_parser("serve", help="serve the control agents over TCP")
+    serve.add_argument("--secret", default=None, help="require HMAC auth")
+    serve.set_defaults(fn=_cmd_serve)
+
+    scan = sub.add_parser("scan-rate", help="Randles-Sevcik campaign")
+    scan.add_argument(
+        "rates", nargs="*", type=float, default=[0.05, 0.1, 0.2, 0.4]
+    )
+    scan.add_argument("--e-step", type=float, default=0.002, metavar="V")
+    scan.set_defaults(fn=_cmd_scan_rate)
+
+    analyze = sub.add_parser("analyze", help="analyse an .mpt measurement file")
+    analyze.add_argument("file")
+    analyze.add_argument(
+        "--diffusion",
+        type=float,
+        default=None,
+        metavar="CM2_S",
+        help="analyte D for Nicholson k0 estimation",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Clock abstraction: real wall time for live runs, virtual time for tests.
+
+The network model charges latency and serialisation delays against a clock.
+Benchmarks run against :class:`WallClock` (real ``time.sleep``) while unit
+tests use :class:`VirtualClock`, which advances instantly and keeps runs
+deterministic regardless of machine load.
+
+All simulated components accept a ``clock`` parameter and default to a
+module-level wall clock, so production code paths never need to know the
+difference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: ``now()`` in seconds and ``sleep(duration)``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, duration: float) -> None:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, via ``time.monotonic`` / ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, duration: float) -> None:
+        if duration > 0:
+            time.sleep(duration)
+
+
+class VirtualClock(Clock):
+    """Deterministic clock that advances only when slept on.
+
+    Thread-safe: concurrent sleepers each advance the shared clock; the
+    resulting ordering matches a cooperative scheduler, which is adequate for
+    latency bookkeeping (we never rely on virtual-time preemption).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"cannot sleep a negative duration: {duration}")
+        with self._lock:
+            self._now += duration
+
+    def advance(self, duration: float) -> None:
+        """Explicitly move time forward (alias of sleep for readability)."""
+        self.sleep(duration)
+
+
+#: Default clock used when components are not handed one explicitly.
+WALL = WallClock()

@@ -1,0 +1,69 @@
+"""Workflow orchestration: the paper's primary contribution.
+
+- :mod:`~repro.core.workflow` — a small dependency-aware task engine with
+  retries and an event transcript (what the Jupyter notebook does by hand,
+  made explicit and testable);
+- :mod:`~repro.core.cv_workflow` — the paper's five-task cyclic-voltammetry
+  workflow (A: establish Pyro communications, B: configure J-Kem, C: fill
+  the cell, D: run the CV technique and collect measurements, E: tear
+  down), including the post-run analysis and ML normality check;
+- :mod:`~repro.core.campaign` — multi-round adaptive experiments: the
+  real-time steering loop the ICE exists to enable;
+- :mod:`~repro.core.session` — a notebook-style convenience facade.
+"""
+
+from repro.core.workflow import Task, TaskResult, TaskState, Workflow, WorkflowResult
+from repro.core.cv_workflow import (
+    CVWorkflowSettings,
+    CVWorkflowResult,
+    build_cv_workflow,
+    run_cv_workflow,
+)
+from repro.core.campaign import (
+    Campaign,
+    CampaignRound,
+    scan_rate_strategy,
+    window_centering_strategy,
+    kinetics_targeting_strategy,
+)
+from repro.core.characterization_workflow import (
+    CharacterizationSettings,
+    CharacterizationResult,
+    build_characterization_workflow,
+    run_characterization_workflow,
+)
+from repro.core.session import RemoteSession
+from repro.core.streaming import LiveMonitor, MonitorOutcome, compliance_guard
+from repro.core.provenance import (
+    capture_provenance,
+    verify_artifacts,
+    write_provenance,
+)
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TaskState",
+    "Workflow",
+    "WorkflowResult",
+    "CVWorkflowSettings",
+    "CVWorkflowResult",
+    "build_cv_workflow",
+    "run_cv_workflow",
+    "Campaign",
+    "CampaignRound",
+    "scan_rate_strategy",
+    "window_centering_strategy",
+    "kinetics_targeting_strategy",
+    "CharacterizationSettings",
+    "CharacterizationResult",
+    "build_characterization_workflow",
+    "run_characterization_workflow",
+    "RemoteSession",
+    "LiveMonitor",
+    "MonitorOutcome",
+    "compliance_guard",
+    "capture_provenance",
+    "write_provenance",
+    "verify_artifacts",
+]

@@ -1,0 +1,218 @@
+"""Multi-round adaptive campaigns (paper §1: workflows that "adapt system
+and instrument settings in real-time during multiple rounds of
+experiments").
+
+A :class:`Campaign` repeatedly runs the CV workflow against one ICE,
+letting a *strategy* look at everything measured so far and either
+propose the next round's settings or stop. Three strategies ship:
+
+- :func:`scan_rate_strategy` — sweep a list of scan rates (feeding the
+  Randles-Sevcik analysis);
+- :func:`window_centering_strategy` — start with a guessed potential
+  window, then re-centre it on the measured E1/2 each round until the
+  window converges: a minimal but genuinely closed-loop experiment;
+- :func:`kinetics_targeting_strategy` — steer the scan rate until the
+  peak separation lands in Nicholson's informative window, then measure
+  k0 from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.errors import WorkflowError
+from repro.ml.normality import NormalityClassifier
+from repro.facility.ice import ElectrochemistryICE
+from repro.core.cv_workflow import (
+    CVWorkflowResult,
+    CVWorkflowSettings,
+    run_cv_workflow,
+)
+
+
+@dataclass
+class CampaignRound:
+    """One completed round."""
+
+    index: int
+    settings: CVWorkflowSettings
+    result: CVWorkflowResult
+
+
+#: A strategy inspects history and returns the next settings, or None to stop.
+Strategy = Callable[[list[CampaignRound]], CVWorkflowSettings | None]
+
+
+@dataclass
+class Campaign:
+    """Closed-loop experiment runner.
+
+    Args:
+        ice: the running ecosystem.
+        strategy: proposes each round's settings (None = stop).
+        classifier: optional ML screen; abnormal rounds either stop the
+            campaign or are retried once with a refilled cell, depending
+            on ``abort_on_abnormal``.
+        max_rounds: hard bound regardless of strategy.
+    """
+
+    ice: ElectrochemistryICE
+    strategy: Strategy
+    classifier: NormalityClassifier | None = None
+    max_rounds: int = 10
+    abort_on_abnormal: bool = True
+    rounds: list[CampaignRound] = field(default_factory=list)
+
+    def run(self) -> list[CampaignRound]:
+        """Run until the strategy stops, a round fails, or max_rounds."""
+        if self.max_rounds < 1:
+            raise WorkflowError("max_rounds must be >= 1")
+        self.rounds.clear()
+        while len(self.rounds) < self.max_rounds:
+            settings = self.strategy(self.rounds)
+            if settings is None:
+                break
+            # rounds after the first reuse the liquid already in the cell
+            if self.rounds:
+                settings = replace(settings, fill_volume_ml=0.0)
+            result = run_cv_workflow(
+                self.ice, settings=settings, classifier=self.classifier
+            )
+            record = CampaignRound(
+                index=len(self.rounds), settings=settings, result=result
+            )
+            self.rounds.append(record)
+            if not result.succeeded:
+                break
+            if (
+                self.abort_on_abnormal
+                and result.normality is not None
+                and not result.normality.normal
+            ):
+                break
+        return self.rounds
+
+    @property
+    def all_normal(self) -> bool:
+        return all(
+            r.result.normality is None or r.result.normality.normal
+            for r in self.rounds
+        )
+
+
+def scan_rate_strategy(
+    scan_rates_v_s: tuple[float, ...],
+    base: CVWorkflowSettings | None = None,
+) -> Strategy:
+    """Sweep fixed scan rates, one round each."""
+    base = base or CVWorkflowSettings()
+
+    def propose(history: list[CampaignRound]) -> CVWorkflowSettings | None:
+        if len(history) >= len(scan_rates_v_s):
+            return None
+        return replace(
+            base,
+            scan_rate_v_s=scan_rates_v_s[len(history)],
+            measurement_stem=f"scanrate_{len(history):02d}",
+        )
+
+    return propose
+
+
+def window_centering_strategy(
+    base: CVWorkflowSettings | None = None,
+    half_window_v: float = 0.25,
+    tolerance_v: float = 0.01,
+    max_adjustments: int = 5,
+) -> Strategy:
+    """Re-centre the sweep window on the measured E1/2 each round.
+
+    Stops when the window centre moves by less than ``tolerance_v`` —
+    i.e. the experiment has *found* the couple and framed it.
+    """
+    base = base or CVWorkflowSettings()
+
+    def propose(history: list[CampaignRound]) -> CVWorkflowSettings | None:
+        if len(history) >= max_adjustments:
+            return None
+        if not history:
+            return replace(base, measurement_stem="window_00")
+        last = history[-1]
+        metrics = last.result.metrics
+        if metrics is None:
+            # no wave in window: widen and retry
+            previous = last.settings
+            centre = 0.5 * (previous.e_begin_v + previous.e_vertex_v)
+            span = abs(previous.e_vertex_v - previous.e_begin_v) * 1.5
+            return replace(
+                previous,
+                e_begin_v=centre - span / 2,
+                e_vertex_v=centre + span / 2,
+                measurement_stem=f"window_{len(history):02d}",
+            )
+        centre_now = 0.5 * (last.settings.e_begin_v + last.settings.e_vertex_v)
+        target = metrics.e_half_v
+        if abs(target - centre_now) < tolerance_v:
+            return None  # converged
+        return replace(
+            last.settings,
+            e_begin_v=target - half_window_v,
+            e_vertex_v=target + half_window_v,
+            measurement_stem=f"window_{len(history):02d}",
+        )
+
+    return propose
+
+
+def kinetics_targeting_strategy(
+    base: CVWorkflowSettings | None = None,
+    target_separation_v: tuple[float, float] = (0.080, 0.160),
+    max_rounds: int = 6,
+    rate_bounds_v_s: tuple[float, float] = (0.01, 50.0),
+) -> Strategy:
+    """Steer the scan rate into the kinetically informative window.
+
+    Nicholson's working curve is steep (insensitive) near the reversible
+    limit and flat (noisy) deep in the irreversible tail; k0 is best
+    measured where dEp sits in roughly 80-160 mV. This strategy measures
+    dEp each round and multiplies the scan rate up (dEp too reversible)
+    or down (too irreversible) until a round lands in the window — a
+    small but genuine example of the "AI-driven" real-time steering the
+    ICE exists for: the next instrument setting depends on analysis of
+    the previous measurement.
+    """
+    base = base or CVWorkflowSettings()
+    low, high = target_separation_v
+
+    def propose(history: list[CampaignRound]) -> CVWorkflowSettings | None:
+        from dataclasses import replace as _replace
+
+        if len(history) >= max_rounds:
+            return None
+        if not history:
+            return _replace(base, measurement_stem="kinetics_00")
+        last = history[-1]
+        metrics = last.result.metrics
+        rate = last.settings.scan_rate_v_s
+        if metrics is None:
+            proposal = rate * 0.25  # no wave: ease off
+        else:
+            separation = metrics.peak_separation_v
+            if low <= separation <= high:
+                return None  # informative measurement achieved
+            if separation < low:
+                # too reversible: outrun the kinetics
+                proposal = rate * 4.0
+            else:
+                proposal = rate * 0.5
+        proposal = min(max(proposal, rate_bounds_v_s[0]), rate_bounds_v_s[1])
+        if proposal == rate:
+            return None  # pinned at a bound; cannot improve
+        return _replace(
+            base,
+            scan_rate_v_s=proposal,
+            measurement_stem=f"kinetics_{len(history):02d}",
+        )
+
+    return propose

@@ -1,0 +1,233 @@
+"""The paper's electrochemical workflow, tasks A-E (paper §4.2).
+
+    (A) establish Pyro communications across the ICE between the control
+        agent at ACL and the DGX at K200;
+    (B) remotely configure and connect to the J-Kem setup;
+    (C) fill the electrochemical cell with the ferrocene solution;
+    (D) run the CV technique on the SP200 and collect I-V measurements
+        (8 sub-steps, Fig 6a), the file arriving over the data channel;
+    (E) shut the cross-facility connections down.
+
+Post-run, the trace is characterised (peaks, dEp, E1/2) and screened by
+the ML normality method — the "real-time analysis" of §4.3.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkflowError
+from repro.logging_utils import EventLog
+from repro.chemistry.voltammogram import Voltammogram
+from repro.analysis.metrics import CVMetrics, characterize
+from repro.analysis.peaks import find_peaks
+from repro.ml.normality import NormalityClassifier, NormalityReport
+from repro.facility.ice import ElectrochemistryICE
+from repro.facility.workstation import PORT_CELL, PORT_COLLECTOR
+from repro.core.workflow import Context, Workflow, WorkflowResult
+
+
+@dataclass(frozen=True)
+class CVWorkflowSettings:
+    """Knobs of the demonstration workflow.
+
+    Defaults reproduce the paper's run: 5 mL of 2 mM ferrocene pumped at
+    5 mL/min from the fraction collector's BOTTOM vial into the cell,
+    swept 0.2 -> 0.8 V at 100 mV/s.
+    """
+
+    fill_volume_ml: float = 5.0
+    pump_rate_ml_min: float = 5.0
+    vial_position: str = "BOTTOM"
+    purge_sccm: float = 50.0
+    e_begin_v: float = 0.2
+    e_vertex_v: float = 0.8
+    scan_rate_v_s: float = 0.1
+    n_cycles: int = 1
+    e_step_v: float = 0.001
+    channel: int = 1
+    measurement_stem: str | None = None
+    acquisition_timeout_s: float = 300.0
+
+
+@dataclass
+class CVWorkflowResult:
+    """What the workflow hands back to the scientist."""
+
+    workflow: WorkflowResult
+    voltammogram: Voltammogram | None = None
+    metrics: CVMetrics | None = None
+    normality: NormalityReport | None = None
+    measurement_file: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.workflow.succeeded
+
+    def summary(self) -> str:
+        """One-paragraph human summary."""
+        if not self.succeeded:
+            failed = ", ".join(t.name for t in self.workflow.failed_tasks())
+            return f"workflow FAILED at: {failed}"
+        parts = []
+        if self.voltammogram is not None:
+            parts.append(f"{len(self.voltammogram)} I-V samples collected")
+        if self.metrics is not None:
+            parts.append(self.metrics.format_summary())
+        if self.normality is not None:
+            parts.append(str(self.normality))
+        return "; ".join(parts) if parts else "workflow succeeded"
+
+
+def build_cv_workflow(
+    ice: ElectrochemistryICE,
+    settings: CVWorkflowSettings | None = None,
+    classifier: NormalityClassifier | None = None,
+    event_log: EventLog | None = None,
+) -> Workflow:
+    """Assemble the five-task workflow against a running ICE.
+
+    The returned workflow is re-runnable; handles opened by task A are
+    closed by task E (or leak detection in tests will flag it).
+    """
+    settings = settings or CVWorkflowSettings()
+    flow = Workflow(
+        "cv-workflow",
+        event_log=event_log if event_log is not None else ice.event_log,
+    )
+
+    @flow.task(
+        "A_establish_communications",
+        retries=1,
+        description="Pyro channel + data mount between ACL and K200",
+    )
+    def task_a(ctx: Context) -> str:
+        ctx.client = ice.client()
+        ctx.client.ping()
+        cache = Path(tempfile.mkdtemp(prefix="dgx-cache-"))
+        ctx.cache_dir = cache
+        ctx.mount = ice.mount(cache_dir=cache)
+        ctx.mount.info()  # data-channel liveness probe
+        return "control + data channels up"
+
+    @flow.task(
+        "B_configure_jkem",
+        depends=("A_establish_communications",),
+        description="configure/connect syringe pump + fraction collector",
+    )
+    def task_b(ctx: Context) -> str:
+        client = ctx.client
+        client.call_Connect_JKem_API()
+        client.call_Status_JKem()
+        client.call_Set_Rate_SyringePump(1, settings.pump_rate_ml_min)
+        client.call_Set_Vial_FractionCollector(1, settings.vial_position)
+        if settings.purge_sccm > 0:
+            client.call_Set_Flow_MFC(1, settings.purge_sccm)
+        return "J-Kem setup configured"
+
+    @flow.task(
+        "C_fill_cell",
+        depends=("B_configure_jkem",),
+        description="pump ferrocene solution into the electrochemical cell",
+    )
+    def task_c(ctx: Context) -> dict[str, Any]:
+        client = ctx.client
+        if settings.fill_volume_ml > 0:
+            client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
+            client.call_Withdraw_SyringePump(1, settings.fill_volume_ml)
+            client.call_Set_Port_SyringePump(1, PORT_CELL)
+            client.call_Dispense_SyringePump(1, settings.fill_volume_ml)
+        status = client.call_Cell_Status()
+        required = settings.fill_volume_ml if settings.fill_volume_ml > 0 else 1e-6
+        if status["volume_ml"] + 1e-9 < required:
+            raise WorkflowError(
+                f"cell reports {status['volume_ml']} mL after dispensing "
+                f"{settings.fill_volume_ml} mL"
+            )
+        return status
+
+    @flow.task(
+        "D_run_cv",
+        depends=("C_fill_cell",),
+        description="SP200 8-step pipeline + data-channel collection",
+    )
+    def task_d(ctx: Context) -> dict[str, Any]:
+        client = ctx.client
+        client.call_Initialize_SP200_API({"channel": settings.channel})      # (1)
+        client.call_Connect_SP200()                                          # (2)
+        client.call_Load_Firmware_SP200()                                    # (3)
+        client.call_Initialize_CV_Tech_SP200(                                # (4)
+            {
+                "e_begin_v": settings.e_begin_v,
+                "e_vertex_v": settings.e_vertex_v,
+                "scan_rate_v_s": settings.scan_rate_v_s,
+                "n_cycles": settings.n_cycles,
+                "e_step_v": settings.e_step_v,
+            }
+        )
+        client.call_Load_Technique_SP200()                                   # (5)
+        client.call_Start_Channel_SP200()                                    # (6)
+        result = client.call_Get_Tech_Path_Rslt(                             # (7)
+            wait=True, save_as=settings.measurement_stem
+        )                                                                     # (8) auto
+        file_name = result["file"]
+        if file_name is None:
+            raise WorkflowError("potentiostat reported no measurement file")
+        trace = ctx.mount.read_voltammogram(file_name)
+        ctx.measurement_file = file_name
+        ctx.voltammogram = trace
+        return {"file": file_name, "n_samples": len(trace)}
+
+    @flow.task(
+        "E_shutdown",
+        depends=("D_run_cv",),
+        description="disconnect Pyro communication and unmount",
+    )
+    def task_e(ctx: Context) -> str:
+        ctx.client.call_Exit_JKem_API()
+        ctx.client.call_Disconnect_SP200()
+        ctx.mount.unmount()
+        ctx.client.close()
+        return "cross-facility connections closed"
+
+    # analysis runs on the "DGX" after the instrument tasks
+    @flow.task(
+        "analyze",
+        depends=("D_run_cv",),
+        description="peak analysis + ML normality check on the DGX",
+    )
+    def task_analyze(ctx: Context) -> dict[str, Any]:
+        trace: Voltammogram = ctx.voltammogram
+        pair = find_peaks(trace)
+        ctx.metrics = characterize(trace, peaks=pair) if pair.complete else None
+        if classifier is not None:
+            ctx.normality = classifier.classify(trace)
+        else:
+            ctx.normality = None
+        return {
+            "has_peaks": pair.complete,
+            "normality": ctx.normality.label if ctx.normality else "unchecked",
+        }
+
+    return flow
+
+
+def run_cv_workflow(
+    ice: ElectrochemistryICE,
+    settings: CVWorkflowSettings | None = None,
+    classifier: NormalityClassifier | None = None,
+) -> CVWorkflowResult:
+    """Build, run, and package the paper's workflow in one call."""
+    flow = build_cv_workflow(ice, settings=settings, classifier=classifier)
+    outcome = flow.run()
+    ctx = outcome.context
+    return CVWorkflowResult(
+        workflow=outcome,
+        voltammogram=ctx.get("voltammogram"),
+        metrics=ctx.get("metrics"),
+        normality=ctx.get("normality"),
+        measurement_file=ctx.get("measurement_file"),
+    )

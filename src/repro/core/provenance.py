@@ -1,0 +1,127 @@
+"""Workflow provenance: a machine-readable record of what actually ran.
+
+Cross-facility science needs an audit trail — which tasks ran where,
+with what settings, producing which files, verified by which checksums.
+``capture_provenance`` distils a finished workflow into a plain-dict
+record (schema below) and ``write_provenance`` stores it as JSON next to
+the measurements, so a dataset on the share is self-describing.
+
+Schema (version 1)::
+
+    {
+      "schema": "repro-provenance-1",
+      "workflow": "cv-workflow",
+      "succeeded": true,
+      "started_at"/"finished_at": monotonic bounds of the run,
+      "tasks": [{name, state, attempts, duration_s, error}],
+      "settings": {...},              # the dataclass that drove the run
+      "artifacts": [{path, sha256, bytes}],
+      "environment": {python, platform, repro_version}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.core.workflow import WorkflowResult
+
+
+def _settings_to_dict(settings: Any) -> dict[str, Any] | None:
+    if settings is None:
+        return None
+    if dataclasses.is_dataclass(settings):
+        return dataclasses.asdict(settings)
+    if isinstance(settings, dict):
+        return dict(settings)
+    return {"repr": repr(settings)}
+
+
+def _artifact_record(path: Path) -> dict[str, Any]:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return {
+        "path": path.name,
+        "sha256": digest.hexdigest(),
+        "bytes": path.stat().st_size,
+    }
+
+
+def capture_provenance(
+    result: WorkflowResult,
+    workflow_name: str,
+    settings: Any = None,
+    artifacts: list[Path] | None = None,
+) -> dict[str, Any]:
+    """Build the provenance record for a finished run."""
+    task_records = []
+    start_times = []
+    end_times = []
+    for task in result.tasks.values():
+        task_records.append(
+            {
+                "name": task.name,
+                "state": task.state.value,
+                "attempts": task.attempts,
+                "duration_s": round(task.duration_s, 6),
+                "error": str(task.error) if task.error else None,
+            }
+        )
+        if task.started_at:
+            start_times.append(task.started_at)
+        if task.finished_at:
+            end_times.append(task.finished_at)
+
+    from repro import __version__
+
+    return {
+        "schema": "repro-provenance-1",
+        "workflow": workflow_name,
+        "succeeded": result.succeeded,
+        "started_at": min(start_times) if start_times else None,
+        "finished_at": max(end_times) if end_times else None,
+        "tasks": task_records,
+        "settings": _settings_to_dict(settings),
+        "artifacts": [
+            _artifact_record(path) for path in (artifacts or []) if path.exists()
+        ],
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "repro_version": __version__,
+        },
+    }
+
+
+def write_provenance(
+    record: dict[str, Any], directory: str | Path, stem: str = "provenance"
+) -> Path:
+    """Write the record as ``<stem>.json`` in ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{stem}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True))
+    return path
+
+
+def verify_artifacts(record: dict[str, Any], directory: str | Path) -> dict[str, bool]:
+    """Re-hash each artifact; returns name -> intact flag."""
+    directory = Path(directory)
+    outcome: dict[str, bool] = {}
+    for artifact in record.get("artifacts", []):
+        path = directory / artifact["path"]
+        if not path.exists():
+            outcome[artifact["path"]] = False
+            continue
+        outcome[artifact["path"]] = (
+            _artifact_record(path)["sha256"] == artifact["sha256"]
+        )
+    return outcome

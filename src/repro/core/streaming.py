@@ -1,0 +1,134 @@
+"""Real-time acquisition monitoring and steering (paper §1, §4.2 step 7).
+
+The paper stresses that the ICE exists for workflows needing "remote
+experiment steering and real-time analytics": measurements must be
+usable *while* the potentiostat acquires, not only after the file lands.
+:class:`LiveMonitor` is that capability:
+
+- it polls ``Probe_Status_SP200`` (and optionally the partial inline
+  data) while a channel runs;
+- every progress sample goes to a user callback — the hook where
+  real-time analytics (or an AI agent) lives;
+- a *guard* predicate can abort the experiment early: the monitor stops
+  waiting, and the caller can stop the channel — e.g. compliance-current
+  protection, or an ML screen rejecting a run halfway through.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+
+
+@dataclass
+class ProgressSample:
+    """One observation of a running acquisition."""
+
+    elapsed_s: float
+    samples_acquired: int
+    state: str
+    partial_max_abs_current: float | None = None
+
+
+@dataclass
+class MonitorOutcome:
+    """What the monitoring loop saw."""
+
+    finished: bool
+    aborted: bool
+    samples: list[ProgressSample] = field(default_factory=list)
+
+    @property
+    def polls(self) -> int:
+        return len(self.samples)
+
+
+class LiveMonitor:
+    """Polls a running SP200 channel through the remote client.
+
+    Args:
+        client: an :class:`~repro.facility.client.ACLPyroClient` with the
+            channel already started.
+        poll_interval_s: steering-loop cadence.
+        on_progress: callback per poll (real-time analytics hook).
+        guard: predicate over the :class:`ProgressSample`; returning
+            False aborts the wait (the monitor reports ``aborted``).
+        fetch_partial_data: also pull the partial trace inline each poll
+            (costs control-channel bandwidth; gives the guard the actual
+            currents, enabling compliance-style protection).
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        poll_interval_s: float = 0.05,
+        on_progress: Callable[[ProgressSample], None] | None = None,
+        guard: Callable[[ProgressSample], bool] | None = None,
+        fetch_partial_data: bool = False,
+    ):
+        if poll_interval_s <= 0:
+            raise WorkflowError("poll interval must be > 0")
+        self.client = client
+        self.poll_interval_s = poll_interval_s
+        self.on_progress = on_progress
+        self.guard = guard
+        self.fetch_partial_data = fetch_partial_data
+
+    def watch(self, timeout_s: float = 300.0) -> MonitorOutcome:
+        """Poll until the acquisition finishes, the guard trips, or timeout.
+
+        Raises:
+            WorkflowError: the deadline expired with the channel still
+                running (distinct from a guard abort, which is a normal
+                steering decision).
+        """
+        outcome = MonitorOutcome(finished=False, aborted=False)
+        start = _time.monotonic()
+        deadline = start + timeout_s
+        while True:
+            status = self.client.call_Probe_Status_SP200()
+            sample = ProgressSample(
+                elapsed_s=_time.monotonic() - start,
+                samples_acquired=int(status.get("samples_acquired", 0)),
+                state=str(status.get("state", "?")),
+            )
+            if self.fetch_partial_data and sample.samples_acquired > 0:
+                partial = self.client.call_Get_Measurements_Inline(wait=False)
+                currents = partial.get("current_a")
+                if currents is not None and len(currents):
+                    import numpy as np
+
+                    sample.partial_max_abs_current = float(
+                        np.abs(np.asarray(currents)).max()
+                    )
+            outcome.samples.append(sample)
+            if self.on_progress is not None:
+                self.on_progress(sample)
+            if self.guard is not None and not self.guard(sample):
+                outcome.aborted = True
+                return outcome
+            if sample.state == "finished":
+                outcome.finished = True
+                return outcome
+            if _time.monotonic() >= deadline:
+                raise WorkflowError(
+                    f"acquisition still {sample.state!r} after {timeout_s}s"
+                )
+            _time.sleep(self.poll_interval_s)
+
+
+def compliance_guard(max_abs_current_a: float) -> Callable[[ProgressSample], bool]:
+    """Guard factory: abort when |I| exceeds a compliance limit.
+
+    Use with ``fetch_partial_data=True`` so the monitor sees currents.
+    """
+
+    def guard(sample: ProgressSample) -> bool:
+        if sample.partial_max_abs_current is None:
+            return True
+        return sample.partial_max_abs_current <= max_abs_current_a
+
+    return guard

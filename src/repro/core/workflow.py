@@ -1,0 +1,331 @@
+"""A dependency-aware task engine for science workflows.
+
+Design goals, in the order the paper motivates them:
+
+- **explicit task graph** — the five workflow tasks A-E have a linear
+  dependency today, but campaigns fan out (fill once, measure at several
+  scan rates), so the engine is a DAG runner, not a list walker;
+- **shared context** — tasks communicate through a dict-like
+  :class:`Context` (client handles, file names, traces);
+- **retries** — transient cross-facility failures (a dropped control
+  connection) are retried per task with a bounded budget;
+- **transcript** — every state change lands in an
+  :class:`~repro.logging_utils.EventLog`, which is what the figure
+  benchmarks print;
+- **optional parallelism** — independent ready tasks can run on a thread
+  pool (``max_workers > 1``), since instrument waits are I/O-shaped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.errors import DependencyError, TaskFailedError
+from repro.logging_utils import EventLog
+
+
+class TaskState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    SKIPPED = "skipped"  # upstream failure
+
+
+class Context(dict):
+    """Shared workflow state: a dict with attribute sugar."""
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self[name] = value
+
+
+@dataclass
+class Task:
+    """One unit of work.
+
+    Attributes:
+        name: unique identifier (e.g. ``"A_establish_communications"``).
+        fn: callable taking the shared :class:`Context`.
+        depends: names of tasks that must succeed first.
+        retries: additional attempts on exception.
+        retry_delay_s: pause between attempts.
+        description: human-readable purpose.
+    """
+
+    name: str
+    fn: Callable[[Context], Any]
+    depends: tuple[str, ...] = ()
+    retries: int = 0
+    retry_delay_s: float = 0.0
+    description: str = ""
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task."""
+
+    name: str
+    state: TaskState
+    result: Any = None
+    error: BaseException | None = None
+    attempts: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of a whole run."""
+
+    tasks: dict[str, TaskResult] = field(default_factory=dict)
+    context: Context = field(default_factory=Context)
+
+    @property
+    def succeeded(self) -> bool:
+        return all(
+            r.state is TaskState.SUCCEEDED for r in self.tasks.values()
+        )
+
+    def failed_tasks(self) -> list[TaskResult]:
+        return [r for r in self.tasks.values() if r.state is TaskState.FAILED]
+
+    def raise_on_failure(self) -> None:
+        """Re-raise the first task failure, if any."""
+        for result in self.tasks.values():
+            if result.state is TaskState.FAILED:
+                raise TaskFailedError(
+                    f"task {result.name!r} failed: {result.error}",
+                    task_name=result.name,
+                ) from result.error
+
+
+class Workflow:
+    """A named DAG of tasks.
+
+    Args:
+        name: workflow label for transcripts.
+        event_log: shared log; a fresh one is created if omitted.
+        max_workers: thread budget for independent ready tasks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        event_log: EventLog | None = None,
+        max_workers: int = 1,
+    ):
+        if max_workers < 1:
+            raise DependencyError("max_workers must be >= 1")
+        self.name = name
+        self.log = event_log if event_log is not None else EventLog()
+        self.max_workers = max_workers
+        self._tasks: dict[str, Task] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_task(
+        self,
+        name: str,
+        fn: Callable[[Context], Any],
+        depends: tuple[str, ...] | list[str] = (),
+        retries: int = 0,
+        retry_delay_s: float = 0.0,
+        description: str = "",
+    ) -> Task:
+        """Register a task; duplicate names raise."""
+        if name in self._tasks:
+            raise DependencyError(f"duplicate task name: {name!r}")
+        task = Task(
+            name=name,
+            fn=fn,
+            depends=tuple(depends),
+            retries=retries,
+            retry_delay_s=retry_delay_s,
+            description=description,
+        )
+        self._tasks[name] = task
+        return task
+
+    def task(
+        self, name: str, depends: tuple[str, ...] | list[str] = (), **kwargs
+    ) -> Callable:
+        """Decorator sugar over :meth:`add_task`."""
+
+        def wrap(fn: Callable[[Context], Any]) -> Callable[[Context], Any]:
+            self.add_task(name, fn, depends=depends, **kwargs)
+            return fn
+
+        return wrap
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    # -- validation -----------------------------------------------------------
+    def _validate(self) -> None:
+        for task in self._tasks.values():
+            for dep in task.depends:
+                if dep not in self._tasks:
+                    raise DependencyError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        # cycle detection: Kahn's algorithm must consume every node
+        in_degree = {name: len(t.depends) for name, t in self._tasks.items()}
+        queue = [name for name, degree in in_degree.items() if degree == 0]
+        seen = 0
+        dependents: dict[str, list[str]] = {name: [] for name in self._tasks}
+        for task in self._tasks.values():
+            for dep in task.depends:
+                dependents[dep].append(task.name)
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for child in dependents[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if seen != len(self._tasks):
+            raise DependencyError(f"workflow {self.name!r} contains a cycle")
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        context: Context | dict | None = None,
+        abort_on_failure: bool = True,
+    ) -> WorkflowResult:
+        """Execute the DAG.
+
+        Args:
+            context: initial shared state.
+            abort_on_failure: when True, downstream tasks of a failure are
+                SKIPPED and the run ends early (the paper's workflow must
+                not start the potentiostat when the cell fill failed).
+        """
+        self._validate()
+        ctx = context if isinstance(context, Context) else Context(context or {})
+        results = {
+            name: TaskResult(name=name, state=TaskState.PENDING)
+            for name in self._tasks
+        }
+        lock = threading.Lock()
+        self.log.emit(self.name, "workflow", f"run started ({len(results)} tasks)")
+
+        def ready_tasks() -> list[Task]:
+            out = []
+            for task in self._tasks.values():
+                state = results[task.name].state
+                if state is not TaskState.PENDING:
+                    continue
+                dep_states = [results[d].state for d in task.depends]
+                if all(s is TaskState.SUCCEEDED for s in dep_states):
+                    out.append(task)
+                elif any(
+                    s in (TaskState.FAILED, TaskState.SKIPPED) for s in dep_states
+                ):
+                    results[task.name].state = TaskState.SKIPPED
+                    self.log.emit(
+                        self.name, "task", f"{task.name} skipped (upstream failure)"
+                    )
+            return out
+
+        def execute(task: Task) -> None:
+            record = results[task.name]
+            record.state = TaskState.RUNNING
+            record.started_at = time.monotonic()
+            self.log.emit(self.name, "task", f"{task.name} started")
+            last_error: BaseException | None = None
+            for attempt in range(task.retries + 1):
+                record.attempts = attempt + 1
+                try:
+                    outcome = task.fn(ctx)
+                except Exception as exc:  # noqa: BLE001 - task boundary
+                    last_error = exc
+                    self.log.emit(
+                        self.name,
+                        "task",
+                        f"{task.name} attempt {attempt + 1} raised: {exc}",
+                    )
+                    if attempt < task.retries and task.retry_delay_s > 0:
+                        time.sleep(task.retry_delay_s)
+                    continue
+                with lock:
+                    record.state = TaskState.SUCCEEDED
+                    record.result = outcome
+                    record.finished_at = time.monotonic()
+                self.log.emit(
+                    self.name,
+                    "task",
+                    f"{task.name} succeeded in {record.duration_s:.3f}s",
+                )
+                return
+            with lock:
+                record.state = TaskState.FAILED
+                record.error = last_error
+                record.finished_at = time.monotonic()
+            self.log.emit(self.name, "task", f"{task.name} FAILED: {last_error}")
+
+        if self.max_workers == 1:
+            progressed = True
+            while progressed:
+                progressed = False
+                for task in ready_tasks():
+                    execute(task)
+                    progressed = True
+                    if (
+                        abort_on_failure
+                        and results[task.name].state is TaskState.FAILED
+                    ):
+                        break
+                if abort_on_failure and any(
+                    r.state is TaskState.FAILED for r in results.values()
+                ):
+                    # let ready_tasks() mark the rest skipped, then stop
+                    ready_tasks()
+                    break
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                in_flight: dict[Future, str] = {}
+                scheduled: set[str] = set()
+                while True:
+                    failed = any(
+                        r.state is TaskState.FAILED for r in results.values()
+                    )
+                    if not (abort_on_failure and failed):
+                        for task in ready_tasks():
+                            if task.name not in scheduled:
+                                scheduled.add(task.name)
+                                future = pool.submit(execute, task)
+                                in_flight[future] = task.name
+                    else:
+                        ready_tasks()  # mark skips
+                    if not in_flight:
+                        if abort_on_failure and failed:
+                            ready_tasks()  # final skip pass
+                        break
+                    done, _pending = wait(
+                        list(in_flight), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        in_flight.pop(future)
+
+        self.log.emit(
+            self.name,
+            "workflow",
+            "run finished: "
+            + ", ".join(f"{n}={r.state.value}" for n, r in results.items()),
+        )
+        return WorkflowResult(tasks=results, context=ctx)

@@ -1,0 +1,30 @@
+"""The data channel: measurement files and the cross-facility share.
+
+Paper §3.3: rather than GridFTP/Globus, the ICE cross-mounts the control
+agent's measurement folder onto the remote Linux system with CIFS. Here:
+
+- :mod:`~repro.datachannel.formats` writes/reads EC-Lab-style ``.mpt``
+  measurement files (the format the SP200's software produces);
+- :class:`FileShareService` exports a directory over the RPC stack
+  (list/stat/read, path-sandboxed) — served by its own daemon on its own
+  port so data traffic stays off the control channel;
+- :class:`Mount` is the client side: remote reads, local cache directory,
+  and change polling;
+- :class:`MeasurementWatcher` notifies workflow code when a new
+  measurement file appears, which is how the analysis step learns the
+  acquisition finished.
+"""
+
+from repro.datachannel.formats import write_mpt, read_mpt
+from repro.datachannel.share import FileShareService, FileStat
+from repro.datachannel.mount import Mount
+from repro.datachannel.watcher import MeasurementWatcher
+
+__all__ = [
+    "write_mpt",
+    "read_mpt",
+    "FileShareService",
+    "FileStat",
+    "Mount",
+    "MeasurementWatcher",
+]

@@ -1,0 +1,198 @@
+"""Measurement catalog: a queryable index over the share.
+
+The paper's ecosystem grows toward "data services" (§1 cites superfacility
+projects); the minimum useful one is an index: every ``.mpt`` on the share
+with its technique, parameters and summary statistics, queryable without
+re-downloading the files. ``MeasurementCatalog`` builds and maintains that
+index from a mount (remote side) or a directory (agent side).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.errors import DataChannelError, FileFormatError
+from repro.datachannel.formats import read_mpt
+
+CATALOG_NAME = "_catalog.json"
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Index record for one measurement file."""
+
+    path: str
+    technique: str
+    n_samples: int
+    scan_rate_v_s: float | None
+    peak_anodic_a: float | None
+    e_half_v: float | None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "technique": self.technique,
+            "n_samples": self.n_samples,
+            "scan_rate_v_s": self.scan_rate_v_s,
+            "peak_anodic_a": self.peak_anodic_a,
+            "e_half_v": self.e_half_v,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CatalogEntry":
+        return cls(
+            path=data["path"],
+            technique=data["technique"],
+            n_samples=data["n_samples"],
+            scan_rate_v_s=data.get("scan_rate_v_s"),
+            peak_anodic_a=data.get("peak_anodic_a"),
+            e_half_v=data.get("e_half_v"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+def _summarise(path: Path, relative: str) -> CatalogEntry:
+    trace = read_mpt(path)
+    peak_anodic = None
+    e_half = None
+    if len(trace) >= 8:
+        from repro.analysis.peaks import find_peaks
+
+        pair = find_peaks(trace)
+        if pair.anodic is not None:
+            peak_anodic = pair.anodic.current_a
+        if pair.complete:
+            e_half = pair.e_half_v
+    scan_rate = trace.metadata.get("scan_rate_v_s")
+    # keep only JSON-able scalar metadata in the index
+    slim = {
+        key: value
+        for key, value in trace.metadata.items()
+        if isinstance(value, (str, int, float, bool))
+    }
+    return CatalogEntry(
+        path=relative,
+        technique=str(trace.metadata.get("technique", "?")),
+        n_samples=len(trace),
+        scan_rate_v_s=float(scan_rate) if scan_rate else None,
+        peak_anodic_a=peak_anodic,
+        e_half_v=e_half,
+        metadata=slim,
+    )
+
+
+class MeasurementCatalog:
+    """Index of the measurement files under one directory.
+
+    Args:
+        directory: the measurement directory (the agent-side root, or a
+            mount's local cache after fetching).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise DataChannelError(f"{self.directory} is not a directory")
+        self._entries: dict[str, CatalogEntry] = {}
+
+    # -- building ----------------------------------------------------------
+    def rebuild(self) -> int:
+        """Scan every ``.mpt`` under the directory; returns entry count.
+
+        Unparseable files are skipped (a half-written acquisition must not
+        poison the index) but counted in ``skipped_``.
+        """
+        self._entries.clear()
+        self.skipped_ = 0
+        for path in sorted(self.directory.rglob("*.mpt")):
+            relative = str(path.relative_to(self.directory))
+            try:
+                self._entries[relative] = _summarise(path, relative)
+            except FileFormatError:
+                self.skipped_ += 1
+        return len(self._entries)
+
+    def add(self, relative: str) -> CatalogEntry:
+        """Index one (new) file by its share-relative path."""
+        path = self.directory / relative
+        entry = _summarise(path, relative)
+        self._entries[relative] = entry
+        return entry
+
+    # -- persistence ------------------------------------------------------
+    def save(self) -> Path:
+        """Write the index as JSON into the directory (one file, shareable)."""
+        path = self.directory / CATALOG_NAME
+        payload = {
+            "schema": "repro-catalog-1",
+            "entries": [entry.to_dict() for entry in self._entries.values()],
+        }
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "MeasurementCatalog":
+        """Read a previously saved index."""
+        catalog = cls(directory)
+        path = catalog.directory / CATALOG_NAME
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataChannelError(f"cannot load catalog: {exc}") from exc
+        for record in payload.get("entries", []):
+            entry = CatalogEntry.from_dict(record)
+            catalog._entries[entry.path] = entry
+        return catalog
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self._entries.values())
+
+    def get(self, relative: str) -> CatalogEntry | None:
+        return self._entries.get(relative)
+
+    def query(
+        self,
+        technique: str | None = None,
+        min_scan_rate: float | None = None,
+        max_scan_rate: float | None = None,
+        predicate: Callable[[CatalogEntry], bool] | None = None,
+    ) -> list[CatalogEntry]:
+        """Filter entries; all conditions are conjunctive."""
+        out = []
+        for entry in self._entries.values():
+            if technique is not None and entry.technique != technique:
+                continue
+            if min_scan_rate is not None and (
+                entry.scan_rate_v_s is None or entry.scan_rate_v_s < min_scan_rate
+            ):
+                continue
+            if max_scan_rate is not None and (
+                entry.scan_rate_v_s is None or entry.scan_rate_v_s > max_scan_rate
+            ):
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def scan_rate_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(scan rates, anodic peaks) across all CV entries that have both —
+        the catalog-level input to a Randles-Sevcik fit."""
+        rates, peaks = [], []
+        for entry in self.query(technique="CV"):
+            if entry.scan_rate_v_s and entry.peak_anodic_a:
+                rates.append(entry.scan_rate_v_s)
+                peaks.append(entry.peak_anodic_a)
+        order = np.argsort(rates)
+        return np.asarray(rates)[order], np.asarray(peaks)[order]

@@ -1,0 +1,121 @@
+"""Client side of the file share: the mounted view.
+
+A :class:`Mount` wraps a proxy to a :class:`FileShareService` and offers
+pathlib-flavoured access plus an optional local cache directory, mirroring
+how the paper's DGX sees the control agent's measurement folder as local
+files once CIFS is mounted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.errors import DataChannelError, ShareNotMountedError
+from repro.rpc.proxy import Proxy
+from repro.datachannel.formats import read_mpt
+from repro.datachannel.share import CHUNK_SIZE, FileStat
+
+
+class Mount:
+    """A mounted remote share.
+
+    Args:
+        proxy: connected proxy to the share service.
+        cache_dir: local directory for :meth:`fetch`; created on demand.
+    """
+
+    def __init__(self, proxy: Proxy, cache_dir: str | Path | None = None):
+        self._proxy: Proxy | None = proxy
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.bytes_fetched = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def mounted(self) -> bool:
+        return self._proxy is not None
+
+    def unmount(self) -> None:
+        """Drop the connection; further access raises."""
+        if self._proxy is not None:
+            self._proxy.close()
+            self._proxy = None
+
+    def _service(self) -> Proxy:
+        if self._proxy is None:
+            raise ShareNotMountedError("share is not mounted")
+        return self._proxy
+
+    # -- directory operations -----------------------------------------------
+    def info(self) -> dict:
+        return self._service().info()
+
+    def listdir(self, relative: str = "") -> list[FileStat]:
+        """Stat records for a directory."""
+        return [FileStat(**record) for record in self._service().listdir(relative)]
+
+    def stat(self, relative: str) -> FileStat:
+        return FileStat(**self._service().stat(relative))
+
+    def exists(self, relative: str) -> bool:
+        return bool(self._service().exists(relative))
+
+    # -- file access -------------------------------------------------------
+    def read_bytes(self, relative: str, verify: bool = False) -> bytes:
+        """Read a whole remote file (chunked under the hood).
+
+        Args:
+            verify: re-checksum the assembled bytes against the server's
+                SHA-256 and raise on mismatch.
+        """
+        service = self._service()
+        chunks: list[bytes] = []
+        offset = 0
+        while True:
+            chunk = service.read_chunk(relative, offset, CHUNK_SIZE)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            offset += len(chunk)
+            if len(chunk) < CHUNK_SIZE:
+                break
+        data = b"".join(chunks)
+        self.bytes_fetched += len(data)
+        if verify:
+            expected = service.checksum(relative)
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != expected:
+                raise DataChannelError(
+                    f"checksum mismatch for {relative!r}: "
+                    f"{actual[:12]} != {expected[:12]}"
+                )
+        return data
+
+    def read_text(self, relative: str, encoding: str = "utf-8") -> str:
+        return self.read_bytes(relative).decode(encoding)
+
+    def fetch(self, relative: str, verify: bool = True) -> Path:
+        """Copy a remote file into the cache directory; returns local path."""
+        if self.cache_dir is None:
+            raise DataChannelError("mount has no cache directory configured")
+        data = self.read_bytes(relative, verify=verify)
+        local = self.cache_dir / relative
+        local.parent.mkdir(parents=True, exist_ok=True)
+        local.write_bytes(data)
+        return local
+
+    def read_voltammogram(self, relative: str):
+        """Fetch and parse an ``.mpt`` measurement in one call."""
+        if self.cache_dir is not None:
+            return read_mpt(self.fetch(relative))
+        import tempfile
+
+        with tempfile.NamedTemporaryFile(
+            "wb", suffix=".mpt", delete=False
+        ) as handle:
+            handle.write(self.read_bytes(relative))
+            temp_path = Path(handle.name)
+        try:
+            return read_mpt(temp_path)
+        finally:
+            temp_path.unlink(missing_ok=True)

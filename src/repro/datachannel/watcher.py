@@ -1,0 +1,151 @@
+"""Polling watcher: notice new/changed measurement files on a mount.
+
+The paper's workflow learns an acquisition is complete when its file
+appears on the mounted share. :class:`MeasurementWatcher` polls a mount
+directory, keeps (size, mtime) fingerprints, and reports new or modified
+entries — either on demand (:meth:`poll`) or from a background thread
+with a callback (:meth:`start`). The polling-vs-push trade-off is one of
+the DC1 benchmark's ablations.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from typing import Callable
+
+from repro.clock import Clock, WALL
+from repro.errors import DataChannelError
+from repro.datachannel.mount import Mount
+from repro.datachannel.share import FileStat
+
+
+class MeasurementWatcher:
+    """Watches one directory of a mount for file arrivals.
+
+    Args:
+        mount: the mounted share.
+        directory: share-relative directory to watch ("" = root).
+        pattern: fnmatch pattern, e.g. ``"*.mpt"``.
+        interval_s: polling period for the background mode.
+    """
+
+    def __init__(
+        self,
+        mount: Mount,
+        directory: str = "",
+        pattern: str = "*.mpt",
+        interval_s: float = 0.2,
+        clock: Clock | None = None,
+    ):
+        if interval_s <= 0:
+            raise DataChannelError("poll interval must be > 0")
+        self.mount = mount
+        self.directory = directory
+        self.pattern = pattern
+        self.interval_s = interval_s
+        self.clock = clock or WALL
+        self._seen: dict[str, tuple[int, float]] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.polls = 0
+
+    def snapshot(self) -> None:
+        """Record the current state without reporting anything (baseline)."""
+        for stat in self._matching():
+            self._seen[stat.path] = (stat.size, stat.mtime)
+
+    def _matching(self) -> list[FileStat]:
+        entries = self.mount.listdir(self.directory)
+        return [
+            stat
+            for stat in entries
+            if not stat.is_dir and fnmatch.fnmatch(stat.path.rsplit("/", 1)[-1], self.pattern)
+        ]
+
+    def poll(self) -> list[FileStat]:
+        """One poll: returns files that are new or changed since last look."""
+        self.polls += 1
+        changed: list[FileStat] = []
+        for stat in self._matching():
+            fingerprint = (stat.size, stat.mtime)
+            if self._seen.get(stat.path) != fingerprint:
+                self._seen[stat.path] = fingerprint
+                changed.append(stat)
+        return changed
+
+    def wait_for(
+        self, filename: str, timeout_s: float = 30.0
+    ) -> FileStat:
+        """Block until ``filename`` appears (exact share-relative path).
+
+        Raises:
+            DataChannelError: timeout expired.
+        """
+        deadline = self.clock.now() + timeout_s
+        while True:
+            for stat in self.poll():
+                if stat.path == filename:
+                    return stat
+            if self.mount.exists(filename):
+                return self.mount.stat(filename)
+            if self.clock.now() >= deadline:
+                raise DataChannelError(
+                    f"file {filename!r} did not appear within {timeout_s}s"
+                )
+            self.clock.sleep(self.interval_s)
+
+    # -- background mode ----------------------------------------------------
+    def start(self, callback: Callable[[FileStat], None]) -> None:
+        """Poll on a thread, invoking ``callback`` per new/changed file."""
+        if self._thread is not None and self._thread.is_alive():
+            raise DataChannelError("watcher already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    for stat in self.poll():
+                        callback(stat)
+                except DataChannelError:
+                    # transient mount errors: retry on the next tick
+                    pass
+                self._stop.wait(self.interval_s)
+
+        self._thread = threading.Thread(target=loop, name="mpt-watcher", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def auto_catalog(
+    watcher: MeasurementWatcher,
+    catalog,
+) -> Callable[[], None]:
+    """Glue: keep a :class:`~repro.datachannel.catalog.MeasurementCatalog`
+    current as measurements arrive on the watched mount.
+
+    Starts the watcher's background loop with a callback that fetches each
+    new ``.mpt`` into the mount's cache and indexes it. Returns a stop
+    function (stops the watcher and saves the catalog).
+    """
+    from repro.errors import DataChannelError, FileFormatError
+
+    def on_arrival(stat) -> None:
+        try:
+            watcher.mount.fetch(stat.path)
+            catalog.add(stat.path)
+        except (DataChannelError, FileFormatError):
+            pass  # half-written files are retried on the next change
+
+    watcher.start(on_arrival)
+
+    def stop() -> None:
+        watcher.stop()
+        catalog.save()
+
+    return stop

@@ -1,0 +1,211 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises a subclass of :class:`ReproError` so that
+workflow code can catch one base type at task boundaries while tests can
+assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# RPC / control channel
+# --------------------------------------------------------------------------
+class RPCError(ReproError):
+    """Base class for remote-object layer failures."""
+
+
+class SerializationError(RPCError):
+    """A value could not be converted to or from the wire format."""
+
+
+class ProtocolError(RPCError):
+    """A malformed or out-of-sequence frame was received."""
+
+
+class ConnectionClosedError(RPCError):
+    """The peer closed the connection mid-exchange."""
+
+
+class CommunicationError(RPCError):
+    """The transport could not reach the remote daemon."""
+
+
+class NamingError(RPCError):
+    """URI parse failures and name-server lookup misses."""
+
+
+class RemoteInvocationError(RPCError):
+    """The remote method raised; carries the remote traceback text.
+
+    Attributes:
+        remote_type: exception class name raised on the server.
+        remote_traceback: formatted traceback captured server side.
+    """
+
+    def __init__(self, message: str, remote_type: str = "", remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+
+class MethodNotExposedError(RPCError):
+    """Client called a method the server object does not expose."""
+
+
+class AuthenticationError(RPCError):
+    """The HMAC challenge-response handshake failed or was missing."""
+
+
+# --------------------------------------------------------------------------
+# Network model
+# --------------------------------------------------------------------------
+class NetworkError(ReproError):
+    """Base class for ICE network-model failures."""
+
+
+class FirewallDeniedError(NetworkError):
+    """A firewall rule rejected the connection attempt."""
+
+
+class NoRouteError(NetworkError):
+    """No path exists between the two hosts in the topology."""
+
+
+class AddressInUseError(NetworkError):
+    """A simulated port is already bound on the host."""
+
+
+class LinkDownError(NetworkError):
+    """The traversed link is administratively or fault-injected down."""
+
+
+# --------------------------------------------------------------------------
+# Serial / instrument layer
+# --------------------------------------------------------------------------
+class SerialIOError(ReproError):
+    """Base class for simulated serial-port failures."""
+
+
+class SerialTimeoutError(SerialIOError):
+    """Read or write deadline expired."""
+
+
+class PortNotOpenError(SerialIOError):
+    """Operation attempted on a closed port."""
+
+
+class InstrumentError(ReproError):
+    """Base class for instrument failures."""
+
+
+class InstrumentStateError(InstrumentError):
+    """Command issued in a state that does not allow it."""
+
+
+class InstrumentCommandError(InstrumentError):
+    """The device rejected the command (bad args, unknown verb...)."""
+
+
+class InstrumentFaultError(InstrumentError):
+    """An injected or emergent hardware fault prevented the operation."""
+
+
+class FirmwareError(InstrumentError):
+    """Firmware image missing, corrupt, or incompatible."""
+
+
+class TechniqueError(InstrumentError):
+    """Electrochemical technique misconfigured or not loaded."""
+
+
+class ChannelBusyError(InstrumentError):
+    """Potentiostat channel already running an acquisition."""
+
+
+# --------------------------------------------------------------------------
+# Chemistry / cell
+# --------------------------------------------------------------------------
+class ChemistryError(ReproError):
+    """Base class for cell and solution model failures."""
+
+
+class CellOverflowError(ChemistryError):
+    """Dispensing more liquid than the cell can hold."""
+
+
+class CellUnderflowError(ChemistryError):
+    """Withdrawing more liquid than the cell contains."""
+
+
+class SimulationError(ChemistryError):
+    """The finite-difference engine failed (instability, bad params)."""
+
+
+# --------------------------------------------------------------------------
+# Data channel
+# --------------------------------------------------------------------------
+class DataChannelError(ReproError):
+    """Base class for file-share failures."""
+
+
+class ShareNotMountedError(DataChannelError):
+    """Mount operation required before file access."""
+
+
+class RemoteFileNotFoundError(DataChannelError):
+    """The requested path does not exist on the share."""
+
+
+class AccessDeniedError(DataChannelError):
+    """Share-level permission rejected the operation."""
+
+
+class FileFormatError(DataChannelError):
+    """Measurement file could not be parsed."""
+
+
+# --------------------------------------------------------------------------
+# ML
+# --------------------------------------------------------------------------
+class MLError(ReproError):
+    """Base class for ML-layer failures."""
+
+
+class NotFittedError(MLError):
+    """Predict called before fit."""
+
+
+class FeatureExtractionError(MLError):
+    """I-V trace unsuitable for feature extraction."""
+
+
+# --------------------------------------------------------------------------
+# Workflow / orchestration
+# --------------------------------------------------------------------------
+class WorkflowError(ReproError):
+    """Base class for orchestration failures."""
+
+
+class TaskFailedError(WorkflowError):
+    """A workflow task raised; carries the task name.
+
+    Attributes:
+        task_name: name of the failed task.
+    """
+
+    def __init__(self, message: str, task_name: str = ""):
+        super().__init__(message)
+        self.task_name = task_name
+
+
+class DependencyError(WorkflowError):
+    """Workflow graph is cyclic or references unknown tasks."""
+
+
+class WorkflowAbortedError(WorkflowError):
+    """Workflow stopped early by policy or operator request."""

@@ -1,0 +1,31 @@
+"""Facility assembly: the ACL workstation, Pyro servers, and the full ICE.
+
+This package is the wiring diagram of the paper made executable:
+
+- :class:`ElectrochemistryWorkstation` builds the bench of Fig 2 — cell,
+  reservoirs, J-Kem devices behind their single-board computer and serial
+  link, SP200 with its EC-Lab driver;
+- :class:`ACLWorkstationServer` is the Pyro server object of Fig 3,
+  exposing the instrument commands under the names the paper's notebook
+  calls (``Initialize_SP200_API``, ``Set_Rate_SyringePump``, ...);
+- :class:`ACLPyroClient` is the matching client wrapper
+  (``call_Initialize_SP200_API`` and friends);
+- :class:`ElectrochemistryICE` assembles the cross-facility picture of
+  Figs 1/4: ACL and K200 facilities, hub networks behind a gateway,
+  firewall ingress rules, the control daemon, and the data-channel share
+  — over the simulated network by default, over real TCP on request.
+"""
+
+from repro.facility.workstation import ElectrochemistryWorkstation, WorkstationConfig
+from repro.facility.servers import ACLWorkstationServer
+from repro.facility.client import ACLPyroClient
+from repro.facility.ice import ElectrochemistryICE, ICEConfig
+
+__all__ = [
+    "ElectrochemistryWorkstation",
+    "WorkstationConfig",
+    "ACLWorkstationServer",
+    "ACLPyroClient",
+    "ElectrochemistryICE",
+    "ICEConfig",
+]

@@ -1,0 +1,134 @@
+"""The chemical-characterization station and its Pyro server.
+
+Paper Fig 1 shows "Chemical Characterization" as its own station in the
+ecosystem, and §5 plans "mobile robots to transfer materials between
+different instruments". This module makes both real:
+
+- :class:`CharacterizationStation` owns the HPLC-MS and the transfer
+  robot (docking stations: the electrochemistry workstation's fraction
+  hand-off point, the HPLC autosampler, and storage);
+- :class:`CharacterizationServer` is the station's control agent object,
+  exposed over the control channel like the workstation's (Fig 3 applies
+  unchanged to additional instruments);
+- the fraction hand-off: the workstation's collector fills a vial, the
+  vial is unloaded onto the robot's electrochemistry dock, the robot
+  drives it to the HPLC dock, and the autosampler injects from there.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.clock import Clock, WALL
+from repro.errors import InstrumentStateError
+from repro.logging_utils import EventLog
+from repro.chemistry.species import Solution, ACETONITRILE
+from repro.rpc.expose import expose
+from repro.instruments.characterization.hplc import HPLCMS
+from repro.instruments.jkem.devices import FractionCollector
+from repro.instruments.jkem.plumbing import Reservoir
+from repro.instruments.robot import MobileRobot
+
+STATION_ELECTROCHEM = "electrochemistry"
+STATION_HPLC = "hplc"
+STATION_STORAGE = "storage"
+
+
+class CharacterizationStation:
+    """HPLC-MS + transfer robot, wired to the workstation's collector."""
+
+    def __init__(
+        self,
+        collector: FractionCollector,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+        time_scale: float = 0.0,
+    ):
+        clock = clock or WALL
+        self.collector = collector
+        self.hplc = HPLCMS(
+            clock=clock, event_log=event_log, time_scale=time_scale
+        )
+        self.robot = MobileRobot(
+            stations=(STATION_ELECTROCHEM, STATION_HPLC, STATION_STORAGE),
+            clock=clock,
+            event_log=event_log,
+            time_scale=time_scale,
+        )
+        self._fraction_counter = 0
+
+    def new_fraction_vial(self) -> Reservoir:
+        """A fresh empty vial for fraction collection."""
+        self._fraction_counter += 1
+        blank = Solution(solvent=ACETONITRILE, species={}, label="empty")
+        return Reservoir(
+            f"fraction-{self._fraction_counter:02d}", blank, 0.0
+        )
+
+
+@expose
+class CharacterizationServer:
+    """Remote face of the characterization station.
+
+    Mirrors the workstation server's naming style so notebook code reads
+    uniformly (``call_Robot_Transfer``, ``call_Inject_HPLC`` ...).
+    """
+
+    def __init__(self, station: CharacterizationStation):
+        self._station = station
+
+    # -- fraction hand-off ---------------------------------------------------
+    def Load_Fraction_Vial(self, position: str) -> str:
+        """Put a fresh empty vial into the collector rack at ``position``."""
+        vial = self._station.new_fraction_vial()
+        self._station.collector.load_vial(position, vial)
+        return f"OK {vial.name}"
+
+    def Handoff_Fraction_To_Robot(self, position: str) -> str:
+        """Unload the vial at ``position`` onto the robot's dock."""
+        vial = self._station.collector.unload_vial(position)
+        self._station.robot.stage_vial(STATION_ELECTROCHEM, vial)
+        return f"OK {vial.name}"
+
+    # -- robot -----------------------------------------------------------
+    def Robot_Move_To(self, station: str) -> str:
+        return self._station.robot.move_to(station)
+
+    def Robot_Pick(self) -> str:
+        return self._station.robot.pick()
+
+    def Robot_Place(self) -> str:
+        return self._station.robot.place()
+
+    def Robot_Transfer(self, source: str, destination: str) -> str:
+        return self._station.robot.transfer(source, destination)
+
+    def Robot_Status(self) -> dict[str, Any]:
+        return self._station.robot.status_summary()
+
+    # -- HPLC-MS ---------------------------------------------------------------
+    def Inject_HPLC(self, volume_ml: float = 0.5) -> dict[str, Any]:
+        """Inject from the vial docked at the HPLC station.
+
+        Returns the chromatogram as plain data (time axis downsampled to
+        keep the control-channel payload reasonable; the peak table is
+        exact).
+        """
+        vial = self._station.robot.vial_at(STATION_HPLC)
+        if vial is None:
+            raise InstrumentStateError(
+                "no vial at the HPLC autosampler; run Robot_Transfer first"
+            )
+        chromatogram = self._station.hplc.inject_vial(vial, volume_ml)
+        payload = chromatogram.to_dict()
+        stride = max(1, len(chromatogram) // 400)
+        payload["time_min"] = payload["time_min"][::stride]
+        payload["signal"] = payload["signal"][::stride]
+        return payload
+
+    def HPLC_Status(self) -> dict[str, Any]:
+        return {
+            "injections_run": self._station.hplc.injections_run,
+            "status": self._station.hplc.status.value,
+            "method_minutes": self._station.hplc.method_minutes,
+        }

@@ -1,0 +1,92 @@
+"""The Pyro client wrapper used from the remote system (paper Fig 3).
+
+The paper's notebook instantiates ``ACL_Pyro_Client(ip, port)`` and calls
+``call_<Method>`` wrappers; :class:`ACLPyroClient` reproduces that shape:
+every server method ``X`` is callable as ``client.call_X(...)`` (and, for
+convenience, directly as ``client.X(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.rpc.naming import PyroURI, make_uri
+from repro.rpc.proxy import Proxy
+
+DEFAULT_OBJECT_ID = "ACL_Workstation"
+
+
+class ACLPyroClient:
+    """Client handle to the ACL workstation server.
+
+    Args:
+        host: control agent address (or URI via :meth:`from_uri`).
+        port: control-channel TCP port.
+        object_id: registered Pyro object id.
+        connection_factory: custom dialer (the simulated network's).
+        timeout: per-call deadline in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        object_id: str = DEFAULT_OBJECT_ID,
+        connection_factory: Callable | None = None,
+        timeout: float | None = 60.0,
+        secret: bytes | None = None,
+    ):
+        uri = make_uri(object_id, host, port)
+        self._proxy = Proxy(
+            uri,
+            timeout=timeout,
+            connection_factory=connection_factory,
+            secret=secret,
+        )
+
+    @classmethod
+    def from_uri(
+        cls,
+        uri: str | PyroURI,
+        connection_factory: Callable | None = None,
+        timeout: float | None = 60.0,
+        secret: bytes | None = None,
+    ) -> "ACLPyroClient":
+        """Build from a full ``PYRO:`` URI."""
+        from repro.rpc.naming import parse_uri
+
+        parsed = parse_uri(uri)
+        return cls(
+            host=parsed.host,
+            port=parsed.port,
+            object_id=parsed.object_id,
+            connection_factory=connection_factory,
+            timeout=timeout,
+            secret=secret,
+        )
+
+    # -- connection management ---------------------------------------------
+    def ping(self) -> None:
+        """Liveness check of the control channel (workflow task A)."""
+        self._proxy._pyro_ping()
+
+    def available_commands(self) -> list[str]:
+        """Exposed method names on the server."""
+        return list(self._proxy._pyro_metadata().get("methods", []))
+
+    def close(self) -> None:
+        self._proxy.close()
+
+    def __enter__(self) -> "ACLPyroClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- call forwarding ------------------------------------------------------
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        # the notebook style: client.call_Initialize_SP200_API(...)
+        target = name[len("call_"):] if name.startswith("call_") else name
+        return getattr(self._proxy, target)

@@ -1,0 +1,391 @@
+"""The full instrument-computing ecosystem (paper Figs 1 and 4).
+
+``ElectrochemistryICE.build()`` stands up, in one process, everything the
+paper deployed across two ORNL buildings:
+
+- the **ACL facility**: the workstation on its control agent (Windows in
+  the paper), an instrument hub network, and a gateway computer;
+- the **K200 facility**: the DGX analysis host on the site WAN;
+- the **control channel**: a daemon on the control agent serving the
+  :class:`~repro.facility.servers.ACLWorkstationServer` at port 9690
+  (the port visible in Fig 6b);
+- the **data channel**: a second daemon at port 9700 exporting the
+  measurement directory through the file share, routed over dedicated
+  hub networks when ``separate_channels`` is on;
+- **firewall rules**: ingress ports opened exactly for the K200 facility,
+  mirroring §4.1's "open ingress TCP ports on workstation firewalls";
+- an optional **name server** on the gateway, so remote code can resolve
+  ``acl.workstation``/``acl.share`` instead of hard-coding ports.
+
+Two transports: ``"sim"`` (default) routes every byte through the
+modelled topology with latency/bandwidth/contention; ``"tcp"`` uses real
+loopback sockets (no topology, same software stack).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.clock import Clock, WALL
+from repro.errors import NetworkError
+from repro.logging_utils import EventLog
+from repro.net.links import (
+    CROSS_FACILITY,
+    LAN_HUB,
+    LinkSpec,
+)
+from repro.net.simtransport import SimNetwork
+from repro.net.topology import Topology
+from repro.rpc.daemon import Daemon
+from repro.rpc.naming import NameServer
+from repro.rpc.proxy import Proxy
+from repro.rpc.transport import connect_tcp
+from repro.datachannel.mount import Mount
+from repro.datachannel.share import FileShareService
+from repro.facility.characterization import (
+    CharacterizationServer,
+    CharacterizationStation,
+)
+from repro.facility.client import ACLPyroClient
+from repro.facility.servers import ACLWorkstationServer
+from repro.facility.workstation import (
+    ElectrochemistryWorkstation,
+    WorkstationConfig,
+)
+
+CONTROL_PORT = 9690  # the port in Fig 6b's URI
+DATA_PORT = 9700
+CHARACTERIZATION_PORT = 9710
+NAMESERVER_PORT = 9680
+
+HOST_AGENT = "acl-control-agent"
+HOST_GATEWAY = "acl-gateway"
+HOST_HPLC_AGENT = "acl-hplc-agent"
+HOST_DGX = "k200-dgx"
+
+
+@dataclass(frozen=True)
+class ICEConfig:
+    """Ecosystem parameters.
+
+    Attributes:
+        workstation: bench configuration (measurement dir is overridden
+            with the ICE-owned directory when left None).
+        separate_channels: dedicate hub networks to the data channel
+            (paper design); False forces data onto the control path for
+            the CH1 contention study.
+        channel_mode: overrides ``separate_channels`` when set —
+            ``"separate"`` (paper design), ``"shared"`` (one FCFS path),
+            or ``"priority"`` (one path with preemptive-priority links:
+            control frames priority 0, data priority 1 — the QoS
+            alternative CH1 ablates).
+        transport: ``"sim"`` or ``"tcp"``.
+        hub_link: instrument-hub link spec.
+        wan_link: cross-facility link spec.
+        with_name_server: serve a name server on the gateway.
+        control_secret: when set, the control-plane daemons (workstation
+            and characterization) require the HMAC challenge-response and
+            the ICE's own clients present it — paper §5's "security
+            posture" hardening beyond firewall rules.
+    """
+
+    workstation: WorkstationConfig = field(default_factory=WorkstationConfig)
+    separate_channels: bool = True
+    transport: str = "sim"
+    hub_link: LinkSpec = LAN_HUB
+    wan_link: LinkSpec = CROSS_FACILITY
+    with_name_server: bool = True
+    control_secret: bytes | None = None
+    channel_mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("sim", "tcp"):
+            raise NetworkError(f"unknown transport {self.transport!r}")
+        if not self.channel_mode:
+            object.__setattr__(
+                self,
+                "channel_mode",
+                "separate" if self.separate_channels else "shared",
+            )
+        if self.channel_mode not in ("separate", "shared", "priority"):
+            raise NetworkError(f"unknown channel mode {self.channel_mode!r}")
+
+
+class ElectrochemistryICE:
+    """Handles to the running ecosystem; use :meth:`build`."""
+
+    def __init__(self, **parts):
+        self.config: ICEConfig = parts["config"]
+        self.workstation: ElectrochemistryWorkstation = parts["workstation"]
+        self.topology: Topology | None = parts["topology"]
+        self.simnet: SimNetwork | None = parts["simnet"]
+        self.control_daemon: Daemon = parts["control_daemon"]
+        self.data_daemon: Daemon = parts["data_daemon"]
+        self.ns_daemon: Daemon | None = parts["ns_daemon"]
+        self.name_server: NameServer | None = parts["name_server"]
+        self.characterization: CharacterizationStation = parts["characterization"]
+        self.characterization_daemon: Daemon = parts["characterization_daemon"]
+        self.characterization_uri: str = parts["characterization_uri"]
+        self.share: FileShareService = parts["share"]
+        self.control_uri: str = parts["control_uri"]
+        self.share_uri: str = parts["share_uri"]
+        self.measurement_dir: Path = parts["measurement_dir"]
+        self.event_log: EventLog = parts["event_log"]
+        self._tempdir = parts["tempdir"]
+        self.control_networks: set[str] | None = parts["control_networks"]
+        self.data_networks: set[str] | None = parts["data_networks"]
+        #: transmission priorities per channel (only meaningful in the
+        #: "priority" channel mode; harmless FCFS no-ops otherwise)
+        self.control_priority: int = 0
+        self.data_priority: int = 1
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, config: ICEConfig | None = None, clock: Clock | None = None
+    ) -> "ElectrochemistryICE":
+        """Stand the ecosystem up; callers own :meth:`shutdown`."""
+        config = config or ICEConfig()
+        clock = clock or WALL
+        log = EventLog()
+
+        tempdir = None
+        measurement_dir = config.workstation.measurement_dir
+        if measurement_dir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="acl-measurements-")
+            measurement_dir = Path(tempdir.name)
+        measurement_dir = Path(measurement_dir)
+        measurement_dir.mkdir(parents=True, exist_ok=True)
+
+        ws_config = WorkstationConfig(
+            ferrocene_mm=config.workstation.ferrocene_mm,
+            stock_volume_ml=config.workstation.stock_volume_ml,
+            cell_capacity_ml=config.workstation.cell_capacity_ml,
+            measurement_dir=measurement_dir,
+            time_scale=config.workstation.time_scale,
+            noise=config.workstation.noise,
+            serial_timeout_s=config.workstation.serial_timeout_s,
+        )
+        workstation = ElectrochemistryWorkstation.build(
+            ws_config, clock=clock, event_log=log
+        )
+
+        topology: Topology | None = None
+        simnet: SimNetwork | None = None
+        control_networks: set[str] | None = None
+        data_networks: set[str] | None = None
+
+        if config.transport == "sim":
+            topology, control_networks, data_networks = cls._build_topology(
+                config, clock
+            )
+            simnet = SimNetwork(topology, clock=clock)
+            control_listener = simnet.listen(HOST_AGENT, CONTROL_PORT)
+            data_listener = simnet.listen(HOST_AGENT, DATA_PORT)
+            characterization_listener = simnet.listen(
+                HOST_HPLC_AGENT, CHARACTERIZATION_PORT
+            )
+            ns_listener = (
+                simnet.listen(HOST_GATEWAY, NAMESERVER_PORT)
+                if config.with_name_server
+                else None
+            )
+        else:
+            from repro.rpc.transport import TCPListener
+
+            control_listener = TCPListener("127.0.0.1", 0)
+            data_listener = TCPListener("127.0.0.1", 0)
+            characterization_listener = TCPListener("127.0.0.1", 0)
+            ns_listener = (
+                TCPListener("127.0.0.1", 0) if config.with_name_server else None
+            )
+
+        control_daemon = Daemon(
+            listener=control_listener,
+            event_log=log,
+            secret=config.control_secret,
+        )
+        control_uri = control_daemon.register(
+            ACLWorkstationServer(workstation), object_id="ACL_Workstation"
+        )
+        control_daemon.start_background()
+
+        share = FileShareService(measurement_dir, share_name="acl-measurements")
+        data_daemon = Daemon(listener=data_listener, event_log=log)
+        share_uri = data_daemon.register(share, object_id="ACL_Share")
+        data_daemon.start_background()
+
+        characterization = CharacterizationStation(
+            workstation.collector,
+            clock=clock,
+            event_log=log,
+            time_scale=config.workstation.time_scale,
+        )
+        characterization_daemon = Daemon(
+            listener=characterization_listener,
+            event_log=log,
+            secret=config.control_secret,
+        )
+        characterization_uri = characterization_daemon.register(
+            CharacterizationServer(characterization),
+            object_id="ACL_Characterization",
+        )
+        characterization_daemon.start_background()
+
+        ns_daemon = None
+        name_server = None
+        if ns_listener is not None:
+            name_server = NameServer()
+            name_server.register("acl.workstation", control_uri)
+            name_server.register("acl.share", share_uri)
+            name_server.register("acl.characterization", characterization_uri)
+            ns_daemon = Daemon(listener=ns_listener, event_log=log)
+            ns_daemon.register(name_server, object_id="NameServer")
+            ns_daemon.start_background()
+
+        log.emit(
+            "ice",
+            "lifecycle",
+            f"ICE up: control={control_uri} data={share_uri} "
+            f"transport={config.transport} "
+            f"separate_channels={config.separate_channels}",
+        )
+        return cls(
+            config=config,
+            workstation=workstation,
+            topology=topology,
+            simnet=simnet,
+            control_daemon=control_daemon,
+            data_daemon=data_daemon,
+            ns_daemon=ns_daemon,
+            name_server=name_server,
+            share=share,
+            control_uri=control_uri,
+            share_uri=share_uri,
+            characterization=characterization,
+            characterization_daemon=characterization_daemon,
+            characterization_uri=characterization_uri,
+            measurement_dir=measurement_dir,
+            event_log=log,
+            tempdir=tempdir,
+            control_networks=control_networks,
+            data_networks=data_networks,
+        )
+
+    @staticmethod
+    def _build_topology(
+        config: ICEConfig, clock: Clock
+    ) -> tuple[Topology, set[str], set[str]]:
+        """ACL + K200 with hub networks; optionally duplicated for data."""
+        topology = Topology(clock=clock)
+        topology.add_facility("ACL", "Autonomous Chemistry Laboratory")
+        topology.add_facility("K200", "K200 computing and data facility")
+        topology.add_host(HOST_AGENT, "ACL", platform="windows")
+        topology.add_host(HOST_GATEWAY, "ACL", is_gateway=True)
+        topology.add_host(HOST_HPLC_AGENT, "ACL", platform="windows")
+        topology.add_host(HOST_DGX, "K200", platform="linux")
+
+        qos = config.channel_mode == "priority"
+        topology.add_network("acl-hub", "ACL", "instrument hub network")
+        topology.add_network("ornl-wan", "K200", "cross-facility backbone")
+        topology.attach(HOST_AGENT, "acl-hub", config.hub_link, priority_queuing=qos)
+        topology.attach(HOST_GATEWAY, "acl-hub", config.hub_link, priority_queuing=qos)
+        topology.attach(HOST_HPLC_AGENT, "acl-hub", config.hub_link, priority_queuing=qos)
+        topology.attach(HOST_GATEWAY, "ornl-wan", config.wan_link, priority_queuing=qos)
+        topology.attach(HOST_DGX, "ornl-wan", config.wan_link, priority_queuing=qos)
+        control_networks = {"acl-hub", "ornl-wan"}
+
+        if config.channel_mode == "separate":
+            topology.add_network("acl-hub-data", "ACL", "data-channel hub")
+            topology.add_network("ornl-wan-data", "K200", "data-channel backbone")
+            topology.attach(HOST_AGENT, "acl-hub-data", config.hub_link)
+            topology.attach(HOST_GATEWAY, "acl-hub-data", config.hub_link)
+            topology.attach(HOST_GATEWAY, "ornl-wan-data", config.wan_link)
+            topology.attach(HOST_DGX, "ornl-wan-data", config.wan_link)
+            data_networks = {"acl-hub-data", "ornl-wan-data"}
+        else:
+            data_networks = set(control_networks)
+
+        # §4.1: open ingress TCP ports for the remote facility only
+        agent_fw = topology.host(HOST_AGENT).firewall
+        agent_fw.allow_port(CONTROL_PORT, src_facility="K200", comment="pyro control")
+        agent_fw.allow_port(DATA_PORT, src_facility="K200", comment="cifs data")
+        topology.host(HOST_HPLC_AGENT).firewall.allow_port(
+            CHARACTERIZATION_PORT, src_facility="K200", comment="pyro hplc"
+        )
+        # the gateway itself accepts name-server lookups
+        topology.host(HOST_GATEWAY).firewall.allow_port(
+            NAMESERVER_PORT, src_facility="K200", comment="name server"
+        )
+        return topology, control_networks, data_networks
+
+    # ------------------------------------------------------------------
+    # Remote-side helpers (what runs on the DGX)
+    # ------------------------------------------------------------------
+    def _factory(self, networks: set[str] | None, priority: int = 0):
+        if self.simnet is not None:
+            return self.simnet.connection_factory(HOST_DGX, networks, priority)
+        return lambda host, port: connect_tcp(host, port, timeout=30.0)
+
+    def client(self, timeout: float | None = 120.0) -> ACLPyroClient:
+        """A control-channel client dialled from the DGX."""
+        return ACLPyroClient.from_uri(
+            self.control_uri,
+            connection_factory=self._factory(self.control_networks),
+            timeout=timeout,
+            secret=self.config.control_secret,
+        )
+
+    def characterization_client(self, timeout: float | None = 120.0) -> ACLPyroClient:
+        """Control-channel client to the characterization station."""
+        return ACLPyroClient.from_uri(
+            self.characterization_uri,
+            connection_factory=self._factory(self.control_networks),
+            timeout=timeout,
+            secret=self.config.control_secret,
+        )
+
+    def mount(self, cache_dir: str | Path | None = None) -> Mount:
+        """Mount the measurement share on the DGX over the data channel."""
+        proxy = Proxy(
+            self.share_uri,
+            timeout=120.0,
+            connection_factory=self._factory(
+                self.data_networks, self.data_priority
+            ),
+        )
+        return Mount(proxy, cache_dir=cache_dir)
+
+    def lookup(self, name: str) -> str:
+        """Resolve a logical name via the gateway's name server."""
+        if self.ns_daemon is None:
+            raise NetworkError("ICE was built without a name server")
+        host, port = self.ns_daemon.address
+        ns_proxy = Proxy(
+            f"PYRO:NameServer@{host}:{port}",
+            connection_factory=self._factory(self.control_networks),
+        )
+        try:
+            return ns_proxy.lookup(name)
+        finally:
+            ns_proxy.close()
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop daemons, the SBC thread, and remove the temp directory."""
+        self.control_daemon.shutdown()
+        self.data_daemon.shutdown()
+        self.characterization_daemon.shutdown()
+        if self.ns_daemon is not None:
+            self.ns_daemon.shutdown()
+        self.workstation.shutdown()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+
+    def __enter__(self) -> "ElectrochemistryICE":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,181 @@
+"""The Pyro server object on the control agent (paper Fig 3, server side).
+
+``ACLWorkstationServer`` wraps the two local drivers (EC-Lab and J-Kem
+APIs) and exposes their commands under the exact names the paper's
+notebook calls in Figs 5a/6a. Return values are the confirmation strings
+the notebook prints ("OK", "Initialization is done", ...); measurement
+data travels as plain dicts the serializer handles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rpc.expose import expose
+from repro.facility.workstation import ElectrochemistryWorkstation
+
+
+@expose
+class ACLWorkstationServer:
+    """Remote face of the whole workstation.
+
+    Args:
+        workstation: the locally built bench.
+    """
+
+    def __init__(self, workstation: ElectrochemistryWorkstation):
+        self._ws = workstation
+
+    # ------------------------------------------------------------------
+    # SP200 pipeline (Fig 6a, steps 1-7; step 8 is automatic)
+    # ------------------------------------------------------------------
+    def Initialize_SP200_API(self, params: dict[str, Any] | None = None) -> str:
+        """Step 1: system/firmware/connection parameters."""
+        return self._ws.eclab.initialize(params)
+
+    def Connect_SP200(self) -> str:
+        """Step 2: open the instrument session."""
+        return self._ws.eclab.connect()
+
+    def Load_Firmware_SP200(self) -> str:
+        """Step 3: load kernel4.bin."""
+        return self._ws.eclab.load_firmware()
+
+    def Initialize_CV_Tech_SP200(self, params: dict[str, Any] | None = None) -> str:
+        """Step 4: configure the CV technique."""
+        return self._ws.eclab.init_cv_technique(params)
+
+    def Initialize_CA_Tech_SP200(self, params: dict[str, Any] | None = None) -> str:
+        """CA variant of step 4."""
+        return self._ws.eclab.init_ca_technique(params)
+
+    def Initialize_OCV_Tech_SP200(self, params: dict[str, Any] | None = None) -> str:
+        """OCV variant of step 4."""
+        return self._ws.eclab.init_ocv_technique(params)
+
+    def Initialize_LSV_Tech_SP200(self, params: dict[str, Any] | None = None) -> str:
+        """LSV variant of step 4."""
+        return self._ws.eclab.init_lsv_technique(params)
+
+    def Initialize_DPV_Tech_SP200(self, params: dict[str, Any] | None = None) -> str:
+        """DPV variant of step 4."""
+        return self._ws.eclab.init_dpv_technique(params)
+
+    def Load_Technique_SP200(self) -> str:
+        """Step 5: push technique firmware + parameters to the channel."""
+        return self._ws.eclab.load_technique()
+
+    def Start_Channel_SP200(self) -> str:
+        """Step 6: begin acquiring."""
+        return self._ws.eclab.start_channel()
+
+    def Probe_Status_SP200(self) -> dict[str, Any]:
+        """Poll the acquisition (samples so far, channel state)."""
+        return self._ws.eclab.probe_progress()
+
+    def Get_Tech_Path_Rslt(
+        self, wait: bool = True, save_as: str | None = None
+    ) -> dict[str, Any]:
+        """Step 7: collect the measurements.
+
+        Returns the trace as a plain dict plus the share-relative file
+        name the ``.mpt`` was written to (the client fetches the file over
+        the *data* channel — measurements do not ride the control channel
+        unless the caller opts into the inline copy).
+        """
+        trace = self._ws.eclab.get_measurements(wait=wait, save_as=save_as)
+        path = self._ws.eclab.last_measurement_path
+        return {
+            "n_samples": len(trace),
+            "technique": trace.metadata.get("technique"),
+            "file": path.name if path is not None else None,
+        }
+
+    def Get_Measurements_Inline(self, wait: bool = True) -> dict[str, Any]:
+        """Measurement arrays inline over the control channel.
+
+        Exists for the channel-separation benchmark (the anti-pattern the
+        paper's design avoids) and for small quick-look reads.
+        """
+        trace = self._ws.eclab.get_measurements(wait=wait)
+        return trace.to_dict()
+
+    def Disconnect_SP200(self) -> str:
+        """Teardown (workflow task E)."""
+        return self._ws.eclab.disconnect()
+
+    # ------------------------------------------------------------------
+    # J-Kem setup (Fig 5a command set)
+    # ------------------------------------------------------------------
+    def Set_Rate_SyringePump(self, unit: int, rate_ml_min: float) -> str:
+        return self._ws.jkem_api.set_rate_syringe_pump(unit, rate_ml_min)
+
+    def Set_Port_SyringePump(self, unit: int, port: int) -> str:
+        return self._ws.jkem_api.set_port_syringe_pump(unit, port)
+
+    def Withdraw_SyringePump(self, unit: int, volume_ml: float) -> str:
+        return self._ws.jkem_api.withdraw_syringe_pump(unit, volume_ml)
+
+    def Dispense_SyringePump(self, unit: int, volume_ml: float) -> str:
+        return self._ws.jkem_api.dispense_syringe_pump(unit, volume_ml)
+
+    def Status_SyringePump(self, unit: int) -> str:
+        return self._ws.jkem_api.status_syringe_pump(unit)
+
+    def Set_Vial_FractionCollector(self, unit: int, position: str) -> str:
+        return self._ws.jkem_api.set_vial_fraction_collector(unit, position)
+
+    def Set_Rate_PeristalticPump(self, unit: int, rate_ml_min: float) -> str:
+        return self._ws.jkem_api.set_rate_peristaltic_pump(unit, rate_ml_min)
+
+    def Transfer_PeristalticPump(self, unit: int, volume_ml: float) -> str:
+        return self._ws.jkem_api.transfer_peristaltic_pump(unit, volume_ml)
+
+    def Set_Flow_MFC(self, unit: int, sccm: float) -> str:
+        return self._ws.jkem_api.set_flow_mfc(unit, sccm)
+
+    def Read_Flow_MFC(self, unit: int) -> float:
+        return self._ws.jkem_api.read_flow_mfc(unit)
+
+    def Set_Temperature(self, unit: int, celsius: float) -> str:
+        return self._ws.jkem_api.set_temperature(unit, celsius)
+
+    def Read_Temperature(self, unit: int) -> float:
+        return self._ws.jkem_api.read_temperature(unit)
+
+    def Start_Chiller(self, unit: int) -> str:
+        return self._ws.jkem_api.start_chiller(unit)
+
+    def Stop_Chiller(self, unit: int) -> str:
+        return self._ws.jkem_api.stop_chiller(unit)
+
+    def Read_PH(self, unit: int) -> float:
+        return self._ws.jkem_api.read_ph(unit)
+
+    def Status_JKem(self) -> str:
+        return self._ws.jkem_api.status()
+
+    def Connect_JKem_API(self) -> str:
+        """(Re)open the J-Kem driver session (workflow task B)."""
+        return self._ws.jkem_api.reopen()
+
+    def Exit_JKem_API(self) -> str:
+        """Fig 5a's final cell: ``call_Exit_JKem_API`` -> "J-Kem API exit OK"."""
+        return self._ws.jkem_api.exit()
+
+    # ------------------------------------------------------------------
+    # Cell state (lab-side observability / fault injection for tests)
+    # ------------------------------------------------------------------
+    def Cell_Status(self) -> dict[str, Any]:
+        """Volume, contents label, purge, circuit state."""
+        cell = self._ws.cell
+        contents = cell.contents
+        gas, sccm = cell.purge
+        return {
+            "volume_ml": cell.volume_ml,
+            "contents": contents.label if contents else None,
+            "purge_gas": gas,
+            "purge_sccm": sccm,
+            "circuit_closed": cell.circuit_closed,
+            "temperature_c": cell.temperature_c,
+        }

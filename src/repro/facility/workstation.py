@@ -1,0 +1,194 @@
+"""The ACL electrochemistry workstation (paper Fig 2), fully wired.
+
+One call to :func:`ElectrochemistryWorkstation.build` produces the bench:
+
+- an electrochemical cell with the three-electrode set;
+- a ferrocene stock vial in the fraction collector, plus solvent and
+  waste plumbing on the syringe-pump valve;
+- the J-Kem single-board computer serving its serial protocol, with the
+  Python front-end API on the control-agent side of the cable;
+- the SP200 potentiostat wired to the same cell, with its EC-Lab driver
+  writing ``.mpt`` files into the agent's measurement directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.clock import Clock, WALL
+from repro.logging_utils import EventLog
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.noise import BENCH_NOISE, NoiseModel
+from repro.chemistry.species import Solution, ferrocene_solution
+from repro.instruments.jkem import (
+    Chiller,
+    FractionCollector,
+    JKemAPI,
+    JKemSBC,
+    MassFlowController,
+    PeristalticPump,
+    PHProbe,
+    PortMap,
+    Reservoir,
+    SyringePump,
+    TemperatureController,
+    WASTE,
+)
+from repro.instruments.potentiostat import ECLabAPI, SP200
+from repro.serialio import create_port_pair
+
+#: Valve plumbing used throughout: port 1 reaches the fraction-collector
+#: needle (stock vials), port 2 the solvent bottle, port 8 the cell, port
+#: 9 waste. Port 8 matches the ``SYRINGEPUMP_PORT(1,8)`` line in Fig 5b.
+PORT_COLLECTOR = 1
+PORT_SOLVENT = 2
+PORT_CELL = 8
+PORT_WASTE = 9
+
+
+@dataclass(frozen=True)
+class WorkstationConfig:
+    """Bench parameters.
+
+    Attributes:
+        ferrocene_mm: stock concentration (the paper uses 2 mM).
+        stock_volume_ml: how much stock is in the collector vial.
+        cell_capacity_ml: cell size.
+        measurement_dir: where the SP200 driver writes ``.mpt`` files.
+        time_scale: instrument operation time scaling (0 = instant).
+        noise: measurement noise model for acquisitions.
+        serial_timeout_s: J-Kem driver response deadline.
+    """
+
+    ferrocene_mm: float = 2.0
+    stock_volume_ml: float = 50.0
+    cell_capacity_ml: float = 20.0
+    measurement_dir: str | Path | None = None
+    time_scale: float = 0.0
+    noise: NoiseModel | None = BENCH_NOISE
+    serial_timeout_s: float = 30.0
+
+
+class ElectrochemistryWorkstation:
+    """Handles to every piece of the bench.
+
+    Use :meth:`build`; the constructor only stores what build wired up.
+    """
+
+    def __init__(self, **parts):
+        self.cell: ElectrochemicalCell = parts["cell"]
+        self.stock: Reservoir = parts["stock"]
+        self.solvent: Reservoir = parts["solvent"]
+        self.syringe_pump: SyringePump = parts["syringe_pump"]
+        self.peristaltic_pump: PeristalticPump = parts["peristaltic_pump"]
+        self.mfc: MassFlowController = parts["mfc"]
+        self.collector: FractionCollector = parts["collector"]
+        self.temperature: TemperatureController = parts["temperature"]
+        self.chiller: Chiller = parts["chiller"]
+        self.ph_probe: PHProbe = parts["ph_probe"]
+        self.sbc: JKemSBC = parts["sbc"]
+        self.jkem_api: JKemAPI = parts["jkem_api"]
+        self.potentiostat: SP200 = parts["potentiostat"]
+        self.eclab: ECLabAPI = parts["eclab"]
+        self.event_log: EventLog = parts["event_log"]
+        self.config: WorkstationConfig = parts["config"]
+
+    @classmethod
+    def build(
+        cls,
+        config: WorkstationConfig | None = None,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ) -> "ElectrochemistryWorkstation":
+        """Construct and start the whole bench."""
+        config = config or WorkstationConfig()
+        clock = clock or WALL
+        log = event_log if event_log is not None else EventLog()
+
+        cell = ElectrochemicalCell(capacity_ml=config.cell_capacity_ml)
+        solution = ferrocene_solution(config.ferrocene_mm)
+        stock = Reservoir("ferrocene-stock", solution, config.stock_volume_ml)
+        solvent_solution = Solution(
+            solvent=solution.solvent,
+            species={},
+            supporting_electrolyte=solution.supporting_electrolyte,
+            label="blank MeCN / 0.1 M TBAOTf",
+        )
+        solvent = Reservoir("solvent", solvent_solution, 250.0)
+
+        collector = FractionCollector(clock=clock, event_log=log)
+        collector.load_vial("BOTTOM", stock)
+
+        ports = PortMap()
+        ports.connect(PORT_COLLECTOR, collector)
+        ports.connect(PORT_SOLVENT, solvent)
+        ports.connect(PORT_CELL, cell)
+        ports.connect(PORT_WASTE, WASTE)
+        syringe_pump = SyringePump(
+            ports=ports, clock=clock, event_log=log, time_scale=config.time_scale
+        )
+        peristaltic_pump = PeristalticPump(
+            source=cell,
+            destination=WASTE,
+            clock=clock,
+            event_log=log,
+            time_scale=config.time_scale,
+        )
+        mfc = MassFlowController(cell=cell, clock=clock, event_log=log)
+        temperature = TemperatureController(cell=cell, clock=clock, event_log=log)
+        chiller = Chiller(clock=clock, event_log=log)
+        ph_probe = PHProbe(clock=clock, event_log=log)
+
+        host_port, device_port = create_port_pair(
+            "COM3", timeout=config.serial_timeout_s
+        )
+        sbc = JKemSBC(port=device_port, clock=clock, event_log=log)
+        sbc.attach_syringe_pump(1, syringe_pump)
+        sbc.attach_peristaltic_pump(1, peristaltic_pump)
+        sbc.attach_mfc(1, mfc)
+        sbc.attach_fraction_collector(1, collector)
+        sbc.attach_temperature_controller(1, temperature)
+        sbc.attach_chiller(1, chiller)
+        sbc.attach_ph_probe(1, ph_probe)
+        sbc.start()
+
+        jkem_api = JKemAPI(
+            host_port, timeout_s=config.serial_timeout_s, event_log=log
+        )
+
+        potentiostat = SP200(
+            cell=cell,
+            noise=config.noise,
+            time_scale=config.time_scale,
+            clock=clock,
+            event_log=log,
+        )
+        eclab = ECLabAPI(
+            potentiostat,
+            measurement_dir=config.measurement_dir,
+            event_log=log,
+        )
+
+        return cls(
+            cell=cell,
+            stock=stock,
+            solvent=solvent,
+            syringe_pump=syringe_pump,
+            peristaltic_pump=peristaltic_pump,
+            mfc=mfc,
+            collector=collector,
+            temperature=temperature,
+            chiller=chiller,
+            ph_probe=ph_probe,
+            sbc=sbc,
+            jkem_api=jkem_api,
+            potentiostat=potentiostat,
+            eclab=eclab,
+            event_log=log,
+            config=config,
+        )
+
+    def shutdown(self) -> None:
+        """Stop background threads (the SBC serve loop)."""
+        self.sbc.stop()

@@ -1,0 +1,20 @@
+"""Simulated laboratory instruments.
+
+Two instrument families, mirroring the paper's workstation (Fig 2):
+
+- :mod:`repro.instruments.jkem` — the J-Kem single-board computer and the
+  fluidics/thermal devices it controls (syringe pump, peristaltic pumps,
+  mass-flow controller, fraction collector, temperature controller,
+  chiller, pH probe), driven over a simulated serial link by a Python
+  front-end API (paper §3.2.2);
+- :mod:`repro.instruments.potentiostat` — the Bio-Logic SP200 with its
+  EC-Lab-style developer API and the 8-step technique lifecycle of Fig 6
+  (paper §3.2.1).
+
+Both are wired to one :class:`repro.chemistry.ElectrochemicalCell`, so
+liquid handling visibly changes what the potentiostat measures.
+"""
+
+from repro.instruments.base import Instrument, InstrumentStatus
+
+__all__ = ["Instrument", "InstrumentStatus"]

@@ -1,0 +1,62 @@
+"""Common instrument machinery: status, audit trail, fault injection."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.clock import Clock, WALL
+from repro.errors import InstrumentFaultError
+from repro.logging_utils import EventLog
+
+
+class InstrumentStatus(Enum):
+    """Coarse device state, visible to status queries."""
+
+    OFFLINE = "offline"
+    IDLE = "idle"
+    BUSY = "busy"
+    ERROR = "error"
+
+
+class Instrument:
+    """Base class: named device with a status, an event log and faults.
+
+    Subclasses call :meth:`_check_fault` at the top of every operation so
+    an injected fault fails commands the way a broken device would —
+    loudly, with a specific error.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        self.name = name
+        self.clock = clock or WALL
+        self.log = event_log if event_log is not None else EventLog()
+        self.status = InstrumentStatus.IDLE
+        self._fault_message: str | None = None
+
+    def inject_fault(self, message: str) -> None:
+        """Make every subsequent operation raise until cleared."""
+        self._fault_message = message
+        self.status = InstrumentStatus.ERROR
+        self.log.emit(self.name, "fault", f"fault injected: {message}")
+
+    def clear_fault(self) -> None:
+        self._fault_message = None
+        if self.status is InstrumentStatus.ERROR:
+            self.status = InstrumentStatus.IDLE
+        self.log.emit(self.name, "fault", "fault cleared")
+
+    @property
+    def faulted(self) -> bool:
+        return self._fault_message is not None
+
+    def _check_fault(self) -> None:
+        if self._fault_message is not None:
+            raise InstrumentFaultError(f"{self.name}: {self._fault_message}")
+
+    def _emit(self, kind: str, message: str, **data) -> None:
+        self.log.emit(self.name, kind, message, **data)

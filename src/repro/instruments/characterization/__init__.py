@@ -1,0 +1,32 @@
+"""Chemical characterization instruments (paper Fig 1, "Chemical
+Characterization" station; §2: ACL "comprises multiple science
+instruments such as HPLC-MS, GC-MS and XRD").
+
+The electrochemistry workflow's fraction collector exists precisely to
+feed these: liquid samples drawn from the cell go to external analysis
+of dissolved products. This package provides a simulated HPLC-MS with
+the behavioural contract that matters for orchestration — an autosampler
+queue, per-injection run time, retention-time + m/z identification — so
+the extended multi-instrument workflows of the paper's future-work
+section can actually run.
+"""
+
+from repro.instruments.characterization.compounds import (
+    CompoundSignature,
+    COMPOUND_LIBRARY,
+    register_compound,
+)
+from repro.instruments.characterization.chromatogram import (
+    Chromatogram,
+    ChromatogramPeak,
+)
+from repro.instruments.characterization.hplc import HPLCMS
+
+__all__ = [
+    "CompoundSignature",
+    "COMPOUND_LIBRARY",
+    "register_compound",
+    "Chromatogram",
+    "ChromatogramPeak",
+    "HPLCMS",
+]

@@ -1,0 +1,113 @@
+"""Chromatogram data: the HPLC-MS's measurement record.
+
+Like the voltammogram, it converts to plain data for the RPC layer and
+supports the analysis the workflow needs (peak identification against
+the compound library, area-based quantification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FeatureExtractionError
+
+
+@dataclass(frozen=True)
+class ChromatogramPeak:
+    """One identified (or unknown) peak."""
+
+    retention_min: float
+    area: float
+    mz: float
+    compound: str | None = None  # None = unidentified
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "retention_min": self.retention_min,
+            "area": self.area,
+            "mz": self.mz,
+            "compound": self.compound,
+        }
+
+
+@dataclass
+class Chromatogram:
+    """A detector trace plus its peak table.
+
+    Attributes:
+        time_min: time axis in minutes.
+        signal: detector response.
+        peaks: identified/unknown peaks, sorted by retention time.
+        metadata: injection context (sample label, volume, method).
+    """
+
+    time_min: np.ndarray
+    signal: np.ndarray
+    peaks: list[ChromatogramPeak] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.time_min = np.asarray(self.time_min, dtype=np.float64)
+        self.signal = np.asarray(self.signal, dtype=np.float64)
+        if len(self.time_min) != len(self.signal):
+            raise ValueError("time and signal lengths differ")
+
+    def __len__(self) -> int:
+        return len(self.time_min)
+
+    def peak_for(self, compound: str) -> ChromatogramPeak | None:
+        """The identified peak of ``compound`` (None if absent)."""
+        for peak in self.peaks:
+            if peak.compound == compound:
+                return peak
+        return None
+
+    def amount_ratio(self, numerator: str, denominator: str) -> float:
+        """Response-corrected area ratio of two identified compounds.
+
+        Raises:
+            FeatureExtractionError: either compound is missing.
+        """
+        from repro.instruments.characterization.compounds import lookup
+
+        top = self.peak_for(numerator)
+        bottom = self.peak_for(denominator)
+        if top is None or bottom is None:
+            missing = numerator if top is None else denominator
+            raise FeatureExtractionError(
+                f"compound {missing!r} not found in chromatogram"
+            )
+        top_sig = lookup(numerator)
+        bottom_sig = lookup(denominator)
+        assert top_sig is not None and bottom_sig is not None
+        return (top.area / top_sig.response_factor) / (
+            bottom.area / bottom_sig.response_factor
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time_min": self.time_min,
+            "signal": self.signal,
+            "peaks": [peak.to_dict() for peak in self.peaks],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Chromatogram":
+        return cls(
+            time_min=np.asarray(data["time_min"], dtype=np.float64),
+            signal=np.asarray(data["signal"], dtype=np.float64),
+            peaks=[
+                ChromatogramPeak(
+                    retention_min=record["retention_min"],
+                    area=record["area"],
+                    mz=record["mz"],
+                    compound=record.get("compound"),
+                )
+                for record in data.get("peaks", [])
+            ],
+            metadata=dict(data.get("metadata", {})),
+        )

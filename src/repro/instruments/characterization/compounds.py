@@ -1,0 +1,66 @@
+"""Compound signatures the HPLC-MS can recognise.
+
+A signature couples the chromatographic retention time (column-dependent,
+here a generic C18 method) with the mass-spectrometric m/z of the
+molecular ion. Values for the ferrocene system use the real molecular
+masses; retention times are plausible for the method, which is all the
+orchestration layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InstrumentCommandError
+
+
+@dataclass(frozen=True)
+class CompoundSignature:
+    """How one compound shows up in an HPLC-MS run.
+
+    Attributes:
+        name: compound label matching the chemistry layer's species names.
+        retention_min: retention time in minutes on the standard method.
+        mz: m/z of the dominant ion.
+        response_factor: detector response per mol (arbitrary units);
+            lets different compounds give different peak areas at equal
+            concentration, as real detectors do.
+    """
+
+    name: str
+    retention_min: float
+    mz: float
+    response_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.retention_min <= 0:
+            raise InstrumentCommandError("retention time must be > 0")
+        if self.mz <= 0:
+            raise InstrumentCommandError("m/z must be > 0")
+        if self.response_factor <= 0:
+            raise InstrumentCommandError("response factor must be > 0")
+
+
+#: Built-in library: the paper's analyte system plus common extras.
+COMPOUND_LIBRARY: dict[str, CompoundSignature] = {
+    "ferrocene": CompoundSignature(
+        name="ferrocene", retention_min=6.8, mz=186.04, response_factor=1.0
+    ),
+    "ferrocenium": CompoundSignature(
+        name="ferrocenium", retention_min=2.1, mz=186.04, response_factor=0.8
+    ),
+    "tetrabutylammonium": CompoundSignature(
+        name="tetrabutylammonium", retention_min=1.2, mz=242.28,
+        response_factor=0.5,
+    ),
+}
+
+
+def register_compound(signature: CompoundSignature) -> None:
+    """Add/replace a compound in the shared library."""
+    COMPOUND_LIBRARY[signature.name] = signature
+
+
+def lookup(name: str) -> CompoundSignature | None:
+    """Signature for a compound name, or None if unknown to the method."""
+    return COMPOUND_LIBRARY.get(name)

@@ -1,0 +1,169 @@
+"""The HPLC-MS instrument model.
+
+Behavioural contract (what the orchestration layer depends on):
+
+- samples are *injected* from a vial through the autosampler; injection
+  consumes the sample volume from the vial;
+- a run takes the method's gradient time (scaled by ``time_scale``);
+- the result is a :class:`Chromatogram` with Gaussian peaks at each
+  known compound's retention time, areas proportional to injected moles
+  and the compound's response factor, plus detector noise;
+- compounds absent from the library elute unidentified at a generic
+  retention time, so an unexpected product is *visible*, not silently
+  dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clock import Clock
+from repro.errors import InstrumentCommandError, InstrumentStateError
+from repro.logging_utils import EventLog
+from repro.chemistry.species import Solution
+from repro.instruments.base import Instrument, InstrumentStatus
+from repro.instruments.jkem.plumbing import Reservoir
+from repro.instruments.characterization.chromatogram import (
+    Chromatogram,
+    ChromatogramPeak,
+)
+from repro.instruments.characterization.compounds import lookup
+
+
+class HPLCMS(Instrument):
+    """A simulated HPLC with mass-spectrometric detection.
+
+    Args:
+        method_minutes: gradient length (sets run duration and time axis).
+        sample_rate_hz: detector sampling (points per minute = 60 * rate).
+        noise_counts: detector baseline noise (arbitrary units).
+        time_scale: real/virtual seconds charged per nominal run second.
+    """
+
+    UNKNOWN_RETENTION_MIN = 9.5
+
+    def __init__(
+        self,
+        name: str = "hplc-ms-1",
+        method_minutes: float = 12.0,
+        sample_rate_hz: float = 2.0,
+        noise_counts: float = 0.5,
+        time_scale: float = 0.0,
+        seed: int = 0,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if method_minutes <= 0:
+            raise InstrumentCommandError("method length must be > 0")
+        self.method_minutes = method_minutes
+        self.sample_rate_hz = sample_rate_hz
+        self.noise_counts = noise_counts
+        self.time_scale = time_scale
+        self._rng = np.random.default_rng(seed)
+        self.injections_run = 0
+        self.last_chromatogram: Chromatogram | None = None
+
+    # ------------------------------------------------------------------
+    def inject_vial(self, vial: Reservoir, volume_ml: float) -> Chromatogram:
+        """Draw ``volume_ml`` from ``vial`` and run the method."""
+        self._check_fault()
+        if volume_ml <= 0:
+            raise InstrumentCommandError("injection volume must be > 0")
+        sample = vial.withdraw(volume_ml)
+        return self.inject(sample, volume_ml, label=vial.name)
+
+    def inject(
+        self, sample: Solution | None, volume_ml: float, label: str = "sample"
+    ) -> Chromatogram:
+        """Run the method on an already-drawn sample."""
+        self._check_fault()
+        if sample is None:
+            raise InstrumentStateError("cannot inject an empty sample")
+        if volume_ml <= 0:
+            raise InstrumentCommandError("injection volume must be > 0")
+        self.status = InstrumentStatus.BUSY
+        try:
+            if self.time_scale > 0:
+                self.clock.sleep(self.method_minutes * 60.0 * self.time_scale)
+            chromatogram = self._simulate(sample, volume_ml, label)
+            self.injections_run += 1
+            self.last_chromatogram = chromatogram
+            identified = [p.compound or "?" for p in chromatogram.peaks]
+            self._emit(
+                "command",
+                f"injection #{self.injections_run} of {label!r}: "
+                f"peaks = {identified}",
+            )
+            return chromatogram
+        finally:
+            self.status = (
+                InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+            )
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, sample: Solution, volume_ml: float, label: str
+    ) -> Chromatogram:
+        points = max(int(self.method_minutes * 60.0 * self.sample_rate_hz), 50)
+        time_min = np.linspace(0.0, self.method_minutes, points)
+        signal = self._rng.normal(0.0, self.noise_counts, points)
+        signal += 2.0 * np.exp(-0.5 * ((time_min - 0.6) / 0.15) ** 2)  # solvent front
+
+        peaks: list[ChromatogramPeak] = []
+        for species, concentration in sorted(
+            sample.species.items(), key=lambda item: item[0].name
+        ):
+            moles = concentration * volume_ml  # mol/cm^3 * mL == mmol... units
+            # arbitrary detector units: scale so mM-level injections give
+            # O(100) counts
+            signature = lookup(species.name)
+            if signature is not None:
+                retention = signature.retention_min
+                response = signature.response_factor
+                mz = signature.mz
+                compound = species.name
+            else:
+                retention = self.UNKNOWN_RETENTION_MIN
+                response = 1.0
+                mz = 0.0
+                compound = None
+            area = moles * 1e8 * response
+            width = 0.08 + 0.01 * retention  # peaks broaden down the column
+            height = area / (width * np.sqrt(2.0 * np.pi))
+            signal += height * np.exp(
+                -0.5 * ((time_min - retention) / width) ** 2
+            )
+            peaks.append(
+                ChromatogramPeak(
+                    retention_min=retention, area=area, mz=mz, compound=compound
+                )
+            )
+        if sample.supporting_electrolyte is not None:
+            signature = lookup("tetrabutylammonium")
+            if signature is not None:
+                area = sample.supporting_electrolyte.concentration_m * volume_ml * 1e4
+                width = 0.08
+                signal += (area / (width * np.sqrt(2 * np.pi))) * np.exp(
+                    -0.5 * ((time_min - signature.retention_min) / width) ** 2
+                )
+                peaks.append(
+                    ChromatogramPeak(
+                        retention_min=signature.retention_min,
+                        area=area,
+                        mz=signature.mz,
+                        compound=signature.name,
+                    )
+                )
+        peaks.sort(key=lambda peak: peak.retention_min)
+        return Chromatogram(
+            time_min=time_min,
+            signal=signal,
+            peaks=peaks,
+            metadata={
+                "sample": label,
+                "volume_ml": volume_ml,
+                "method_minutes": self.method_minutes,
+                "instrument": self.name,
+            },
+        )

@@ -1,0 +1,58 @@
+"""The J-Kem electrochemical setup.
+
+Layering copies the real system (paper §2.1, §3.2.2):
+
+- device models (:mod:`~repro.instruments.jkem.devices`) — syringe pump,
+  peristaltic pump, MFC, fraction collector, temperature controller,
+  chiller, pH probe — each mutating shared liquid state
+  (:mod:`~repro.instruments.jkem.plumbing` + the electrochemical cell);
+- the single-board computer (:mod:`~repro.instruments.jkem.sbc`) owns the
+  devices and answers an ASCII command protocol over a serial link
+  (:mod:`~repro.instruments.jkem.protocol`), echoing each command with
+  ``OK`` exactly as Fig 5b shows;
+- the Python front-end API (:mod:`~repro.instruments.jkem.api`) replaces
+  the proprietary J-Kem GUI: it frames commands onto the serial port and
+  parses responses, giving workflow code a programmable interface.
+"""
+
+from repro.instruments.jkem.devices import (
+    SyringePump,
+    PeristalticPump,
+    MassFlowController,
+    FractionCollector,
+    TemperatureController,
+    Chiller,
+    PHProbe,
+)
+from repro.instruments.jkem.plumbing import Reservoir, PortMap, WASTE
+from repro.instruments.jkem.protocol import (
+    Command,
+    Response,
+    parse_command,
+    format_command,
+    parse_response,
+    format_response,
+)
+from repro.instruments.jkem.sbc import JKemSBC
+from repro.instruments.jkem.api import JKemAPI
+
+__all__ = [
+    "SyringePump",
+    "PeristalticPump",
+    "MassFlowController",
+    "FractionCollector",
+    "TemperatureController",
+    "Chiller",
+    "PHProbe",
+    "Reservoir",
+    "PortMap",
+    "WASTE",
+    "Command",
+    "Response",
+    "parse_command",
+    "format_command",
+    "parse_response",
+    "format_response",
+    "JKemSBC",
+    "JKemAPI",
+]

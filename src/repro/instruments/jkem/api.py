@@ -1,0 +1,188 @@
+"""Python front-end API for the J-Kem setup (paper §3.2.2).
+
+This replaces the proprietary GUI: a programmable driver on the control
+agent that frames commands onto the serial link and parses the SBC's
+responses. Method names track the workflow cells of paper Fig 5a
+(``Set_Rate_SyringePump`` → :meth:`set_rate_syringe_pump`, and so on).
+
+Every method returns the SBC's textual status (``"OK"`` or ``"OK <v>"``)
+on success and raises :class:`~repro.errors.InstrumentCommandError` on an
+ERR response, so workflow code can both display transcripts (Fig 5a shows
+the OKs) and fail fast.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import InstrumentCommandError, SerialTimeoutError
+from repro.logging_utils import EventLog
+from repro.serialio import CRLF, SerialEndpoint
+from repro.serialio.framing import frame_line
+from repro.instruments.jkem.protocol import (
+    Arg,
+    Command,
+    Response,
+    format_command,
+    parse_response,
+)
+
+
+class JKemAPI:
+    """Driver over the serial link to the J-Kem single-board computer.
+
+    Args:
+        port: host end of the serial cable to the SBC.
+        timeout_s: per-command response deadline. Liquid operations at
+            simulated time scales can be slow; raise this accordingly.
+        event_log: transcript log (``source="jkem.api"``).
+    """
+
+    SOURCE = "jkem.api"
+
+    def __init__(
+        self,
+        port: SerialEndpoint,
+        timeout_s: float = 30.0,
+        event_log: EventLog | None = None,
+    ):
+        self.port = port
+        self.timeout_s = timeout_s
+        self.log = event_log if event_log is not None else EventLog()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+    def _roundtrip(self, verb: str, *args: Arg) -> Response:
+        if self._closed:
+            raise InstrumentCommandError("J-Kem API is closed")
+        command = Command(verb=verb, args=tuple(args))
+        line = format_command(command)
+        with self._lock:
+            self.port.write(frame_line(line))
+            try:
+                raw = self.port.read_until(CRLF, timeout=self.timeout_s)
+            except SerialTimeoutError as exc:
+                raise InstrumentCommandError(
+                    f"no response to {line} within {self.timeout_s}s"
+                ) from exc
+        response = parse_response(raw.decode("ascii"))
+        status = "OK" if response.ok else f"ERR({response.error_code})"
+        self.log.emit(self.SOURCE, "command", f"{line} -> {status}")
+        if not response.ok:
+            raise InstrumentCommandError(
+                f"{verb} failed: {response.error_message} "
+                f"(code {response.error_code})"
+            )
+        return response
+
+    @staticmethod
+    def _status_text(response: Response) -> str:
+        return "OK" if response.value is None else f"OK {response.value}"
+
+    # -- syringe pump (Fig 5a command set) -----------------------------------
+    def set_rate_syringe_pump(self, unit: int, rate_ml_min: float) -> str:
+        """Set plunger rate; Fig 5a's ``Set_Rate_SyringePump``."""
+        return self._status_text(
+            self._roundtrip("SYRINGEPUMP_RATE", unit, float(rate_ml_min))
+        )
+
+    def set_port_syringe_pump(self, unit: int, port: int) -> str:
+        """Rotate the distribution valve; Fig 5a's ``Set_Port_SyringePump``."""
+        return self._status_text(self._roundtrip("SYRINGEPUMP_PORT", unit, port))
+
+    def withdraw_syringe_pump(self, unit: int, volume_ml: float) -> str:
+        """Aspirate from the selected port; Fig 5a's ``Withdraw_SyringePump``."""
+        return self._status_text(
+            self._roundtrip("SYRINGEPUMP_WITHDRAW", unit, float(volume_ml))
+        )
+
+    def dispense_syringe_pump(self, unit: int, volume_ml: float) -> str:
+        """Dispense to the selected port; Fig 5a's ``Dispense_SyringePump``."""
+        return self._status_text(
+            self._roundtrip("SYRINGEPUMP_DISPENSE", unit, float(volume_ml))
+        )
+
+    def status_syringe_pump(self, unit: int) -> str:
+        """Raw status summary line of the pump."""
+        response = self._roundtrip("SYRINGEPUMP_STATUS", unit)
+        return response.value or ""
+
+    # -- fraction collector ------------------------------------------------
+    def set_vial_fraction_collector(self, unit: int, position: str) -> str:
+        """Move the needle; Fig 5a's ``Set_Vial_FractionCollector``."""
+        return self._status_text(
+            self._roundtrip("FRACTIONCOLLECTOR_VIAL", unit, position)
+        )
+
+    # -- peristaltic pump ----------------------------------------------------
+    def set_rate_peristaltic_pump(self, unit: int, rate_ml_min: float) -> str:
+        return self._status_text(
+            self._roundtrip("PERIPUMP_RATE", unit, float(rate_ml_min))
+        )
+
+    def transfer_peristaltic_pump(self, unit: int, volume_ml: float) -> str:
+        return self._status_text(
+            self._roundtrip("PERIPUMP_TRANSFER", unit, float(volume_ml))
+        )
+
+    # -- mass flow controller --------------------------------------------------
+    def set_flow_mfc(self, unit: int, sccm: float) -> str:
+        return self._status_text(self._roundtrip("MFC_FLOW", unit, float(sccm)))
+
+    def read_flow_mfc(self, unit: int) -> float:
+        response = self._roundtrip("MFC_READ", unit)
+        return float(response.value or "nan")
+
+    # -- thermal -------------------------------------------------------------
+    def set_temperature(self, unit: int, celsius: float) -> str:
+        return self._status_text(
+            self._roundtrip("TEMPCONTROLLER_SET", unit, float(celsius))
+        )
+
+    def read_temperature(self, unit: int) -> float:
+        response = self._roundtrip("TEMPCONTROLLER_READ", unit)
+        return float(response.value or "nan")
+
+    def start_chiller(self, unit: int) -> str:
+        return self._status_text(self._roundtrip("CHILLER_START", unit))
+
+    def stop_chiller(self, unit: int) -> str:
+        return self._status_text(self._roundtrip("CHILLER_STOP", unit))
+
+    def set_coolant_chiller(self, unit: int, celsius: float) -> str:
+        return self._status_text(
+            self._roundtrip("CHILLER_COOLANT", unit, float(celsius))
+        )
+
+    # -- pH ----------------------------------------------------------------
+    def read_ph(self, unit: int) -> float:
+        response = self._roundtrip("PH_READ", unit)
+        return float(response.value or "nan")
+
+    # -- lifecycle -----------------------------------------------------------
+    def status(self) -> str:
+        """SBC-wide status line (device inventory)."""
+        response = self._roundtrip("STATUS")
+        return response.value or ""
+
+    def exit(self) -> str:
+        """Close the driver session; Fig 5a's ``call_Exit_JKem_API``.
+
+        The serial port itself stays open (it belongs to the bench);
+        :meth:`reopen` starts a new session, which is what workflow task B
+        does at the top of every round.
+        """
+        self._closed = True
+        self.log.emit(self.SOURCE, "lifecycle", "J-Kem API exit OK")
+        return "J-Kem API exit OK"
+
+    def reopen(self) -> str:
+        """Start a new driver session after :meth:`exit`."""
+        self._closed = False
+        self.log.emit(self.SOURCE, "lifecycle", "J-Kem API session opened")
+        return "J-Kem API open OK"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

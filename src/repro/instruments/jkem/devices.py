@@ -1,0 +1,478 @@
+"""Device models for the J-Kem setup.
+
+Each device mutates shared liquid/thermal state (reservoirs, the cell) so
+the instrument stack is physically coupled: filling the cell through the
+syringe pump changes what the potentiostat measures.
+
+Operation durations scale with ``time_scale`` (seconds of simulated
+operation charged per second of nominal duration): 0 makes everything
+instantaneous for unit tests, 1.0 is real time, and the facility default
+(0.01) keeps workflows snappy while preserving ordering effects.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.clock import Clock
+from repro.errors import (
+    ChemistryError,
+    InstrumentCommandError,
+    InstrumentStateError,
+)
+from repro.logging_utils import EventLog
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.species import Solution
+from repro.instruments.base import Instrument, InstrumentStatus
+from repro.instruments.jkem.plumbing import PortMap, Reservoir, WASTE
+
+
+class SyringePump(Instrument):
+    """A syringe pump behind a distribution valve.
+
+    Attributes:
+        syringe_volume_ml: barrel capacity.
+        ports: the valve plumbing.
+    """
+
+    def __init__(
+        self,
+        name: str = "syringe-pump-1",
+        syringe_volume_ml: float = 10.0,
+        ports: PortMap | None = None,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+        time_scale: float = 0.0,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if syringe_volume_ml <= 0:
+            raise InstrumentCommandError("syringe volume must be > 0")
+        self.syringe_volume_ml = syringe_volume_ml
+        self.ports = ports or PortMap()
+        self.time_scale = time_scale
+        self.rate_ml_min = 1.0
+        self.current_port = 1
+        self._held_volume_ml = 0.0
+        self._held_solution: Solution | None = None
+        self._lock = threading.Lock()
+
+    # -- configuration ------------------------------------------------------
+    def set_rate(self, rate_ml_min: float) -> None:
+        """Set the plunger rate in mL/min."""
+        self._check_fault()
+        if not 0.001 <= rate_ml_min <= 150.0:
+            raise InstrumentCommandError(
+                f"rate {rate_ml_min} mL/min outside pump range 0.001-150"
+            )
+        self.rate_ml_min = rate_ml_min
+        self._emit("command", f"rate set to {rate_ml_min:g} mL/min")
+
+    def set_port(self, port: int) -> None:
+        """Rotate the distribution valve to ``port``."""
+        self._check_fault()
+        if port not in self.ports:
+            raise InstrumentCommandError(f"valve port {port} is not plumbed")
+        self.current_port = port
+        self._emit("command", f"valve moved to port {port}")
+
+    # -- state ------------------------------------------------------------
+    @property
+    def held_volume_ml(self) -> float:
+        with self._lock:
+            return self._held_volume_ml
+
+    @property
+    def held_solution(self) -> Solution | None:
+        with self._lock:
+            return self._held_solution
+
+    def _charge_time(self, volume_ml: float) -> None:
+        if self.time_scale > 0:
+            nominal = volume_ml / (self.rate_ml_min / 60.0)
+            self.clock.sleep(nominal * self.time_scale)
+
+    # -- liquid operations --------------------------------------------------
+    def withdraw(self, volume_ml: float) -> None:
+        """Pull liquid from the current port's target into the syringe."""
+        self._check_fault()
+        if volume_ml <= 0:
+            raise InstrumentCommandError("withdraw volume must be > 0")
+        with self._lock:
+            if self._held_volume_ml + volume_ml > self.syringe_volume_ml + 1e-9:
+                raise InstrumentStateError(
+                    f"withdrawing {volume_ml:.3f} mL would overfill the "
+                    f"{self.syringe_volume_ml:g} mL syringe "
+                    f"(holds {self._held_volume_ml:.3f} mL)"
+                )
+        target = self.ports.target(self.current_port)
+        self.status = InstrumentStatus.BUSY
+        try:
+            self._charge_time(volume_ml)
+            if isinstance(target, ElectrochemicalCell):
+                solution = target.contents
+                target.withdraw_liquid(volume_ml)
+            elif isinstance(target, Reservoir) or hasattr(target, "withdraw"):
+                solution = target.withdraw(volume_ml)
+            else:
+                raise InstrumentCommandError(
+                    f"cannot withdraw from {getattr(target, 'name', target)!r}"
+                )
+            with self._lock:
+                self._held_volume_ml += volume_ml
+                if solution is not None:
+                    self._held_solution = solution
+            self._emit(
+                "command",
+                f"withdrew {volume_ml:g} mL from port {self.current_port}",
+            )
+        finally:
+            self.status = (
+                InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+            )
+
+    def dispense(self, volume_ml: float) -> None:
+        """Push liquid from the syringe to the current port's target."""
+        self._check_fault()
+        if volume_ml <= 0:
+            raise InstrumentCommandError("dispense volume must be > 0")
+        with self._lock:
+            if volume_ml > self._held_volume_ml + 1e-9:
+                raise InstrumentStateError(
+                    f"syringe holds {self._held_volume_ml:.3f} mL, "
+                    f"cannot dispense {volume_ml:.3f} mL"
+                )
+            solution = self._held_solution
+        target = self.ports.target(self.current_port)
+        self.status = InstrumentStatus.BUSY
+        try:
+            self._charge_time(volume_ml)
+            if isinstance(target, ElectrochemicalCell):
+                if solution is None:
+                    raise InstrumentStateError("syringe contents unknown")
+                target.add_liquid(volume_ml, solution)
+            elif hasattr(target, "receive"):
+                target.receive(volume_ml, solution)
+            elif hasattr(target, "fill"):
+                target.fill(volume_ml)
+            else:
+                raise InstrumentCommandError(
+                    f"cannot dispense to {getattr(target, 'name', target)!r}"
+                )
+            with self._lock:
+                self._held_volume_ml -= volume_ml
+                if self._held_volume_ml <= 1e-12:
+                    self._held_volume_ml = 0.0
+                    self._held_solution = None
+            self._emit(
+                "command",
+                f"dispensed {volume_ml:g} mL to port {self.current_port}",
+            )
+        finally:
+            self.status = (
+                InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+            )
+
+    def empty_to_waste(self) -> float:
+        """Discard the syringe contents; returns the discarded volume."""
+        self._check_fault()
+        with self._lock:
+            discarded = self._held_volume_ml
+            self._held_volume_ml = 0.0
+            self._held_solution = None
+        WASTE.fill(discarded)
+        self._emit("command", f"emptied {discarded:g} mL to waste")
+        return discarded
+
+
+class PeristalticPump(Instrument):
+    """Continuous transfer pump between two fixed liquid endpoints."""
+
+    #: flow ranges per tubing size, mL/min (from the J-Kem GUI in Fig 5b)
+    TUBING_RANGES = {"LS13": (0.06, 60.0), "LS14": (0.3, 300.0), "LS16": (2.8, 1700.0)}
+
+    def __init__(
+        self,
+        name: str = "peristaltic-pump-1",
+        tubing: str = "LS16",
+        source=None,
+        destination=None,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+        time_scale: float = 0.0,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if tubing not in self.TUBING_RANGES:
+            raise InstrumentCommandError(f"unknown tubing size {tubing!r}")
+        self.tubing = tubing
+        self.source = source
+        self.destination = destination
+        self.time_scale = time_scale
+        self.rate_ml_min = self.TUBING_RANGES[tubing][0]
+        self.running = False
+
+    def set_rate(self, rate_ml_min: float) -> None:
+        self._check_fault()
+        low, high = self.TUBING_RANGES[self.tubing]
+        if not low <= rate_ml_min <= high:
+            raise InstrumentCommandError(
+                f"rate {rate_ml_min} outside {self.tubing} range {low}-{high} mL/min"
+            )
+        self.rate_ml_min = rate_ml_min
+        self._emit("command", f"rate set to {rate_ml_min:g} mL/min")
+
+    def transfer(self, volume_ml: float) -> None:
+        """Move ``volume_ml`` from source to destination."""
+        self._check_fault()
+        if self.source is None or self.destination is None:
+            raise InstrumentStateError(f"{self.name} tubing not connected")
+        if volume_ml <= 0:
+            raise InstrumentCommandError("transfer volume must be > 0")
+        self.status = InstrumentStatus.BUSY
+        self.running = True
+        try:
+            if self.time_scale > 0:
+                self.clock.sleep(
+                    volume_ml / (self.rate_ml_min / 60.0) * self.time_scale
+                )
+            if isinstance(self.source, ElectrochemicalCell):
+                solution = self.source.contents
+                self.source.withdraw_liquid(volume_ml)
+            else:
+                solution = self.source.withdraw(volume_ml)
+            if isinstance(self.destination, ElectrochemicalCell):
+                if solution is None:
+                    raise ChemistryError("transferred liquid has unknown identity")
+                self.destination.add_liquid(volume_ml, solution)
+            else:
+                self.destination.fill(volume_ml)
+            self._emit("command", f"transferred {volume_ml:g} mL")
+        finally:
+            self.running = False
+            self.status = (
+                InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+            )
+
+
+class MassFlowController(Instrument):
+    """Gas MFC feeding the cell's purge line."""
+
+    def __init__(
+        self,
+        name: str = "mfc-1",
+        gas: str = "argon",
+        max_sccm: float = 500.0,
+        cell: ElectrochemicalCell | None = None,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        self.gas = gas
+        self.max_sccm = max_sccm
+        self.cell = cell
+        self.setpoint_sccm = 0.0
+
+    def set_flow(self, sccm: float) -> None:
+        """Set the purge flow; 0 stops the purge."""
+        self._check_fault()
+        if not 0.0 <= sccm <= self.max_sccm:
+            raise InstrumentCommandError(
+                f"flow {sccm} sccm outside 0-{self.max_sccm}"
+            )
+        self.setpoint_sccm = sccm
+        if self.cell is not None:
+            self.cell.set_purge(self.gas if sccm > 0 else None, sccm)
+        self._emit("command", f"{self.gas} flow set to {sccm:g} sccm")
+
+    @property
+    def actual_sccm(self) -> float:
+        """Measured flow (ideal controller: equals the setpoint)."""
+        return 0.0 if self.faulted else self.setpoint_sccm
+
+
+class FractionCollector(Instrument):
+    """Vial rack with a movable dispense/aspirate needle.
+
+    Exposes ``withdraw``/``fill`` delegating to the vial under the needle,
+    so a syringe-pump valve port can be plumbed straight to the collector
+    (that is how the paper's workflow aspirates the ferrocene stock).
+    """
+
+    name_attr = "fraction-collector"
+
+    def __init__(
+        self,
+        name: str = "fraction-collector-1",
+        positions: tuple[str, ...] = ("TOP", "MIDDLE", "BOTTOM"),
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if not positions:
+            raise InstrumentCommandError("collector needs at least one position")
+        self.positions = positions
+        self._vials: dict[str, Reservoir] = {}
+        self.current_position = positions[0]
+
+    def load_vial(self, position: str, vial: Reservoir) -> None:
+        """Place a vial at a rack position."""
+        self._require_position(position)
+        self._vials[position] = vial
+        self._emit("command", f"vial {vial.name!r} loaded at {position}")
+
+    def unload_vial(self, position: str) -> Reservoir:
+        """Remove and return the vial at a rack position.
+
+        This is the hand-off point to the transfer robot: the physical
+        vial leaves the rack (subsequent needle moves to the position
+        fail until a new vial is loaded).
+        """
+        self._require_position(position)
+        try:
+            vial = self._vials.pop(position)
+        except KeyError:
+            raise InstrumentStateError(
+                f"no vial loaded at {position}"
+            ) from None
+        self._emit("command", f"vial {vial.name!r} unloaded from {position}")
+        return vial
+
+    def _require_position(self, position: str) -> None:
+        if position not in self.positions:
+            raise InstrumentCommandError(
+                f"unknown rack position {position!r}; have {self.positions}"
+            )
+
+    def move_to(self, position: str) -> None:
+        """Move the needle to a rack position."""
+        self._check_fault()
+        self._require_position(position)
+        self.current_position = position
+        self._emit("command", f"needle moved to {position}")
+
+    def current_vial(self) -> Reservoir:
+        try:
+            return self._vials[self.current_position]
+        except KeyError:
+            raise InstrumentStateError(
+                f"no vial loaded at {self.current_position}"
+            ) from None
+
+    # PortTarget interface: delegate to the vial under the needle.
+    def withdraw(self, volume_ml: float) -> Solution:
+        self._check_fault()
+        return self.current_vial().withdraw(volume_ml)
+
+    def fill(self, volume_ml: float) -> None:
+        self._check_fault()
+        self.current_vial().fill(volume_ml)
+
+    def receive(self, volume_ml: float, solution: Solution | None) -> None:
+        self._check_fault()
+        self.current_vial().receive(volume_ml, solution)
+
+
+class TemperatureController(Instrument):
+    """First-order thermal control of the cell temperature."""
+
+    def __init__(
+        self,
+        name: str = "temp-controller-1",
+        cell: ElectrochemicalCell | None = None,
+        tau_s: float = 120.0,
+        min_c: float = -20.0,
+        max_c: float = 150.0,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        self.cell = cell
+        self.tau_s = tau_s
+        self.min_c = min_c
+        self.max_c = max_c
+        initial = cell.temperature_c if cell is not None else 25.0
+        self.setpoint_c = initial
+        self._anchor_temp_c = initial
+        self._anchor_time = self.clock.now()
+
+    def set_setpoint(self, celsius: float) -> None:
+        self._check_fault()
+        if not self.min_c <= celsius <= self.max_c:
+            raise InstrumentCommandError(
+                f"setpoint {celsius} outside {self.min_c}..{self.max_c} C"
+            )
+        # re-anchor the exponential at the present temperature
+        self._anchor_temp_c = self.read_temperature()
+        self._anchor_time = self.clock.now()
+        self.setpoint_c = celsius
+        self._emit("command", f"setpoint {celsius:g} C")
+
+    def read_temperature(self) -> float:
+        """Current temperature following a first-order approach."""
+        elapsed = self.clock.now() - self._anchor_time
+        temp = self.setpoint_c + (self._anchor_temp_c - self.setpoint_c) * math.exp(
+            -max(elapsed, 0.0) / self.tau_s
+        )
+        if self.cell is not None:
+            self.cell.temperature_c = temp
+        return temp
+
+
+class Chiller(Instrument):
+    """Recirculating chiller: coolant loop behind the temperature controller."""
+
+    def __init__(
+        self,
+        name: str = "chiller-1",
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        self.coolant_setpoint_c = 20.0
+        self.running = False
+
+    def start(self) -> None:
+        self._check_fault()
+        self.running = True
+        self._emit("command", "chiller started")
+
+    def stop(self) -> None:
+        self._check_fault()
+        self.running = False
+        self._emit("command", "chiller stopped")
+
+    def set_coolant(self, celsius: float) -> None:
+        self._check_fault()
+        if not -30.0 <= celsius <= 40.0:
+            raise InstrumentCommandError(f"coolant setpoint {celsius} out of range")
+        self.coolant_setpoint_c = celsius
+        self._emit("command", f"coolant setpoint {celsius:g} C")
+
+
+class PHProbe(Instrument):
+    """pH probe/electrode module.
+
+    The paper's MeCN electrolyte has no aqueous pH; the probe reports a
+    configured baseline with sensor noise, or the value assigned by a test.
+    """
+
+    def __init__(
+        self,
+        name: str = "ph-probe-1",
+        baseline_ph: float = 7.0,
+        noise_sigma: float = 0.02,
+        seed: int = 0,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        import random
+
+        self.baseline_ph = baseline_ph
+        self.noise_sigma = noise_sigma
+        self._rng = random.Random(seed)
+
+    def read_ph(self) -> float:
+        self._check_fault()
+        value = self.baseline_ph + self._rng.gauss(0.0, self.noise_sigma)
+        return max(0.0, min(14.0, value))

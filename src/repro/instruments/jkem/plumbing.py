@@ -1,0 +1,123 @@
+"""Liquid routing: reservoirs, waste, and the syringe-pump valve map.
+
+A syringe pump's distribution valve selects one *port*; each port is
+plumbed to a reservoir, the electrochemical cell, or waste. ``PortMap``
+records that plumbing so withdraw/dispense know where liquid comes from
+and goes to — the paper's workflow uses port 8 for the cell line and the
+fraction-collector line for the ferrocene stock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Union
+
+from repro.errors import ChemistryError, InstrumentCommandError
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.species import Solution
+
+
+class Reservoir:
+    """A bottle/vial holding a solution.
+
+    Attributes:
+        name: label, e.g. ``"ferrocene-stock"``.
+        solution: what it contains.
+        volume_ml: remaining volume.
+    """
+
+    def __init__(self, name: str, solution: Solution, volume_ml: float):
+        if volume_ml < 0:
+            raise ChemistryError(f"reservoir volume must be >= 0, got {volume_ml}")
+        self.name = name
+        self.solution = solution
+        self._volume_ml = volume_ml
+        self._lock = threading.Lock()
+
+    @property
+    def volume_ml(self) -> float:
+        with self._lock:
+            return self._volume_ml
+
+    def withdraw(self, volume_ml: float) -> Solution:
+        """Remove liquid; returns the solution withdrawn."""
+        if volume_ml < 0:
+            raise ChemistryError("cannot withdraw a negative volume")
+        with self._lock:
+            if volume_ml > self._volume_ml + 1e-9:
+                raise ChemistryError(
+                    f"reservoir {self.name!r} holds {self._volume_ml:.3f} mL, "
+                    f"cannot withdraw {volume_ml:.3f} mL"
+                )
+            self._volume_ml -= volume_ml
+            return self.solution
+
+    def fill(self, volume_ml: float) -> None:
+        """Top the reservoir up (e.g. returning collected liquid)."""
+        if volume_ml < 0:
+            raise ChemistryError("cannot fill a negative volume")
+        with self._lock:
+            self._volume_ml += volume_ml
+
+    def receive(self, volume_ml: float, solution: Solution | None) -> None:
+        """Accept liquid *with its identity* (what a dispense delivers).
+
+        An empty vial adopts the incoming solution — that is how a blank
+        fraction vial ends up holding what was drawn from the cell.
+        Mixing into a non-empty vial keeps the existing identity
+        (idealised; fraction workflows collect into empty vials).
+        """
+        if volume_ml < 0:
+            raise ChemistryError("cannot receive a negative volume")
+        with self._lock:
+            if self._volume_ml <= 1e-12 and solution is not None:
+                self.solution = solution
+            self._volume_ml += volume_ml
+
+
+class _Waste:
+    """Infinite sink for discarded liquid."""
+
+    name = "waste"
+
+    def __init__(self) -> None:
+        self.volume_ml = 0.0
+        self._lock = threading.Lock()
+
+    def fill(self, volume_ml: float) -> None:
+        with self._lock:
+            self.volume_ml += volume_ml
+
+
+WASTE = _Waste()
+
+PortTarget = Union[Reservoir, ElectrochemicalCell, _Waste]
+
+
+class PortMap:
+    """Distribution-valve plumbing: port number -> liquid endpoint."""
+
+    def __init__(self) -> None:
+        self._ports: dict[int, PortTarget] = {}
+
+    def connect(self, port: int, target: PortTarget) -> None:
+        """Plumb ``port`` to a reservoir, the cell, or waste."""
+        if port < 1:
+            raise InstrumentCommandError(f"port numbers start at 1, got {port}")
+        self._ports[port] = target
+
+    def target(self, port: int) -> PortTarget:
+        try:
+            return self._ports[port]
+        except KeyError:
+            raise InstrumentCommandError(f"valve port {port} is not plumbed") from None
+
+    def ports(self) -> dict[int, str]:
+        """port -> target-name map, for status displays."""
+        return {
+            port: getattr(target, "name", type(target).__name__)
+            for port, target in self._ports.items()
+        }
+
+    def __contains__(self, port: int) -> bool:
+        return port in self._ports

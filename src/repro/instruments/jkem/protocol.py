@@ -1,0 +1,145 @@
+"""The J-Kem ASCII command grammar.
+
+Commands look exactly like the console lines in paper Fig 5b::
+
+    SYRINGEPUMP_RATE(1,5.000000)
+    SYRINGEPUMP_PORT(1,8)
+    FRACTIONCOLLECTOR_VIAL(1,BOTTOM)
+    SYRINGEPUMP_WITHDRAW(1,5.000000)
+
+i.e. ``VERB(arg,arg,...)`` with integer, float, or bare-word arguments.
+Responses are ``OK``, ``OK <value>``, or ``ERR(<code>,<message>)``.
+
+Parsing is strict: anything malformed raises
+:class:`~repro.errors.InstrumentCommandError` on the device side, which
+reaches the driver as an ``ERR(400, ...)`` response — never a silent drop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import InstrumentCommandError
+
+Arg = Union[int, float, str]
+
+_VERB_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+_COMMAND_RE = re.compile(r"^(?P<verb>[A-Z][A-Z0-9_]*)\((?P<args>[^()]*)\)$")
+_BAREWORD_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+@dataclass(frozen=True)
+class Command:
+    """A parsed instrument command."""
+
+    verb: str
+    args: tuple[Arg, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not _VERB_RE.match(self.verb):
+            raise InstrumentCommandError(f"illegal verb {self.verb!r}")
+
+
+@dataclass(frozen=True)
+class Response:
+    """A parsed device response.
+
+    Attributes:
+        ok: command success flag.
+        value: optional payload (e.g. a temperature reading).
+        error_code: numeric code when ``ok`` is False.
+        error_message: human-readable failure reason.
+    """
+
+    ok: bool
+    value: str | None = None
+    error_code: int = 0
+    error_message: str = ""
+
+
+def _format_arg(arg: Arg) -> str:
+    if isinstance(arg, bool):
+        raise InstrumentCommandError("bool is not a valid protocol argument")
+    if isinstance(arg, int):
+        return str(arg)
+    if isinstance(arg, float):
+        return f"{arg:.6f}"
+    if isinstance(arg, str):
+        if not _BAREWORD_RE.match(arg):
+            raise InstrumentCommandError(
+                f"string argument {arg!r} must be a bare word"
+            )
+        return arg
+    raise InstrumentCommandError(f"unsupported argument type {type(arg).__name__}")
+
+
+def _parse_arg(text: str) -> Arg:
+    text = text.strip()
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    if _BAREWORD_RE.match(text):
+        return text
+    raise InstrumentCommandError(f"cannot parse argument {text!r}")
+
+
+def format_command(command: Command) -> str:
+    """Render a command to its wire line (no terminator)."""
+    rendered = ",".join(_format_arg(a) for a in command.args)
+    return f"{command.verb}({rendered})"
+
+
+def parse_command(line: str) -> Command:
+    """Parse one wire line into a :class:`Command`.
+
+    Raises:
+        InstrumentCommandError: grammar violation.
+    """
+    line = line.strip()
+    match = _COMMAND_RE.match(line)
+    if not match:
+        raise InstrumentCommandError(f"malformed command line: {line!r}")
+    args_text = match.group("args").strip()
+    args: tuple[Arg, ...] = ()
+    if args_text:
+        args = tuple(_parse_arg(part) for part in args_text.split(","))
+    return Command(verb=match.group("verb"), args=args)
+
+
+def format_response(response: Response) -> str:
+    """Render a response to its wire line (no terminator)."""
+    if response.ok:
+        return f"OK {response.value}" if response.value is not None else "OK"
+    message = response.error_message.replace("\r", " ").replace("\n", " ")
+    # commas delimit the frame; keep the message parseable
+    message = message.replace(",", ";").replace("(", "[").replace(")", "]")
+    return f"ERR({response.error_code},{message})"
+
+
+_ERR_RE = re.compile(r"^ERR\((?P<code>\d+),(?P<message>.*)\)$")
+
+
+def parse_response(line: str) -> Response:
+    """Parse one response line.
+
+    Raises:
+        InstrumentCommandError: the line is neither OK nor ERR-shaped.
+    """
+    line = line.strip()
+    if line == "OK":
+        return Response(ok=True)
+    if line.startswith("OK "):
+        return Response(ok=True, value=line[3:])
+    match = _ERR_RE.match(line)
+    if match:
+        return Response(
+            ok=False,
+            error_code=int(match.group("code")),
+            error_message=match.group("message"),
+        )
+    raise InstrumentCommandError(f"unparseable response line: {line!r}")

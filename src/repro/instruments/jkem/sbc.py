@@ -1,0 +1,326 @@
+"""The J-Kem single-board computer.
+
+Owns the fluidics/thermal devices, listens on its serial port, and
+executes one command per line — replying ``OK`` (optionally with a value)
+or ``ERR(code,message)``. Its event log is the console shown in paper
+Fig 5b: every received command is echoed with its outcome.
+
+The SBC runs its serve loop on a background thread so the control agent's
+driver can block on responses while device operations (which may charge
+simulated time) proceed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.clock import Clock, WALL
+from repro.errors import (
+    InstrumentCommandError,
+    InstrumentError,
+    ReproError,
+)
+from repro.logging_utils import EventLog
+from repro.serialio import SerialEndpoint
+from repro.serialio.framing import LineFramer, frame_line
+from repro.instruments.jkem.devices import (
+    Chiller,
+    FractionCollector,
+    MassFlowController,
+    PeristalticPump,
+    PHProbe,
+    SyringePump,
+    TemperatureController,
+)
+from repro.instruments.jkem.protocol import (
+    Command,
+    Response,
+    format_response,
+    parse_command,
+)
+
+
+class JKemSBC:
+    """Command dispatcher plus serial serve loop.
+
+    Args:
+        port: the device end of the serial cable.
+        clock: time source shared with the devices.
+        event_log: transcript log (``source="jkem.sbc"``).
+    """
+
+    SOURCE = "jkem.sbc"
+
+    def __init__(
+        self,
+        port: SerialEndpoint | None = None,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        self.port = port
+        self.clock = clock or WALL
+        self.log = event_log if event_log is not None else EventLog()
+        self._syringe_pumps: dict[int, SyringePump] = {}
+        self._peri_pumps: dict[int, PeristalticPump] = {}
+        self._mfcs: dict[int, MassFlowController] = {}
+        self._collectors: dict[int, FractionCollector] = {}
+        self._temp_controllers: dict[int, TemperatureController] = {}
+        self._chillers: dict[int, Chiller] = {}
+        self._ph_probes: dict[int, PHProbe] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.commands_handled = 0
+
+    # -- device registry ----------------------------------------------------
+    def attach_syringe_pump(self, unit: int, pump: SyringePump) -> None:
+        self._syringe_pumps[unit] = pump
+
+    def attach_peristaltic_pump(self, unit: int, pump: PeristalticPump) -> None:
+        self._peri_pumps[unit] = pump
+
+    def attach_mfc(self, unit: int, mfc: MassFlowController) -> None:
+        self._mfcs[unit] = mfc
+
+    def attach_fraction_collector(self, unit: int, collector: FractionCollector) -> None:
+        self._collectors[unit] = collector
+
+    def attach_temperature_controller(
+        self, unit: int, controller: TemperatureController
+    ) -> None:
+        self._temp_controllers[unit] = controller
+
+    def attach_chiller(self, unit: int, chiller: Chiller) -> None:
+        self._chillers[unit] = chiller
+
+    def attach_ph_probe(self, unit: int, probe: PHProbe) -> None:
+        self._ph_probes[unit] = probe
+
+    def _device(self, registry: dict, unit, kind: str):
+        if not isinstance(unit, int):
+            raise InstrumentCommandError(f"{kind} unit must be an integer, got {unit!r}")
+        try:
+            return registry[unit]
+        except KeyError:
+            raise InstrumentCommandError(f"no {kind} unit {unit}") from None
+
+    # -- dispatch ---------------------------------------------------------------
+    def execute(self, command: Command) -> Response:
+        """Run one parsed command against the devices."""
+        handler = self._handlers().get(command.verb)
+        if handler is None:
+            return Response(
+                ok=False, error_code=404, error_message=f"unknown verb {command.verb}"
+            )
+        try:
+            value = handler(command.args)
+        except (InstrumentError, ReproError) as exc:
+            return Response(ok=False, error_code=400, error_message=str(exc))
+        except (TypeError, ValueError) as exc:
+            return Response(ok=False, error_code=422, error_message=str(exc))
+        return Response(ok=True, value=value)
+
+    def _handlers(self) -> dict[str, Callable]:
+        return {
+            "SYRINGEPUMP_RATE": self._cmd_syringe_rate,
+            "SYRINGEPUMP_PORT": self._cmd_syringe_port,
+            "SYRINGEPUMP_WITHDRAW": self._cmd_syringe_withdraw,
+            "SYRINGEPUMP_DISPENSE": self._cmd_syringe_dispense,
+            "SYRINGEPUMP_STATUS": self._cmd_syringe_status,
+            "FRACTIONCOLLECTOR_VIAL": self._cmd_collector_vial,
+            "PERIPUMP_RATE": self._cmd_peri_rate,
+            "PERIPUMP_TRANSFER": self._cmd_peri_transfer,
+            "MFC_FLOW": self._cmd_mfc_flow,
+            "MFC_READ": self._cmd_mfc_read,
+            "TEMPCONTROLLER_SET": self._cmd_temp_set,
+            "TEMPCONTROLLER_READ": self._cmd_temp_read,
+            "CHILLER_START": self._cmd_chiller_start,
+            "CHILLER_STOP": self._cmd_chiller_stop,
+            "CHILLER_COOLANT": self._cmd_chiller_coolant,
+            "PH_READ": self._cmd_ph_read,
+            "STATUS": self._cmd_status,
+        }
+
+    @staticmethod
+    def _need(args: tuple, count: int, verb: str) -> tuple:
+        if len(args) != count:
+            raise InstrumentCommandError(
+                f"{verb} expects {count} argument(s), got {len(args)}"
+            )
+        return args
+
+    @staticmethod
+    def _as_number(value, name: str) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise InstrumentCommandError(f"{name} must be numeric, got {value!r}")
+        return float(value)
+
+    # syringe pump -----------------------------------------------------------
+    def _cmd_syringe_rate(self, args: tuple) -> None:
+        unit, rate = self._need(args, 2, "SYRINGEPUMP_RATE")
+        pump = self._device(self._syringe_pumps, unit, "syringe pump")
+        pump.set_rate(self._as_number(rate, "rate"))
+
+    def _cmd_syringe_port(self, args: tuple) -> None:
+        unit, port = self._need(args, 2, "SYRINGEPUMP_PORT")
+        pump = self._device(self._syringe_pumps, unit, "syringe pump")
+        if not isinstance(port, int):
+            raise InstrumentCommandError(f"port must be an integer, got {port!r}")
+        pump.set_port(port)
+
+    def _cmd_syringe_withdraw(self, args: tuple) -> None:
+        unit, volume = self._need(args, 2, "SYRINGEPUMP_WITHDRAW")
+        pump = self._device(self._syringe_pumps, unit, "syringe pump")
+        pump.withdraw(self._as_number(volume, "volume"))
+
+    def _cmd_syringe_dispense(self, args: tuple) -> None:
+        unit, volume = self._need(args, 2, "SYRINGEPUMP_DISPENSE")
+        pump = self._device(self._syringe_pumps, unit, "syringe pump")
+        pump.dispense(self._as_number(volume, "volume"))
+
+    def _cmd_syringe_status(self, args: tuple) -> str:
+        (unit,) = self._need(args, 1, "SYRINGEPUMP_STATUS")
+        pump = self._device(self._syringe_pumps, unit, "syringe pump")
+        return (
+            f"held={pump.held_volume_ml:.3f} port={pump.current_port} "
+            f"rate={pump.rate_ml_min:.3f} status={pump.status.value}"
+        )
+
+    # fraction collector -----------------------------------------------------
+    def _cmd_collector_vial(self, args: tuple) -> None:
+        unit, position = self._need(args, 2, "FRACTIONCOLLECTOR_VIAL")
+        collector = self._device(self._collectors, unit, "fraction collector")
+        if not isinstance(position, str):
+            raise InstrumentCommandError(
+                f"vial position must be a word, got {position!r}"
+            )
+        collector.move_to(position)
+
+    # peristaltic pump ------------------------------------------------------
+    def _cmd_peri_rate(self, args: tuple) -> None:
+        unit, rate = self._need(args, 2, "PERIPUMP_RATE")
+        pump = self._device(self._peri_pumps, unit, "peristaltic pump")
+        pump.set_rate(self._as_number(rate, "rate"))
+
+    def _cmd_peri_transfer(self, args: tuple) -> None:
+        unit, volume = self._need(args, 2, "PERIPUMP_TRANSFER")
+        pump = self._device(self._peri_pumps, unit, "peristaltic pump")
+        pump.transfer(self._as_number(volume, "volume"))
+
+    # MFC ------------------------------------------------------------------
+    def _cmd_mfc_flow(self, args: tuple) -> None:
+        unit, sccm = self._need(args, 2, "MFC_FLOW")
+        mfc = self._device(self._mfcs, unit, "MFC")
+        mfc.set_flow(self._as_number(sccm, "flow"))
+
+    def _cmd_mfc_read(self, args: tuple) -> str:
+        (unit,) = self._need(args, 1, "MFC_READ")
+        mfc = self._device(self._mfcs, unit, "MFC")
+        return f"{mfc.actual_sccm:.3f}"
+
+    # temperature ------------------------------------------------------------
+    def _cmd_temp_set(self, args: tuple) -> None:
+        unit, celsius = self._need(args, 2, "TEMPCONTROLLER_SET")
+        controller = self._device(self._temp_controllers, unit, "temperature controller")
+        controller.set_setpoint(self._as_number(celsius, "setpoint"))
+
+    def _cmd_temp_read(self, args: tuple) -> str:
+        (unit,) = self._need(args, 1, "TEMPCONTROLLER_READ")
+        controller = self._device(self._temp_controllers, unit, "temperature controller")
+        return f"{controller.read_temperature():.3f}"
+
+    # chiller ---------------------------------------------------------------
+    def _cmd_chiller_start(self, args: tuple) -> None:
+        (unit,) = self._need(args, 1, "CHILLER_START")
+        self._device(self._chillers, unit, "chiller").start()
+
+    def _cmd_chiller_stop(self, args: tuple) -> None:
+        (unit,) = self._need(args, 1, "CHILLER_STOP")
+        self._device(self._chillers, unit, "chiller").stop()
+
+    def _cmd_chiller_coolant(self, args: tuple) -> None:
+        unit, celsius = self._need(args, 2, "CHILLER_COOLANT")
+        self._device(self._chillers, unit, "chiller").set_coolant(
+            self._as_number(celsius, "coolant setpoint")
+        )
+
+    # pH ---------------------------------------------------------------------
+    def _cmd_ph_read(self, args: tuple) -> str:
+        (unit,) = self._need(args, 1, "PH_READ")
+        return f"{self._device(self._ph_probes, unit, 'pH probe').read_ph():.3f}"
+
+    # status -----------------------------------------------------------------
+    def _cmd_status(self, args: tuple) -> str:
+        self._need(args, 0, "STATUS")
+        counts = (
+            f"syringe={len(self._syringe_pumps)} peri={len(self._peri_pumps)} "
+            f"mfc={len(self._mfcs)} collector={len(self._collectors)} "
+            f"temp={len(self._temp_controllers)} chiller={len(self._chillers)} "
+            f"ph={len(self._ph_probes)}"
+        )
+        return counts
+
+    # -- serial serve loop ----------------------------------------------------
+    def start(self) -> None:
+        """Begin answering commands on the serial port."""
+        if self.port is None:
+            raise InstrumentCommandError("SBC has no serial port attached")
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._serve, name="jkem-sbc", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the serve loop (the port stays open)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _serve(self) -> None:
+        framer = LineFramer()
+        while not self._stop.is_set():
+            try:
+                chunk = self.port.read(256, timeout=0.05)
+            except ReproError:
+                break
+            if not chunk:
+                continue
+            try:
+                lines = framer.feed(chunk)
+            except ValueError as exc:
+                self.log.emit(self.SOURCE, "error", f"framing error: {exc}")
+                framer.reset()
+                continue
+            for raw in lines:
+                self._handle_line(raw)
+
+    def _handle_line(self, raw: bytes) -> None:
+        try:
+            text = raw.decode("ascii")
+        except UnicodeDecodeError:
+            self._reply(
+                Response(ok=False, error_code=400, error_message="non-ascii command")
+            )
+            return
+        try:
+            command = parse_command(text)
+        except InstrumentCommandError as exc:
+            self.log.emit(self.SOURCE, "command", f"{text} ERR")
+            self._reply(Response(ok=False, error_code=400, error_message=str(exc)))
+            return
+        response = self.execute(command)
+        self.commands_handled += 1
+        outcome = "OK" if response.ok else f"ERR({response.error_code})"
+        # This echo is the Fig 5b console line.
+        self.log.emit(self.SOURCE, "command", f"{text} {outcome}")
+        self._reply(response)
+
+    def _reply(self, response: Response) -> None:
+        try:
+            self.port.write(frame_line(format_response(response)))
+        except ReproError:
+            pass

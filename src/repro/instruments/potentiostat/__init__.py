@@ -1,0 +1,50 @@
+"""The Bio-Logic SP200 potentiostat simulation (paper §3.2.1, Fig 6).
+
+Three layers:
+
+- :mod:`~repro.instruments.potentiostat.firmware` — kernel and technique
+  firmware images with integrity checks (EC-Lab loads ``kernel4.bin`` and
+  per-technique ``.ecc`` files; Fig 6b shows both loads);
+- :mod:`~repro.instruments.potentiostat.techniques` — CV, CA and OCV
+  technique objects that execute against the electrochemical cell;
+- :mod:`~repro.instruments.potentiostat.device` — the instrument with its
+  channels, connection state and progressive acquisition;
+- :mod:`~repro.instruments.potentiostat.api` — the EC-Lab-developer-
+  package-style driver whose call sequence is exactly the 8 steps of
+  Fig 6a.
+"""
+
+from repro.instruments.potentiostat.firmware import (
+    FirmwareImage,
+    KERNEL4,
+    CV_TECHNIQUE_ECC,
+    CA_TECHNIQUE_ECC,
+    OCV_TECHNIQUE_ECC,
+)
+from repro.instruments.potentiostat.techniques import (
+    Technique,
+    CVTechnique,
+    CATechnique,
+    OCVTechnique,
+    LSVTechnique,
+    DPVTechnique,
+)
+from repro.instruments.potentiostat.device import SP200, ChannelState
+from repro.instruments.potentiostat.api import ECLabAPI
+
+__all__ = [
+    "FirmwareImage",
+    "KERNEL4",
+    "CV_TECHNIQUE_ECC",
+    "CA_TECHNIQUE_ECC",
+    "OCV_TECHNIQUE_ECC",
+    "Technique",
+    "CVTechnique",
+    "CATechnique",
+    "OCVTechnique",
+    "LSVTechnique",
+    "DPVTechnique",
+    "SP200",
+    "ChannelState",
+    "ECLabAPI",
+]

@@ -1,0 +1,255 @@
+"""EC-Lab-developer-package-style driver for the SP200 (paper §3.2.1).
+
+The call sequence and its confirmations replicate the 8 steps of Fig 6a:
+
+1. :meth:`initialize` — "Initialization is done"
+2. :meth:`connect` — "Channel Connection is done"
+3. :meth:`load_firmware` — "Loading firmware is done"
+4. :meth:`init_cv_technique` — "CV technique is initialized"
+5. :meth:`load_technique` — "Loading CV technique is done"
+6. :meth:`start_channel` — "Channel is activated for probing measurements"
+7. :meth:`get_measurements` — "Measurements are collected"
+8. (automatic) the channel disconnects when acquisition completes.
+
+Each method returns its confirmation string (that is what the Jupyter
+cells print) and enforces ordering: calling out of sequence raises
+:class:`~repro.errors.InstrumentStateError` rather than wedging the
+device, which is the "more advanced capabilities" the paper added over
+the primitive vendor API.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import InstrumentStateError, TechniqueError
+from repro.logging_utils import EventLog
+from repro.chemistry.voltammogram import Voltammogram
+from repro.instruments.potentiostat.device import SP200
+from repro.instruments.potentiostat.firmware import KERNEL4, FirmwareImage
+from repro.instruments.potentiostat.techniques import (
+    CATechnique,
+    CVTechnique,
+    OCVTechnique,
+    Technique,
+)
+
+#: Default configuration accepted by :meth:`ECLabAPI.initialize`.
+DEFAULT_CONFIG: dict[str, Any] = {
+    "channel": 1,
+    "firmware": "kernel4.bin",
+    "timeout_s": 120.0,
+    "binary_mode": "64b application",
+}
+
+
+class ECLabAPI:
+    """High-level driver bound to one SP200.
+
+    Args:
+        device: the instrument.
+        measurement_dir: directory where completed acquisitions are
+            written as ``.mpt`` files (the control agent's shared folder);
+            None disables file output.
+        event_log: transcript log (``source="sp200.api"``).
+    """
+
+    SOURCE = "sp200.api"
+
+    def __init__(
+        self,
+        device: SP200,
+        measurement_dir: str | Path | None = None,
+        event_log: EventLog | None = None,
+    ):
+        self.device = device
+        self.measurement_dir = Path(measurement_dir) if measurement_dir else None
+        self.log = event_log if event_log is not None else EventLog()
+        self.config: dict[str, Any] | None = None
+        self.technique: Technique | None = None
+        self._initialized = False
+        self._technique_loaded = False
+        self._acquisition_count = 0
+        self.last_measurement_path: Path | None = None
+
+    # -- step 1 ----------------------------------------------------------------
+    def initialize(self, config: dict[str, Any] | None = None) -> str:
+        """Step 1: store system/firmware/connection parameters."""
+        merged = dict(DEFAULT_CONFIG)
+        if config:
+            unknown = set(config) - set(DEFAULT_CONFIG)
+            if unknown:
+                raise InstrumentStateError(
+                    f"unknown configuration keys: {sorted(unknown)}"
+                )
+            merged.update(config)
+        if merged["channel"] not in range(1, 17):
+            raise InstrumentStateError(f"bad channel {merged['channel']!r}")
+        self.config = merged
+        self._initialized = True
+        self.log.emit(self.SOURCE, "lifecycle", f"> {merged['binary_mode']}")
+        return self._confirm("Initialization is done")
+
+    def _require_init(self) -> None:
+        if not self._initialized or self.config is None:
+            raise InstrumentStateError("call initialize() first (step 1)")
+
+    @property
+    def channel_number(self) -> int:
+        self._require_init()
+        assert self.config is not None
+        return int(self.config["channel"])
+
+    # -- step 2 -----------------------------------------------------------
+    def connect(self) -> str:
+        """Step 2: open the instrument session."""
+        self._require_init()
+        self.device.connect()
+        return self._confirm("Channel Connection is done")
+
+    # -- step 3 -----------------------------------------------------------
+    def load_firmware(self, image: FirmwareImage = KERNEL4) -> str:
+        """Step 3: load the board kernel."""
+        self._require_init()
+        self.device.load_kernel(image)
+        return self._confirm("Loading firmware is done")
+
+    # -- step 4 -----------------------------------------------------------
+    def init_cv_technique(self, params: dict[str, Any] | None = None) -> str:
+        """Step 4: build and validate the CV technique.
+
+        ``params`` keys: ``e_begin_v``, ``e_vertex_v``, ``scan_rate_v_s``,
+        ``n_cycles``, ``e_step_v`` (all optional).
+        """
+        self._require_init()
+        params = params or {}
+        allowed = {"e_begin_v", "e_vertex_v", "scan_rate_v_s", "n_cycles", "e_step_v"}
+        unknown = set(params) - allowed
+        if unknown:
+            raise TechniqueError(f"unknown CV parameters: {sorted(unknown)}")
+        self.technique = CVTechnique(**params)
+        self._technique_loaded = False
+        return self._confirm("CV technique is initialized")
+
+    def init_ca_technique(self, params: dict[str, Any] | None = None) -> str:
+        """Build a chronoamperometry technique instead of CV."""
+        self._require_init()
+        self.technique = CATechnique(**(params or {}))
+        self._technique_loaded = False
+        return self._confirm("CA technique is initialized")
+
+    def init_ocv_technique(self, params: dict[str, Any] | None = None) -> str:
+        """Build an open-circuit-voltage technique instead of CV."""
+        self._require_init()
+        self.technique = OCVTechnique(**(params or {}))
+        self._technique_loaded = False
+        return self._confirm("OCV technique is initialized")
+
+    def init_lsv_technique(self, params: dict[str, Any] | None = None) -> str:
+        """Build a linear-sweep technique instead of CV."""
+        from repro.instruments.potentiostat.techniques import LSVTechnique
+
+        self._require_init()
+        self.technique = LSVTechnique(**(params or {}))
+        self._technique_loaded = False
+        return self._confirm("LSV technique is initialized")
+
+    def init_dpv_technique(self, params: dict[str, Any] | None = None) -> str:
+        """Build a differential-pulse technique instead of CV."""
+        from repro.instruments.potentiostat.techniques import DPVTechnique
+
+        self._require_init()
+        self.technique = DPVTechnique(**(params or {}))
+        self._technique_loaded = False
+        return self._confirm("DPV technique is initialized")
+
+    # -- step 5 --------------------------------------------------------------
+    def load_technique(self) -> str:
+        """Step 5: push technique firmware + parameters to the channel."""
+        self._require_init()
+        if self.technique is None:
+            raise TechniqueError("no technique initialised (step 4 missing)")
+        number = self.channel_number
+        self.device.connect_channel(number)
+        self.device.load_technique(number, self.technique)
+        self._technique_loaded = True
+        return self._confirm(
+            f"Loading {self.technique.technique_id} technique is done"
+        )
+
+    # -- step 6 ----------------------------------------------------------------
+    def start_channel(self) -> str:
+        """Step 6: begin the acquisition."""
+        self._require_init()
+        if not self._technique_loaded:
+            raise TechniqueError("technique not loaded (step 5 missing)")
+        self.device.start_channel(self.channel_number)
+        return self._confirm("Channel is activated for probing measurements")
+
+    # -- step 7 -----------------------------------------------------------
+    def probe_progress(self) -> dict[str, Any]:
+        """Non-blocking acquisition status (samples so far, state)."""
+        self._require_init()
+        return self.device.channel_status(self.channel_number)
+
+    def get_measurements(
+        self,
+        wait: bool = True,
+        timeout_s: float | None = None,
+        save_as: str | None = None,
+    ) -> Voltammogram:
+        """Step 7: collect the measurement trace.
+
+        Args:
+            wait: block until acquisition completes (otherwise return the
+                partial trace acquired so far).
+            timeout_s: wait deadline; defaults to the configured timeout.
+            save_as: file stem for the ``.mpt`` written into
+                ``measurement_dir`` (auto-named when None).
+
+        Raises:
+            InstrumentStateError: nothing has been started/acquired, or
+                the wait deadline expired.
+        """
+        self._require_init()
+        assert self.config is not None
+        channel = self.device.channel(self.channel_number)
+        if wait:
+            deadline = timeout_s if timeout_s is not None else self.config["timeout_s"]
+            if not channel.wait(timeout=deadline):
+                raise InstrumentStateError(
+                    f"acquisition did not finish within {deadline}s"
+                )
+            trace = channel.result
+        else:
+            trace = channel.visible_data()
+        if trace is None:
+            raise InstrumentStateError("no acquisition has produced data yet")
+        self._acquisition_count += 1
+        self.last_measurement_path = None
+        if self.measurement_dir is not None:
+            from repro.datachannel.formats import write_mpt
+
+            stem = save_as or (
+                f"{trace.metadata.get('technique', 'DATA').lower()}"
+                f"_{self._acquisition_count:04d}"
+            )
+            self.measurement_dir.mkdir(parents=True, exist_ok=True)
+            path = self.measurement_dir / f"{stem}.mpt"
+            write_mpt(path, trace)
+            self.last_measurement_path = path
+        self._confirm("Measurements are collected")
+        return trace
+
+    # -- teardown (workflow task E) -----------------------------------------
+    def disconnect(self) -> str:
+        """Close the session (Fig 6 lifecycle end)."""
+        self.device.disconnect()
+        self._technique_loaded = False
+        return self._confirm("Potentiostat disconnected")
+
+    # -- helpers -----------------------------------------------------------
+    def _confirm(self, message: str) -> str:
+        self.log.emit(self.SOURCE, "lifecycle", message)
+        return message

@@ -1,0 +1,329 @@
+"""The SP200 instrument: channels, firmware state, acquisition.
+
+Lifecycle enforced exactly as the EC-Lab API requires (Fig 6a):
+
+1. the instrument must be *connected* (USB session) before anything else;
+2. the board *kernel firmware* must be loaded before techniques;
+3. a channel needs its *technique firmware + parameters loaded* before
+   start;
+4. ``start`` launches the acquisition; samples become visible
+   progressively, scaled by ``time_scale`` (0 = instantaneous);
+5. when acquisition completes the channel *disconnects automatically*
+   (paper §4.2 step 8) and the full trace is available.
+
+Out-of-order calls raise :class:`~repro.errors.InstrumentStateError`,
+which is what the paper's wrapper modules must guard against.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+
+from repro.clock import Clock
+from repro.errors import (
+    ChannelBusyError,
+    FirmwareError,
+    InstrumentStateError,
+    TechniqueError,
+)
+from repro.logging_utils import EventLog
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.noise import BENCH_NOISE, NoiseModel
+from repro.chemistry.voltammogram import Voltammogram
+from repro.instruments.base import Instrument, InstrumentStatus
+from repro.instruments.potentiostat.firmware import (
+    FirmwareImage,
+    technique_firmware,
+)
+from repro.instruments.potentiostat.techniques import Technique
+
+
+class ChannelState(Enum):
+    """Acquisition-channel lifecycle."""
+
+    DISCONNECTED = "disconnected"
+    CONNECTED = "connected"
+    TECHNIQUE_LOADED = "technique_loaded"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class Channel:
+    """One potentiostat channel with its own technique and data buffer."""
+
+    def __init__(self, number: int, device: "SP200"):
+        self.number = number
+        self.device = device
+        self.state = ChannelState.DISCONNECTED
+        self.technique: Technique | None = None
+        self.technique_firmware_loaded = False
+        self._result: Voltammogram | None = None
+        self._visible_samples = 0
+        self._lock = threading.Lock()
+        self._acquisition_thread: threading.Thread | None = None
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def result(self) -> Voltammogram | None:
+        with self._lock:
+            return self._result
+
+    def visible_data(self) -> Voltammogram | None:
+        """The samples acquired so far (None before start)."""
+        with self._lock:
+            if self._result is None:
+                return None
+            count = self._visible_samples
+            return Voltammogram(
+                time_s=self._result.time_s[:count],
+                potential_v=self._result.potential_v[:count],
+                current_a=self._result.current_a[:count],
+                cycle_index=self._result.cycle_index[:count],
+                metadata=dict(self._result.metadata),
+            )
+
+    @property
+    def finished(self) -> bool:
+        return self.state is ChannelState.FINISHED
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the acquisition thread completes."""
+        thread = self._acquisition_thread
+        if thread is None:
+            return self.finished
+        thread.join(timeout=timeout)
+        return self.finished
+
+
+class SP200(Instrument):
+    """The instrument.
+
+    Args:
+        cell: the electrochemical cell wired to this potentiostat.
+        n_channels: SP200 chassis channel count.
+        noise: measurement noise model applied to every acquisition.
+        time_scale: seconds of real/virtual time charged per second of
+            nominal technique duration (0 = instant acquisition).
+        reveal_chunks: how many progressive visibility increments an
+            acquisition is divided into.
+    """
+
+    def __init__(
+        self,
+        name: str = "sp200",
+        cell: ElectrochemicalCell | None = None,
+        n_channels: int = 2,
+        noise: NoiseModel | None = BENCH_NOISE,
+        time_scale: float = 0.0,
+        reveal_chunks: int = 10,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if n_channels < 1:
+            raise InstrumentStateError("SP200 needs at least one channel")
+        self.cell = cell
+        self.noise = noise
+        self.time_scale = time_scale
+        self.reveal_chunks = max(1, reveal_chunks)
+        self.usb_connected = False
+        self.kernel: FirmwareImage | None = None
+        self._channels = {i: Channel(i, self) for i in range(1, n_channels + 1)}
+        self._seed_counter = 0
+
+    # -- session -------------------------------------------------------------
+    def connect(self) -> None:
+        """Open the USB session (Fig 6 step 2)."""
+        self._check_fault()
+        if self.usb_connected:
+            raise InstrumentStateError(f"{self.name} already connected")
+        self.usb_connected = True
+        self._emit("lifecycle", "Connection to the Potentiostat is Done")
+
+    def disconnect(self) -> None:
+        """Close the USB session; running channels are stopped."""
+        for channel in self._channels.values():
+            if channel.state is ChannelState.RUNNING:
+                channel.wait(timeout=30.0)
+        self.usb_connected = False
+        self.kernel = None
+        for channel in self._channels.values():
+            channel.state = ChannelState.DISCONNECTED
+            channel.technique_firmware_loaded = False
+        self._emit("lifecycle", "Potentiostat disconnected")
+
+    def _require_connected(self) -> None:
+        if not self.usb_connected:
+            raise InstrumentStateError(f"{self.name} is not connected")
+
+    # -- firmware ------------------------------------------------------------
+    def load_kernel(self, image: FirmwareImage) -> None:
+        """Load the board kernel (Fig 6 step 3, ``kernel4.bin``)."""
+        self._check_fault()
+        self._require_connected()
+        if image.kind != "kernel":
+            raise FirmwareError(f"{image.name} is not kernel firmware")
+        image.verify()
+        self.kernel = image
+        self._emit("lifecycle", f"> Loading {image.name} ...")
+        self._emit("lifecycle", "> ... firmware loaded")
+
+    def _require_kernel(self) -> None:
+        if self.kernel is None:
+            raise FirmwareError(f"{self.name}: kernel firmware not loaded")
+
+    # -- channels ------------------------------------------------------------
+    def channel(self, number: int) -> Channel:
+        try:
+            return self._channels[number]
+        except KeyError:
+            raise InstrumentStateError(
+                f"{self.name} has no channel {number}; "
+                f"valid: {sorted(self._channels)}"
+            ) from None
+
+    def connect_channel(self, number: int) -> Channel:
+        """Attach a channel (Fig 6 step 6 prerequisite)."""
+        self._check_fault()
+        self._require_connected()
+        self._require_kernel()
+        channel = self.channel(number)
+        if channel.state is ChannelState.RUNNING:
+            raise ChannelBusyError(f"channel {number} is acquiring")
+        channel.state = ChannelState.CONNECTED
+        self._emit("lifecycle", f"channel {number} connected")
+        return channel
+
+    def load_technique(self, number: int, technique: Technique) -> None:
+        """Load technique firmware + parameters onto a channel (steps 4-5)."""
+        self._check_fault()
+        self._require_connected()
+        self._require_kernel()
+        channel = self.channel(number)
+        if channel.state is ChannelState.RUNNING:
+            raise ChannelBusyError(f"channel {number} is acquiring")
+        if channel.state is ChannelState.DISCONNECTED:
+            raise InstrumentStateError(
+                f"channel {number} must be connected before loading a technique"
+            )
+        firmware = technique_firmware(technique.technique_id)
+        firmware.verify()
+        channel.technique = technique
+        channel.technique_firmware_loaded = True
+        channel.state = ChannelState.TECHNIQUE_LOADED
+        self._emit(
+            "lifecycle",
+            f"technique {technique.technique_id} loaded on channel {number}",
+            params=technique.ecc_params(),
+        )
+
+    def start_channel(self, number: int) -> None:
+        """Begin acquisition (step 6); data arrive progressively (step 7)."""
+        self._check_fault()
+        self._require_connected()
+        self._require_kernel()
+        if self.cell is None:
+            raise InstrumentStateError(f"{self.name} is not wired to a cell")
+        channel = self.channel(number)
+        if channel.state is ChannelState.RUNNING:
+            raise ChannelBusyError(f"channel {number} already running")
+        if channel.state is not ChannelState.TECHNIQUE_LOADED:
+            raise TechniqueError(
+                f"channel {number} has no loaded technique (state "
+                f"{channel.state.value})"
+            )
+        technique = channel.technique
+        assert technique is not None
+        self._seed_counter += 1
+        seed = self._seed_counter
+        channel.state = ChannelState.RUNNING
+        self.status = InstrumentStatus.BUSY
+        self._emit("lifecycle", f"Channel {number} connection is initiated")
+
+        def acquire() -> None:
+            trace = technique.execute(self.cell, noise=self.noise, seed=seed)
+            self._apply_bulk_electrolysis(trace)
+            with channel._lock:
+                channel._result = trace
+                channel._visible_samples = 0
+            total = len(trace)
+            chunks = min(self.reveal_chunks, max(total, 1))
+            nominal_chunk = technique.duration_s() / chunks
+            for index in range(chunks):
+                if self.time_scale > 0:
+                    self.clock.sleep(nominal_chunk * self.time_scale)
+                with channel._lock:
+                    channel._visible_samples = min(
+                        total, ((index + 1) * total) // chunks
+                    )
+            with channel._lock:
+                channel._visible_samples = total
+            # paper §4.2: the channel disconnects automatically when the
+            # acquisition finishes
+            channel.state = ChannelState.FINISHED
+            self.status = InstrumentStatus.IDLE
+            self._emit(
+                "lifecycle",
+                f"channel {number} acquisition finished "
+                f"({total} samples); channel disconnected",
+            )
+
+        channel._acquisition_thread = threading.Thread(
+            target=acquire, name=f"sp200-ch{number}", daemon=True
+        )
+        channel._acquisition_thread.start()
+
+    def _apply_bulk_electrolysis(self, trace) -> None:
+        """Convert the net faradaic charge into bulk composition change.
+
+        Q / nF moles of the dominant reduced analyte become its oxidation
+        product (positive/anodic net charge), so repeated cycling slowly
+        builds ferrocenium the HPLC-MS can later find in a collected
+        fraction (paper §2.1: fractions go to "external chemical analysis
+        on any dissolved products that form during testing").
+        """
+        import numpy as np
+
+        from repro.units import FARADAY
+        from repro.chemistry.species import OXIDATION_PRODUCTS
+
+        cell = self.cell
+        if cell is None or len(trace) < 2:
+            return
+        contents = cell.contents
+        if contents is None or not contents.species:
+            return
+        analyte = max(contents.species, key=contents.species.get)
+        product = OXIDATION_PRODUCTS.get(analyte)
+        if product is None:
+            return
+        dt = np.diff(trace.time_s, prepend=0.0)
+        net_charge = float(np.sum(trace.current_a * dt))
+        if net_charge <= 0.0:
+            return
+        moles = net_charge / (analyte.n_electrons * FARADAY)
+        cell.apply_electrolysis(analyte, product, moles)
+
+    def stop_channel(self, number: int) -> None:
+        """Abort an acquisition (waits for the worker; trace stays partial)."""
+        channel = self.channel(number)
+        if channel.state is ChannelState.RUNNING:
+            channel.wait(timeout=30.0)
+        self._emit("lifecycle", f"channel {number} stopped")
+
+    def channel_status(self, number: int) -> dict:
+        """Status record like BL_GetChannelInfos."""
+        channel = self.channel(number)
+        with channel._lock:
+            acquired = channel._visible_samples
+        return {
+            "channel": number,
+            "state": channel.state.value,
+            "technique": (
+                channel.technique.technique_id if channel.technique else None
+            ),
+            "samples_acquired": acquired,
+            "usb_connected": self.usb_connected,
+            "kernel": self.kernel.name if self.kernel else None,
+        }

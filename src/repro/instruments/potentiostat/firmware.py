@@ -1,0 +1,90 @@
+"""Firmware images the SP200 loads before running techniques.
+
+EC-Lab ships a board kernel (``kernel4.bin`` in Fig 6b) plus one ``.ecc``
+firmware per technique. The simulation keeps the same two-stage loading
+with integrity checking, because a wrong/corrupt image is a realistic
+failure mode the workflow must surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import FirmwareError
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """One loadable image.
+
+    Attributes:
+        name: file name, e.g. ``"kernel4.bin"``.
+        kind: ``"kernel"`` or ``"technique"``.
+        technique: technique id for technique firmware (``"CV"``...).
+        payload: the image bytes (synthetic but checksummed).
+        checksum: hex SHA-256 of the payload.
+    """
+
+    name: str
+    kind: str
+    payload: bytes
+    technique: str = ""
+    checksum: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kernel", "technique"):
+            raise FirmwareError(f"unknown firmware kind {self.kind!r}")
+        if self.kind == "technique" and not self.technique:
+            raise FirmwareError("technique firmware must name its technique")
+        digest = hashlib.sha256(self.payload).hexdigest()
+        if self.checksum:
+            if self.checksum != digest:
+                raise FirmwareError(
+                    f"{self.name}: checksum mismatch (corrupt image?)"
+                )
+        else:
+            object.__setattr__(self, "checksum", digest)
+
+    def verify(self) -> None:
+        """Re-hash the payload; raises on corruption."""
+        if hashlib.sha256(self.payload).hexdigest() != self.checksum:
+            raise FirmwareError(f"{self.name}: payload corrupt")
+
+
+def _image(name: str, kind: str, seed: str, technique: str = "") -> FirmwareImage:
+    # Deterministic synthetic payload: enough bytes to feel like firmware,
+    # fully reproducible across runs.
+    payload = hashlib.sha256(seed.encode()).digest() * 64
+    return FirmwareImage(name=name, kind=kind, payload=payload, technique=technique)
+
+
+KERNEL4 = _image("kernel4.bin", "kernel", "sp200-kernel-v4")
+CV_TECHNIQUE_ECC = _image("cv.ecc", "technique", "sp200-cv", technique="CV")
+CA_TECHNIQUE_ECC = _image("ca.ecc", "technique", "sp200-ca", technique="CA")
+OCV_TECHNIQUE_ECC = _image("ocv.ecc", "technique", "sp200-ocv", technique="OCV")
+LSV_TECHNIQUE_ECC = _image("lsv.ecc", "technique", "sp200-lsv", technique="LSV")
+DPV_TECHNIQUE_ECC = _image("dpv.ecc", "technique", "sp200-dpv", technique="DPV")
+
+TECHNIQUE_FIRMWARE = {
+    "CV": CV_TECHNIQUE_ECC,
+    "CA": CA_TECHNIQUE_ECC,
+    "OCV": OCV_TECHNIQUE_ECC,
+    "LSV": LSV_TECHNIQUE_ECC,
+    "DPV": DPV_TECHNIQUE_ECC,
+}
+
+
+def technique_firmware(technique_id: str) -> FirmwareImage:
+    """The ``.ecc`` image for a technique id.
+
+    Raises:
+        FirmwareError: no firmware ships for that technique.
+    """
+    try:
+        return TECHNIQUE_FIRMWARE[technique_id]
+    except KeyError:
+        raise FirmwareError(
+            f"no technique firmware for {technique_id!r}; "
+            f"available: {sorted(TECHNIQUE_FIRMWARE)}"
+        ) from None

@@ -1,0 +1,151 @@
+"""Mobile robot for inter-instrument material transfer.
+
+Paper §5 (future work): "The integration of additional instruments and
+computing platforms into ACL including mobile robots to transfer
+materials between different instruments is planned." This module
+implements that extension: a robot with named docking *stations*, a
+single gripper, and travel times, so a workflow can move a collected
+fraction vial from the electrochemistry workstation to the HPLC-MS.
+
+State machine: the robot is at exactly one station; ``pick`` requires an
+empty gripper and a vial present at the station; ``place`` requires a
+held vial and a free slot. Every transition is validated and logged —
+collisions with reality (picking from an empty slot) fail loudly.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock
+from repro.errors import InstrumentCommandError, InstrumentStateError
+from repro.logging_utils import EventLog
+from repro.instruments.base import Instrument, InstrumentStatus
+from repro.instruments.jkem.plumbing import Reservoir
+
+
+class Station:
+    """A docking point with one vial slot."""
+
+    def __init__(self, name: str, vial: Reservoir | None = None):
+        self.name = name
+        self.vial = vial
+
+
+class MobileRobot(Instrument):
+    """Single-gripper transfer robot.
+
+    Args:
+        stations: names of the docking points (e.g. ``"electrochemistry"``,
+            ``"hplc"``, ``"storage"``).
+        travel_s: nominal seconds between any two stations.
+        time_scale: simulated-time scaling for travel (0 = instant).
+    """
+
+    def __init__(
+        self,
+        name: str = "mobile-robot-1",
+        stations: tuple[str, ...] = ("electrochemistry", "hplc", "storage"),
+        travel_s: float = 30.0,
+        time_scale: float = 0.0,
+        clock: Clock | None = None,
+        event_log: EventLog | None = None,
+    ):
+        super().__init__(name, clock=clock, event_log=event_log)
+        if len(stations) < 2:
+            raise InstrumentCommandError("a robot needs at least two stations")
+        self._stations = {station: Station(station) for station in stations}
+        self.travel_s = travel_s
+        self.time_scale = time_scale
+        self.location = stations[0]
+        self.holding: Reservoir | None = None
+        self.moves = 0
+
+    # -- station access ----------------------------------------------------
+    def station(self, name: str) -> Station:
+        try:
+            return self._stations[name]
+        except KeyError:
+            raise InstrumentCommandError(
+                f"unknown station {name!r}; have {sorted(self._stations)}"
+            ) from None
+
+    def stage_vial(self, station: str, vial: Reservoir) -> None:
+        """Place a vial at a station by hand (lab setup, not robot motion)."""
+        slot = self.station(station)
+        if slot.vial is not None:
+            raise InstrumentStateError(
+                f"station {station!r} already holds {slot.vial.name!r}"
+            )
+        slot.vial = vial
+        self._emit("command", f"vial {vial.name!r} staged at {station}")
+
+    def vial_at(self, station: str) -> Reservoir | None:
+        return self.station(station).vial
+
+    # -- motion --------------------------------------------------------------
+    def move_to(self, station: str) -> str:
+        """Drive to a station."""
+        self._check_fault()
+        self.station(station)  # validate
+        if station == self.location:
+            return "OK already-there"
+        self.status = InstrumentStatus.BUSY
+        try:
+            if self.time_scale > 0:
+                self.clock.sleep(self.travel_s * self.time_scale)
+            self.location = station
+            self.moves += 1
+            self._emit("command", f"moved to {station}")
+            return "OK"
+        finally:
+            self.status = (
+                InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+            )
+
+    def pick(self) -> str:
+        """Grip the vial at the current station."""
+        self._check_fault()
+        if self.holding is not None:
+            raise InstrumentStateError(
+                f"gripper already holds {self.holding.name!r}"
+            )
+        slot = self.station(self.location)
+        if slot.vial is None:
+            raise InstrumentStateError(f"no vial at {self.location!r} to pick")
+        self.holding = slot.vial
+        slot.vial = None
+        self._emit("command", f"picked {self.holding.name!r} at {self.location}")
+        return "OK"
+
+    def place(self) -> str:
+        """Set the held vial down at the current station."""
+        self._check_fault()
+        if self.holding is None:
+            raise InstrumentStateError("gripper is empty")
+        slot = self.station(self.location)
+        if slot.vial is not None:
+            raise InstrumentStateError(
+                f"station {self.location!r} already holds {slot.vial.name!r}"
+            )
+        slot.vial = self.holding
+        self.holding = None
+        self._emit("command", f"placed {slot.vial.name!r} at {self.location}")
+        return "OK"
+
+    def transfer(self, source: str, destination: str) -> str:
+        """Full pick-move-place between two stations."""
+        self.move_to(source)
+        self.pick()
+        self.move_to(destination)
+        self.place()
+        return "OK"
+
+    def status_summary(self) -> dict:
+        return {
+            "location": self.location,
+            "holding": self.holding.name if self.holding else None,
+            "stations": {
+                name: (slot.vial.name if slot.vial else None)
+                for name, slot in self._stations.items()
+            },
+            "moves": self.moves,
+        }

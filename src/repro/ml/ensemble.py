@@ -1,0 +1,123 @@
+"""Ensemble of trees (EOT): bagged CART with feature subsampling.
+
+Ref [11] classifies GPR feature vectors with an "ensemble of trees"; this
+is the classic bagging construction — bootstrap resampling per tree,
+sqrt(n_features) candidate features per split, soft-vote aggregation —
+plus an out-of-bag accuracy estimate so workflows can sanity-check a
+trained model without a held-out set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class EnsembleOfTreesClassifier:
+    """Bagged decision trees with soft voting.
+
+    Args:
+        n_trees: ensemble size.
+        max_depth: per-tree depth limit.
+        min_samples_leaf: per-tree leaf minimum.
+        max_features: per-split feature budget; None = ceil(sqrt(d)).
+        random_state: master seed (per-tree seeds derive from it).
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int | None = 8,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        random_state: int = 0,
+    ):
+        if n_trees < 1:
+            raise MLError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+        self.oob_score_: float = np.nan
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "EnsembleOfTreesClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise MLError(f"x must be 2-D, got shape {x.shape}")
+        if len(x) != len(y):
+            raise MLError("x and y lengths differ")
+        n_samples, n_features = x.shape
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+        max_features = self.max_features or int(np.ceil(np.sqrt(n_features)))
+
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        oob_votes = np.zeros((n_samples, n_classes))
+        oob_counts = np.zeros(n_samples)
+
+        for index in range(self.n_trees):
+            sample_idx = rng.integers(0, n_samples, size=n_samples)
+            oob_mask = np.ones(n_samples, dtype=bool)
+            oob_mask[sample_idx] = False
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(x[sample_idx], y_encoded[sample_idx])
+            self.trees_.append(tree)
+            if oob_mask.any():
+                proba = self._tree_proba(tree, x[oob_mask], n_classes)
+                oob_votes[oob_mask] += proba
+                oob_counts[oob_mask] += 1
+
+        voted = oob_counts > 0
+        if voted.any():
+            predictions = np.argmax(oob_votes[voted], axis=1)
+            self.oob_score_ = float(np.mean(predictions == y_encoded[voted]))
+        return self
+
+    def _tree_proba(
+        self, tree: DecisionTreeClassifier, x: np.ndarray, n_classes: int
+    ) -> np.ndarray:
+        """Tree probabilities aligned to the ensemble's class order."""
+        proba = tree.predict_proba(x)
+        assert tree.classes_ is not None
+        aligned = np.zeros((len(x), n_classes))
+        aligned[:, tree.classes_.astype(int)] = proba
+        return aligned
+
+    def _require_fitted(self) -> None:
+        if not self.trees_ or self.classes_ is None:
+            raise NotFittedError("fit() the ensemble before predicting")
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Soft-vote class probabilities."""
+        self._require_fitted()
+        assert self.classes_ is not None
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        n_classes = len(self.classes_)
+        total = np.zeros((len(x), n_classes))
+        for tree in self.trees_:
+            total += self._tree_proba(tree, x, n_classes)
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class labels."""
+        proba = self.predict_proba(x)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Plain accuracy."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))

@@ -1,0 +1,110 @@
+"""The end-to-end normality method (ref [11] as used in paper §4.3.3).
+
+Pipeline: I-V trace → GPR feature vector → ensemble-of-trees classifier →
+class label + confidence. The paper's workflow calls this right after the
+measurement file lands on the DGX: a "normal" verdict lets the campaign
+continue; an abnormal one names the suspected condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.chemistry.faults import FaultKind
+from repro.chemistry.voltammogram import Voltammogram
+from repro.ml.datasets import DatasetSpec, generate_dataset
+from repro.ml.ensemble import EnsembleOfTreesClassifier
+from repro.ml.features import extract_features, extract_features_batch
+
+
+@dataclass(frozen=True)
+class NormalityReport:
+    """Verdict for one trace.
+
+    Attributes:
+        label: predicted class (``"normal"``, ``"disconnected_electrode"``,
+            ``"low_volume"``, ...).
+        normal: convenience flag (label == "normal").
+        confidence: ensemble probability of the predicted class.
+        probabilities: class -> probability.
+    """
+
+    label: str
+    normal: bool
+    confidence: float
+    probabilities: dict[str, float]
+
+    def __str__(self) -> str:
+        verdict = "normal" if self.normal else f"ABNORMAL ({self.label})"
+        return f"I-V measurement classified {verdict} (p={self.confidence:.2f})"
+
+
+class NormalityClassifier:
+    """GPR features + EOT classifier with a simulator-trained default.
+
+    Args:
+        ensemble: pre-configured EOT (defaults chosen for the synthetic
+            corpus size).
+    """
+
+    def __init__(self, ensemble: EnsembleOfTreesClassifier | None = None):
+        self.ensemble = ensemble or EnsembleOfTreesClassifier(
+            n_trees=60, max_depth=8, min_samples_leaf=2, random_state=11
+        )
+        self._fitted = False
+
+    # -- training ----------------------------------------------------------
+    def fit(self, traces: list[Voltammogram], labels: list[str]) -> "NormalityClassifier":
+        """Fit on labelled traces (labels are FaultKind values)."""
+        features = extract_features_batch(traces)
+        self.ensemble.fit(features, np.asarray(labels))
+        self._fitted = True
+        return self
+
+    def fit_features(
+        self, features: np.ndarray, labels: np.ndarray | list[str]
+    ) -> "NormalityClassifier":
+        """Fit on pre-extracted feature rows (dataset reuse)."""
+        self.ensemble.fit(features, np.asarray(labels))
+        self._fitted = True
+        return self
+
+    @classmethod
+    def train_default(
+        cls, spec: DatasetSpec | None = None
+    ) -> "NormalityClassifier":
+        """Train on a freshly generated simulator corpus."""
+        traces, labels = generate_dataset(spec)
+        return cls().fit(traces, labels)
+
+    # -- inference ------------------------------------------------------------
+    def classify(self, trace: Voltammogram) -> NormalityReport:
+        """Full verdict for one trace."""
+        if not self._fitted:
+            raise NotFittedError(
+                "classifier not trained; call fit() or train_default()"
+            )
+        features = extract_features(trace)[None, :]
+        proba = self.ensemble.predict_proba(features)[0]
+        assert self.ensemble.classes_ is not None
+        classes = [str(c) for c in self.ensemble.classes_]
+        best = int(np.argmax(proba))
+        label = classes[best]
+        return NormalityReport(
+            label=label,
+            normal=(label == FaultKind.NONE.value),
+            confidence=float(proba[best]),
+            probabilities={c: float(p) for c, p in zip(classes, proba)},
+        )
+
+    def is_normal(self, trace: Voltammogram) -> bool:
+        """Binary convenience wrapper."""
+        return self.classify(trace).normal
+
+    @property
+    def oob_score(self) -> float:
+        """Out-of-bag accuracy of the underlying ensemble."""
+        return self.ensemble.oob_score_

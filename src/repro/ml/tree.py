@@ -1,0 +1,219 @@
+"""CART decision tree for classification, from scratch on numpy.
+
+Axis-aligned binary splits chosen by Gini impurity reduction, with the
+usual regularisers (max depth, minimum leaf size, minimum impurity
+decrease). Split search is vectorised per feature: candidate thresholds
+are midpoints between consecutive sorted unique values, and class counts
+are accumulated with cumulative sums rather than per-threshold rescans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """Internal tree node (leaf when ``feature`` is None)."""
+
+    prediction: np.ndarray  # class probability vector
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity for one or many count vectors (last axis = classes)."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        proportions = np.where(totals > 0, counts / totals, 0.0)
+    return 1.0 - (proportions**2).sum(axis=-1)
+
+
+class DecisionTreeClassifier:
+    """A single CART tree.
+
+    Args:
+        max_depth: depth limit (None = unbounded).
+        min_samples_leaf: smallest admissible leaf.
+        min_impurity_decrease: prune-in-advance threshold.
+        max_features: features examined per split (None = all; used by
+            the bagged ensemble for decorrelation).
+        random_state: seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise MLError("max_depth must be >= 1 or None")
+        if min_samples_leaf < 1:
+            raise MLError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int = 0
+        self.node_count_: int = 0
+
+    # -- fitting ---------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise MLError(f"x must be 2-D, got shape {x.shape}")
+        if len(x) != len(y):
+            raise MLError("x and y lengths differ")
+        if len(x) == 0:
+            raise MLError("cannot fit on an empty dataset")
+        self.classes_, y_encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = x.shape[1]
+        self.node_count_ = 0
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._build(x, y_encoded, depth=0, rng=rng)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        assert self.classes_ is not None
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(np.float64)
+        self.node_count_ += 1
+        return _Node(prediction=counts / counts.sum())
+
+    def _build(
+        self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        n_samples = len(y)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or n_samples < 2 * self.min_samples_leaf
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y)
+
+        split = self._best_split(x, y, rng)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        node = self._leaf(y)  # prediction doubles as the fallback distribution
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1, rng)
+        node.right = self._build(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float] | None:
+        assert self.classes_ is not None
+        n_samples, n_features = x.shape
+        n_classes = len(self.classes_)
+        parent_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        parent_impurity = float(_gini(parent_counts))
+
+        if self.max_features is not None and self.max_features < n_features:
+            features = rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        best: tuple[float, int, float] | None = None
+        one_hot = np.zeros((n_samples, n_classes))
+        one_hot[np.arange(n_samples), y] = 1.0
+
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            if values[0] == values[-1]:
+                continue
+            # cumulative class counts after each sorted sample
+            cum = np.cumsum(one_hot[order], axis=0)
+            # candidate boundaries: between distinct consecutive values,
+            # respecting the leaf-size minimum
+            boundary = np.nonzero(values[1:] > values[:-1])[0]
+            boundary = boundary[
+                (boundary + 1 >= self.min_samples_leaf)
+                & (n_samples - boundary - 1 >= self.min_samples_leaf)
+            ]
+            if len(boundary) == 0:
+                continue
+            left_counts = cum[boundary]
+            right_counts = parent_counts[None, :] - left_counts
+            n_left = boundary + 1
+            n_right = n_samples - n_left
+            weighted = (
+                n_left * _gini(left_counts) + n_right * _gini(right_counts)
+            ) / n_samples
+            index = int(np.argmin(weighted))
+            decrease = parent_impurity - float(weighted[index])
+            if decrease <= self.min_impurity_decrease:
+                continue
+            threshold = 0.5 * (
+                values[boundary[index]] + values[boundary[index] + 1]
+            )
+            if best is None or decrease > best[0]:
+                best = (decrease, int(feature), float(threshold))
+
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- inference ------------------------------------------------------------
+    def _require_fitted(self) -> _Node:
+        if self._root is None or self.classes_ is None:
+            raise NotFittedError("fit() the tree before predicting")
+        return self._root
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probability matrix (n_samples, n_classes)."""
+        root = self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n_features_:
+            raise MLError(
+                f"expected {self.n_features_} features, got {x.shape[1]}"
+            )
+        out = np.empty((len(x), len(self.classes_)))
+        for i, row in enumerate(x):
+            node = root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class labels."""
+        proba = self.predict_proba(x)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        root = self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(root)

@@ -1,0 +1,114 @@
+"""Per-host ingress firewall with ordered rules.
+
+Paper §4.1: "we align the facilities' network domains, and open ingress
+TCP ports on workstation firewalls to enable data and control traffic
+across ICE networks". The model evaluates rules first-match-wins against
+(source host, source facility, destination port); the default policy is
+deny, so an ICE deployment must explicitly open its Pyro and file-share
+ports — the integration tests exercise both the open and the forgotten-
+rule paths.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import FirewallDeniedError
+
+
+class Action(Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One ingress rule.
+
+    Attributes:
+        action: ALLOW or DENY.
+        src_host: glob over the source host name (``"*"`` matches any).
+        src_facility: glob over the source facility name.
+        port_range: inclusive (low, high) destination TCP ports.
+        comment: free text shown in audit logs.
+    """
+
+    action: Action
+    src_host: str = "*"
+    src_facility: str = "*"
+    port_range: tuple[int, int] = (1, 65535)
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        low, high = self.port_range
+        if not (0 < low <= high < 65536):
+            raise ValueError(f"invalid port range {self.port_range}")
+
+    def matches(self, src_host: str, src_facility: str, dst_port: int) -> bool:
+        low, high = self.port_range
+        return (
+            low <= dst_port <= high
+            and fnmatch.fnmatchcase(src_host, self.src_host)
+            and fnmatch.fnmatchcase(src_facility, self.src_facility)
+        )
+
+
+class Firewall:
+    """Ordered first-match rule list with a default policy.
+
+    The default policy is DENY: a fresh host accepts nothing, exactly like
+    a lab Windows box before IT opens the Pyro port.
+    """
+
+    def __init__(self, default: Action = Action.DENY):
+        self.default = default
+        self._rules: list[FirewallRule] = []
+        self.evaluations = 0
+        self.denials = 0
+
+    def add_rule(self, rule: FirewallRule) -> None:
+        """Append a rule (lowest priority so far)."""
+        self._rules.append(rule)
+
+    def allow_port(
+        self,
+        port: int,
+        src_host: str = "*",
+        src_facility: str = "*",
+        comment: str = "",
+    ) -> None:
+        """Convenience: open a single ingress port."""
+        self.add_rule(
+            FirewallRule(
+                action=Action.ALLOW,
+                src_host=src_host,
+                src_facility=src_facility,
+                port_range=(port, port),
+                comment=comment,
+            )
+        )
+
+    @property
+    def rules(self) -> list[FirewallRule]:
+        return list(self._rules)
+
+    def evaluate(self, src_host: str, src_facility: str, dst_port: int) -> Action:
+        """First matching rule's action, else the default policy."""
+        self.evaluations += 1
+        for rule in self._rules:
+            if rule.matches(src_host, src_facility, dst_port):
+                if rule.action is Action.DENY:
+                    self.denials += 1
+                return rule.action
+        if self.default is Action.DENY:
+            self.denials += 1
+        return self.default
+
+    def check(self, src_host: str, src_facility: str, dst_port: int) -> None:
+        """Raise :class:`FirewallDeniedError` unless traffic is allowed."""
+        if self.evaluate(src_host, src_facility, dst_port) is Action.DENY:
+            raise FirewallDeniedError(
+                f"ingress to port {dst_port} from {src_facility}/{src_host} denied"
+            )

@@ -1,0 +1,202 @@
+"""Link characteristics and contention.
+
+A :class:`LinkSpec` is the static description (propagation latency,
+bandwidth, optional jitter). A :class:`SharedLink` is the runtime object:
+one transmission at a time, so when a bulk data transfer and a control
+command share a link the control command queues behind the data frames —
+which is precisely the effect the paper's channel-separation design
+eliminates, and what benchmark CH1 measures.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.clock import Clock, WALL
+from repro.errors import LinkDownError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link parameters.
+
+    Attributes:
+        latency_s: one-way propagation delay in seconds.
+        bandwidth_bps: capacity in bits per second (None = infinite).
+        jitter_s: uniform jitter amplitude added to latency (0 disables).
+    """
+
+    latency_s: float = 0.0
+    bandwidth_bps: float | None = None
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be > 0, got {self.bandwidth_bps}")
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds the link is occupied pushing ``size_bytes``."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        return (size_bytes * 8.0) / self.bandwidth_bps
+
+
+# Common presets used by the facility builder.
+LAN_HUB = LinkSpec(latency_s=0.0002, bandwidth_bps=1e9)  # instrument hub, 1 GbE
+SITE_BACKBONE = LinkSpec(latency_s=0.0005, bandwidth_bps=10e9)  # campus core
+CROSS_FACILITY = LinkSpec(latency_s=0.002, bandwidth_bps=1e9)  # ACL <-> K200
+SERIAL_USB = LinkSpec(latency_s=0.001, bandwidth_bps=1e6)  # instrument tether
+
+
+class SharedLink:
+    """Runtime link with first-come-first-served transmission.
+
+    ``transmit`` blocks the calling thread for the serialisation time while
+    holding the link, then charges propagation latency after release —
+    multiple frames pipeline through propagation but not through the
+    transmitter, matching a store-and-forward hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: LinkSpec,
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.name = name
+        self.spec = spec
+        self.clock = clock or WALL
+        self._rng = rng or random.Random(0xC0FFEE)
+        self._tx_lock = threading.Lock()
+        self._up = True
+        self.bytes_carried = 0
+        self.transmissions = 0
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/drop the link (fault injection)."""
+        self._up = up
+
+    def transmit(
+        self,
+        size_bytes: int,
+        charge_latency: bool = True,
+        priority: int = 1,
+    ) -> float:
+        """Charge one frame's traversal.
+
+        ``priority`` is accepted for interface uniformity with
+        :class:`PriorityLink` and ignored here (plain FCFS).
+
+        Serialisation time is always charged under the transmitter lock
+        (that is where contention lives). Propagation latency is either
+        slept here (default) or *returned* for the caller to charge in one
+        batch — a multi-hop path sleeps once instead of per hop, which
+        matters because ``time.sleep`` has ~1 ms granularity.
+
+        Returns:
+            Seconds of propagation latency still owed (0 when charged).
+
+        Raises:
+            LinkDownError: the link is down.
+        """
+        if not self._up:
+            raise LinkDownError(f"link {self.name} is down")
+        with self._tx_lock:
+            if not self._up:
+                raise LinkDownError(f"link {self.name} went down mid-queue")
+            self.clock.sleep(self.spec.transmission_time(size_bytes))
+            self.bytes_carried += size_bytes
+            self.transmissions += 1
+        latency = self.spec.latency_s
+        if self.spec.jitter_s:
+            latency += self._rng.uniform(0.0, self.spec.jitter_s)
+        if charge_latency:
+            self.clock.sleep(latency)
+            return 0.0
+        return latency
+
+    def __repr__(self) -> str:
+        return f"SharedLink({self.name!r}, {self.spec})"
+
+
+class PriorityLink(SharedLink):
+    """A shared link with segmented, priority-preemptive transmission.
+
+    Alternative to *physically* separate channels (paper §3.1): one link,
+    but frames are serialised in MTU-sized segments and the transmitter
+    re-arbitrates by priority at every segment boundary — a queued
+    control frame (priority 0) waits for at most one in-flight *segment*
+    of a bulk transfer (priority 1), not the whole frame. This is how
+    real QoS queuing disciplines bound control latency on shared links.
+
+    The CH1 benchmark compares all three designs: shared FCFS,
+    priority-queued shared, and physically separate.
+    """
+
+    #: re-arbitration granularity (a jumbo-frame-ish segment)
+    SEGMENT_BYTES = 16 * 1024
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queue: list[tuple[int, int]] = []  # (priority, ticket)
+        self._ticket_counter = 0
+        self._busy = False
+        self._gate = threading.Condition()
+
+    def _acquire_turn(self, priority: int) -> None:
+        with self._gate:
+            self._ticket_counter += 1
+            me = (priority, self._ticket_counter)
+            self._queue.append(me)
+            self._queue.sort()
+            while self._busy or self._queue[0] != me:
+                self._gate.wait()
+            self._queue.remove(me)
+            self._busy = True
+
+    def _release_turn(self) -> None:
+        with self._gate:
+            self._busy = False
+            self._gate.notify_all()
+
+    def transmit(
+        self,
+        size_bytes: int,
+        charge_latency: bool = True,
+        priority: int = 1,
+    ) -> float:
+        if not self._up:
+            raise LinkDownError(f"link {self.name} is down")
+        remaining = size_bytes
+        while True:
+            segment = min(remaining, self.SEGMENT_BYTES)
+            self._acquire_turn(priority)
+            try:
+                if not self._up:
+                    raise LinkDownError(f"link {self.name} went down mid-queue")
+                self.clock.sleep(self.spec.transmission_time(segment))
+                self.bytes_carried += segment
+            finally:
+                self._release_turn()
+            remaining -= segment
+            if remaining <= 0:
+                break
+        self.transmissions += 1
+        latency = self.spec.latency_s
+        if self.spec.jitter_s:
+            latency += self._rng.uniform(0.0, self.spec.jitter_s)
+        if charge_latency:
+            self.clock.sleep(latency)
+            return 0.0
+        return latency

@@ -1,0 +1,304 @@
+"""Byte-stream transport over the modelled topology.
+
+:class:`SimNetwork` plays the role of the sockets API for simulated hosts:
+servers ``listen(host, port)``, clients ``connect(src_host, dst_host,
+port)``. A connection charges every frame against the links of the routed
+path (transmission + propagation, with contention through
+:class:`~repro.net.links.SharedLink`), and the destination host's firewall
+is consulted at connect time — a missing ingress rule fails the dial, just
+like the real deployment before the port was opened.
+
+The returned listener/connection objects satisfy the
+:mod:`repro.rpc.transport` interface, so RPC daemons and proxies, and the
+data-channel file share, run over the simulation unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, WALL
+from repro.errors import (
+    AddressInUseError,
+    CommunicationError,
+    ConnectionClosedError,
+    NetworkError,
+)
+from repro.net.links import SharedLink
+from repro.net.topology import Topology
+
+
+class _BytePipe:
+    """One direction of a connection: ordered bytes + close flag."""
+
+    def __init__(self) -> None:
+        self.chunks: deque[bytes] = deque()
+        self.buffered = 0
+        self.lock = threading.Lock()
+        self.ready = threading.Condition(self.lock)
+        self.closed = False
+
+    def push(self, data: bytes) -> None:
+        with self.ready:
+            self.chunks.append(data)
+            self.buffered += len(data)
+            self.ready.notify_all()
+
+    def close(self) -> None:
+        with self.ready:
+            self.closed = True
+            self.ready.notify_all()
+
+
+class SimConnection:
+    """One endpoint of an established simulated connection."""
+
+    def __init__(
+        self,
+        local_host: str,
+        peer_host: str,
+        rx: _BytePipe,
+        tx: _BytePipe,
+        path: list[SharedLink],
+        clock: Clock,
+        priority: int = 1,
+    ):
+        self.local_host = local_host
+        self.peer_host = peer_host
+        self._rx = rx
+        self._tx = tx
+        self._path = path
+        self._clock = clock
+        self.priority = priority
+        self._timeout: float | None = None
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- Connection interface --------------------------------------------
+    def sendall(self, data: bytes) -> None:
+        if self._closed or self._tx.closed:
+            raise ConnectionClosedError(
+                f"connection {self.local_host}->{self.peer_host} is closed"
+            )
+        # Charge each hop; SharedLink serialises concurrent senders, which
+        # is where cross-traffic delay comes from in benchmark CH1.
+        # Propagation latency is accumulated and slept once (time.sleep
+        # granularity makes per-hop micro-sleeps dominate otherwise).
+        pending_latency = 0.0
+        for link in self._path:
+            pending_latency += link.transmit(
+                len(data), charge_latency=False, priority=self.priority
+            )
+        if pending_latency > 0.0:
+            self._clock.sleep(pending_latency)
+        self._tx.push(data)
+        self.bytes_sent += len(data)
+
+    def recv_exactly(self, size: int) -> bytes:
+        out = bytearray()
+        # The receive timeout guards a *real* thread blocking on a real
+        # condition variable, so it must run on wall time even when the
+        # simulation charges latency on a virtual clock.
+        deadline = (
+            None if self._timeout is None else time.monotonic() + self._timeout
+        )
+        with self._rx.ready:
+            while len(out) < size:
+                if self._rx.buffered:
+                    needed = size - len(out)
+                    chunk = self._rx.chunks[0]
+                    if len(chunk) <= needed:
+                        out += self._rx.chunks.popleft()
+                        self._rx.buffered -= len(chunk)
+                    else:
+                        out += chunk[:needed]
+                        self._rx.chunks[0] = chunk[needed:]
+                        self._rx.buffered -= needed
+                    continue
+                if self._rx.closed:
+                    raise ConnectionClosedError(
+                        f"peer {self.peer_host} closed with "
+                        f"{size - len(out)} bytes pending"
+                    )
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise CommunicationError(
+                            f"recv from {self.peer_host} timed out"
+                        )
+                    self._rx.ready.wait(timeout=remaining)
+                else:
+                    self._rx.ready.wait()
+        self.bytes_received += size
+        return bytes(out)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._tx.close()
+            self._rx.close()
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._timeout = timeout
+
+    @property
+    def peer(self) -> str:
+        return self.peer_host
+
+
+@dataclass
+class _PendingDial:
+    connection_for_server: SimConnection
+    ready: threading.Event = field(default_factory=threading.Event)
+
+
+class SimListener:
+    """Server side of an address binding."""
+
+    def __init__(self, network: "SimNetwork", host: str, port: int):
+        self._network = network
+        self._host = host
+        self._port = port
+        self._backlog: deque[_PendingDial] = deque()
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self._port)
+
+    def _enqueue(self, dial: _PendingDial) -> None:
+        with self._arrival:
+            if self._closed:
+                raise ConnectionClosedError(
+                    f"listener {self._host}:{self._port} is closed"
+                )
+            self._backlog.append(dial)
+            self._arrival.notify()
+
+    def accept(self) -> SimConnection:
+        with self._arrival:
+            while not self._backlog:
+                if self._closed:
+                    raise ConnectionClosedError(
+                        f"listener {self._host}:{self._port} is closed"
+                    )
+                self._arrival.wait()
+            dial = self._backlog.popleft()
+        dial.ready.set()
+        return dial.connection_for_server
+
+    def close(self) -> None:
+        with self._arrival:
+            self._closed = True
+            self._arrival.notify_all()
+        self._network._unbind(self._host, self._port)
+
+
+class SimNetwork:
+    """Sockets facade over a :class:`~repro.net.topology.Topology`."""
+
+    def __init__(self, topology: Topology, clock: Clock | None = None):
+        self.topology = topology
+        self.clock = clock or topology.clock or WALL
+        self._listeners: dict[tuple[str, int], SimListener] = {}
+        self._lock = threading.Lock()
+        self.connects_attempted = 0
+        self.connects_denied = 0
+
+    # -- server side ---------------------------------------------------------
+    def listen(self, host: str, port: int) -> SimListener:
+        """Bind a listener at (host, port)."""
+        self.topology.host(host)  # validate
+        if not 0 < port < 65536:
+            raise NetworkError(f"port out of range: {port}")
+        with self._lock:
+            key = (host, port)
+            if key in self._listeners:
+                raise AddressInUseError(f"{host}:{port} already bound")
+            listener = SimListener(self, host, port)
+            self._listeners[key] = listener
+            return listener
+
+    def _unbind(self, host: str, port: int) -> None:
+        with self._lock:
+            self._listeners.pop((host, port), None)
+
+    # -- client side ---------------------------------------------------------
+    def connect(
+        self,
+        src_host: str,
+        dst_host: str,
+        port: int,
+        allowed_networks: set[str] | None = None,
+        priority: int = 1,
+    ) -> SimConnection:
+        """Dial ``dst_host:port`` from ``src_host``.
+
+        Checks routing (optionally restricted to ``allowed_networks`` —
+        the channel-separation mechanism), then the destination firewall
+        (source facility and host are what rules match on), then completes
+        the handshake with a round trip of connection-setup latency.
+        """
+        self.connects_attempted += 1
+        source = self.topology.host(src_host)
+        self.topology.host(dst_host)
+        path = self.topology.route(src_host, dst_host, allowed_networks)
+
+        try:
+            self.topology.host(dst_host).firewall.check(
+                src_host, source.facility, port
+            )
+        except Exception:
+            self.connects_denied += 1
+            raise
+
+        with self._lock:
+            listener = self._listeners.get((dst_host, port))
+        if listener is None:
+            raise CommunicationError(f"connection refused: {dst_host}:{port}")
+
+        client_to_server = _BytePipe()
+        server_to_client = _BytePipe()
+        reverse_path = list(reversed(path))
+        client_conn = SimConnection(
+            src_host, dst_host, rx=server_to_client, tx=client_to_server,
+            path=path, clock=self.clock, priority=priority,
+        )
+        server_conn = SimConnection(
+            dst_host, src_host, rx=client_to_server, tx=server_to_client,
+            path=reverse_path, clock=self.clock, priority=priority,
+        )
+        # SYN + SYN/ACK: one round trip of pure latency, slept in one go.
+        handshake_latency = 0.0
+        for link in path:
+            handshake_latency += link.transmit(64, charge_latency=False)
+        for link in reverse_path:
+            handshake_latency += link.transmit(64, charge_latency=False)
+        if handshake_latency > 0.0:
+            self.clock.sleep(handshake_latency)
+        dial = _PendingDial(connection_for_server=server_conn)
+        listener._enqueue(dial)
+        return client_conn
+
+    def connection_factory(
+        self,
+        src_host: str,
+        allowed_networks: set[str] | None = None,
+        priority: int = 1,
+    ):
+        """Adapter for :class:`repro.rpc.proxy.Proxy`: dials from a fixed
+        host, optionally pinned to specific hub networks (channel
+        separation) and/or to a transmission priority (QoS mode)."""
+
+        def factory(dst_host: str, port: int) -> SimConnection:
+            return self.connect(
+                src_host, dst_host, port, allowed_networks, priority
+            )
+
+        return factory

@@ -1,0 +1,327 @@
+"""The server side of the remote-object layer.
+
+A :class:`Daemon` owns a listener, a registry of exposed objects, and a
+thread per client connection. ``register`` hands back the ``PYRO:`` URI a
+remote :class:`~repro.rpc.proxy.Proxy` dials (paper Fig 3, server side).
+
+Dispatch rules:
+
+- only methods passing :func:`repro.rpc.expose.is_exposed` are callable;
+- exceptions raised by the target method travel back as ERROR frames with
+  the class name and formatted traceback; the proxy re-raises them as
+  :class:`RemoteInvocationError` (or the matching ``repro.errors`` class
+  when one exists — instrument errors keep their identity end to end);
+- ``@oneway`` methods are acknowledged before execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+import uuid
+from typing import Any
+
+from repro.errors import (
+    ConnectionClosedError,
+    MethodNotExposedError,
+    NamingError,
+    ProtocolError,
+    SerializationError,
+)
+from repro.logging_utils import EventLog
+from repro.rpc.expose import exposed_methods, is_exposed, is_oneway
+from repro.rpc.protocol import (
+    Message,
+    MessageType,
+    error_body,
+    recv_message,
+    send_message,
+    validate_request_body,
+)
+from repro.rpc.transport import Connection, Listener, TCPListener
+
+
+class Daemon:
+    """Serves registered objects over a transport listener.
+
+    Args:
+        host: bind address for the default TCP listener.
+        port: bind port (0 = ephemeral).
+        listener: pre-built listener (e.g. a simulated-network one); when
+            given, ``host``/``port`` are ignored.
+        event_log: optional shared :class:`EventLog` for transcripts.
+        secret: when set, every connection must pass an HMAC-SHA256
+            challenge-response before any request is served (the paper's
+            future-work "security posture" hardening — facility firewalls
+            alone are not authentication).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        listener: Listener | None = None,
+        event_log: EventLog | None = None,
+        secret: bytes | None = None,
+    ):
+        self._listener = listener if listener is not None else TCPListener(host, port)
+        self._secret = secret
+        self._objects: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._running = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._client_threads: list[threading.Thread] = []
+        self._open_connections: set[Connection] = set()
+        self.log = event_log if event_log is not None else EventLog()
+        self.call_count = 0
+
+    # -- registry ------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) clients should dial."""
+        return self._listener.address
+
+    def register(self, obj: Any, object_id: str | None = None) -> str:
+        """Publish ``obj``; returns its ``PYRO:`` URI string."""
+        from repro.rpc.naming import make_uri  # avoid import cycle at module load
+
+        if object_id is None:
+            object_id = f"obj_{uuid.uuid4().hex}"
+        with self._lock:
+            if object_id in self._objects:
+                raise NamingError(f"object id already registered: {object_id!r}")
+            self._objects[object_id] = obj
+        host, port = self.address
+        uri = str(make_uri(object_id, host, port))
+        self.log.emit("daemon", "register", f"registered {object_id} at {uri}")
+        return uri
+
+    def unregister(self, object_id: str) -> None:
+        """Remove an object from the registry."""
+        with self._lock:
+            if object_id not in self._objects:
+                raise NamingError(f"object id not registered: {object_id!r}")
+            del self._objects[object_id]
+
+    def registered_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._objects)
+
+    def _get_object(self, object_id: str) -> Any:
+        with self._lock:
+            try:
+                return self._objects[object_id]
+            except KeyError:
+                raise NamingError(f"no object registered as {object_id!r}") from None
+
+    # -- serving ---------------------------------------------------------------
+    def start_background(self) -> None:
+        """Run the accept loop on a daemon thread (paper's requestLoop)."""
+        if self._running.is_set():
+            return
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-daemon-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def request_loop(self) -> None:
+        """Blocking accept loop; returns after :meth:`shutdown`."""
+        self._running.set()
+        self._accept_loop()
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn = self._listener.accept()
+            except ConnectionClosedError:
+                break
+            with self._lock:
+                self._open_connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"repro-daemon-client-{conn.peer}",
+                daemon=True,
+            )
+            self._client_threads.append(thread)
+            thread.start()
+
+    def shutdown(self) -> None:
+        """Stop serving and drop all live connections."""
+        if not self._running.is_set() and self._accept_thread is None:
+            self._listener.close()
+            return
+        self._running.clear()
+        self._listener.close()
+        with self._lock:
+            connections = list(self._open_connections)
+        for conn in connections:
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        for thread in self._client_threads:
+            thread.join(timeout=5.0)
+        self._client_threads.clear()
+        self.log.emit("daemon", "shutdown", "daemon stopped")
+
+    def __enter__(self) -> "Daemon":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- authentication --------------------------------------------------------
+    def _authenticate(self, conn: Connection) -> bool:
+        """Run the challenge-response; True when the peer may proceed."""
+        import hashlib
+        import hmac
+        import os
+
+        from repro.errors import AuthenticationError
+
+        nonce = os.urandom(32)
+        send_message(
+            conn,
+            Message(MessageType.CHALLENGE, 0, {"nonce": nonce.hex()}),
+        )
+        try:
+            reply = recv_message(conn)
+        except (ConnectionClosedError, ProtocolError, SerializationError):
+            return False
+        expected = hmac.new(self._secret or b"", nonce, hashlib.sha256).hexdigest()
+        provided = (
+            reply.body.get("hmac") if isinstance(reply.body, dict) else None
+        )
+        if (
+            reply.msg_type is not MessageType.AUTH
+            or not isinstance(provided, str)
+            or not hmac.compare_digest(provided, expected)
+        ):
+            self.log.emit("daemon", "auth", f"authentication failed for {conn.peer}")
+            self._try_send_error(
+                conn, reply.seq, AuthenticationError("bad or missing credentials")
+            )
+            return False
+        send_message(conn, Message(MessageType.RESPONSE, reply.seq, {"auth": "ok"}))
+        return True
+
+    # -- per-connection handling -------------------------------------------
+    def _serve_connection(self, conn: Connection) -> None:
+        try:
+            if self._secret is not None and not self._authenticate(conn):
+                return
+            while self._running.is_set():
+                try:
+                    msg = recv_message(conn)
+                except ConnectionClosedError:
+                    break
+                except (ProtocolError, SerializationError) as exc:
+                    # A malformed frame poisons stream framing: report and drop.
+                    self._try_send_error(conn, 0, exc)
+                    break
+                self._handle_message(conn, msg)
+        finally:
+            conn.close()
+            with self._lock:
+                self._open_connections.discard(conn)
+
+    def _handle_message(self, conn: Connection, msg: Message) -> None:
+        if msg.msg_type == MessageType.PING:
+            send_message(conn, Message(MessageType.PONG, msg.seq, None))
+            return
+        if msg.msg_type == MessageType.METADATA:
+            self._handle_metadata(conn, msg)
+            return
+        if msg.msg_type == MessageType.REQUEST:
+            self._handle_request(conn, msg)
+            return
+        self._try_send_error(
+            conn, msg.seq, ProtocolError(f"unexpected message type {msg.msg_type}")
+        )
+
+    def _handle_metadata(self, conn: Connection, msg: Message) -> None:
+        try:
+            object_id = msg.body["object"] if isinstance(msg.body, dict) else None
+            if not isinstance(object_id, str):
+                raise ProtocolError("metadata request must name an object")
+            obj = self._get_object(object_id)
+            methods = exposed_methods(obj)
+            body = {
+                "methods": methods,
+                "oneway": [m for m in methods if is_oneway(obj, m)],
+            }
+            send_message(conn, Message(MessageType.RESPONSE, msg.seq, body))
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self._try_send_error(conn, msg.seq, exc)
+
+    def _handle_request(self, conn: Connection, msg: Message) -> None:
+        try:
+            object_id, method_name, args, kwargs = validate_request_body(msg.body)
+            obj = self._get_object(object_id)
+            if not is_exposed(obj, method_name):
+                raise MethodNotExposedError(
+                    f"method {method_name!r} of {object_id!r} is not exposed"
+                )
+            bound = getattr(obj, method_name)
+        except Exception as exc:  # noqa: BLE001
+            if not msg.oneway:
+                self._try_send_error(conn, msg.seq, exc)
+            return
+
+        if msg.oneway or is_oneway(obj, method_name):
+            if not msg.oneway:
+                # Client used a normal call on a @oneway method: ack first.
+                send_message(conn, Message(MessageType.RESPONSE, msg.seq, None))
+            self._invoke_logged(object_id, method_name, bound, args, kwargs, swallow=True)
+            return
+
+        try:
+            result = self._invoke_logged(object_id, method_name, bound, args, kwargs)
+        except Exception as exc:  # noqa: BLE001 - remote errors travel as frames
+            self._try_send_error(conn, msg.seq, exc)
+            return
+        try:
+            send_message(conn, Message(MessageType.RESPONSE, msg.seq, {"result": result}))
+        except SerializationError as exc:
+            self._try_send_error(conn, msg.seq, exc)
+
+    def _invoke_logged(
+        self,
+        object_id: str,
+        method_name: str,
+        bound: Any,
+        args: list,
+        kwargs: dict,
+        swallow: bool = False,
+    ) -> Any:
+        self.call_count += 1
+        self.log.emit(
+            "daemon", "call", f"{object_id}.{method_name}", args=len(args)
+        )
+        try:
+            return bound(*args, **kwargs)
+        except Exception:
+            if swallow:
+                self.log.emit(
+                    "daemon",
+                    "oneway-error",
+                    f"{object_id}.{method_name} raised (oneway, dropped)",
+                )
+                return None
+            raise
+
+    def _try_send_error(self, conn: Connection, seq: int, exc: Exception) -> None:
+        body = error_body(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+        try:
+            send_message(conn, Message(MessageType.ERROR, seq, body))
+        except (ConnectionClosedError, SerializationError):
+            pass

@@ -1,0 +1,120 @@
+"""URI handling and the name server.
+
+URIs follow Pyro's shape: ``PYRO:ObjectId@host:port``. The name server is
+itself an exposed object served by an ordinary daemon, mapping logical
+names (``"acl.jkem"``) to URIs so workflow code does not hard-code ports.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+
+from repro.errors import NamingError
+from repro.rpc.expose import expose
+
+_URI_RE = re.compile(
+    r"^PYRO:(?P<object_id>[A-Za-z0-9_.\-]+)@(?P<host>[A-Za-z0-9_.\-]+):(?P<port>\d{1,5})$"
+)
+
+NS_OBJECT_ID = "NameServer"
+
+
+@dataclass(frozen=True)
+class PyroURI:
+    """Parsed remote-object address."""
+
+    object_id: str
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"PYRO:{self.object_id}@{self.host}:{self.port}"
+
+
+def parse_uri(uri: str | PyroURI) -> PyroURI:
+    """Parse a ``PYRO:ObjectId@host:port`` string.
+
+    Raises:
+        NamingError: the string does not match the URI grammar.
+    """
+    if isinstance(uri, PyroURI):
+        return uri
+    match = _URI_RE.match(uri)
+    if not match:
+        raise NamingError(f"invalid PYRO URI: {uri!r}")
+    port = int(match.group("port"))
+    if not 0 < port < 65536:
+        raise NamingError(f"port out of range in URI: {uri!r}")
+    return PyroURI(
+        object_id=match.group("object_id"),
+        host=match.group("host"),
+        port=port,
+    )
+
+
+def make_uri(object_id: str, host: str, port: int) -> PyroURI:
+    """Build and validate a URI from parts."""
+    return parse_uri(f"PYRO:{object_id}@{host}:{port}")
+
+
+@expose
+class NameServer:
+    """Logical-name → URI registry, served like any other remote object."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, uri: str, replace: bool = True) -> None:
+        """Bind ``name`` to ``uri`` (validated)."""
+        parse_uri(uri)  # reject garbage before it enters the registry
+        with self._lock:
+            if not replace and name in self._entries:
+                raise NamingError(f"name already registered: {name!r}")
+            self._entries[name] = uri
+
+    def lookup(self, name: str) -> str:
+        """Return the URI bound to ``name``."""
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise NamingError(f"unknown name: {name!r}") from None
+
+    def unregister(self, name: str) -> None:
+        """Remove a binding; missing names raise."""
+        with self._lock:
+            if name not in self._entries:
+                raise NamingError(f"unknown name: {name!r}")
+            del self._entries[name]
+
+    def list(self, prefix: str = "") -> dict[str, str]:
+        """All bindings whose name starts with ``prefix``."""
+        with self._lock:
+            return {
+                name: uri
+                for name, uri in self._entries.items()
+                if name.startswith(prefix)
+            }
+
+
+def start_name_server(host: str = "127.0.0.1", port: int = 0):
+    """Convenience: serve a fresh NameServer on a background daemon.
+
+    Returns ``(daemon, uri)``. Caller owns the daemon's shutdown.
+    """
+    from repro.rpc.daemon import Daemon  # local import to avoid cycle
+
+    daemon = Daemon(host=host, port=port)
+    uri = daemon.register(NameServer(), object_id=NS_OBJECT_ID)
+    daemon.start_background()
+    return daemon, uri
+
+
+def locate_name_server(host: str, port: int):
+    """Return a proxy to the name server at ``host:port``."""
+    from repro.rpc.proxy import Proxy  # local import to avoid cycle
+
+    return Proxy(make_uri(NS_OBJECT_ID, host, port))

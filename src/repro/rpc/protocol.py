@@ -1,0 +1,154 @@
+"""Binary frame protocol carried over the control-channel transport.
+
+Every message is one frame::
+
+    offset  size  field
+    0       4     magic  b"RICE"  (Repro Instrument-Computing Ecosystem)
+    4       1     version (currently 1)
+    5       1     message type
+    6       2     flags
+    8       4     sequence id (request/response correlation)
+    12      4     payload length N
+    16      N     payload (see repro.rpc.serialization)
+
+The fixed 16-byte header keeps parsing trivial and lets either side reject
+garbage immediately (wrong magic) instead of desynchronising.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Protocol
+
+from repro.errors import ProtocolError
+from repro.rpc.serialization import deserialize, serialize
+
+MAGIC = b"RICE"
+VERSION = 1
+HEADER = struct.Struct("!4sBBHII")
+HEADER_SIZE = HEADER.size  # 16
+MAX_PAYLOAD = 256 * 1024 * 1024  # defensive cap: 256 MiB
+
+FLAG_ONEWAY = 0x0001
+
+
+class MessageType(IntEnum):
+    """Frame discriminator."""
+
+    REQUEST = 1
+    RESPONSE = 2
+    ERROR = 3
+    PING = 4
+    PONG = 5
+    METADATA = 6
+    CHALLENGE = 7  # server -> client: authenticate before anything else
+    AUTH = 8  # client -> server: HMAC over the challenge nonce
+
+
+class Stream(Protocol):
+    """What the protocol needs from a transport connection."""
+
+    def sendall(self, data: bytes) -> None: ...
+
+    def recv_exactly(self, size: int) -> bytes: ...
+
+
+@dataclass(frozen=True)
+class Message:
+    """A decoded frame."""
+
+    msg_type: MessageType
+    seq: int
+    body: Any
+    flags: int = 0
+
+    @property
+    def oneway(self) -> bool:
+        return bool(self.flags & FLAG_ONEWAY)
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialise a message to one contiguous frame."""
+    payload = serialize(msg.body)
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD={MAX_PAYLOAD}"
+        )
+    header = HEADER.pack(
+        MAGIC, VERSION, int(msg.msg_type), msg.flags, msg.seq, len(payload)
+    )
+    return header + payload
+
+
+def send_message(stream: Stream, msg: Message) -> None:
+    """Write one frame to the stream."""
+    stream.sendall(encode_message(msg))
+
+
+def recv_message(stream: Stream) -> Message:
+    """Read one frame from the stream.
+
+    Raises:
+        ConnectionClosedError: peer closed before a full frame arrived.
+        ProtocolError: bad magic, version, type, or oversized payload.
+    """
+    header = stream.recv_exactly(HEADER_SIZE)
+    magic, version, raw_type, flags, seq, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    try:
+        msg_type = MessageType(raw_type)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {raw_type}") from exc
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload {length} exceeds MAX_PAYLOAD={MAX_PAYLOAD}"
+        )
+    payload = stream.recv_exactly(length) if length else b""
+    return Message(msg_type=msg_type, seq=seq, body=deserialize(payload), flags=flags)
+
+
+# --------------------------------------------------------------------------
+# Body shapes (kept as plain dicts on the wire; helpers build/validate them)
+# --------------------------------------------------------------------------
+def request_body(
+    object_id: str, method: str, args: tuple, kwargs: dict
+) -> dict[str, Any]:
+    """Build a REQUEST body."""
+    return {
+        "object": object_id,
+        "method": method,
+        "args": list(args),
+        "kwargs": kwargs,
+    }
+
+
+def validate_request_body(body: Any) -> tuple[str, str, list, dict]:
+    """Check a decoded REQUEST body; returns (object_id, method, args, kwargs)."""
+    if not isinstance(body, dict):
+        raise ProtocolError(f"request body must be a dict, got {type(body).__name__}")
+    try:
+        object_id = body["object"]
+        method = body["method"]
+        args = body.get("args", [])
+        kwargs = body.get("kwargs", {})
+    except KeyError as exc:
+        raise ProtocolError(f"request body missing field {exc}") from exc
+    if not isinstance(object_id, str) or not isinstance(method, str):
+        raise ProtocolError("request object id and method must be strings")
+    if not isinstance(args, list) or not isinstance(kwargs, dict):
+        raise ProtocolError("request args/kwargs have wrong container types")
+    return object_id, method, args, kwargs
+
+
+def error_body(error_type: str, message: str, traceback_text: str) -> dict[str, Any]:
+    """Build an ERROR body."""
+    return {
+        "error_type": error_type,
+        "message": message,
+        "traceback": traceback_text,
+    }

@@ -1,0 +1,241 @@
+"""The client side of the remote-object layer (paper Fig 3, client side).
+
+A :class:`Proxy` dials the daemon named by a ``PYRO:`` URI and forwards
+attribute calls::
+
+    with Proxy("PYRO:ACL_Workstation@10.2.11.161:9690") as ws:
+        ws.call_Initialize_SP200_API(params)
+
+One proxy holds one connection; calls on it are serialised by a lock (same
+contract as Pyro4 — share across threads or clone per thread). Remote
+exceptions re-raise locally: known :mod:`repro.errors` classes keep their
+type, anything else becomes :class:`RemoteInvocationError` carrying the
+remote traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+import repro.errors as _errors_module
+from repro.errors import (
+    CommunicationError,
+    ProtocolError,
+    RemoteInvocationError,
+    ReproError,
+)
+from repro.rpc.naming import PyroURI, parse_uri
+from repro.rpc.protocol import (
+    FLAG_ONEWAY,
+    Message,
+    MessageType,
+    recv_message,
+    request_body,
+    send_message,
+)
+from repro.rpc.transport import Connection, connect_tcp
+
+
+def _rebuild_remote_error(body: dict) -> Exception:
+    """Map an ERROR frame body to the most faithful local exception."""
+    error_type = body.get("error_type", "Exception")
+    message = body.get("message", "")
+    traceback_text = body.get("traceback", "")
+    candidate = getattr(_errors_module, error_type, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, ReproError)
+        and candidate.__init__ in (ReproError.__init__, Exception.__init__)
+    ):
+        return candidate(message)
+    return RemoteInvocationError(
+        f"remote call raised {error_type}: {message}",
+        remote_type=error_type,
+        remote_traceback=traceback_text,
+    )
+
+
+class _RemoteMethod:
+    """Callable bound to one remote method name."""
+
+    def __init__(self, proxy: "Proxy", name: str):
+        self._proxy = proxy
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._proxy._call(self._name, args, kwargs)
+
+    def oneway(self, *args: Any, **kwargs: Any) -> None:
+        """Fire-and-forget variant: no reply is awaited."""
+        self._proxy._call(self._name, args, kwargs, oneway=True)
+
+
+class Proxy:
+    """Client handle to one remote object.
+
+    Args:
+        uri: ``PYRO:ObjectId@host:port`` string or :class:`PyroURI`.
+        timeout: per-call deadline in seconds (None = block).
+        connection_factory: override how the byte stream is opened — the
+            simulated network passes its own dialer here.
+        secret: shared secret for daemons that require the HMAC
+            challenge-response handshake.
+    """
+
+    def __init__(
+        self,
+        uri: str | PyroURI,
+        timeout: float | None = 10.0,
+        connection_factory: Callable[[str, int], Connection] | None = None,
+        secret: bytes | None = None,
+    ):
+        self._uri = parse_uri(uri)
+        self._timeout = timeout
+        self._secret = secret
+        self._connect_fn = connection_factory or (
+            lambda host, port: connect_tcp(host, port, timeout=timeout)
+        )
+        self._conn: Connection | None = None
+        self._seq = 0
+        self._lock = threading.RLock()
+        self._metadata: dict[str, Any] | None = None
+
+    # -- connection management ----------------------------------------------
+    @property
+    def uri(self) -> PyroURI:
+        return self._uri
+
+    @property
+    def connected(self) -> bool:
+        return self._conn is not None
+
+    def _ensure_connected(self) -> Connection:
+        if self._conn is None:
+            conn = self._connect_fn(self._uri.host, self._uri.port)
+            conn.settimeout(self._timeout)
+            if self._secret is not None:
+                self._answer_challenge(conn)
+            self._conn = conn
+        return self._conn
+
+    def _answer_challenge(self, conn: Connection) -> None:
+        """Complete the daemon's HMAC handshake before first use."""
+        import hashlib
+        import hmac
+
+        from repro.errors import AuthenticationError
+
+        challenge = recv_message(conn)
+        if challenge.msg_type is not MessageType.CHALLENGE or not isinstance(
+            challenge.body, dict
+        ):
+            conn.close()
+            raise AuthenticationError(
+                "server did not issue an authentication challenge "
+                "(secret configured on an unauthenticated daemon?)"
+            )
+        nonce = bytes.fromhex(challenge.body.get("nonce", ""))
+        digest = hmac.new(self._secret or b"", nonce, hashlib.sha256).hexdigest()
+        send_message(
+            conn, Message(MessageType.AUTH, challenge.seq, {"hmac": digest})
+        )
+        reply = recv_message(conn)
+        if reply.msg_type is MessageType.ERROR:
+            conn.close()
+            raise AuthenticationError(
+                reply.body.get("message", "authentication rejected")
+                if isinstance(reply.body, dict)
+                else "authentication rejected"
+            )
+
+    def close(self) -> None:
+        """Drop the connection; the proxy reconnects lazily if reused."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+            self._metadata = None
+
+    def __enter__(self) -> "Proxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- calls -----------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) & 0xFFFFFFFF
+        return self._seq
+
+    def _roundtrip(self, msg: Message) -> Message:
+        """Send one frame and read its correlated reply."""
+        conn = self._ensure_connected()
+        try:
+            send_message(conn, msg)
+            if msg.oneway:
+                return msg
+            reply = recv_message(conn)
+        except (CommunicationError, ProtocolError):
+            # connection state is undefined after a failed exchange
+            self.close()
+            raise
+        except _errors_module.ConnectionClosedError:
+            self.close()
+            raise
+        if reply.seq != msg.seq:
+            self.close()
+            raise ProtocolError(
+                f"reply sequence {reply.seq} does not match request {msg.seq}"
+            )
+        return reply
+
+    def _call(
+        self, method: str, args: tuple, kwargs: dict, oneway: bool = False
+    ) -> Any:
+        with self._lock:
+            body = request_body(self._uri.object_id, method, args, kwargs)
+            flags = FLAG_ONEWAY if oneway else 0
+            msg = Message(MessageType.REQUEST, self._next_seq(), body, flags=flags)
+            reply = self._roundtrip(msg)
+            if oneway:
+                return None
+        if reply.msg_type == MessageType.ERROR:
+            raise _rebuild_remote_error(reply.body)
+        if reply.msg_type != MessageType.RESPONSE:
+            raise ProtocolError(f"unexpected reply type {reply.msg_type}")
+        if isinstance(reply.body, dict) and "result" in reply.body:
+            return reply.body["result"]
+        return reply.body
+
+    def _pyro_ping(self) -> None:
+        """Liveness probe (task A of the paper's workflow uses this).
+
+        Named with the underscore prefix (Pyro4's ``_pyroBind`` convention)
+        so it can never shadow a remote method called ``ping``.
+        """
+        with self._lock:
+            reply = self._roundtrip(Message(MessageType.PING, self._next_seq(), None))
+        if reply.msg_type != MessageType.PONG:
+            raise ProtocolError(f"expected PONG, got {reply.msg_type}")
+
+    def _pyro_metadata(self) -> dict[str, Any]:
+        """Exposed-method metadata from the daemon (cached)."""
+        with self._lock:
+            if self._metadata is None:
+                reply = self._roundtrip(
+                    Message(
+                        MessageType.METADATA,
+                        self._next_seq(),
+                        {"object": self._uri.object_id},
+                    )
+                )
+                if reply.msg_type == MessageType.ERROR:
+                    raise _rebuild_remote_error(reply.body)
+                self._metadata = reply.body
+            return self._metadata
+
+    def __getattr__(self, name: str) -> _RemoteMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _RemoteMethod(self, name)

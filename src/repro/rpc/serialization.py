@@ -1,0 +1,170 @@
+"""Wire serialisation: JSON with explicit type tags, no pickle.
+
+The control channel crosses facility boundaries, so the format must be safe
+to deserialise from an untrusted peer: only plain data types are
+reconstructed, never arbitrary classes. NumPy arrays — the measurement
+payloads — travel as base64 raw buffers with dtype and shape, which keeps
+a 10k-point voltammogram to one contiguous copy each way.
+
+Supported round-trip types:
+
+- JSON natives: None, bool, int, float (including nan/inf), str, list, dict
+  with string keys;
+- tagged extensions: bytes, bytearray, tuple, set, frozenset, complex,
+  numpy scalars and ndarrays (C-contiguous copy taken on encode), and dicts
+  with non-string keys.
+
+Anything else raises :class:`SerializationError` on encode; unknown tags
+raise it on decode.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+_TAG = "__repro_type__"
+
+# dtypes we are willing to reconstruct; object/void dtypes would be a
+# deserialisation gadget, so they are rejected on both sides.
+_SAFE_DTYPE_KINDS = frozenset("biufc")  # bool, int, uint, float, complex
+
+
+def _encode(obj: Any, depth: int = 0) -> Any:
+    """Recursively convert ``obj`` into JSON-compatible structures."""
+    if depth > 64:
+        raise SerializationError("value nesting exceeds maximum depth of 64")
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # json emits bare NaN/Infinity tokens which are not strict JSON;
+        # tag them so decode is symmetric and the payload stays standard.
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            return {_TAG: "float", "repr": repr(obj)}
+        return obj
+    if isinstance(obj, (bytes, bytearray)):
+        return {_TAG: "bytes", "data": base64.b64encode(bytes(obj)).decode("ascii")}
+    if isinstance(obj, tuple):
+        return {_TAG: "tuple", "items": [_encode(v, depth + 1) for v in obj]}
+    if isinstance(obj, (set, frozenset)):
+        tag = "frozenset" if isinstance(obj, frozenset) else "set"
+        return {_TAG: tag, "items": [_encode(v, depth + 1) for v in obj]}
+    if isinstance(obj, complex):
+        return {_TAG: "complex", "real": obj.real, "imag": obj.imag}
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind not in _SAFE_DTYPE_KINDS:
+            raise SerializationError(
+                f"refusing to serialise ndarray of dtype {obj.dtype} "
+                f"(kind {obj.dtype.kind!r}); only numeric dtypes travel"
+            )
+        contiguous = np.ascontiguousarray(obj)
+        return {
+            _TAG: "ndarray",
+            "dtype": contiguous.dtype.str,
+            "shape": list(contiguous.shape),
+            "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+        }
+    if isinstance(obj, np.generic):
+        return _encode(obj.item(), depth)
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj):
+            if _TAG in obj:
+                # A user dict that collides with our tag key must be escaped
+                # or it would decode as an extension type.
+                return {
+                    _TAG: "dict",
+                    "items": [
+                        [_encode(k, depth + 1), _encode(v, depth + 1)]
+                        for k, v in obj.items()
+                    ],
+                }
+            return {k: _encode(v, depth + 1) for k, v in obj.items()}
+        return {
+            _TAG: "dict",
+            "items": [
+                [_encode(k, depth + 1), _encode(v, depth + 1)]
+                for k, v in obj.items()
+            ],
+        }
+    if isinstance(obj, list):
+        return [_encode(v, depth + 1) for v in obj]
+    raise SerializationError(
+        f"type {type(obj).__name__} is not serialisable over the control channel"
+    )
+
+
+def _decode(obj: Any) -> Any:
+    """Inverse of :func:`_encode`."""
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    if isinstance(obj, dict):
+        tag = obj.get(_TAG)
+        if tag is None:
+            return {k: _decode(v) for k, v in obj.items()}
+        if tag == "float":
+            value = obj["repr"]
+            if value not in ("nan", "inf", "-inf"):
+                raise SerializationError(f"bad special float repr: {value!r}")
+            return float(value)
+        if tag == "bytes":
+            return base64.b64decode(obj["data"].encode("ascii"))
+        if tag == "tuple":
+            return tuple(_decode(v) for v in obj["items"])
+        if tag == "set":
+            return set(_decode(v) for v in obj["items"])
+        if tag == "frozenset":
+            return frozenset(_decode(v) for v in obj["items"])
+        if tag == "complex":
+            return complex(obj["real"], obj["imag"])
+        if tag == "dict":
+            return {_decode(k): _decode(v) for k, v in obj["items"]}
+        if tag == "ndarray":
+            dtype = np.dtype(obj["dtype"])
+            if dtype.kind not in _SAFE_DTYPE_KINDS:
+                raise SerializationError(
+                    f"refusing to deserialise ndarray dtype {dtype}"
+                )
+            raw = base64.b64decode(obj["data"].encode("ascii"))
+            shape = tuple(int(n) for n in obj["shape"])
+            expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+            count = int(np.prod(shape, dtype=np.int64))
+            if len(raw) != dtype.itemsize * count:
+                raise SerializationError(
+                    f"ndarray payload length {len(raw)} does not match "
+                    f"shape {shape} dtype {dtype} (expected {expected})"
+                )
+            array = np.frombuffer(raw, dtype=dtype).reshape(shape)
+            return array.copy()  # writable, decoupled from the buffer
+        raise SerializationError(f"unknown serialisation tag: {tag!r}")
+    return obj
+
+
+def serialize(obj: Any) -> bytes:
+    """Encode a value to wire bytes (UTF-8 JSON)."""
+    try:
+        return json.dumps(
+            _encode(obj), separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except SerializationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot serialise value: {exc}") from exc
+
+
+def deserialize(data: bytes) -> Any:
+    """Decode wire bytes back to a value.
+
+    Raises:
+        SerializationError: payload is not valid UTF-8 JSON or carries an
+            unknown/malformed type tag.
+    """
+    try:
+        parsed = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot parse wire payload: {exc}") from exc
+    return _decode(parsed)

@@ -1,0 +1,19 @@
+"""Simulated serial ports.
+
+The real workstation connects the J-Kem single-board computer and the SP200
+potentiostat to their control agents over serial/USB links driven with
+pyserial. This package provides an in-memory stand-in with the same
+behavioural contract: byte streams, blocking reads with timeouts, and
+explicit open/close lifecycle.
+
+Use :func:`create_port_pair` to get the two ends of a virtual cable::
+
+    host_port, device_port = create_port_pair("COM3")
+    host_port.write(b"STATUS()\\r\\n")
+    line = device_port.read_until(b"\\r\\n")
+"""
+
+from repro.serialio.port import SerialEndpoint, create_port_pair
+from repro.serialio.framing import LineFramer, CRLF
+
+__all__ = ["SerialEndpoint", "create_port_pair", "LineFramer", "CRLF"]

@@ -1,0 +1,67 @@
+"""Line framing for text command protocols over serial byte streams.
+
+The J-Kem command protocol is line-oriented ASCII terminated by CRLF. A
+byte stream has no message boundaries, so both driver and device use a
+:class:`LineFramer` to turn arbitrary chunks into complete lines.
+"""
+
+from __future__ import annotations
+
+CRLF = b"\r\n"
+
+
+class LineFramer:
+    """Incremental splitter of a byte stream into terminator-delimited lines.
+
+    Feed arbitrary chunks with :meth:`feed`; complete lines (terminator
+    stripped) come back in order. Partial data is retained across calls.
+
+    A ``max_line`` guard protects against a peer that never sends the
+    terminator (e.g. a corrupted link).
+    """
+
+    def __init__(self, terminator: bytes = CRLF, max_line: int = 4096):
+        if not terminator:
+            raise ValueError("terminator must be non-empty")
+        self.terminator = terminator
+        self.max_line = max_line
+        self._pending = bytearray()
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb a chunk; return all lines completed by it."""
+        self._pending += chunk
+        lines: list[bytes] = []
+        while True:
+            index = self._pending.find(self.terminator)
+            if index < 0:
+                break
+            lines.append(bytes(self._pending[:index]))
+            del self._pending[: index + len(self.terminator)]
+        if len(self._pending) > self.max_line:
+            overflow = bytes(self._pending)
+            self._pending.clear()
+            raise ValueError(
+                f"unterminated line exceeded max_line={self.max_line}: "
+                f"{overflow[:64]!r}..."
+            )
+        return lines
+
+    def feed_text(self, chunk: bytes, encoding: str = "ascii") -> list[str]:
+        """Like :meth:`feed` but decodes each completed line."""
+        return [line.decode(encoding) for line in self.feed(chunk)]
+
+    @property
+    def pending(self) -> bytes:
+        """Bytes received after the last terminator (incomplete line)."""
+        return bytes(self._pending)
+
+    def reset(self) -> None:
+        """Drop any partial line (used after a device resync)."""
+        self._pending.clear()
+
+
+def frame_line(text: str, terminator: bytes = CRLF, encoding: str = "ascii") -> bytes:
+    """Encode one command line with its terminator."""
+    if any(ord(c) < 0x20 for c in text):
+        raise ValueError(f"control characters not allowed in command line: {text!r}")
+    return text.encode(encoding) + terminator

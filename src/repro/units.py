@@ -1,0 +1,87 @@
+"""Unit conversion helpers used across instrument and chemistry layers.
+
+The instruments speak in the units their real counterparts use (mV, mL/min,
+sccm, °C); the physics engine works in SI. Keeping the conversions in one
+module avoids scattered magic constants.
+"""
+
+from __future__ import annotations
+
+# Physical constants (CODATA 2018)
+FARADAY = 96485.33212  # C/mol
+GAS_CONSTANT = 8.314462618  # J/(mol K)
+KELVIN_OFFSET = 273.15
+
+# Nernstian slope at 25 °C for n = 1, in volts: RT/F
+NERNST_RT_F_25C = GAS_CONSTANT * (25.0 + KELVIN_OFFSET) / FARADAY  # ~0.02569 V
+
+
+def mv_to_v(millivolts: float) -> float:
+    """Convert millivolts to volts."""
+    return millivolts * 1e-3
+
+
+def v_to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return volts * 1e3
+
+
+def ua_to_a(microamps: float) -> float:
+    """Convert microamps to amps."""
+    return microamps * 1e-6
+
+
+def a_to_ua(amps: float) -> float:
+    """Convert amps to microamps."""
+    return amps * 1e6
+
+
+def ml_to_l(milliliters: float) -> float:
+    """Convert millilitres to litres."""
+    return milliliters * 1e-3
+
+
+def l_to_ml(liters: float) -> float:
+    """Convert litres to millilitres."""
+    return liters * 1e3
+
+
+def ml_min_to_ml_s(ml_per_min: float) -> float:
+    """Convert a flow rate in mL/min to mL/s."""
+    return ml_per_min / 60.0
+
+
+def mm_to_mol_per_cm3(millimolar: float) -> float:
+    """Convert a concentration in mM (mmol/L) to mol/cm^3.
+
+    Electrochemistry texts (Bard & Faulkner) work in mol/cm^3 so that the
+    Randles-Sevcik constant keeps its familiar 2.69e5 value.
+    """
+    return millimolar * 1e-6
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return celsius + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+def nernst_slope(temperature_c: float = 25.0, n_electrons: int = 1) -> float:
+    """RT/nF in volts at the given temperature.
+
+    This sets the width of a reversible voltammetric wave; the classic
+    ~59 mV peak separation is ``2.218 * RT/nF`` at 25 °C.
+    """
+    if n_electrons < 1:
+        raise ValueError(f"n_electrons must be >= 1, got {n_electrons}")
+    return GAS_CONSTANT * celsius_to_kelvin(temperature_c) / (n_electrons * FARADAY)
+
+
+def sccm_to_mol_s(sccm: float, temperature_c: float = 0.0) -> float:
+    """Convert a gas flow in standard cm^3/min to mol/s (ideal gas, 1 atm)."""
+    molar_volume_cm3 = 22414.0 * celsius_to_kelvin(temperature_c) / KELVIN_OFFSET
+    return sccm / molar_volume_cm3 / 60.0

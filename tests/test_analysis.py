@@ -1,0 +1,174 @@
+"""Peak finding, CV metrics, Randles-Sevcik."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CVMetrics,
+    ScanRateStudy,
+    characterize,
+    estimate_diffusion_coefficient,
+    find_peaks,
+    randles_sevcik_current,
+    reversibility_checks,
+)
+from repro.chemistry.cv_engine import CVEngine, CVParameters
+from repro.chemistry.faults import FaultKind, apply_fault
+from repro.chemistry.noise import NoiseModel
+from repro.chemistry.species import FERROCENE, ferrocene_solution
+
+CONC = ferrocene_solution(2.0).concentration(FERROCENE)
+AREA = 0.0707
+
+
+class TestFindPeaks:
+    def test_clean_trace(self, reference_voltammogram):
+        pair = find_peaks(reference_voltammogram)
+        assert pair.complete
+        assert pair.anodic.current_a > 0 > pair.cathodic.current_a
+        assert pair.separation_v == pytest.approx(0.058, abs=0.006)
+        assert pair.e_half_v == pytest.approx(0.40, abs=0.005)
+
+    def test_noisy_trace_still_found(self, reference_voltammogram):
+        noisy = NoiseModel(white_sigma_a=2e-7, seed=1).apply(
+            reference_voltammogram
+        )
+        pair = find_peaks(noisy)
+        assert pair.complete
+        assert pair.e_half_v == pytest.approx(0.40, abs=0.01)
+
+    def test_disconnected_reports_no_peaks(self, reference_voltammogram):
+        broken = apply_fault(
+            reference_voltammogram, FaultKind.DISCONNECTED_ELECTRODE, 0.8
+        )
+        pair = find_peaks(broken)
+        assert not pair.complete
+
+    def test_blank_reports_no_peaks(self):
+        engine = CVEngine(FERROCENE, 0.0, AREA)
+        pair = find_peaks(engine.run(CVParameters()))
+        assert pair.anodic is None and pair.cathodic is None
+
+    def test_incomplete_pair_nan_metrics(self, reference_voltammogram):
+        broken = apply_fault(
+            reference_voltammogram, FaultKind.DISCONNECTED_ELECTRODE, 0.8
+        )
+        pair = find_peaks(broken)
+        assert np.isnan(pair.separation_v)
+        assert np.isnan(pair.e_half_v)
+
+    def test_multi_cycle_selects_cycle(self):
+        engine = CVEngine(FERROCENE, CONC, AREA, double_layer_f_cm2=0.0)
+        trace = engine.run(CVParameters(n_cycles=2))
+        pair0 = find_peaks(trace, cycle=0)
+        pair1 = find_peaks(trace, cycle=1)
+        assert pair0.complete and pair1.complete
+
+    def test_short_trace(self):
+        from repro.chemistry.voltammogram import Voltammogram
+
+        tiny = Voltammogram(
+            time_s=np.arange(4.0),
+            potential_v=np.array([0.0, 0.1, 0.2, 0.1]),
+            current_a=np.zeros(4),
+            cycle_index=np.zeros(4, dtype=int),
+        )
+        assert not find_peaks(tiny).complete
+
+
+class TestCharacterize:
+    def test_metrics_fields(self, reference_voltammogram):
+        metrics = characterize(reference_voltammogram)
+        assert isinstance(metrics, CVMetrics)
+        assert metrics.peak_ratio == pytest.approx(1.0, abs=0.35)
+        assert metrics.scan_rate_v_s == pytest.approx(0.1)
+        assert "dEp" in metrics.format_summary()
+
+    def test_raises_without_wave(self, reference_voltammogram):
+        broken = apply_fault(
+            reference_voltammogram, FaultKind.DISCONNECTED_ELECTRODE, 0.8
+        )
+        with pytest.raises(ValueError, match="no complete"):
+            characterize(broken)
+
+    def test_reversibility_checks_pass_for_ferrocene(self, reference_voltammogram):
+        checks = reversibility_checks(characterize(reference_voltammogram))
+        assert checks["peak_separation_nernstian"]
+        assert checks["peak_ratio_unity"]
+        assert checks["peaks_ordered"]
+
+    def test_reversibility_fails_for_slow_kinetics(self):
+        from repro.chemistry.species import RedoxSpecies
+
+        sluggish = RedoxSpecies(
+            name="slow", formal_potential_v=0.4, k0_cm_s=1e-4,
+            diffusion_cm2_s=2.4e-5,
+        )
+        engine = CVEngine(sluggish, CONC, AREA, double_layer_f_cm2=0.0)
+        metrics = characterize(engine.run(CVParameters()))
+        assert not reversibility_checks(metrics)["peak_separation_nernstian"]
+
+
+class TestRandlesSevcik:
+    def test_prediction_positive_and_scales(self):
+        i1 = randles_sevcik_current(1, AREA, CONC, 2.4e-5, 0.1)
+        i2 = randles_sevcik_current(1, AREA, CONC, 2.4e-5, 0.4)
+        assert i2 / i1 == pytest.approx(2.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            randles_sevcik_current(1, -1.0, CONC, 2.4e-5, 0.1)
+
+    def test_diffusion_estimate_recovers_truth(self):
+        rates = np.array([0.05, 0.1, 0.2, 0.4])
+        peaks = np.array(
+            [randles_sevcik_current(1, AREA, CONC, 2.4e-5, v) for v in rates]
+        )
+        diffusion, r_squared = estimate_diffusion_coefficient(
+            rates, peaks, 1, AREA, CONC
+        )
+        assert diffusion == pytest.approx(2.4e-5, rel=1e-6)
+        assert r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            estimate_diffusion_coefficient(
+                np.array([0.1]), np.array([1e-5]), 1, AREA, CONC
+            )
+        with pytest.raises(ValueError):
+            estimate_diffusion_coefficient(
+                np.array([0.1, -0.2]), np.array([1e-5, 2e-5]), 1, AREA, CONC
+            )
+        with pytest.raises(ValueError):
+            estimate_diffusion_coefficient(
+                np.array([0.1, 0.2]), np.array([1e-5]), 1, AREA, CONC
+            )
+
+    def test_study_with_simulated_runner(self):
+        def runner(scan_rate: float):
+            engine = CVEngine(
+                FERROCENE, CONC, AREA, double_layer_f_cm2=0.0, substeps=1
+            )
+            return engine.run(
+                CVParameters(scan_rate_v_s=scan_rate, e_step_v=0.002)
+            )
+
+        study = ScanRateStudy(runner, scan_rates_v_s=(0.05, 0.1, 0.2)).run()
+        assert len(study.peak_currents_a) == 3
+        diffusion, r_squared = study.estimate_diffusion(1, AREA, CONC)
+        assert diffusion == pytest.approx(2.4e-5, rel=0.08)
+        assert r_squared > 0.999
+
+    def test_study_requires_run_before_estimate(self):
+        study = ScanRateStudy(lambda v: None)  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="run"):
+            study.estimate_diffusion(1, AREA, CONC)
+
+    def test_study_fails_cleanly_without_wave(self):
+        def blank_runner(scan_rate: float):
+            return CVEngine(FERROCENE, 0.0, AREA).run(
+                CVParameters(scan_rate_v_s=scan_rate)
+            )
+
+        with pytest.raises(ValueError, match="no anodic peak"):
+            ScanRateStudy(blank_runner, scan_rates_v_s=(0.1,)).run()

@@ -1,0 +1,82 @@
+"""Nicholson kinetics analysis validated against the FD simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_k0, estimate_k0_from_trace, psi_from_separation
+from repro.chemistry.cv_engine import CVEngine, CVParameters
+from repro.chemistry.species import FERROCENE, RedoxSpecies
+
+D = 1e-5
+
+
+def simulate(k0: float, scan_rate: float = 0.2):
+    species = RedoxSpecies(
+        name="x", formal_potential_v=0.4, diffusion_cm2_s=D, k0_cm_s=k0
+    )
+    engine = CVEngine(species, 2e-6, 0.0707, double_layer_f_cm2=0.0, substeps=2)
+    return engine.run(
+        CVParameters(e_begin_v=0.0, e_vertex_v=0.8, scan_rate_v_s=scan_rate)
+    )
+
+
+class TestWorkingCurve:
+    def test_reversible_limit(self):
+        psi, at_limit = psi_from_separation(0.058)
+        assert at_limit
+        assert psi == pytest.approx(20.0)
+
+    def test_monotone_decreasing(self):
+        separations = np.linspace(0.063, 0.25, 30)
+        psis = [psi_from_separation(s)[0] for s in separations]
+        assert all(a > b for a, b in zip(psis, psis[1:]))
+
+    def test_table_point(self):
+        psi, _ = psi_from_separation(0.084)
+        assert psi == pytest.approx(1.0, rel=0.02)
+
+    def test_irreversible_tail_extrapolates(self):
+        psi, at_limit = psi_from_separation(0.300)
+        assert not at_limit
+        assert 0.0 < psi < 0.10
+
+
+class TestEstimateK0:
+    @pytest.mark.parametrize("true_k0", [0.01, 0.005, 0.002])
+    def test_recovers_simulator_k0(self, true_k0):
+        trace = simulate(true_k0)
+        estimate = estimate_k0_from_trace(trace, diffusion_cm2_s=D)
+        assert estimate.k0_cm_s == pytest.approx(true_k0, rel=0.15)
+        assert not estimate.reversible
+
+    def test_fast_couple_reports_lower_bound(self):
+        trace = simulate(1.0)  # ferrocene-fast: reversible at 0.2 V/s
+        estimate = estimate_k0_from_trace(trace, diffusion_cm2_s=D)
+        assert estimate.reversible
+
+    def test_estimate_consistent_across_scan_rates(self):
+        # same k0 measured at two scan rates must agree
+        estimates = [
+            estimate_k0_from_trace(simulate(0.005, v), diffusion_cm2_s=D).k0_cm_s
+            for v in (0.1, 0.4)
+        ]
+        assert estimates[0] == pytest.approx(estimates[1], rel=0.25)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            estimate_k0(0.08, scan_rate_v_s=0.0, diffusion_cm2_s=D)
+        with pytest.raises(ValueError):
+            estimate_k0(0.08, scan_rate_v_s=0.1, diffusion_cm2_s=-1.0)
+
+    def test_trace_without_wave_rejected(self):
+        from repro.chemistry.cv_engine import CVEngine
+
+        blank = CVEngine(FERROCENE, 0.0, 0.0707).run(CVParameters())
+        with pytest.raises(ValueError, match="no complete"):
+            estimate_k0_from_trace(blank, diffusion_cm2_s=D)
+
+    def test_trace_without_scan_rate_metadata(self):
+        trace = simulate(0.005)
+        del trace.metadata["scan_rate_v_s"]
+        with pytest.raises(ValueError, match="scan_rate"):
+            estimate_k0_from_trace(trace, diffusion_cm2_s=D)

@@ -1,0 +1,249 @@
+"""HPLC-MS, chromatograms, the robot, and the extended workflow."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.species import (
+    FERROCENE,
+    FERROCENIUM,
+    Solution,
+    ACETONITRILE,
+    ferrocene_solution,
+)
+from repro.errors import (
+    FeatureExtractionError,
+    InstrumentCommandError,
+    InstrumentStateError,
+)
+from repro.instruments.characterization import (
+    COMPOUND_LIBRARY,
+    Chromatogram,
+    CompoundSignature,
+    HPLCMS,
+)
+from repro.instruments.jkem.plumbing import Reservoir
+from repro.instruments.robot import MobileRobot
+
+
+class TestCompounds:
+    def test_library_has_the_analyte_system(self):
+        assert "ferrocene" in COMPOUND_LIBRARY
+        assert "ferrocenium" in COMPOUND_LIBRARY
+        # same molecular ion, different retention (charge changes elution)
+        assert COMPOUND_LIBRARY["ferrocene"].mz == COMPOUND_LIBRARY[
+            "ferrocenium"
+        ].mz
+        assert (
+            COMPOUND_LIBRARY["ferrocene"].retention_min
+            != COMPOUND_LIBRARY["ferrocenium"].retention_min
+        )
+
+    def test_signature_validation(self):
+        with pytest.raises(InstrumentCommandError):
+            CompoundSignature(name="x", retention_min=0.0, mz=100.0)
+        with pytest.raises(InstrumentCommandError):
+            CompoundSignature(name="x", retention_min=1.0, mz=-5.0)
+
+
+class TestHPLC:
+    def test_inject_identifies_ferrocene(self):
+        hplc = HPLCMS()
+        chromatogram = hplc.inject(ferrocene_solution(2.0), 0.5)
+        peak = chromatogram.peak_for("ferrocene")
+        assert peak is not None
+        assert peak.retention_min == pytest.approx(6.8)
+        assert peak.area > 0
+        assert hplc.injections_run == 1
+
+    def test_peak_area_proportional_to_amount(self):
+        hplc = HPLCMS()
+        small = hplc.inject(ferrocene_solution(1.0), 0.5).peak_for("ferrocene")
+        large = hplc.inject(ferrocene_solution(4.0), 0.5).peak_for("ferrocene")
+        assert large.area / small.area == pytest.approx(4.0, rel=1e-6)
+
+    def test_unknown_compound_elutes_unidentified(self):
+        from repro.chemistry.species import RedoxSpecies
+
+        mystery = RedoxSpecies(name="mystery", formal_potential_v=0.1)
+        sample = Solution(solvent=ACETONITRILE, species={mystery: 1e-6})
+        chromatogram = HPLCMS().inject(sample, 0.5)
+        unknown = [p for p in chromatogram.peaks if p.compound is None]
+        assert len(unknown) == 1
+        assert unknown[0].retention_min == HPLCMS.UNKNOWN_RETENTION_MIN
+
+    def test_inject_from_vial_consumes_sample(self):
+        vial = Reservoir("v", ferrocene_solution(2.0), 1.0)
+        HPLCMS().inject_vial(vial, 0.4)
+        assert vial.volume_ml == pytest.approx(0.6)
+
+    def test_bad_injection_volume(self):
+        with pytest.raises(InstrumentCommandError):
+            HPLCMS().inject(ferrocene_solution(), 0.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InstrumentStateError):
+            HPLCMS().inject(None, 0.5)
+
+    def test_signal_has_peak_at_retention_time(self):
+        chromatogram = HPLCMS(noise_counts=0.0).inject(
+            ferrocene_solution(2.0), 0.5
+        )
+        index = int(np.argmax(chromatogram.signal * (chromatogram.time_min > 2)))
+        assert chromatogram.time_min[index] == pytest.approx(6.8, abs=0.2)
+
+
+class TestChromatogram:
+    def test_dict_round_trip(self):
+        chromatogram = HPLCMS().inject(ferrocene_solution(2.0), 0.5)
+        rebuilt = Chromatogram.from_dict(chromatogram.to_dict())
+        assert len(rebuilt) == len(chromatogram)
+        assert rebuilt.peak_for("ferrocene").area == pytest.approx(
+            chromatogram.peak_for("ferrocene").area
+        )
+
+    def test_amount_ratio(self):
+        sample = Solution(
+            solvent=ACETONITRILE,
+            species={FERROCENE: 2e-6, FERROCENIUM: 1e-6},
+        )
+        chromatogram = HPLCMS().inject(sample, 0.5)
+        # response-corrected ratio recovers the true mole ratio
+        assert chromatogram.amount_ratio(
+            "ferrocenium", "ferrocene"
+        ) == pytest.approx(0.5, rel=1e-6)
+
+    def test_amount_ratio_missing_compound(self):
+        chromatogram = HPLCMS().inject(ferrocene_solution(2.0), 0.5)
+        with pytest.raises(FeatureExtractionError):
+            chromatogram.amount_ratio("ferrocenium", "ferrocene")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Chromatogram(time_min=np.arange(5.0), signal=np.arange(4.0))
+
+
+class TestRobot:
+    def test_transfer_moves_vial(self):
+        robot = MobileRobot()
+        vial = Reservoir("f1", ferrocene_solution(), 1.0)
+        robot.stage_vial("electrochemistry", vial)
+        robot.transfer("electrochemistry", "hplc")
+        assert robot.vial_at("hplc") is vial
+        assert robot.vial_at("electrochemistry") is None
+        assert robot.holding is None
+
+    def test_pick_requires_vial(self):
+        robot = MobileRobot()
+        with pytest.raises(InstrumentStateError, match="no vial"):
+            robot.pick()
+
+    def test_pick_requires_empty_gripper(self):
+        robot = MobileRobot()
+        robot.stage_vial("electrochemistry", Reservoir("a", ferrocene_solution(), 1.0))
+        robot.pick()
+        with pytest.raises(InstrumentStateError, match="already holds"):
+            robot.pick()
+
+    def test_place_requires_held_vial(self):
+        robot = MobileRobot()
+        with pytest.raises(InstrumentStateError, match="empty"):
+            robot.place()
+
+    def test_place_requires_free_slot(self):
+        robot = MobileRobot()
+        robot.stage_vial("electrochemistry", Reservoir("a", ferrocene_solution(), 1.0))
+        robot.stage_vial("hplc", Reservoir("b", ferrocene_solution(), 1.0))
+        robot.pick()
+        robot.move_to("hplc")
+        with pytest.raises(InstrumentStateError, match="already holds"):
+            robot.place()
+
+    def test_unknown_station(self):
+        robot = MobileRobot()
+        with pytest.raises(InstrumentCommandError):
+            robot.move_to("moon")
+
+    def test_travel_time_charged(self):
+        from repro.clock import VirtualClock
+
+        clock = VirtualClock()
+        robot = MobileRobot(travel_s=30.0, time_scale=1.0, clock=clock)
+        robot.move_to("hplc")
+        assert clock.now() == pytest.approx(30.0)
+        robot.move_to("hplc")  # already there: no travel
+        assert clock.now() == pytest.approx(30.0)
+
+    def test_status_summary(self):
+        robot = MobileRobot()
+        summary = robot.status_summary()
+        assert summary["location"] == "electrochemistry"
+        assert summary["holding"] is None
+
+
+class TestBulkElectrolysis:
+    def test_cell_conversion(self):
+        cell = ElectrochemicalCell()
+        cell.add_liquid(5.0, ferrocene_solution(2.0))
+        before = cell.contents.concentration(FERROCENE)
+        cell.apply_electrolysis(FERROCENE, FERROCENIUM, 1e-6)
+        after = cell.contents
+        assert after.concentration(FERROCENE) == pytest.approx(
+            before - 1e-6 / 5.0
+        )
+        assert after.concentration(FERROCENIUM) == pytest.approx(1e-6 / 5.0)
+
+    def test_conversion_capped_at_available(self):
+        cell = ElectrochemicalCell()
+        cell.add_liquid(5.0, ferrocene_solution(2.0))
+        cell.apply_electrolysis(FERROCENE, FERROCENIUM, 1.0)  # way too much
+        assert cell.contents.concentration(FERROCENE) == 0.0
+        assert cell.contents.concentration(FERROCENIUM) == pytest.approx(2e-6)
+
+    def test_acquisition_converts_analyte(self, workstation):
+        api = workstation.jkem_api
+        api.set_vial_fraction_collector(1, "BOTTOM")
+        api.set_port_syringe_pump(1, 1)
+        api.withdraw_syringe_pump(1, 6.0)
+        api.set_port_syringe_pump(1, 8)
+        api.dispense_syringe_pump(1, 6.0)
+        eclab = workstation.eclab
+        eclab.initialize()
+        eclab.connect()
+        eclab.load_firmware()
+        eclab.init_ca_technique({"e_step_to_v": 0.8, "duration": 30.0})
+        eclab.load_technique()
+        eclab.start_channel()
+        eclab.get_measurements()
+        contents = workstation.cell.contents
+        assert contents.concentration(FERROCENIUM) > 0.0
+
+
+class TestCharacterizationWorkflow:
+    def test_end_to_end(self, ice):
+        from repro.core.characterization_workflow import (
+            run_characterization_workflow,
+        )
+
+        result = run_characterization_workflow(ice)
+        assert result.succeeded, result.summary()
+        assert result.chromatogram is not None
+        assert result.chromatogram.peak_for("ferrocene") is not None
+        assert result.chromatogram.peak_for("ferrocenium") is not None
+        assert result.conversion_ratio is not None
+        assert 0.0 < result.conversion_ratio < 0.1
+        assert "ferrocenium/ferrocene" in result.summary()
+
+    def test_robot_fault_fails_transfer_task(self, ice):
+        from repro.core.characterization_workflow import (
+            run_characterization_workflow,
+        )
+        from repro.core.workflow import TaskState
+
+        ice.characterization.robot.inject_fault("drive stalled")
+        result = run_characterization_workflow(ice)
+        assert not result.succeeded
+        assert (
+            result.workflow.tasks["G_transfer_and_inject"].state
+            is TaskState.FAILED
+        )

@@ -1,0 +1,153 @@
+"""The electrochemical cell: liquid, purge, circuit."""
+
+import threading
+
+import pytest
+
+from repro.chemistry.cell import ElectrochemicalCell, Electrode
+from repro.chemistry.species import ferrocene_solution
+from repro.errors import CellOverflowError, CellUnderflowError, ChemistryError
+
+
+@pytest.fixture
+def cell():
+    return ElectrochemicalCell(capacity_ml=20.0)
+
+
+@pytest.fixture
+def solution():
+    return ferrocene_solution(2.0)
+
+
+class TestLiquid:
+    def test_starts_empty(self, cell):
+        assert cell.volume_ml == 0.0
+        assert cell.contents is None
+
+    def test_add_liquid(self, cell, solution):
+        cell.add_liquid(5.0, solution)
+        assert cell.volume_ml == pytest.approx(5.0)
+        assert cell.contents is solution
+
+    def test_overflow(self, cell, solution):
+        with pytest.raises(CellOverflowError):
+            cell.add_liquid(25.0, solution)
+
+    def test_exact_capacity_ok(self, cell, solution):
+        cell.add_liquid(20.0, solution)
+        assert cell.volume_ml == pytest.approx(20.0)
+
+    def test_withdraw(self, cell, solution):
+        cell.add_liquid(5.0, solution)
+        assert cell.withdraw_liquid(2.0) == pytest.approx(2.0)
+        assert cell.volume_ml == pytest.approx(3.0)
+
+    def test_underflow(self, cell, solution):
+        cell.add_liquid(1.0, solution)
+        with pytest.raises(CellUnderflowError):
+            cell.withdraw_liquid(2.0)
+
+    def test_withdraw_everything_clears_contents(self, cell, solution):
+        cell.add_liquid(5.0, solution)
+        cell.withdraw_liquid(5.0)
+        assert cell.contents is None
+
+    def test_drain(self, cell, solution):
+        cell.add_liquid(7.5, solution)
+        assert cell.drain() == pytest.approx(7.5)
+        assert cell.volume_ml == 0.0
+
+    def test_negative_volumes_rejected(self, cell, solution):
+        with pytest.raises(ChemistryError):
+            cell.add_liquid(-1.0, solution)
+        with pytest.raises(ChemistryError):
+            cell.withdraw_liquid(-1.0)
+
+    def test_concurrent_adds_conserve_volume(self, cell, solution):
+        def adder():
+            for _ in range(50):
+                cell.add_liquid(0.01, solution)
+
+        threads = [threading.Thread(target=adder) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cell.volume_ml == pytest.approx(2.0)
+
+
+class TestPurge:
+    def test_set_and_read(self, cell):
+        cell.set_purge("argon", 50.0)
+        assert cell.purge == ("argon", 50.0)
+
+    def test_zero_flow_clears_gas(self, cell):
+        cell.set_purge("argon", 50.0)
+        cell.set_purge("argon", 0.0)
+        assert cell.purge == (None, 0.0)
+
+    def test_negative_flow_rejected(self, cell):
+        with pytest.raises(ChemistryError):
+            cell.set_purge("argon", -1.0)
+
+
+class TestCircuit:
+    def test_starts_closed(self, cell):
+        assert cell.circuit_closed
+
+    def test_disconnect_opens(self, cell):
+        cell.set_electrode_connected("working", False)
+        assert not cell.circuit_closed
+        assert not cell.electrode_connected("working")
+        cell.set_electrode_connected("working", True)
+        assert cell.circuit_closed
+
+    def test_unknown_role(self, cell):
+        with pytest.raises(ChemistryError):
+            cell.set_electrode_connected("auxiliary", False)
+
+
+class TestEffectiveArea:
+    def test_full_immersion(self, cell, solution):
+        cell.add_liquid(10.0, solution)  # above the 4 mL immersion depth
+        assert cell.effective_working_area_cm2 == pytest.approx(
+            cell.working.area_cm2
+        )
+
+    def test_partial_immersion_scales(self, cell, solution):
+        cell.add_liquid(2.0, solution)  # half of the 4 mL depth
+        assert cell.effective_working_area_cm2 == pytest.approx(
+            cell.working.area_cm2 * 0.5
+        )
+
+    def test_empty_cell_zero_area(self, cell):
+        assert cell.effective_working_area_cm2 == 0.0
+
+
+class TestMeasurementConditions:
+    def test_snapshot_fields(self, cell, solution):
+        cell.add_liquid(5.0, solution)
+        cell.set_purge("argon", 25.0)
+        conditions = cell.measurement_conditions()
+        assert conditions["volume_ml"] == pytest.approx(5.0)
+        assert conditions["solution"] is solution
+        assert conditions["circuit_closed"] is True
+        assert conditions["purge_gas"] == "argon"
+        assert conditions["area_cm2"] == pytest.approx(cell.working.area_cm2)
+
+    def test_snapshot_reflects_open_circuit(self, cell, solution):
+        cell.add_liquid(5.0, solution)
+        cell.set_electrode_connected("reference", False)
+        assert cell.measurement_conditions()["circuit_closed"] is False
+
+
+class TestElectrode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Electrode(role="bogus", material="Pt", area_cm2=1.0)
+        with pytest.raises(ValueError):
+            Electrode(role="working", material="Pt", area_cm2=0.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ElectrochemicalCell(capacity_ml=0.0)

@@ -1,0 +1,126 @@
+"""Noise models and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.faults import FaultKind, apply_fault
+from repro.chemistry.noise import BENCH_NOISE, NOISY_LAB, NoiseModel
+
+
+@pytest.fixture(scope="module")
+def clean_trace(reference_voltammogram):
+    return reference_voltammogram
+
+
+class TestNoise:
+    def test_white_noise_added(self, clean_trace):
+        noisy = NoiseModel(white_sigma_a=1e-7, seed=1).apply(clean_trace)
+        residual = noisy.current_a - clean_trace.current_a
+        assert residual.std() == pytest.approx(1e-7, rel=0.15)
+        assert abs(residual.mean()) < 3e-8
+
+    def test_deterministic_given_seed(self, clean_trace):
+        a = NoiseModel(seed=3).apply(clean_trace)
+        b = NoiseModel(seed=3).apply(clean_trace)
+        np.testing.assert_array_equal(a.current_a, b.current_a)
+
+    def test_different_seeds_differ(self, clean_trace):
+        a = NoiseModel(seed=1).apply(clean_trace)
+        b = NoiseModel(seed=2).apply(clean_trace)
+        assert not np.array_equal(a.current_a, b.current_a)
+
+    def test_original_untouched(self, clean_trace):
+        before = clean_trace.current_a.copy()
+        NoiseModel(seed=1).apply(clean_trace)
+        np.testing.assert_array_equal(clean_trace.current_a, before)
+
+    def test_drift_is_linear_in_time(self, clean_trace):
+        drifted = NoiseModel(white_sigma_a=0.0, drift_a_per_s=1e-8).apply(
+            clean_trace
+        )
+        residual = drifted.current_a - clean_trace.current_a
+        np.testing.assert_allclose(residual, 1e-8 * clean_trace.time_s)
+
+    def test_mains_pickup_periodic(self, clean_trace):
+        humming = NoiseModel(
+            white_sigma_a=0.0, mains_amplitude_a=1e-7, mains_hz=60.0
+        ).apply(clean_trace)
+        residual = humming.current_a - clean_trace.current_a
+        assert np.abs(residual).max() == pytest.approx(1e-7, rel=0.05)
+
+    def test_quantization(self, clean_trace):
+        quantized = NoiseModel(white_sigma_a=0.0, quantization_a=1e-6).apply(
+            clean_trace
+        )
+        steps = quantized.current_a / 1e-6
+        np.testing.assert_allclose(steps, np.round(steps), atol=1e-9)
+
+    def test_metadata_records_noise(self, clean_trace):
+        noisy = BENCH_NOISE.apply(clean_trace)
+        assert "noise" in noisy.metadata
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"white_sigma_a": -1.0},
+            {"mains_amplitude_a": -1.0},
+            {"quantization_a": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NoiseModel(**kwargs)
+
+    def test_presets_exist(self):
+        assert NOISY_LAB.white_sigma_a > BENCH_NOISE.white_sigma_a
+
+
+class TestFaults:
+    def test_none_fault_is_identity_with_metadata(self, clean_trace):
+        result = apply_fault(clean_trace, FaultKind.NONE)
+        np.testing.assert_array_equal(result.current_a, clean_trace.current_a)
+        assert result.metadata["fault"] == "normal"
+        assert result.metadata["fault_severity"] == 0.0
+
+    def test_disconnected_kills_signal(self, clean_trace):
+        result = apply_fault(
+            clean_trace, FaultKind.DISCONNECTED_ELECTRODE, severity=0.8
+        )
+        # orders of magnitude below the healthy peak
+        assert np.abs(result.current_a).max() < 0.01 * np.abs(
+            clean_trace.current_a
+        ).max()
+
+    def test_low_volume_scales_current(self, clean_trace):
+        result = apply_fault(clean_trace, FaultKind.LOW_VOLUME, severity=0.5)
+        ratio = np.abs(result.current_a).max() / np.abs(clean_trace.current_a).max()
+        assert 0.35 <= ratio <= 0.65
+
+    def test_low_volume_without_scaling(self, clean_trace):
+        result = apply_fault(
+            clean_trace, FaultKind.LOW_VOLUME, severity=0.5, scale_current=False
+        )
+        ratio = np.abs(result.current_a).max() / np.abs(clean_trace.current_a).max()
+        assert 0.8 <= ratio <= 1.25  # only flutter, no shrink
+
+    def test_bubble_creates_local_dip(self, clean_trace):
+        result = apply_fault(clean_trace, FaultKind.BUBBLE, severity=0.9, seed=4)
+        ratio = np.abs(result.current_a) / (np.abs(clean_trace.current_a) + 1e-15)
+        assert ratio.min() < 0.6  # some samples heavily suppressed
+        assert ratio.max() > 0.95  # others untouched
+
+    def test_severity_bounds(self, clean_trace):
+        with pytest.raises(ValueError):
+            apply_fault(clean_trace, FaultKind.LOW_VOLUME, severity=1.5)
+        with pytest.raises(ValueError):
+            apply_fault(clean_trace, FaultKind.LOW_VOLUME, severity=-0.1)
+
+    def test_metadata_labels(self, clean_trace):
+        for fault in FaultKind:
+            result = apply_fault(clean_trace, fault, severity=0.5)
+            assert result.metadata["fault"] == fault.value
+
+    def test_deterministic_given_seed(self, clean_trace):
+        a = apply_fault(clean_trace, FaultKind.BUBBLE, seed=9)
+        b = apply_fault(clean_trace, FaultKind.BUBBLE, seed=9)
+        np.testing.assert_array_equal(a.current_a, b.current_a)

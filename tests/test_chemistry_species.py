@@ -1,0 +1,86 @@
+"""Species, solvents, and solutions."""
+
+import pytest
+
+from repro.chemistry.species import (
+    ACETONITRILE,
+    FERROCENE,
+    RedoxSpecies,
+    Solution,
+    TBA_TRIFLATE,
+    ferrocene_solution,
+)
+from repro.units import mm_to_mol_per_cm3
+
+
+class TestRedoxSpecies:
+    def test_ferrocene_parameters(self):
+        assert FERROCENE.n_electrons == 1
+        assert FERROCENE.formal_potential_v == pytest.approx(0.40)
+        assert FERROCENE.diffusion_cm2_s == pytest.approx(2.4e-5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_electrons": 0},
+            {"diffusion_cm2_s": 0.0},
+            {"diffusion_cm2_s": -1e-5},
+            {"k0_cm_s": 0.0},
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(name="x", formal_potential_v=0.0)
+        with pytest.raises(ValueError):
+            RedoxSpecies(**{**base, **kwargs})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FERROCENE.alpha = 0.4  # type: ignore[misc]
+
+
+class TestSolution:
+    def test_ferrocene_solution_concentration(self):
+        solution = ferrocene_solution(2.0)
+        assert solution.concentration(FERROCENE) == pytest.approx(2e-6)
+        assert "2 mM ferrocene" in solution.label
+
+    def test_absent_species_zero(self):
+        other = RedoxSpecies(name="other", formal_potential_v=0.1)
+        assert ferrocene_solution().concentration(other) == 0.0
+
+    def test_with_concentration_returns_copy(self):
+        solution = ferrocene_solution(2.0)
+        richer = solution.with_concentration_mm(FERROCENE, 5.0)
+        assert richer.concentration(FERROCENE) == pytest.approx(
+            mm_to_mol_per_cm3(5.0)
+        )
+        assert solution.concentration(FERROCENE) == pytest.approx(2e-6)
+
+    def test_with_concentration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ferrocene_solution().with_concentration_mm(FERROCENE, -1.0)
+
+    def test_supported_resistance_moderate(self):
+        assert 50.0 <= ferrocene_solution().resistance_ohm <= 300.0
+
+    def test_unsupported_resistance_high(self):
+        bare = Solution(solvent=ACETONITRILE, species={})
+        assert bare.resistance_ohm >= 1000.0
+
+    def test_resistance_scales_with_salt(self):
+        from repro.chemistry.species import SupportingElectrolyte
+
+        weak = Solution(
+            solvent=ACETONITRILE,
+            supporting_electrolyte=SupportingElectrolyte("salt", 0.01),
+        )
+        strong = Solution(
+            solvent=ACETONITRILE,
+            supporting_electrolyte=SupportingElectrolyte("salt", 0.1),
+        )
+        assert weak.resistance_ohm > strong.resistance_ohm
+
+    def test_default_electrolyte_is_tba_triflate(self):
+        assert ferrocene_solution().supporting_electrolyte is TBA_TRIFLATE

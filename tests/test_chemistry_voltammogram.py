@@ -1,0 +1,83 @@
+"""Voltammogram container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.voltammogram import Voltammogram
+
+
+def make(n=10, cycles=1):
+    per = n // cycles
+    return Voltammogram(
+        time_s=np.arange(n, dtype=float),
+        potential_v=np.linspace(0, 1, n),
+        current_a=np.sin(np.linspace(0, np.pi, n)),
+        cycle_index=np.repeat(np.arange(cycles), per),
+        metadata={"technique": "CV"},
+    )
+
+
+def test_length_and_cycles():
+    trace = make(12, cycles=3)
+    assert len(trace) == 12
+    assert trace.n_cycles == 3
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        Voltammogram(
+            time_s=np.arange(5.0),
+            potential_v=np.arange(4.0),
+            current_a=np.arange(5.0),
+            cycle_index=np.zeros(5, dtype=int),
+        )
+
+
+def test_cycle_slicing():
+    trace = make(12, cycles=3)
+    cycle = trace.cycle(1)
+    assert len(cycle) == 4
+    assert set(cycle.cycle_index) == {1}
+
+
+def test_cycle_missing_raises():
+    with pytest.raises(IndexError):
+        make(10).cycle(5)
+
+
+def test_peaks():
+    trace = make(11)
+    e_peak, i_peak = trace.peak_anodic()
+    assert i_peak == pytest.approx(1.0, abs=0.01)
+    _, i_min = trace.peak_cathodic()
+    assert i_min == pytest.approx(0.0, abs=0.01)
+
+
+def test_dict_round_trip():
+    trace = make(8)
+    rebuilt = Voltammogram.from_dict(trace.to_dict())
+    np.testing.assert_array_equal(rebuilt.current_a, trace.current_a)
+    np.testing.assert_array_equal(rebuilt.cycle_index, trace.cycle_index)
+    assert rebuilt.metadata == trace.metadata
+
+
+def test_dtype_coercion():
+    trace = Voltammogram(
+        time_s=[0, 1, 2],
+        potential_v=[0.0, 0.1, 0.2],
+        current_a=[1, 2, 3],
+        cycle_index=[0, 0, 0],
+    )
+    assert trace.time_s.dtype == np.float64
+    assert trace.cycle_index.dtype == np.int64
+
+
+def test_empty_trace():
+    trace = Voltammogram(
+        time_s=np.array([]),
+        potential_v=np.array([]),
+        current_a=np.array([]),
+        cycle_index=np.array([], dtype=int),
+    )
+    assert len(trace) == 0
+    assert trace.n_cycles == 0

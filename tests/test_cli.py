@@ -1,0 +1,64 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scan_rate == 0.1
+        assert args.volume == 5.0
+
+    def test_scan_rate_positional(self):
+        args = build_parser().parse_args(["scan-rate", "0.1", "0.2"])
+        assert args.rates == [0.1, 0.2]
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "x.mpt", "--diffusion", "2.4e-5"]
+        )
+        assert args.file == "x.mpt"
+        assert args.diffusion == pytest.approx(2.4e-5)
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--e-step", "0.002"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "D_run_cv" in captured.out
+        assert "anodic peak" in captured.out
+
+    def test_scan_rate_runs(self, capsys):
+        code = main(["scan-rate", "0.1", "0.2", "--e-step", "0.002"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "D = " in captured.out
+
+    def test_analyze_round_trip(self, tmp_path, capsys, reference_voltammogram):
+        from repro.datachannel.formats import write_mpt
+
+        path = write_mpt(tmp_path / "run.mpt", reference_voltammogram)
+        code = main(["analyze", str(path), "--diffusion", "2.4e-5"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "E1/2" in captured.out
+        assert "Nicholson" in captured.out
+
+    def test_analyze_blank_reports_no_wave(self, tmp_path, capsys):
+        from repro.chemistry.cv_engine import CVEngine, CVParameters
+        from repro.chemistry.species import FERROCENE
+        from repro.datachannel.formats import write_mpt
+
+        blank = CVEngine(FERROCENE, 0.0, 0.0707).run(CVParameters())
+        path = write_mpt(tmp_path / "blank.mpt", blank)
+        code = main(["analyze", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no complete" in captured.out

@@ -1,0 +1,59 @@
+"""Clock abstraction: wall vs virtual time."""
+
+import threading
+
+import pytest
+
+from repro.clock import VirtualClock, WallClock
+
+
+def test_wall_clock_monotonic():
+    clock = WallClock()
+    t1 = clock.now()
+    t2 = clock.now()
+    assert t2 >= t1
+
+
+def test_wall_clock_sleep_zero_and_negative_are_noops():
+    clock = WallClock()
+    clock.sleep(0.0)
+    clock.sleep(-1.0)  # must not raise or sleep
+
+
+def test_virtual_clock_starts_where_told():
+    assert VirtualClock(start=100.0).now() == pytest.approx(100.0)
+
+
+def test_virtual_clock_advances_only_on_sleep():
+    clock = VirtualClock()
+    before = clock.now()
+    assert clock.now() == before
+    clock.sleep(5.0)
+    assert clock.now() == pytest.approx(before + 5.0)
+
+
+def test_virtual_clock_rejects_negative_sleep():
+    with pytest.raises(ValueError):
+        VirtualClock().sleep(-0.1)
+
+
+def test_virtual_clock_advance_alias():
+    clock = VirtualClock()
+    clock.advance(2.5)
+    assert clock.now() == pytest.approx(2.5)
+
+
+def test_virtual_clock_thread_safety():
+    clock = VirtualClock()
+    n_threads, n_sleeps = 8, 200
+
+    def worker():
+        for _ in range(n_sleeps):
+            clock.sleep(0.001)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert clock.now() == pytest.approx(n_threads * n_sleeps * 0.001)

@@ -1,0 +1,191 @@
+"""The task engine: DAGs, retries, skips, parallelism."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.workflow import Context, TaskState, Workflow
+from repro.errors import DependencyError, TaskFailedError
+
+
+class TestContext:
+    def test_attribute_sugar(self):
+        ctx = Context()
+        ctx.value = 42
+        assert ctx["value"] == 42
+        assert ctx.value == 42
+        with pytest.raises(AttributeError):
+            _ = ctx.missing
+
+
+class TestConstruction:
+    def test_duplicate_name(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: None)
+        with pytest.raises(DependencyError):
+            flow.add_task("a", lambda ctx: None)
+
+    def test_unknown_dependency(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: None, depends=("ghost",))
+        with pytest.raises(DependencyError, match="unknown task"):
+            flow.run()
+
+    def test_cycle_detected(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: None, depends=("b",))
+        flow.add_task("b", lambda ctx: None, depends=("a",))
+        with pytest.raises(DependencyError, match="cycle"):
+            flow.run()
+
+    def test_decorator_sugar(self):
+        flow = Workflow("w")
+
+        @flow.task("a")
+        def task_a(ctx):
+            return 1
+
+        assert flow.task_names == ["a"]
+
+    def test_bad_max_workers(self):
+        with pytest.raises(DependencyError):
+            Workflow("w", max_workers=0)
+
+
+class TestExecution:
+    def test_linear_chain_order_and_context(self):
+        flow = Workflow("w")
+        order = []
+
+        flow.add_task("a", lambda ctx: order.append("a") or ctx.update(x=1))
+        flow.add_task(
+            "b", lambda ctx: order.append("b") or ctx["x"] + 1, depends=("a",)
+        )
+        result = flow.run()
+        assert order == ["a", "b"]
+        assert result.succeeded
+        assert result.tasks["b"].result == 2
+
+    def test_initial_context_passed(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: ctx["seed"] * 2)
+        result = flow.run({"seed": 21})
+        assert result.tasks["a"].result == 42
+
+    def test_failure_skips_downstream(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: 1 / 0)
+        flow.add_task("b", lambda ctx: "never", depends=("a",))
+        flow.add_task("c", lambda ctx: "independent")
+        result = flow.run()
+        assert result.tasks["a"].state is TaskState.FAILED
+        assert result.tasks["b"].state is TaskState.SKIPPED
+        assert not result.succeeded
+        assert isinstance(result.tasks["a"].error, ZeroDivisionError)
+
+    def test_abort_on_failure_false_continues_independents(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: 1 / 0)
+        flow.add_task("b", lambda ctx: "ok")
+        result = flow.run(abort_on_failure=False)
+        assert result.tasks["b"].state is TaskState.SUCCEEDED
+
+    def test_raise_on_failure(self):
+        flow = Workflow("w")
+        flow.add_task("boom", lambda ctx: 1 / 0)
+        result = flow.run()
+        with pytest.raises(TaskFailedError) as excinfo:
+            result.raise_on_failure()
+        assert excinfo.value.task_name == "boom"
+
+    def test_retries_eventually_succeed(self):
+        attempts = []
+
+        def flaky(ctx):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        flow = Workflow("w")
+        flow.add_task("flaky", flaky, retries=3)
+        result = flow.run()
+        assert result.succeeded
+        assert result.tasks["flaky"].attempts == 3
+
+    def test_retries_exhausted(self):
+        flow = Workflow("w")
+        flow.add_task("flaky", lambda ctx: 1 / 0, retries=2)
+        result = flow.run()
+        assert result.tasks["flaky"].state is TaskState.FAILED
+        assert result.tasks["flaky"].attempts == 3
+
+    def test_diamond_dependencies(self):
+        flow = Workflow("w")
+        seen = []
+        flow.add_task("top", lambda ctx: seen.append("top"))
+        flow.add_task("left", lambda ctx: seen.append("left"), depends=("top",))
+        flow.add_task("right", lambda ctx: seen.append("right"), depends=("top",))
+        flow.add_task(
+            "bottom",
+            lambda ctx: seen.append("bottom"),
+            depends=("left", "right"),
+        )
+        result = flow.run()
+        assert result.succeeded
+        assert seen[0] == "top"
+        assert seen[-1] == "bottom"
+
+    def test_durations_recorded(self):
+        flow = Workflow("w")
+        flow.add_task("a", lambda ctx: time.sleep(0.02))
+        result = flow.run()
+        assert result.tasks["a"].duration_s >= 0.015
+
+    def test_transcript_logged(self):
+        flow = Workflow("paper-flow")
+        flow.add_task("a", lambda ctx: None)
+        flow.run()
+        messages = flow.log.messages(source="paper-flow")
+        assert any("a succeeded" in m for m in messages)
+
+
+class TestParallel:
+    def test_independent_tasks_overlap(self):
+        flow = Workflow("w", max_workers=4)
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def task(ctx):
+            barrier.wait()  # deadlocks unless all 3 run concurrently
+            return True
+
+        for name in ("a", "b", "c"):
+            flow.add_task(name, task)
+        result = flow.run()
+        assert result.succeeded
+
+    def test_parallel_respects_dependencies(self):
+        flow = Workflow("w", max_workers=4)
+        order = []
+        lock = threading.Lock()
+
+        def record(name):
+            def fn(ctx):
+                with lock:
+                    order.append(name)
+
+            return fn
+
+        flow.add_task("first", record("first"))
+        flow.add_task("second", record("second"), depends=("first",))
+        result = flow.run()
+        assert result.succeeded
+        assert order == ["first", "second"]
+
+    def test_parallel_failure_skips(self):
+        flow = Workflow("w", max_workers=2)
+        flow.add_task("bad", lambda ctx: 1 / 0)
+        flow.add_task("child", lambda ctx: None, depends=("bad",))
+        result = flow.run()
+        assert result.tasks["child"].state is TaskState.SKIPPED

@@ -1,0 +1,132 @@
+"""The .mpt measurement file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chemistry.voltammogram import Voltammogram
+from repro.datachannel.formats import read_mpt, write_mpt
+from repro.errors import FileFormatError
+
+
+def make_trace(n=50, metadata=None):
+    rng = np.random.default_rng(0)
+    return Voltammogram(
+        time_s=np.linspace(0.01, 1.0, n),
+        potential_v=np.linspace(0.2, 0.8, n),
+        current_a=rng.normal(0, 1e-5, n),
+        cycle_index=np.zeros(n, dtype=np.int64),
+        metadata=metadata or {"technique": "CV", "scan_rate_v_s": 0.1},
+    )
+
+
+class TestRoundTrip:
+    def test_arrays_survive(self, tmp_path):
+        trace = make_trace()
+        path = write_mpt(tmp_path / "t.mpt", trace)
+        loaded = read_mpt(path)
+        np.testing.assert_allclose(loaded.time_s, trace.time_s, rtol=1e-5)
+        np.testing.assert_allclose(loaded.current_a, trace.current_a, rtol=1e-5)
+        np.testing.assert_array_equal(loaded.cycle_index, trace.cycle_index)
+
+    def test_metadata_survives(self, tmp_path):
+        metadata = {
+            "technique": "CV",
+            "scan_rate_v_s": 0.25,
+            "n_cycles": 3,
+            "label": "2 mM ferrocene",
+            "flag": True,
+            "nested": {"a": 1},
+        }
+        path = write_mpt(tmp_path / "t.mpt", make_trace(metadata=metadata))
+        assert read_mpt(path).metadata == metadata
+
+    def test_non_json_metadata_stringified(self, tmp_path):
+        path = write_mpt(
+            tmp_path / "t.mpt", make_trace(metadata={"obj": object()})
+        )
+        loaded = read_mpt(path)
+        assert isinstance(loaded.metadata["obj"], str)
+
+    def test_empty_trace(self, tmp_path):
+        trace = Voltammogram(
+            time_s=np.array([]),
+            potential_v=np.array([]),
+            current_a=np.array([]),
+            cycle_index=np.array([], dtype=np.int64),
+            metadata={"technique": "CV"},
+        )
+        path = write_mpt(tmp_path / "empty.mpt", trace)
+        assert len(read_mpt(path)) == 0
+
+    def test_header_looks_like_eclab(self, tmp_path):
+        path = write_mpt(tmp_path / "t.mpt", make_trace())
+        text = path.read_text()
+        assert text.startswith("EC-Lab ASCII FILE")
+        assert "Nb header lines :" in text
+        assert "time/s\tEwe/V\t<I>/A\tcycle number" in text
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip(self, tmp_path_factory, n, seed):
+        rng = np.random.default_rng(seed)
+        trace = Voltammogram(
+            time_s=np.sort(rng.uniform(0, 100, n)),
+            potential_v=rng.uniform(-2, 2, n),
+            current_a=rng.normal(0, 1e-4, n),
+            cycle_index=rng.integers(0, 3, n),
+            metadata={"technique": "CV", "seed": seed},
+        )
+        path = tmp_path_factory.mktemp("mpt") / "t.mpt"
+        write_mpt(path, trace)
+        loaded = read_mpt(path)
+        np.testing.assert_allclose(loaded.current_a, trace.current_a, rtol=1e-5)
+        np.testing.assert_array_equal(loaded.cycle_index, trace.cycle_index)
+
+
+class TestRejections:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileFormatError):
+            read_mpt(tmp_path / "ghost.mpt")
+
+    def test_wrong_signature(self, tmp_path):
+        path = tmp_path / "x.mpt"
+        path.write_text("NOT EC-LAB\nstuff\n")
+        with pytest.raises(FileFormatError, match="not an EC-Lab"):
+            read_mpt(path)
+
+    def test_missing_count_line(self, tmp_path):
+        path = tmp_path / "x.mpt"
+        path.write_text("EC-Lab ASCII FILE\nsomething else\n")
+        with pytest.raises(FileFormatError, match="header-count"):
+            read_mpt(path)
+
+    def test_bad_count_value(self, tmp_path):
+        path = tmp_path / "x.mpt"
+        path.write_text("EC-Lab ASCII FILE\nNb header lines : many\n")
+        with pytest.raises(FileFormatError):
+            read_mpt(path)
+
+    def test_count_out_of_range(self, tmp_path):
+        path = tmp_path / "x.mpt"
+        path.write_text("EC-Lab ASCII FILE\nNb header lines : 999\n")
+        with pytest.raises(FileFormatError, match="out of range"):
+            read_mpt(path)
+
+    def test_corrupt_body(self, tmp_path):
+        path = write_mpt(tmp_path / "t.mpt", make_trace(5))
+        content = path.read_text().replace("e-0", "x-0")
+        path.write_text(content)
+        with pytest.raises(FileFormatError):
+            read_mpt(path)
+
+    def test_corrupt_metadata(self, tmp_path):
+        path = write_mpt(tmp_path / "t.mpt", make_trace(5))
+        content = path.read_text().replace('meta.technique : "CV"', "meta.technique : {broken")
+        path.write_text(content)
+        with pytest.raises(FileFormatError):
+            read_mpt(path)

@@ -1,0 +1,144 @@
+"""The EC-Lab-style driver: the 8 steps of Fig 6a."""
+
+import pytest
+
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.species import ferrocene_solution
+from repro.errors import InstrumentStateError, TechniqueError
+from repro.instruments.potentiostat import ECLabAPI, SP200
+
+
+@pytest.fixture
+def api(tmp_path):
+    cell = ElectrochemicalCell()
+    cell.add_liquid(8.0, ferrocene_solution(2.0))
+    device = SP200(cell=cell, noise=None)
+    return ECLabAPI(device, measurement_dir=tmp_path / "data")
+
+
+def full_pipeline(api, **cv_params):
+    assert api.initialize({"channel": 1}) == "Initialization is done"
+    assert api.connect() == "Channel Connection is done"
+    assert api.load_firmware() == "Loading firmware is done"
+    assert api.init_cv_technique(cv_params) == "CV technique is initialized"
+    assert api.load_technique() == "Loading CV technique is done"
+    assert api.start_channel() == "Channel is activated for probing measurements"
+    return api.get_measurements()
+
+
+class TestPipeline:
+    def test_fig6a_confirmations(self, api):
+        trace = full_pipeline(api)
+        assert len(trace) == 1200
+        # step 8: file written to the measurement dir
+        assert api.last_measurement_path is not None
+        assert api.last_measurement_path.exists()
+        assert api.last_measurement_path.suffix == ".mpt"
+
+    def test_transcript_contains_fig6b_lines(self, api):
+        full_pipeline(api)
+        messages = api.log.messages(source="sp200.api")
+        assert "Initialization is done" in messages
+        assert "Measurements are collected" in messages
+        device_messages = api.device.log.messages(source="sp200")
+        assert "> Loading kernel4.bin ..." in device_messages
+
+    def test_ordering_enforced(self, api):
+        with pytest.raises(InstrumentStateError):
+            api.connect()  # before initialize
+        api.initialize()
+        with pytest.raises(TechniqueError):
+            api.load_technique()  # before init_cv_technique
+        api.connect()
+        api.load_firmware()
+        api.init_cv_technique()
+        api.load_technique()
+        with pytest.raises(InstrumentStateError):
+            api.get_measurements()  # nothing started
+
+    def test_start_requires_loaded_technique(self, api):
+        api.initialize()
+        api.connect()
+        api.load_firmware()
+        api.init_cv_technique()
+        with pytest.raises(TechniqueError):
+            api.start_channel()  # load_technique skipped
+
+    def test_unknown_config_keys(self, api):
+        with pytest.raises(InstrumentStateError):
+            api.initialize({"channel": 1, "bogus": True})
+
+    def test_bad_channel(self, api):
+        with pytest.raises(InstrumentStateError):
+            api.initialize({"channel": 0})
+
+    def test_unknown_cv_params(self, api):
+        api.initialize()
+        with pytest.raises(TechniqueError):
+            api.init_cv_technique({"voltage": 1.0})
+
+    def test_custom_cv_params_flow_through(self, api):
+        trace = full_pipeline(api, scan_rate_v_s=0.2, n_cycles=2)
+        assert trace.metadata["scan_rate_v_s"] == 0.2
+        assert trace.n_cycles == 2
+
+    def test_save_as_names_file(self, api):
+        api.initialize()
+        api.connect()
+        api.load_firmware()
+        api.init_cv_technique()
+        api.load_technique()
+        api.start_channel()
+        api.get_measurements(save_as="ferrocene_run")
+        assert api.last_measurement_path.name == "ferrocene_run.mpt"
+
+    def test_partial_read_without_wait(self, api):
+        api.initialize()
+        api.connect()
+        api.load_firmware()
+        api.init_cv_technique()
+        api.load_technique()
+        api.start_channel()
+        api.device.channel(1).wait(timeout=30.0)
+        trace = api.get_measurements(wait=False)
+        assert len(trace) == 1200
+
+    def test_other_techniques(self, api):
+        api.initialize()
+        api.connect()
+        api.load_firmware()
+        assert "CA technique" in api.init_ca_technique({"duration": 2.0})
+        api.load_technique()
+        api.start_channel()
+        trace = api.get_measurements()
+        assert trace.metadata["technique"] == "CA"
+        assert "OCV technique" in api.init_ocv_technique({"duration": 1.0})
+        api.load_technique()
+        api.start_channel()
+        trace = api.get_measurements()
+        assert trace.metadata["technique"] == "OCV"
+
+    def test_disconnect_and_reuse(self, api):
+        full_pipeline(api)
+        assert api.disconnect() == "Potentiostat disconnected"
+        trace = full_pipeline(api)
+        assert len(trace) == 1200
+
+    def test_no_measurement_dir(self):
+        cell = ElectrochemicalCell()
+        cell.add_liquid(8.0, ferrocene_solution(2.0))
+        api = ECLabAPI(SP200(cell=cell, noise=None), measurement_dir=None)
+        trace = full_pipeline(api)
+        assert api.last_measurement_path is None
+        assert len(trace) == 1200
+
+    def test_sequential_acquisitions_autonumber(self, api):
+        full_pipeline(api)
+        first = api.last_measurement_path
+        api.init_cv_technique()
+        api.load_technique()
+        api.start_channel()
+        api.get_measurements()
+        second = api.last_measurement_path
+        assert first != second
+        assert first.exists() and second.exists()

@@ -1,0 +1,99 @@
+"""The assembled bench: wiring between J-Kem, cell, and potentiostat."""
+
+import pytest
+
+from repro.facility.workstation import (
+    PORT_CELL,
+    PORT_COLLECTOR,
+    PORT_SOLVENT,
+    PORT_WASTE,
+    ElectrochemistryWorkstation,
+    WorkstationConfig,
+)
+
+
+class TestBuild:
+    def test_all_parts_present(self, workstation):
+        assert workstation.cell.capacity_ml == 20.0
+        assert workstation.stock.volume_ml == 50.0
+        assert workstation.sbc.commands_handled == 0
+        assert workstation.potentiostat.cell is workstation.cell
+        assert workstation.mfc.cell is workstation.cell
+
+    def test_port_plumbing(self, workstation):
+        ports = workstation.syringe_pump.ports
+        assert PORT_COLLECTOR in ports
+        assert PORT_SOLVENT in ports
+        assert PORT_CELL in ports
+        assert PORT_WASTE in ports
+        assert ports.target(PORT_CELL) is workstation.cell
+
+    def test_stock_vial_loaded_at_bottom(self, workstation):
+        workstation.collector.move_to("BOTTOM")
+        assert workstation.collector.current_vial() is workstation.stock
+
+    def test_custom_concentration(self, tmp_path):
+        ws = ElectrochemistryWorkstation.build(
+            WorkstationConfig(
+                ferrocene_mm=5.0, measurement_dir=tmp_path / "m"
+            )
+        )
+        try:
+            from repro.chemistry.species import FERROCENE
+
+            assert ws.stock.solution.concentration(FERROCENE) == pytest.approx(
+                5e-6
+            )
+        finally:
+            ws.shutdown()
+
+    def test_shared_event_log(self, workstation):
+        workstation.jkem_api.set_rate_syringe_pump(1, 5.0)
+        sources = {e.source for e in workstation.event_log}
+        assert "jkem.api" in sources
+        assert "jkem.sbc" in sources
+
+
+class TestCrossInstrumentCoupling:
+    def test_fill_changes_what_potentiostat_sees(self, workstation):
+        api = workstation.jkem_api
+        api.set_vial_fraction_collector(1, "BOTTOM")
+        api.set_port_syringe_pump(1, PORT_COLLECTOR)
+        api.withdraw_syringe_pump(1, 6.0)
+        api.set_port_syringe_pump(1, PORT_CELL)
+        api.dispense_syringe_pump(1, 6.0)
+
+        eclab = workstation.eclab
+        eclab.initialize()
+        eclab.connect()
+        eclab.load_firmware()
+        eclab.init_cv_technique()
+        eclab.load_technique()
+        eclab.start_channel()
+        trace = eclab.get_measurements()
+        _, peak = trace.peak_anodic()
+        assert peak > 1e-5  # a real ferrocene wave, not a blank
+
+    def test_empty_cell_measures_nothing(self, workstation):
+        eclab = workstation.eclab
+        eclab.initialize()
+        eclab.connect()
+        eclab.load_firmware()
+        eclab.init_cv_technique()
+        eclab.load_technique()
+        eclab.start_channel()
+        trace = eclab.get_measurements()
+        import numpy as np
+
+        assert np.abs(trace.current_a).max() < 1e-6
+
+    def test_solvent_wash_dilution_path(self, workstation):
+        api = workstation.jkem_api
+        api.set_port_syringe_pump(1, PORT_SOLVENT)
+        api.withdraw_syringe_pump(1, 3.0)
+        api.set_port_syringe_pump(1, PORT_CELL)
+        api.dispense_syringe_pump(1, 3.0)
+        assert workstation.cell.volume_ml == pytest.approx(3.0)
+        # blank solvent: no ferrocene signal
+        contents = workstation.cell.contents
+        assert contents is not None and not contents.species

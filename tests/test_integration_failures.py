@@ -1,0 +1,150 @@
+"""Cross-facility failure injection: what breaks, and how loudly.
+
+The value of the ICE software is not the happy path (Figs 5-7) but that
+every operational failure — forgotten firewall rule, WAN outage, dead
+device thread, wrong share path — surfaces as a specific, catchable
+error at the workflow boundary instead of a hang.
+"""
+
+import pytest
+
+from repro.core.cv_workflow import CVWorkflowSettings, run_cv_workflow
+from repro.core.workflow import TaskState
+from repro.errors import (
+    CommunicationError,
+    FirewallDeniedError,
+    InstrumentCommandError,
+    LinkDownError,
+    ReproError,
+)
+from repro.facility.ice import (
+    CONTROL_PORT,
+    HOST_AGENT,
+    HOST_DGX,
+    ElectrochemistryICE,
+    ICEConfig,
+)
+
+FAST = CVWorkflowSettings(e_step_v=0.002)
+
+
+class TestNetworkFailures:
+    def test_forgotten_firewall_rule(self):
+        ecosystem = ElectrochemistryICE.build()
+        try:
+            # simulate IT re-imaging the agent: rules wiped
+            ecosystem.topology.host(HOST_AGENT).firewall._rules.clear()
+            client = ecosystem.client()
+            with pytest.raises(FirewallDeniedError):
+                client.ping()
+        finally:
+            ecosystem.shutdown()
+
+    def test_wan_outage_mid_session(self, ice):
+        client = ice.client()
+        client.ping()
+        wan_link = ice.topology.link(HOST_DGX, "ornl-wan")
+        wan_link.set_up(False)
+        with pytest.raises((LinkDownError, ReproError)):
+            client.call_Status_JKem()
+        # link restored: a fresh dial works
+        wan_link.set_up(True)
+        client.close()
+        client2 = ice.client()
+        client2.ping()
+        client2.close()
+
+    def test_wan_outage_fails_workflow_task_a(self):
+        ecosystem = ElectrochemistryICE.build()
+        try:
+            ecosystem.topology.link(HOST_DGX, "ornl-wan").set_up(False)
+            result = run_cv_workflow(ecosystem, settings=FAST)
+            assert not result.succeeded
+            task_a = result.workflow.tasks["A_establish_communications"]
+            assert task_a.state is TaskState.FAILED
+            assert task_a.attempts == 2  # one retry configured
+        finally:
+            ecosystem.shutdown()
+
+    def test_data_channel_outage_leaves_control_up(self, ice):
+        # drop only the dedicated data links
+        ice.topology.link(HOST_DGX, "ornl-wan-data").set_up(False)
+        client = ice.client()
+        client.ping()  # control unaffected: channel separation at work
+        with pytest.raises((LinkDownError, ReproError)):
+            ice.mount().listdir()
+        client.close()
+        ice.topology.link(HOST_DGX, "ornl-wan-data").set_up(True)
+
+    def test_control_daemon_down(self, ice):
+        ice.control_daemon.shutdown()
+        client = ice.client()
+        with pytest.raises((CommunicationError, ReproError)):
+            client.ping()
+
+
+class TestInstrumentFailures:
+    def test_sbc_stopped_times_out_cleanly(self, ice):
+        ice.workstation.sbc.stop()
+        # shorten the serial deadline so the test is quick
+        ice.workstation.jkem_api.timeout_s = 0.2
+        client = ice.client()
+        with pytest.raises(InstrumentCommandError, match="no response"):
+            client.call_Status_JKem()
+        client.close()
+
+    def test_potentiostat_fault_fails_task_d(self, ice):
+        ice.workstation.potentiostat.inject_fault("power supply trip")
+        result = run_cv_workflow(ice, settings=FAST)
+        assert not result.succeeded
+        assert result.workflow.tasks["D_run_cv"].state is TaskState.FAILED
+        assert result.workflow.tasks["E_shutdown"].state is TaskState.SKIPPED
+
+    def test_fault_recovery_allows_next_run(self, ice):
+        ice.workstation.potentiostat.inject_fault("power supply trip")
+        first = run_cv_workflow(ice, settings=FAST)
+        assert not first.succeeded
+        ice.workstation.potentiostat.clear_fault()
+        ice.workstation.cell.drain()
+        second = run_cv_workflow(ice, settings=FAST)
+        assert second.succeeded
+
+    def test_stock_exhaustion_fails_fill(self):
+        from repro.facility.workstation import WorkstationConfig
+
+        ecosystem = ElectrochemistryICE.build(
+            ICEConfig(workstation=WorkstationConfig(stock_volume_ml=2.0))
+        )
+        try:
+            result = run_cv_workflow(ecosystem, settings=FAST)  # needs 5 mL
+            assert not result.succeeded
+            assert (
+                result.workflow.tasks["C_fill_cell"].state is TaskState.FAILED
+            )
+        finally:
+            ecosystem.shutdown()
+
+
+class TestShareFailures:
+    def test_measurement_file_deleted_before_fetch(self, ice):
+        result = run_cv_workflow(ice, settings=FAST)
+        assert result.succeeded
+        target = ice.measurement_dir / result.measurement_file
+        target.unlink()
+        mount = ice.mount()
+        from repro.errors import RemoteFileNotFoundError
+
+        with pytest.raises(RemoteFileNotFoundError):
+            mount.read_voltammogram(result.measurement_file)
+        mount.unmount()
+
+    def test_corrupted_measurement_file(self, ice):
+        result = run_cv_workflow(ice, settings=FAST)
+        target = ice.measurement_dir / result.measurement_file
+        target.write_text("NOT A MEASUREMENT")
+        mount = ice.mount()
+        from repro.errors import FileFormatError
+
+        with pytest.raises(FileFormatError):
+            mount.read_voltammogram(result.measurement_file)
+        mount.unmount()

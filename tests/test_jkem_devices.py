@@ -1,0 +1,241 @@
+"""J-Kem device models: pumps, MFC, collector, thermal, pH."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.species import ferrocene_solution
+from repro.errors import (
+    InstrumentCommandError,
+    InstrumentFaultError,
+    InstrumentStateError,
+)
+from repro.instruments.jkem.devices import (
+    Chiller,
+    FractionCollector,
+    MassFlowController,
+    PeristalticPump,
+    PHProbe,
+    SyringePump,
+    TemperatureController,
+)
+from repro.instruments.jkem.plumbing import PortMap, Reservoir, WASTE
+
+
+@pytest.fixture
+def bench():
+    cell = ElectrochemicalCell()
+    stock = Reservoir("stock", ferrocene_solution(2.0), 50.0)
+    ports = PortMap()
+    ports.connect(1, stock)
+    ports.connect(8, cell)
+    ports.connect(9, WASTE)
+    pump = SyringePump(ports=ports)
+    return cell, stock, pump
+
+
+class TestSyringePump:
+    def test_withdraw_dispense_moves_liquid(self, bench):
+        cell, stock, pump = bench
+        pump.set_port(1)
+        pump.withdraw(5.0)
+        assert stock.volume_ml == pytest.approx(45.0)
+        assert pump.held_volume_ml == pytest.approx(5.0)
+        pump.set_port(8)
+        pump.dispense(5.0)
+        assert cell.volume_ml == pytest.approx(5.0)
+        assert pump.held_volume_ml == 0.0
+
+    def test_rate_limits(self, bench):
+        _, _, pump = bench
+        pump.set_rate(5.0)
+        assert pump.rate_ml_min == 5.0
+        with pytest.raises(InstrumentCommandError):
+            pump.set_rate(1000.0)
+        with pytest.raises(InstrumentCommandError):
+            pump.set_rate(0.0)
+
+    def test_unplumbed_port(self, bench):
+        _, _, pump = bench
+        with pytest.raises(InstrumentCommandError):
+            pump.set_port(3)
+
+    def test_syringe_overfill(self, bench):
+        _, _, pump = bench
+        pump.set_port(1)
+        with pytest.raises(InstrumentStateError):
+            pump.withdraw(11.0)
+
+    def test_dispense_more_than_held(self, bench):
+        _, _, pump = bench
+        pump.set_port(1)
+        pump.withdraw(2.0)
+        pump.set_port(8)
+        with pytest.raises(InstrumentStateError):
+            pump.dispense(3.0)
+
+    def test_reservoir_exhaustion(self, bench):
+        _, stock, pump = bench
+        pump.set_port(1)
+        from repro.errors import ChemistryError
+
+        pump2 = SyringePump(name="big", syringe_volume_ml=100.0, ports=pump.ports)
+        with pytest.raises(ChemistryError):
+            pump2.withdraw(60.0)
+
+    def test_empty_to_waste(self, bench):
+        _, _, pump = bench
+        pump.set_port(1)
+        pump.withdraw(3.0)
+        assert pump.empty_to_waste() == pytest.approx(3.0)
+        assert pump.held_volume_ml == 0.0
+
+    def test_time_charged_when_scaled(self):
+        clock = VirtualClock()
+        ports = PortMap()
+        ports.connect(1, Reservoir("r", ferrocene_solution(), 100.0))
+        pump = SyringePump(ports=ports, clock=clock, time_scale=1.0)
+        pump.set_rate(60.0)  # 1 mL/s
+        pump.withdraw(5.0)
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_fault_blocks_operations(self, bench):
+        _, _, pump = bench
+        pump.inject_fault("plunger stuck")
+        with pytest.raises(InstrumentFaultError):
+            pump.withdraw(1.0)
+        pump.clear_fault()
+        pump.set_port(1)
+        pump.withdraw(1.0)
+
+    def test_negative_volumes(self, bench):
+        _, _, pump = bench
+        with pytest.raises(InstrumentCommandError):
+            pump.withdraw(-1.0)
+        with pytest.raises(InstrumentCommandError):
+            pump.dispense(0.0)
+
+
+class TestPeristalticPump:
+    def test_transfer(self):
+        cell = ElectrochemicalCell()
+        cell.add_liquid(10.0, ferrocene_solution())
+        pump = PeristalticPump(source=cell, destination=WASTE)
+        pump.set_rate(10.0)
+        pump.transfer(4.0)
+        assert cell.volume_ml == pytest.approx(6.0)
+
+    def test_tubing_ranges(self):
+        pump = PeristalticPump(tubing="LS14")
+        with pytest.raises(InstrumentCommandError):
+            pump.set_rate(0.1)
+        pump.set_rate(100.0)
+
+    def test_unknown_tubing(self):
+        with pytest.raises(InstrumentCommandError):
+            PeristalticPump(tubing="LS99")
+
+    def test_unconnected_transfer(self):
+        pump = PeristalticPump()
+        with pytest.raises(InstrumentStateError):
+            pump.transfer(1.0)
+
+
+class TestMFC:
+    def test_flow_reaches_cell(self):
+        cell = ElectrochemicalCell()
+        mfc = MassFlowController(cell=cell)
+        mfc.set_flow(50.0)
+        assert cell.purge == ("argon", 50.0)
+        assert mfc.actual_sccm == 50.0
+
+    def test_zero_flow_stops_purge(self):
+        cell = ElectrochemicalCell()
+        mfc = MassFlowController(cell=cell)
+        mfc.set_flow(50.0)
+        mfc.set_flow(0.0)
+        assert cell.purge == (None, 0.0)
+
+    def test_range(self):
+        mfc = MassFlowController(max_sccm=100.0)
+        with pytest.raises(InstrumentCommandError):
+            mfc.set_flow(150.0)
+        with pytest.raises(InstrumentCommandError):
+            mfc.set_flow(-1.0)
+
+    def test_faulted_reads_zero(self):
+        mfc = MassFlowController()
+        mfc.set_flow(10.0)
+        mfc.inject_fault("valve stuck")
+        assert mfc.actual_sccm == 0.0
+
+
+class TestFractionCollector:
+    def test_vial_selection_and_withdraw(self):
+        collector = FractionCollector()
+        stock = Reservoir("stock", ferrocene_solution(2.0), 10.0)
+        collector.load_vial("BOTTOM", stock)
+        collector.move_to("BOTTOM")
+        solution = collector.withdraw(2.0)
+        assert solution is stock.solution
+        assert stock.volume_ml == pytest.approx(8.0)
+
+    def test_unknown_position(self):
+        collector = FractionCollector()
+        with pytest.raises(InstrumentCommandError):
+            collector.move_to("SIDEWAYS")
+
+    def test_no_vial_loaded(self):
+        collector = FractionCollector()
+        collector.move_to("TOP")
+        with pytest.raises(InstrumentStateError):
+            collector.withdraw(1.0)
+
+    def test_fill_collects_fractions(self):
+        collector = FractionCollector()
+        vial = Reservoir("collect", ferrocene_solution(), 0.0)
+        collector.load_vial("TOP", vial)
+        collector.move_to("TOP")
+        collector.fill(1.5)
+        assert vial.volume_ml == pytest.approx(1.5)
+
+
+class TestThermal:
+    def test_first_order_approach(self):
+        clock = VirtualClock()
+        cell = ElectrochemicalCell(temperature_c=25.0)
+        controller = TemperatureController(cell=cell, tau_s=100.0, clock=clock)
+        controller.set_setpoint(50.0)
+        clock.advance(100.0)  # one time constant: ~63% of the way
+        temp = controller.read_temperature()
+        assert temp == pytest.approx(25.0 + 25.0 * 0.632, abs=0.5)
+        assert cell.temperature_c == pytest.approx(temp)
+
+    def test_setpoint_limits(self):
+        controller = TemperatureController()
+        with pytest.raises(InstrumentCommandError):
+            controller.set_setpoint(500.0)
+
+    def test_chiller_lifecycle(self):
+        chiller = Chiller()
+        chiller.start()
+        assert chiller.running
+        chiller.set_coolant(5.0)
+        assert chiller.coolant_setpoint_c == 5.0
+        chiller.stop()
+        assert not chiller.running
+
+    def test_chiller_coolant_range(self):
+        with pytest.raises(InstrumentCommandError):
+            Chiller().set_coolant(99.0)
+
+
+class TestPHProbe:
+    def test_reading_near_baseline(self):
+        probe = PHProbe(baseline_ph=7.0, noise_sigma=0.01, seed=1)
+        readings = [probe.read_ph() for _ in range(20)]
+        assert all(6.9 <= r <= 7.1 for r in readings)
+
+    def test_reading_clamped(self):
+        probe = PHProbe(baseline_ph=0.0, noise_sigma=1.0, seed=1)
+        assert all(0.0 <= probe.read_ph() <= 14.0 for _ in range(50))

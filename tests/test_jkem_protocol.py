@@ -1,0 +1,133 @@
+"""J-Kem command grammar: parse/format inverses, strictness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InstrumentCommandError
+from repro.instruments.jkem.protocol import (
+    Command,
+    Response,
+    format_command,
+    format_response,
+    parse_command,
+    parse_response,
+)
+
+
+class TestCommandFormat:
+    def test_fig5b_lines(self):
+        # the exact console lines of paper Fig 5b
+        assert (
+            format_command(Command("SYRINGEPUMP_RATE", (1, 5.0)))
+            == "SYRINGEPUMP_RATE(1,5.000000)"
+        )
+        assert format_command(Command("SYRINGEPUMP_PORT", (1, 8))) == "SYRINGEPUMP_PORT(1,8)"
+        assert (
+            format_command(Command("FRACTIONCOLLECTOR_VIAL", (1, "BOTTOM")))
+            == "FRACTIONCOLLECTOR_VIAL(1,BOTTOM)"
+        )
+
+    def test_no_args(self):
+        assert format_command(Command("STATUS")) == "STATUS()"
+
+    def test_bool_rejected(self):
+        with pytest.raises(InstrumentCommandError):
+            format_command(Command("X", (True,)))
+
+    def test_non_bareword_string_rejected(self):
+        with pytest.raises(InstrumentCommandError):
+            format_command(Command("X", ("has space",)))
+
+    def test_bad_verb_rejected(self):
+        with pytest.raises(InstrumentCommandError):
+            Command("lower_case")
+
+
+class TestCommandParse:
+    def test_parse_types(self):
+        command = parse_command("MIX(1,2.5,BOTTOM,-3)")
+        assert command.verb == "MIX"
+        assert command.args == (1, 2.5, "BOTTOM", -3)
+
+    def test_whitespace_tolerated(self):
+        assert parse_command("  CMD( 1 , 2 )  ").args == (1, 2)
+
+    def test_scientific_notation(self):
+        assert parse_command("X(1.5e-3)").args == (1.5e-3,)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "CMD",
+            "CMD(",
+            "CMD)",
+            "cmd()",
+            "CMD(())",
+            "CMD(1,)",
+            "CMD(,)",
+            "CMD(1)(2)",
+            "CMD(a b)",
+            "1CMD()",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InstrumentCommandError):
+            parse_command(bad)
+
+    number = st.one_of(
+        st.integers(min_value=-(10**6), max_value=10**6),
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ).map(lambda x: round(x, 6)),
+    )
+    word = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,10}", fullmatch=True)
+
+    @given(
+        st.from_regex(r"[A-Z][A-Z0-9_]{0,15}", fullmatch=True),
+        st.lists(st.one_of(number, word), max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_format_parse_inverse(self, verb, args):
+        command = Command(verb, tuple(args))
+        parsed = parse_command(format_command(command))
+        assert parsed.verb == verb
+        assert len(parsed.args) == len(args)
+        for original, recovered in zip(args, parsed.args):
+            if isinstance(original, float):
+                assert recovered == pytest.approx(original, abs=1e-6)
+            else:
+                assert recovered == original
+
+
+class TestResponse:
+    def test_plain_ok(self):
+        assert format_response(Response(ok=True)) == "OK"
+        assert parse_response("OK") == Response(ok=True)
+
+    def test_ok_with_value(self):
+        line = format_response(Response(ok=True, value="25.001"))
+        assert line == "OK 25.001"
+        assert parse_response(line).value == "25.001"
+
+    def test_error_round_trip(self):
+        line = format_response(
+            Response(ok=False, error_code=400, error_message="bad volume")
+        )
+        parsed = parse_response(line)
+        assert not parsed.ok
+        assert parsed.error_code == 400
+        assert parsed.error_message == "bad volume"
+
+    def test_error_message_sanitised(self):
+        line = format_response(
+            Response(ok=False, error_code=1, error_message="a,b(c)\nd")
+        )
+        parsed = parse_response(line)
+        assert parsed.error_code == 1
+        assert "," not in parsed.error_message
+
+    def test_unparseable_response(self):
+        with pytest.raises(InstrumentCommandError):
+            parse_response("GARBAGE")

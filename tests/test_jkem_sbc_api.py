@@ -1,0 +1,120 @@
+"""SBC dispatch + front-end API over the serial link."""
+
+import pytest
+
+from repro.errors import InstrumentCommandError
+from repro.instruments.jkem.protocol import Command
+from repro.instruments.jkem.sbc import JKemSBC
+
+
+@pytest.fixture
+def stack(workstation):
+    """(api, sbc, workstation) wired through the virtual serial cable."""
+    return workstation.jkem_api, workstation.sbc, workstation
+
+
+class TestDispatch:
+    def test_unknown_verb_404(self):
+        sbc = JKemSBC()
+        response = sbc.execute(Command("NO_SUCH_VERB"))
+        assert not response.ok
+        assert response.error_code == 404
+
+    def test_missing_device_400(self):
+        sbc = JKemSBC()
+        response = sbc.execute(Command("SYRINGEPUMP_RATE", (1, 5.0)))
+        assert not response.ok
+        assert response.error_code == 400
+
+    def test_wrong_arity(self, stack):
+        _, sbc, _ = stack
+        response = sbc.execute(Command("SYRINGEPUMP_RATE", (1,)))
+        assert not response.ok
+        assert "expects 2" in response.error_message
+
+    def test_wrong_arg_type(self, stack):
+        _, sbc, _ = stack
+        response = sbc.execute(Command("SYRINGEPUMP_PORT", (1, "BOTTOM")))
+        assert not response.ok
+
+    def test_non_integer_unit(self, stack):
+        _, sbc, _ = stack
+        response = sbc.execute(Command("SYRINGEPUMP_RATE", ("one", 5.0)))
+        assert not response.ok
+
+    def test_status_inventory(self, stack):
+        _, sbc, _ = stack
+        response = sbc.execute(Command("STATUS"))
+        assert response.ok
+        assert "syringe=1" in (response.value or "")
+
+
+class TestAPIOverSerial:
+    def test_fig5a_sequence(self, stack):
+        """The exact command sequence of paper Fig 5a, all returning OK."""
+        api, sbc, ws = stack
+        assert api.set_rate_syringe_pump(1, 5.0) == "OK"
+        assert api.set_port_syringe_pump(1, 1) == "OK"
+        assert api.set_vial_fraction_collector(1, "BOTTOM") == "OK"
+        assert api.withdraw_syringe_pump(1, 5.0) == "OK"
+        assert api.set_port_syringe_pump(1, 8) == "OK"
+        assert api.dispense_syringe_pump(1, 5.0) == "OK"
+        assert ws.cell.volume_ml == pytest.approx(5.0)
+        # the SBC console echoes each line with OK (Fig 5b)
+        echoes = sbc.log.messages(source="jkem.sbc", kind="command")
+        assert "SYRINGEPUMP_RATE(1,5.000000) OK" in echoes
+        assert "FRACTIONCOLLECTOR_VIAL(1,BOTTOM) OK" in echoes
+
+    def test_error_propagates_as_exception(self, stack):
+        api, _, _ = stack
+        with pytest.raises(InstrumentCommandError, match="overfill"):
+            api.withdraw_syringe_pump(1, 50.0)
+
+    def test_reads_return_floats(self, stack):
+        api, _, _ = stack
+        api.set_flow_mfc(1, 25.0)
+        assert api.read_flow_mfc(1) == pytest.approx(25.0)
+        assert isinstance(api.read_temperature(1), float)
+        assert 0.0 <= api.read_ph(1) <= 14.0
+
+    def test_thermal_and_chiller_commands(self, stack):
+        api, _, _ = stack
+        assert api.set_temperature(1, 30.0) == "OK"
+        assert api.start_chiller(1) == "OK"
+        assert api.set_coolant_chiller(1, 10.0) == "OK"
+        assert api.stop_chiller(1) == "OK"
+
+    def test_peristaltic_transfer(self, stack):
+        api, _, ws = stack
+        # cell -> waste line
+        api.set_rate_syringe_pump(1, 10.0)
+        api.set_vial_fraction_collector(1, "BOTTOM")
+        api.set_port_syringe_pump(1, 1)
+        api.withdraw_syringe_pump(1, 6.0)
+        api.set_port_syringe_pump(1, 8)
+        api.dispense_syringe_pump(1, 6.0)
+        api.set_rate_peristaltic_pump(1, 10.0)
+        assert api.transfer_peristaltic_pump(1, 2.0) == "OK"
+        assert ws.cell.volume_ml == pytest.approx(4.0)
+
+    def test_status_syringe_pump_summary(self, stack):
+        api, _, _ = stack
+        api.set_rate_syringe_pump(1, 7.0)
+        summary = api.status_syringe_pump(1)
+        assert "rate=7.000" in summary
+
+    def test_exit_blocks_further_commands(self, stack):
+        api, _, _ = stack
+        assert api.exit() == "J-Kem API exit OK"
+        with pytest.raises(InstrumentCommandError, match="closed"):
+            api.status()
+
+    def test_reopen_restores_session(self, stack):
+        api, _, _ = stack
+        api.exit()
+        api.reopen()
+        assert api.status()
+
+    def test_status_command(self, stack):
+        api, _, _ = stack
+        assert "syringe=1" in api.status()

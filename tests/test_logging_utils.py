@@ -1,0 +1,83 @@
+"""EventLog: emission, filtering, subscription."""
+
+import threading
+
+from repro.logging_utils import Event, EventLog
+
+
+def test_emit_records_event():
+    log = EventLog()
+    event = log.emit("src", "kind", "hello", value=1)
+    assert event.source == "src"
+    assert event.data == {"value": 1}
+    assert len(log) == 1
+
+
+def test_filter_by_source_and_kind():
+    log = EventLog()
+    log.emit("a", "x", "1")
+    log.emit("a", "y", "2")
+    log.emit("b", "x", "3")
+    assert [e.message for e in log.events(source="a")] == ["1", "2"]
+    assert [e.message for e in log.events(kind="x")] == ["1", "3"]
+    assert [e.message for e in log.events(source="a", kind="x")] == ["1"]
+
+
+def test_messages_helper():
+    log = EventLog()
+    log.emit("a", "x", "first")
+    log.emit("a", "x", "second")
+    assert log.messages() == ["first", "second"]
+
+
+def test_subscription_and_unsubscribe():
+    log = EventLog()
+    seen: list[str] = []
+    unsubscribe = log.subscribe(lambda e: seen.append(e.message))
+    log.emit("a", "x", "one")
+    unsubscribe()
+    log.emit("a", "x", "two")
+    assert seen == ["one"]
+
+
+def test_clear():
+    log = EventLog()
+    log.emit("a", "x", "1")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_custom_clock_function():
+    log = EventLog(clock_fn=lambda: 42.0)
+    assert log.emit("a", "x", "1").timestamp == 42.0
+
+
+def test_format_line_and_transcript():
+    log = EventLog(clock_fn=lambda: 1.0)
+    log.emit("jkem.sbc", "command", "SYRINGEPUMP_RATE(1,5.000000) OK")
+    transcript = log.format_transcript()
+    assert "SYRINGEPUMP_RATE(1,5.000000) OK" in transcript
+    assert "jkem.sbc" in transcript
+
+
+def test_concurrent_emission_is_lossless():
+    log = EventLog()
+    n_threads, n_events = 8, 100
+
+    def worker(tid: int) -> None:
+        for i in range(n_events):
+            log.emit(f"t{tid}", "k", str(i))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(log) == n_threads * n_events
+
+
+def test_iteration_yields_events_in_order():
+    log = EventLog()
+    for i in range(5):
+        log.emit("s", "k", str(i))
+    assert [e.message for e in log] == [str(i) for i in range(5)]

@@ -1,0 +1,178 @@
+"""Decision tree and ensemble classifiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLError, NotFittedError
+from repro.ml.ensemble import EnsembleOfTreesClassifier
+from repro.ml.tree import DecisionTreeClassifier, _gini
+
+
+def blobs(n_per_class=40, separation=4.0, seed=0, n_features=4):
+    """Two well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 1.0, (n_per_class, n_features))
+    b = rng.normal(separation, 1.0, (n_per_class, n_features))
+    x = np.vstack([a, b])
+    y = np.array([0] * n_per_class + [1] * n_per_class)
+    return x, y
+
+
+class TestGini:
+    def test_pure_node_zero(self):
+        assert _gini(np.array([10.0, 0.0])) == pytest.approx(0.0)
+
+    def test_even_split_half(self):
+        assert _gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_vectorised(self):
+        counts = np.array([[10.0, 0.0], [5.0, 5.0]])
+        np.testing.assert_allclose(_gini(counts), [0.0, 0.5])
+
+    def test_empty_counts(self):
+        assert _gini(np.array([0.0, 0.0])) == pytest.approx(1.0)
+
+
+class TestDecisionTree:
+    def test_separable_data_perfect_train_accuracy(self):
+        x, y = blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert np.mean(tree.predict(x) == y) == 1.0
+
+    def test_generalises_to_test_blob(self):
+        x, y = blobs(seed=0)
+        x_test, y_test = blobs(seed=1)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert np.mean(tree.predict(x_test) == y_test) > 0.95
+
+    def test_max_depth_respected(self):
+        x, y = blobs(separation=1.0)  # overlapping: wants deep tree
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        x, y = blobs(n_per_class=10)
+        tree = DecisionTreeClassifier(min_samples_leaf=5).fit(x, y)
+        # no leaf can have fewer than 5 samples; tree must be shallow
+        assert tree.depth <= 3
+
+    def test_single_class(self):
+        x = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert np.all(tree.predict(x) == 0)
+        assert tree.depth == 0
+
+    def test_string_labels(self):
+        x, y_int = blobs()
+        labels = np.array(["normal", "abnormal"])[y_int]
+        tree = DecisionTreeClassifier().fit(x, labels)
+        assert set(tree.predict(x)) <= {"normal", "abnormal"}
+
+    def test_predict_proba_sums_to_one(self):
+        x, y = blobs(separation=1.5)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_single_row_prediction(self):
+        x, y = blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict(x[0]) in (0, 1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        x, y = blobs(n_features=4)
+        tree = DecisionTreeClassifier().fit(x, y)
+        with pytest.raises(MLError):
+            tree.predict(np.zeros((1, 7)))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_depth": 0}, {"min_samples_leaf": 0}]
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier(**kwargs)
+
+    def test_input_validation(self):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))  # 1-D x
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_constant_features_yield_leaf(self):
+        x = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.depth == 0  # nothing to split on
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_train_accuracy_beats_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(30, 3))
+        y = (x[:, 0] + 0.3 * rng.normal(size=30) > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        accuracy = float(np.mean(tree.predict(x) == y))
+        majority = max(np.mean(y == 0), np.mean(y == 1))
+        assert accuracy >= majority
+
+
+class TestEnsemble:
+    def test_separable_data(self):
+        x, y = blobs()
+        ensemble = EnsembleOfTreesClassifier(n_trees=20, random_state=0).fit(x, y)
+        assert ensemble.score(x, y) == 1.0
+
+    def test_oob_score_populated(self):
+        x, y = blobs()
+        ensemble = EnsembleOfTreesClassifier(n_trees=25, random_state=0).fit(x, y)
+        assert 0.8 <= ensemble.oob_score_ <= 1.0
+
+    def test_better_than_stump_on_noisy_data(self):
+        x, y = blobs(separation=1.2, n_per_class=80)
+        x_test, y_test = blobs(separation=1.2, n_per_class=80, seed=9)
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        ensemble = EnsembleOfTreesClassifier(n_trees=40, random_state=0).fit(x, y)
+        assert ensemble.score(x_test, y_test) >= np.mean(
+            stump.predict(x_test) == y_test
+        )
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(c * 4.0, 1.0, (30, 3)) for c in range(3)]
+        )
+        y = np.repeat(["a", "b", "c"], 30)
+        ensemble = EnsembleOfTreesClassifier(n_trees=20, random_state=1).fit(x, y)
+        assert ensemble.score(x, y) > 0.95
+        proba = ensemble.predict_proba(x)
+        assert proba.shape == (90, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        x, y = blobs(separation=1.0)
+        a = EnsembleOfTreesClassifier(n_trees=10, random_state=5).fit(x, y)
+        b = EnsembleOfTreesClassifier(n_trees=10, random_state=5).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EnsembleOfTreesClassifier().predict(np.zeros((1, 2)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(MLError):
+            EnsembleOfTreesClassifier(n_trees=0)
+
+    def test_input_validation(self):
+        with pytest.raises(MLError):
+            EnsembleOfTreesClassifier().fit(np.zeros(5), np.zeros(5))

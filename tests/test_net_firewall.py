@@ -1,0 +1,102 @@
+"""Firewall rules: ordering, matching, default policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FirewallDeniedError
+from repro.net.firewall import Action, Firewall, FirewallRule
+
+
+class TestFirewallRule:
+    def test_exact_match(self):
+        rule = FirewallRule(Action.ALLOW, src_host="dgx", port_range=(9690, 9690))
+        assert rule.matches("dgx", "K200", 9690)
+        assert not rule.matches("dgx", "K200", 9691)
+        assert not rule.matches("other", "K200", 9690)
+
+    def test_glob_matching(self):
+        rule = FirewallRule(Action.ALLOW, src_host="k200-*", src_facility="K2*")
+        assert rule.matches("k200-dgx", "K200", 80)
+        assert not rule.matches("acl-agent", "K200", 80)
+
+    def test_port_range(self):
+        rule = FirewallRule(Action.ALLOW, port_range=(9000, 9999))
+        assert rule.matches("h", "f", 9000)
+        assert rule.matches("h", "f", 9999)
+        assert not rule.matches("h", "f", 8999)
+
+    @pytest.mark.parametrize("bad", [(0, 10), (10, 5), (1, 70000)])
+    def test_invalid_ranges(self, bad):
+        with pytest.raises(ValueError):
+            FirewallRule(Action.ALLOW, port_range=bad)
+
+
+class TestFirewall:
+    def test_default_deny(self):
+        firewall = Firewall()
+        assert firewall.evaluate("h", "f", 80) is Action.DENY
+
+    def test_default_allow_policy(self):
+        firewall = Firewall(default=Action.ALLOW)
+        assert firewall.evaluate("h", "f", 80) is Action.ALLOW
+
+    def test_allow_port_convenience(self):
+        firewall = Firewall()
+        firewall.allow_port(9690, src_facility="K200")
+        assert firewall.evaluate("dgx", "K200", 9690) is Action.ALLOW
+        assert firewall.evaluate("dgx", "OTHER", 9690) is Action.DENY
+
+    def test_first_match_wins(self):
+        firewall = Firewall()
+        firewall.add_rule(FirewallRule(Action.DENY, src_host="evil-*"))
+        firewall.add_rule(FirewallRule(Action.ALLOW))
+        assert firewall.evaluate("evil-box", "f", 80) is Action.DENY
+        assert firewall.evaluate("good-box", "f", 80) is Action.ALLOW
+
+    def test_check_raises_on_deny(self):
+        firewall = Firewall()
+        with pytest.raises(FirewallDeniedError):
+            firewall.check("h", "f", 80)
+
+    def test_check_passes_on_allow(self):
+        firewall = Firewall()
+        firewall.allow_port(80)
+        firewall.check("h", "f", 80)
+
+    def test_counters(self):
+        firewall = Firewall()
+        firewall.allow_port(80)
+        firewall.evaluate("h", "f", 80)
+        firewall.evaluate("h", "f", 81)
+        assert firewall.evaluations == 2
+        assert firewall.denials == 1
+
+    def test_rules_copy(self):
+        firewall = Firewall()
+        firewall.allow_port(80)
+        rules = firewall.rules
+        rules.clear()
+        assert len(firewall.rules) == 1
+
+    @given(
+        st.integers(min_value=1, max_value=65535),
+        st.integers(min_value=1, max_value=65535),
+        st.integers(min_value=1, max_value=65535),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_single_allow_rule_is_exact(self, low, high, probe):
+        low, high = min(low, high), max(low, high)
+        firewall = Firewall()
+        firewall.add_rule(FirewallRule(Action.ALLOW, port_range=(low, high)))
+        expected = Action.ALLOW if low <= probe <= high else Action.DENY
+        assert firewall.evaluate("h", "f", probe) is expected
+
+    @given(st.lists(st.sampled_from([Action.ALLOW, Action.DENY]), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_first_rule_decides_when_all_match(self, actions):
+        firewall = Firewall()
+        for action in actions:
+            firewall.add_rule(FirewallRule(action))
+        expected = actions[0] if actions else Action.DENY
+        assert firewall.evaluate("h", "f", 80) is expected

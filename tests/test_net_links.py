@@ -1,0 +1,159 @@
+"""Link specs and shared-link contention."""
+
+import threading
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import LinkDownError
+from repro.net.links import LinkSpec, SharedLink
+
+
+class TestLinkSpec:
+    def test_transmission_time(self):
+        spec = LinkSpec(bandwidth_bps=8e6)  # 1 MB/s
+        assert spec.transmission_time(1_000_000) == pytest.approx(1.0)
+
+    def test_infinite_bandwidth(self):
+        assert LinkSpec(bandwidth_bps=None).transmission_time(10**9) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_s": -1.0},
+            {"bandwidth_bps": 0.0},
+            {"bandwidth_bps": -5.0},
+            {"jitter_s": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkSpec(**kwargs)
+
+
+class TestSharedLink:
+    def test_transmit_charges_latency_and_serialisation(self):
+        clock = VirtualClock()
+        link = SharedLink("l", LinkSpec(latency_s=0.01, bandwidth_bps=8e6), clock=clock)
+        owed = link.transmit(1_000_000)
+        assert owed == 0.0  # fully charged on the clock
+        assert clock.now() == pytest.approx(1.01)
+
+    def test_transmit_deferred_latency(self):
+        clock = VirtualClock()
+        link = SharedLink("l", LinkSpec(latency_s=0.01, bandwidth_bps=8e6), clock=clock)
+        owed = link.transmit(1_000_000, charge_latency=False)
+        assert owed == pytest.approx(0.01)
+        # only the serialisation time was slept
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_statistics(self):
+        link = SharedLink("l", LinkSpec(), clock=VirtualClock())
+        link.transmit(100)
+        link.transmit(200)
+        assert link.bytes_carried == 300
+        assert link.transmissions == 2
+
+    def test_down_link_raises(self):
+        link = SharedLink("l", LinkSpec(), clock=VirtualClock())
+        link.set_up(False)
+        assert not link.is_up
+        with pytest.raises(LinkDownError):
+            link.transmit(1)
+
+    def test_link_recovers(self):
+        link = SharedLink("l", LinkSpec(), clock=VirtualClock())
+        link.set_up(False)
+        link.set_up(True)
+        link.transmit(1)
+
+    def test_jitter_bounded(self):
+        clock = VirtualClock()
+        spec = LinkSpec(latency_s=0.001, jitter_s=0.002)
+        link = SharedLink("l", spec, clock=clock)
+        for _ in range(50):
+            start = clock.now()
+            link.transmit(10)
+            delay = clock.now() - start
+            assert 0.001 <= delay <= 0.0031
+
+    def test_contention_serialises_wall_time(self):
+        # two threads pushing through a slow link take ~2x one thread
+        link = SharedLink("l", LinkSpec(bandwidth_bps=8e5))  # 100 kB/s real clock
+        results = []
+
+        def sender():
+            results.append(link.transmit(5_000))  # 50 ms serialisation
+
+        threads = [threading.Thread(target=sender) for _ in range(2)]
+        import time
+
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - start
+        # serialised: total >= 2 * 50 ms (some tolerance for scheduling)
+        assert wall >= 0.09
+
+
+class TestPriorityLink:
+    def test_basic_transmit_charges_like_shared(self):
+        from repro.net.links import PriorityLink
+
+        clock = VirtualClock()
+        link = PriorityLink(
+            "p", LinkSpec(latency_s=0.01, bandwidth_bps=8e6), clock=clock
+        )
+        owed = link.transmit(1_000_000, charge_latency=False)
+        assert owed == pytest.approx(0.01)
+        assert clock.now() == pytest.approx(1.0)
+        assert link.bytes_carried == 1_000_000
+        assert link.transmissions == 1
+
+    def test_control_preempts_queued_bulk(self):
+        # Two bulk frames saturate a slow link; a control frame submitted
+        # after them must finish before the second bulk frame does.
+        import threading
+        import time
+
+        from repro.net.links import PriorityLink
+
+        link = PriorityLink("p", LinkSpec(bandwidth_bps=4e6))  # 500 kB/s
+        finish_order: list[str] = []
+        lock = threading.Lock()
+
+        def send(name: str, size: int, priority: int) -> None:
+            link.transmit(size, priority=priority)
+            with lock:
+                finish_order.append(name)
+
+        bulk_a = threading.Thread(target=send, args=("bulk-a", 100_000, 1))
+        bulk_b = threading.Thread(target=send, args=("bulk-b", 100_000, 1))
+        bulk_a.start()
+        bulk_b.start()
+        time.sleep(0.02)  # both bulk frames are in/queued
+        control = threading.Thread(target=send, args=("control", 500, 0))
+        control.start()
+        for thread in (bulk_a, bulk_b, control):
+            thread.join(timeout=10.0)
+        # the control frame must not finish last
+        assert finish_order[-1] != "control"
+        assert set(finish_order) == {"bulk-a", "bulk-b", "control"}
+
+    def test_down_link_raises(self):
+        from repro.net.links import PriorityLink
+
+        link = PriorityLink("p", LinkSpec(), clock=VirtualClock())
+        link.set_up(False)
+        with pytest.raises(LinkDownError):
+            link.transmit(10)
+
+    def test_segmentation_preserves_byte_accounting(self):
+        from repro.net.links import PriorityLink
+
+        link = PriorityLink("p", LinkSpec(), clock=VirtualClock())
+        link.transmit(PriorityLink.SEGMENT_BYTES * 3 + 17)
+        assert link.bytes_carried == PriorityLink.SEGMENT_BYTES * 3 + 17
+        assert link.transmissions == 1

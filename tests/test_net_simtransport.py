@@ -1,0 +1,183 @@
+"""Simulated transport: connections, firewall, RPC-over-sim."""
+
+import threading
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import (
+    AddressInUseError,
+    CommunicationError,
+    ConnectionClosedError,
+    FirewallDeniedError,
+    NetworkError,
+    NoRouteError,
+)
+from repro.net.links import LinkSpec
+from repro.net.simtransport import SimNetwork
+from repro.net.topology import Topology
+from repro.rpc import Daemon, Proxy, expose
+
+
+def build_network(separate_data_path: bool = False) -> SimNetwork:
+    topo = Topology(clock=VirtualClock())
+    topo.add_facility("ACL")
+    topo.add_facility("K200")
+    topo.add_host("agent", "ACL")
+    topo.add_host("gw", "ACL", is_gateway=True)
+    topo.add_host("dgx", "K200")
+    topo.add_network("hub", "ACL")
+    topo.add_network("wan", "K200")
+    for host, net in [("agent", "hub"), ("gw", "hub"), ("gw", "wan"), ("dgx", "wan")]:
+        topo.attach(host, net, LinkSpec())
+    topo.host("agent").firewall.allow_port(9000, src_facility="K200")
+    return SimNetwork(topo)
+
+
+class TestConnection:
+    def test_listen_connect_send_recv(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        accepted: list = []
+
+        def server():
+            conn = listener.accept()
+            data = conn.recv_exactly(5)
+            conn.sendall(data[::-1])
+            accepted.append(conn)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        client = net.connect("dgx", "agent", 9000)
+        client.sendall(b"hello")
+        assert client.recv_exactly(5) == b"olleh"
+        thread.join(timeout=2.0)
+        client.close()
+        listener.close()
+
+    def test_firewall_denied(self):
+        net = build_network()
+        net.listen("agent", 9000)
+        # port 9001 not opened
+        net.topology.host("agent")  # exists
+        with pytest.raises(FirewallDeniedError):
+            net.connect("dgx", "agent", 9001)
+        assert net.connects_denied == 1
+
+    def test_connection_refused_no_listener(self):
+        net = build_network()
+        with pytest.raises(CommunicationError, match="refused"):
+            net.connect("dgx", "agent", 9000)
+
+    def test_double_bind_rejected(self):
+        net = build_network()
+        net.listen("agent", 9000)
+        with pytest.raises(AddressInUseError):
+            net.listen("agent", 9000)
+
+    def test_rebind_after_close(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        listener.close()
+        net.listen("agent", 9000)
+
+    def test_bad_port(self):
+        net = build_network()
+        with pytest.raises(NetworkError):
+            net.listen("agent", 0)
+
+    def test_unknown_hosts(self):
+        net = build_network()
+        with pytest.raises(NetworkError):
+            net.connect("ghost", "agent", 9000)
+
+    def test_closed_listener_accept_raises(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        listener.close()
+        with pytest.raises(ConnectionClosedError):
+            listener.accept()
+
+    def test_recv_timeout(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        thread = threading.Thread(target=listener.accept)
+        thread.start()
+        client = net.connect("dgx", "agent", 9000)
+        thread.join(timeout=2.0)
+        client.settimeout(0.05)
+        with pytest.raises(CommunicationError):
+            client.recv_exactly(1)
+        client.close()
+
+    def test_peer_close_gives_connection_closed(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        server_conns = []
+        thread = threading.Thread(
+            target=lambda: server_conns.append(listener.accept())
+        )
+        thread.start()
+        client = net.connect("dgx", "agent", 9000)
+        thread.join(timeout=2.0)
+        server_conns[0].close()
+        with pytest.raises(ConnectionClosedError):
+            client.recv_exactly(1)
+
+    def test_latency_charged_on_virtual_clock(self):
+        topo = Topology(clock=VirtualClock())
+        topo.add_facility("F")
+        topo.add_host("a", "F")
+        topo.add_host("b", "F")
+        topo.add_network("n", "F")
+        topo.attach("a", "n", LinkSpec(latency_s=0.01))
+        topo.attach("b", "n", LinkSpec(latency_s=0.01))
+        topo.host("b").firewall.allow_port(1000)
+        net = SimNetwork(topo)
+        listener = net.listen("b", 1000)
+        thread = threading.Thread(target=listener.accept)
+        thread.start()
+        before = net.clock.now()
+        client = net.connect("a", "b", 1000)
+        thread.join(timeout=2.0)
+        # handshake = 2 links x 2 directions x 10 ms
+        assert net.clock.now() - before >= 0.039
+        client.sendall(b"xxxx")
+        # one-way traversal adds 2 x 10 ms more
+        assert net.clock.now() - before >= 0.059
+
+
+@expose
+class EchoService:
+    def echo(self, value):
+        return value
+
+
+class TestRPCOverSim:
+    def test_daemon_proxy_through_gateway(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        daemon = Daemon(listener=listener)
+        uri = daemon.register(EchoService(), object_id="Echo")
+        daemon.start_background()
+        try:
+            proxy = Proxy(uri, connection_factory=net.connection_factory("dgx"))
+            assert proxy.echo([1, 2, 3]) == [1, 2, 3]
+            proxy.close()
+        finally:
+            daemon.shutdown()
+
+    def test_route_restriction_respected(self):
+        net = build_network()
+        listener = net.listen("agent", 9000)
+        daemon = Daemon(listener=listener)
+        uri = daemon.register(EchoService(), object_id="Echo")
+        daemon.start_background()
+        try:
+            factory = net.connection_factory("dgx", allowed_networks={"hub"})
+            proxy = Proxy(uri, connection_factory=factory)
+            with pytest.raises(NoRouteError):
+                proxy.echo(1)
+            proxy.close()
+        finally:
+            daemon.shutdown()

@@ -1,0 +1,125 @@
+"""Topology construction and routing."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import NetworkError, NoRouteError
+from repro.net.links import LinkSpec
+from repro.net.topology import Topology
+
+
+@pytest.fixture
+def ice_topology():
+    """The paper's shape: agent -- hub -- gateway -- wan -- dgx."""
+    topo = Topology(clock=VirtualClock())
+    topo.add_facility("ACL")
+    topo.add_facility("K200")
+    topo.add_host("agent", "ACL", platform="windows")
+    topo.add_host("gw", "ACL", is_gateway=True)
+    topo.add_host("dgx", "K200")
+    topo.add_network("hub", "ACL")
+    topo.add_network("wan", "K200")
+    topo.attach("agent", "hub", LinkSpec())
+    topo.attach("gw", "hub", LinkSpec())
+    topo.attach("gw", "wan", LinkSpec())
+    topo.attach("dgx", "wan", LinkSpec())
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_facility(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.add_facility("ACL")
+
+    def test_duplicate_node_name(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.add_host("hub", "ACL")
+        with pytest.raises(NetworkError):
+            ice_topology.add_network("agent", "ACL")
+
+    def test_unknown_facility(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.add_host("x", "NOPE")
+
+    def test_duplicate_attachment(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.attach("agent", "hub", LinkSpec())
+
+    def test_attach_unknown_nodes(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.attach("ghost", "hub", LinkSpec())
+        with pytest.raises(NetworkError):
+            ice_topology.attach("agent", "ghost", LinkSpec())
+
+    def test_lookups(self, ice_topology):
+        assert ice_topology.host("agent").platform == "windows"
+        assert ice_topology.network("hub").facility == "ACL"
+        assert ice_topology.link("agent", "hub").name == "agent<->hub"
+        with pytest.raises(NetworkError):
+            ice_topology.host("ghost")
+        with pytest.raises(NetworkError):
+            ice_topology.network("ghost")
+        with pytest.raises(NetworkError):
+            ice_topology.link("dgx", "hub")
+
+    def test_listings(self, ice_topology):
+        assert {h.name for h in ice_topology.hosts()} == {"agent", "gw", "dgx"}
+        assert {n.name for n in ice_topology.networks()} == {"hub", "wan"}
+
+
+class TestRouting:
+    def test_cross_facility_route(self, ice_topology):
+        links = ice_topology.route("dgx", "agent")
+        assert [l.name for l in links] == [
+            "dgx<->wan",
+            "gw<->wan",
+            "gw<->hub",
+            "agent<->hub",
+        ]
+
+    def test_path_hosts_includes_gateway(self, ice_topology):
+        assert ice_topology.path_hosts("dgx", "agent") == ["dgx", "gw", "agent"]
+
+    def test_same_host_empty_route(self, ice_topology):
+        assert ice_topology.route("dgx", "dgx") == []
+        assert ice_topology.path_hosts("dgx", "dgx") == ["dgx"]
+
+    def test_non_gateway_cannot_forward(self, ice_topology):
+        # add a host that shares both networks but is NOT a gateway
+        ice_topology.add_host("rogue", "ACL")
+        ice_topology.attach("rogue", "hub", LinkSpec())
+        ice_topology.attach("rogue", "wan", LinkSpec())
+        # route must still go through gw (same length), never rogue
+        assert "rogue" not in ice_topology.path_hosts("dgx", "agent")
+
+    def test_no_route(self, ice_topology):
+        ice_topology.add_host("island", "ACL")
+        with pytest.raises(NoRouteError):
+            ice_topology.route("island", "dgx")
+
+    def test_unknown_hosts(self, ice_topology):
+        with pytest.raises(NetworkError):
+            ice_topology.route("ghost", "dgx")
+        with pytest.raises(NetworkError):
+            ice_topology.route("dgx", "ghost")
+
+    def test_allowed_networks_restriction(self, ice_topology):
+        # add a parallel data path
+        ice_topology.add_network("hub-data", "ACL")
+        ice_topology.add_network("wan-data", "K200")
+        ice_topology.attach("agent", "hub-data", LinkSpec())
+        ice_topology.attach("gw", "hub-data", LinkSpec())
+        ice_topology.attach("gw", "wan-data", LinkSpec())
+        ice_topology.attach("dgx", "wan-data", LinkSpec())
+        data_links = ice_topology.route(
+            "dgx", "agent", allowed_networks={"hub-data", "wan-data"}
+        )
+        assert all("data" in l.name for l in data_links)
+        control_links = ice_topology.route(
+            "dgx", "agent", allowed_networks={"hub", "wan"}
+        )
+        assert all("data" not in l.name for l in control_links)
+
+    def test_allowed_networks_no_route(self, ice_topology):
+        with pytest.raises(NoRouteError):
+            ice_topology.route("dgx", "agent", allowed_networks={"hub"})

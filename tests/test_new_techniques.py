@@ -1,0 +1,140 @@
+"""LSV and DPV techniques, and the general-waveform solver entry."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry.cell import ElectrochemicalCell
+from repro.chemistry.cv_engine import CVEngine
+from repro.chemistry.species import FERROCENE, ferrocene_solution
+from repro.errors import SimulationError, TechniqueError
+from repro.instruments.potentiostat import (
+    DPVTechnique,
+    ECLabAPI,
+    LSVTechnique,
+    SP200,
+)
+
+
+@pytest.fixture
+def filled_cell():
+    cell = ElectrochemicalCell()
+    cell.add_liquid(8.0, ferrocene_solution(2.0))
+    return cell
+
+
+class TestRunWaveform:
+    def test_matches_cv_run(self):
+        from repro.chemistry.cv_engine import CVParameters, potential_waveform
+
+        engine = CVEngine(FERROCENE, 2e-6, 0.0707, double_layer_f_cm2=0.0)
+        params = CVParameters(e_step_v=0.002)
+        direct = engine.run(params)
+        time, potential, cycles = potential_waveform(params)
+        via_waveform = engine.run_waveform(time, potential, cycles)
+        np.testing.assert_allclose(
+            via_waveform.current_a, direct.current_a, rtol=1e-10
+        )
+
+    def test_rejects_nonuniform_time(self):
+        engine = CVEngine(FERROCENE, 2e-6, 0.0707)
+        time = np.array([0.0, 0.1, 0.3])
+        with pytest.raises(SimulationError, match="uniform"):
+            engine.run_waveform(time, np.zeros(3))
+
+    def test_rejects_short_waveform(self):
+        engine = CVEngine(FERROCENE, 2e-6, 0.0707)
+        with pytest.raises(SimulationError):
+            engine.run_waveform(np.array([0.0]), np.array([0.1]))
+
+
+class TestLSV:
+    def test_single_sweep_shape(self, filled_cell):
+        trace = LSVTechnique(e_step_v=0.002).execute(filled_cell)
+        # monotone ramp, anodic peak present
+        assert np.all(np.diff(trace.potential_v) > 0)
+        peak_e, peak_i = trace.peak_anodic()
+        assert peak_i > 1e-5
+        assert 0.41 < peak_e < 0.46
+
+    def test_downward_sweep(self, filled_cell):
+        trace = LSVTechnique(
+            e_begin_v=0.8, e_end_v=0.2, e_step_v=0.002
+        ).execute(filled_cell)
+        assert np.all(np.diff(trace.potential_v) < 0)
+
+    def test_validation(self):
+        with pytest.raises(TechniqueError):
+            LSVTechnique(scan_rate_v_s=0.0)
+        with pytest.raises(TechniqueError):
+            LSVTechnique(e_begin_v=0.4, e_end_v=0.4)
+
+    def test_duration(self):
+        assert LSVTechnique(
+            e_begin_v=0.0, e_end_v=0.6, scan_rate_v_s=0.1
+        ).duration_s() == pytest.approx(6.0)
+
+    def test_open_circuit(self, filled_cell):
+        filled_cell.set_electrode_connected("working", False)
+        trace = LSVTechnique(e_step_v=0.002).execute(filled_cell)
+        assert np.abs(trace.current_a).max() < 1e-6
+
+
+class TestDPV:
+    def test_peak_near_theory(self, filled_cell):
+        technique = DPVTechnique()
+        trace = technique.execute(filled_cell)
+        assert len(trace) == technique.n_steps
+        index = int(np.argmax(trace.current_a))
+        peak_potential = trace.potential_v[index]
+        # theory: peak at E1/2 - dE_pulse/2 = 0.400 - 0.025 = 0.375
+        assert peak_potential == pytest.approx(0.375, abs=0.02)
+
+    def test_differential_baseline_near_zero(self, filled_cell):
+        trace = DPVTechnique().execute(filled_cell)
+        # far from the wave the differential signal is tiny
+        far = trace.current_a[trace.potential_v > 0.7]
+        near_peak = trace.current_a.max()
+        assert np.abs(far).max() < 0.1 * near_peak
+
+    def test_peak_scales_with_concentration(self):
+        def run(conc_mm):
+            cell = ElectrochemicalCell()
+            cell.add_liquid(8.0, ferrocene_solution(conc_mm))
+            return DPVTechnique().execute(cell).current_a.max()
+
+        # sub-linear by design: the larger currents at 4 mM suffer more
+        # iR attenuation through the ~100 ohm cell resistance
+        assert run(4.0) / run(2.0) == pytest.approx(2.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(TechniqueError):
+            DPVTechnique(step_e_v=0.0)
+        with pytest.raises(TechniqueError):
+            DPVTechnique(pulse_width_s=0.3, period_s=0.2)
+        with pytest.raises(TechniqueError):
+            DPVTechnique(pulse_amplitude_v=0.0)
+
+    def test_duration(self):
+        technique = DPVTechnique(
+            e_begin_v=0.0, e_end_v=0.1, step_e_v=0.005, period_s=0.2
+        )
+        assert technique.duration_s() == pytest.approx(4.0)
+
+
+class TestThroughECLab:
+    def test_lsv_and_dpv_pipeline(self, filled_cell, tmp_path):
+        api = ECLabAPI(SP200(cell=filled_cell, noise=None), tmp_path / "m")
+        api.initialize()
+        api.connect()
+        api.load_firmware()
+        assert "LSV technique" in api.init_lsv_technique({"e_step_v": 0.002})
+        api.load_technique()
+        api.start_channel()
+        lsv = api.get_measurements()
+        assert lsv.metadata["technique"] == "LSV"
+        assert "DPV technique" in api.init_dpv_technique()
+        api.load_technique()
+        api.start_channel()
+        dpv = api.get_measurements()
+        assert dpv.metadata["technique"] == "DPV"
+        assert api.last_measurement_path.exists()

@@ -1,0 +1,213 @@
+"""Provenance records and the measurement catalog."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cv_workflow import CVWorkflowSettings, run_cv_workflow
+from repro.core.provenance import (
+    capture_provenance,
+    verify_artifacts,
+    write_provenance,
+)
+from repro.datachannel.catalog import CATALOG_NAME, MeasurementCatalog
+from repro.datachannel.formats import write_mpt
+from repro.errors import DataChannelError
+
+FAST = CVWorkflowSettings(e_step_v=0.002)
+
+
+class TestProvenance:
+    def test_capture_from_workflow(self, ice):
+        result = run_cv_workflow(ice, settings=FAST)
+        artifact = ice.measurement_dir / result.measurement_file
+        record = capture_provenance(
+            result.workflow,
+            workflow_name="cv-workflow",
+            settings=FAST,
+            artifacts=[artifact],
+        )
+        assert record["schema"] == "repro-provenance-1"
+        assert record["succeeded"] is True
+        names = [t["name"] for t in record["tasks"]]
+        assert "D_run_cv" in names
+        assert record["settings"]["e_step_v"] == 0.002
+        assert record["artifacts"][0]["path"] == result.measurement_file
+        assert len(record["artifacts"][0]["sha256"]) == 64
+        assert record["environment"]["repro_version"]
+
+    def test_failure_recorded(self, ice):
+        ice.workstation.syringe_pump.inject_fault("jam")
+        result = run_cv_workflow(ice, settings=FAST)
+        record = capture_provenance(result.workflow, "cv-workflow")
+        assert record["succeeded"] is False
+        failed = [t for t in record["tasks"] if t["state"] == "failed"]
+        assert failed and failed[0]["error"]
+
+    def test_write_and_verify(self, ice, tmp_path):
+        result = run_cv_workflow(ice, settings=FAST)
+        artifact = ice.measurement_dir / result.measurement_file
+        record = capture_provenance(
+            result.workflow, "cv-workflow", artifacts=[artifact]
+        )
+        path = write_provenance(record, tmp_path)
+        assert json.loads(path.read_text())["workflow"] == "cv-workflow"
+        # artifacts verify in place...
+        assert verify_artifacts(record, ice.measurement_dir) == {
+            result.measurement_file: True
+        }
+        # ... and tampering is detected
+        artifact.write_text("tampered")
+        assert verify_artifacts(record, ice.measurement_dir) == {
+            result.measurement_file: False
+        }
+
+    def test_missing_artifact_flagged(self, ice, tmp_path):
+        result = run_cv_workflow(ice, settings=FAST)
+        artifact = ice.measurement_dir / result.measurement_file
+        record = capture_provenance(
+            result.workflow, "cv-workflow", artifacts=[artifact]
+        )
+        artifact.unlink()
+        assert verify_artifacts(record, ice.measurement_dir)[
+            result.measurement_file
+        ] is False
+
+
+@pytest.fixture
+def measurement_dir(tmp_path, reference_voltammogram):
+    directory = tmp_path / "measurements"
+    directory.mkdir()
+    for index, rate in enumerate((0.05, 0.1, 0.2)):
+        trace = reference_voltammogram
+        scaled = trace.to_dict()
+        scaled["metadata"] = dict(trace.metadata)
+        scaled["metadata"]["scan_rate_v_s"] = rate
+        scaled["metadata"]["technique"] = "CV"
+        scaled["current_a"] = trace.current_a * np.sqrt(rate / 0.1)
+        from repro.chemistry.voltammogram import Voltammogram
+
+        write_mpt(directory / f"cv_{index}.mpt", Voltammogram.from_dict(scaled))
+    return directory
+
+
+class TestCatalog:
+    def test_rebuild_and_query(self, measurement_dir):
+        catalog = MeasurementCatalog(measurement_dir)
+        assert catalog.rebuild() == 3
+        assert len(catalog.query(technique="CV")) == 3
+        fast = catalog.query(min_scan_rate=0.1)
+        assert {entry.scan_rate_v_s for entry in fast} == {0.1, 0.2}
+        assert catalog.query(technique="DPV") == []
+
+    def test_entries_carry_summaries(self, measurement_dir):
+        catalog = MeasurementCatalog(measurement_dir)
+        catalog.rebuild()
+        entry = catalog.get("cv_1.mpt")
+        assert entry is not None
+        assert entry.n_samples == 1200
+        assert entry.peak_anodic_a == pytest.approx(5.87e-5, rel=0.05)
+        assert entry.e_half_v == pytest.approx(0.40, abs=0.01)
+
+    def test_save_load_round_trip(self, measurement_dir):
+        catalog = MeasurementCatalog(measurement_dir)
+        catalog.rebuild()
+        path = catalog.save()
+        assert path.name == CATALOG_NAME
+        loaded = MeasurementCatalog.load(measurement_dir)
+        assert len(loaded) == 3
+        assert loaded.get("cv_0.mpt").technique == "CV"
+
+    def test_corrupt_file_skipped(self, measurement_dir):
+        (measurement_dir / "broken.mpt").write_text("garbage")
+        catalog = MeasurementCatalog(measurement_dir)
+        assert catalog.rebuild() == 3
+        assert catalog.skipped_ == 1
+
+    def test_add_single(self, measurement_dir, reference_voltammogram):
+        catalog = MeasurementCatalog(measurement_dir)
+        catalog.rebuild()
+        write_mpt(measurement_dir / "new.mpt", reference_voltammogram)
+        entry = catalog.add("new.mpt")
+        assert entry.path == "new.mpt"
+        assert len(catalog) == 4
+
+    def test_scan_rate_series_feeds_randles_sevcik(self, measurement_dir):
+        from repro.analysis import estimate_diffusion_coefficient
+
+        catalog = MeasurementCatalog(measurement_dir)
+        catalog.rebuild()
+        rates, peaks = catalog.scan_rate_series()
+        assert list(rates) == [0.05, 0.1, 0.2]
+        diffusion, r_squared = estimate_diffusion_coefficient(
+            rates, peaks, 1, 0.0707, 2e-6
+        )
+        assert r_squared > 0.999
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DataChannelError):
+            MeasurementCatalog(tmp_path / "nope")
+
+    def test_load_without_catalog_file(self, measurement_dir):
+        with pytest.raises(DataChannelError):
+            MeasurementCatalog.load(measurement_dir)
+
+    def test_workflow_output_indexable(self, ice):
+        result = run_cv_workflow(ice, settings=FAST)
+        catalog = MeasurementCatalog(ice.measurement_dir)
+        assert catalog.rebuild() == 1
+        entry = catalog.get(result.measurement_file)
+        assert entry is not None and entry.technique == "CV"
+
+
+class TestECMechanism:
+    """The following-reaction knob added for electrolyte-stability studies."""
+
+    def test_peak_ratio_degrades_with_decay_rate(self):
+        from repro.chemistry.cv_engine import CVEngine, CVParameters
+        from repro.chemistry.species import FERROCENE
+        from repro.analysis import characterize
+
+        ratios = []
+        for k in (0.0, 0.3, 1.0):
+            engine = CVEngine(
+                FERROCENE,
+                2e-6,
+                0.0707,
+                double_layer_f_cm2=0.0,
+                following_reaction_per_s=k,
+            )
+            metrics = characterize(engine.run(CVParameters(e_step_v=0.002)))
+            ratios.append(metrics.peak_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_fast_scan_outruns_decay(self):
+        from repro.chemistry.cv_engine import CVEngine, CVParameters
+        from repro.chemistry.species import FERROCENE
+        from repro.analysis import characterize
+
+        def ratio(scan_rate):
+            engine = CVEngine(
+                FERROCENE,
+                2e-6,
+                0.0707,
+                double_layer_f_cm2=0.0,
+                following_reaction_per_s=0.5,
+            )
+            return characterize(
+                engine.run(
+                    CVParameters(scan_rate_v_s=scan_rate, e_step_v=0.002)
+                )
+            ).peak_ratio
+
+        # the classic EC diagnostic: faster sweeps recover the return wave
+        assert ratio(1.0) < ratio(0.05)
+
+    def test_negative_rate_rejected(self):
+        from repro.chemistry.cv_engine import CVEngine
+        from repro.chemistry.species import FERROCENE
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            CVEngine(FERROCENE, 2e-6, 0.0707, following_reaction_per_s=-1.0)

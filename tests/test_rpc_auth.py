@@ -1,0 +1,102 @@
+"""HMAC challenge-response authentication on the control channel."""
+
+import pytest
+
+from repro.errors import AuthenticationError, ReproError
+from repro.facility.client import ACLPyroClient
+from repro.facility.ice import ElectrochemistryICE, ICEConfig
+from repro.rpc import Daemon, Proxy, expose
+
+
+@expose
+class Service:
+    def hello(self):
+        return "hi"
+
+
+@pytest.fixture
+def secured():
+    daemon = Daemon(secret=b"lab-secret")
+    uri = daemon.register(Service(), object_id="S")
+    daemon.start_background()
+    yield uri, daemon
+    daemon.shutdown()
+
+
+class TestHandshake:
+    def test_correct_secret_serves(self, secured):
+        uri, _ = secured
+        with Proxy(uri, secret=b"lab-secret") as proxy:
+            assert proxy.hello() == "hi"
+            assert proxy.hello() == "hi"  # handshake happens once
+
+    def test_wrong_secret_rejected(self, secured):
+        uri, _ = secured
+        with Proxy(uri, secret=b"wrong", timeout=2.0) as proxy:
+            with pytest.raises((AuthenticationError, ReproError)):
+                proxy.hello()
+
+    def test_missing_secret_rejected(self, secured):
+        uri, _ = secured
+        with Proxy(uri, timeout=2.0) as proxy:
+            with pytest.raises(Exception):
+                proxy.hello()
+
+    def test_secret_against_open_daemon_fails(self):
+        daemon = Daemon()
+        uri = daemon.register(Service(), object_id="S")
+        daemon.start_background()
+        try:
+            with Proxy(uri, secret=b"whatever", timeout=0.5) as proxy:
+                with pytest.raises(Exception):
+                    proxy.hello()
+        finally:
+            daemon.shutdown()
+
+    def test_reconnect_reauthenticates(self, secured):
+        uri, _ = secured
+        proxy = Proxy(uri, secret=b"lab-secret")
+        assert proxy.hello() == "hi"
+        proxy.close()
+        assert proxy.hello() == "hi"
+        proxy.close()
+
+    def test_failed_auth_logged(self, secured):
+        uri, daemon = secured
+        with Proxy(uri, secret=b"wrong", timeout=2.0) as proxy:
+            with pytest.raises(Exception):
+                proxy.hello()
+        assert any("authentication failed" in m for m in daemon.log.messages())
+
+
+class TestSecuredICE:
+    def test_authorized_workflow_runs(self):
+        from repro.core.cv_workflow import CVWorkflowSettings, run_cv_workflow
+
+        config = ICEConfig(control_secret=b"ornl-ice")
+        with ElectrochemistryICE.build(config) as ice:
+            result = run_cv_workflow(
+                ice, settings=CVWorkflowSettings(e_step_v=0.002)
+            )
+            assert result.succeeded
+
+    def test_unauthenticated_intruder_blocked(self):
+        config = ICEConfig(control_secret=b"ornl-ice")
+        with ElectrochemistryICE.build(config) as ice:
+            intruder = ACLPyroClient.from_uri(
+                ice.control_uri,
+                connection_factory=ice.simnet.connection_factory(
+                    "k200-dgx", ice.control_networks
+                ),
+                timeout=2.0,
+            )
+            with pytest.raises(Exception):
+                intruder.ping()
+            intruder.close()
+
+    def test_data_channel_not_affected_by_control_secret(self):
+        config = ICEConfig(control_secret=b"ornl-ice")
+        with ElectrochemistryICE.build(config) as ice:
+            mount = ice.mount()
+            assert mount.listdir() == []
+            mount.unmount()

@@ -1,0 +1,88 @@
+"""Exposure rules: what a remote peer may call."""
+
+import pytest
+
+from repro.rpc.expose import expose, exposed_methods, is_exposed, is_oneway, oneway
+
+
+@expose
+class WholeClass:
+    def visible(self):
+        return 1
+
+    def also_visible(self):
+        return 2
+
+    def _private(self):
+        return 3
+
+    @oneway
+    def fire(self):
+        pass
+
+
+class PerMethod:
+    @expose
+    def only_this(self):
+        return 1
+
+    def not_this(self):
+        return 2
+
+
+class Nothing:
+    def method(self):
+        return 1
+
+
+def test_class_exposure_covers_public_methods():
+    obj = WholeClass()
+    assert is_exposed(obj, "visible")
+    assert is_exposed(obj, "also_visible")
+
+
+def test_underscore_never_exposed():
+    assert not is_exposed(WholeClass(), "_private")
+    assert not is_exposed(WholeClass(), "__class__")
+    assert not is_exposed(WholeClass(), "__init__")
+
+
+def test_per_method_exposure():
+    obj = PerMethod()
+    assert is_exposed(obj, "only_this")
+    assert not is_exposed(obj, "not_this")
+
+
+def test_unexposed_class():
+    assert not is_exposed(Nothing(), "method")
+
+
+def test_nonexistent_method():
+    assert not is_exposed(WholeClass(), "ghost")
+
+
+def test_non_callable_attribute_not_exposed():
+    @expose
+    class WithAttr:
+        data = 42
+
+        def method(self):
+            return 0
+
+    assert not is_exposed(WithAttr(), "data")
+
+
+def test_exposed_methods_listing():
+    names = exposed_methods(WholeClass())
+    assert names == ["also_visible", "fire", "visible"]
+
+
+def test_oneway_marker():
+    obj = WholeClass()
+    assert is_oneway(obj, "fire")
+    assert not is_oneway(obj, "visible")
+
+
+def test_expose_rejects_non_callable():
+    with pytest.raises(TypeError):
+        expose(42)  # type: ignore[arg-type]

@@ -1,0 +1,122 @@
+"""URI parsing and the name server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NamingError
+from repro.rpc import (
+    NameServer,
+    Proxy,
+    locate_name_server,
+    parse_uri,
+    start_name_server,
+)
+from repro.rpc.naming import make_uri
+
+
+class TestURI:
+    def test_parse_round_trip(self):
+        uri = parse_uri("PYRO:ACL_Workstation@10.2.11.161:9690")
+        assert uri.object_id == "ACL_Workstation"
+        assert uri.host == "10.2.11.161"
+        assert uri.port == 9690
+        assert str(uri) == "PYRO:ACL_Workstation@10.2.11.161:9690"
+
+    def test_parse_accepts_parsed(self):
+        uri = make_uri("Obj", "host", 1234)
+        assert parse_uri(uri) is uri
+
+    def test_hostnames_allowed(self):
+        assert parse_uri("PYRO:Obj@acl-control-agent:9690").host == "acl-control-agent"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "not a uri",
+            "PYRO:@host:1",
+            "PYRO:Obj@:1",
+            "PYRO:Obj@host:",
+            "PYRO:Obj@host:99999",
+            "PYRO:Obj@host:0",
+            "pyro:Obj@host:1",
+            "PYRO:Obj@host:1x",
+            "PYRO:Ob j@host:1",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(NamingError):
+            parse_uri(bad)
+
+    @given(
+        st.from_regex(r"[A-Za-z0-9_.\-]{1,20}", fullmatch=True),
+        st.from_regex(r"[A-Za-z0-9_.\-]{1,20}", fullmatch=True),
+        st.integers(min_value=1, max_value=65535),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_format_parse_inverse(self, object_id, host, port):
+        uri = make_uri(object_id, host, port)
+        parsed = parse_uri(str(uri))
+        assert parsed == uri
+
+
+class TestNameServerObject:
+    def test_register_and_lookup(self):
+        ns = NameServer()
+        ns.register("acl.jkem", "PYRO:JKem@host:9690")
+        assert ns.lookup("acl.jkem") == "PYRO:JKem@host:9690"
+
+    def test_lookup_missing(self):
+        with pytest.raises(NamingError):
+            NameServer().lookup("ghost")
+
+    def test_register_validates_uri(self):
+        with pytest.raises(NamingError):
+            NameServer().register("x", "garbage")
+
+    def test_no_replace_flag(self):
+        ns = NameServer()
+        ns.register("a", "PYRO:X@h:1")
+        with pytest.raises(NamingError):
+            ns.register("a", "PYRO:Y@h:2", replace=False)
+
+    def test_replace_default(self):
+        ns = NameServer()
+        ns.register("a", "PYRO:X@h:1")
+        ns.register("a", "PYRO:Y@h:2")
+        assert ns.lookup("a") == "PYRO:Y@h:2"
+
+    def test_unregister(self):
+        ns = NameServer()
+        ns.register("a", "PYRO:X@h:1")
+        ns.unregister("a")
+        with pytest.raises(NamingError):
+            ns.lookup("a")
+
+    def test_unregister_missing(self):
+        with pytest.raises(NamingError):
+            NameServer().unregister("nope")
+
+    def test_list_with_prefix(self):
+        ns = NameServer()
+        ns.register("acl.jkem", "PYRO:A@h:1")
+        ns.register("acl.sp200", "PYRO:B@h:2")
+        ns.register("k200.dgx", "PYRO:C@h:3")
+        assert set(ns.list("acl.")) == {"acl.jkem", "acl.sp200"}
+        assert len(ns.list()) == 3
+
+
+class TestServedNameServer:
+    def test_over_the_wire(self):
+        daemon, uri = start_name_server()
+        try:
+            parsed = parse_uri(uri)
+            client = locate_name_server(parsed.host, parsed.port)
+            client.register("acl.ws", "PYRO:ACL_Workstation@agent:9690")
+            assert client.lookup("acl.ws") == "PYRO:ACL_Workstation@agent:9690"
+            with pytest.raises(NamingError):
+                client.lookup("missing")
+            client.close()
+        finally:
+            daemon.shutdown()

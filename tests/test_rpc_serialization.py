@@ -1,0 +1,170 @@
+"""Wire serialisation: round trips, safety, hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SerializationError
+from repro.rpc.serialization import deserialize, serialize
+
+
+def round_trip(value):
+    return deserialize(serialize(value))
+
+
+class TestBasicTypes:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -7, 2**53, 3.14, "", "text", "ünïcode"],
+    )
+    def test_scalars(self, value):
+        assert round_trip(value) == value
+
+    def test_nan_round_trips(self):
+        result = round_trip(float("nan"))
+        assert result != result
+
+    @pytest.mark.parametrize("value", [float("inf"), float("-inf")])
+    def test_infinities(self, value):
+        assert round_trip(value) == value
+
+    def test_bytes(self):
+        assert round_trip(b"\x00\xffraw") == b"\x00\xffraw"
+
+    def test_bytearray_becomes_bytes(self):
+        assert round_trip(bytearray(b"ab")) == b"ab"
+
+    def test_tuple_preserved(self):
+        assert round_trip((1, "a", (2,))) == (1, "a", (2,))
+
+    def test_set_and_frozenset(self):
+        assert round_trip({1, 2}) == {1, 2}
+        result = round_trip(frozenset({3}))
+        assert result == frozenset({3})
+        assert isinstance(result, frozenset)
+
+    def test_complex(self):
+        assert round_trip(3 + 4j) == 3 + 4j
+
+    def test_nested_containers(self):
+        value = {"a": [1, (2, {3})], "b": {"c": b"x"}}
+        assert round_trip(value) == value
+
+    def test_non_string_dict_keys(self):
+        value = {1: "a", (2, 3): "b"}
+        assert round_trip(value) == value
+
+    def test_dict_with_tag_collision_key_escaped(self):
+        value = {"__repro_type__": "sneaky", "x": 1}
+        assert round_trip(value) == value
+
+
+class TestNumpy:
+    def test_float_array(self):
+        array = np.linspace(0, 1, 17)
+        result = round_trip(array)
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_array_equal(result, array)
+        assert result.dtype == array.dtype
+
+    def test_2d_int_array(self):
+        array = np.arange(12, dtype=np.int32).reshape(3, 4)
+        np.testing.assert_array_equal(round_trip(array), array)
+
+    def test_result_is_writable(self):
+        result = round_trip(np.zeros(3))
+        result[0] = 1.0  # must not raise
+
+    def test_fortran_order_array(self):
+        array = np.asfortranarray(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(round_trip(array), array)
+
+    def test_numpy_scalars_become_python(self):
+        assert round_trip(np.float64(2.5)) == 2.5
+        assert round_trip(np.int64(7)) == 7
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(np.array([object()], dtype=object))
+
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.float64, np.float32, np.int64, np.uint8]),
+            shape=hnp.array_shapes(max_dims=3, max_side=8),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_array_round_trip(self, array):
+        result = round_trip(array)
+        assert result.dtype == array.dtype
+        assert result.shape == array.shape
+        np.testing.assert_array_equal(result, array)
+
+
+class TestRejections:
+    def test_unserialisable_type(self):
+        with pytest.raises(SerializationError):
+            serialize(object())
+
+    def test_function_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(lambda: None)
+
+    def test_deep_nesting_rejected(self):
+        value: list = []
+        cursor = value
+        for _ in range(100):
+            cursor.append([])
+            cursor = cursor[0]
+        with pytest.raises(SerializationError):
+            serialize(value)
+
+    def test_bad_utf8_payload(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"\xff\xfe not json")
+
+    def test_bad_json_payload(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"{not json")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            deserialize(b'{"__repro_type__": "gadget"}')
+
+    def test_bad_special_float(self):
+        with pytest.raises(SerializationError):
+            deserialize(b'{"__repro_type__": "float", "repr": "1e309"}')
+
+    def test_ndarray_length_mismatch(self):
+        payload = serialize(np.zeros(4))
+        tampered = payload.replace(b'"shape":[4]', b'"shape":[400]')
+        with pytest.raises(SerializationError):
+            deserialize(tampered)
+
+    def test_ndarray_object_dtype_rejected_on_decode(self):
+        payload = serialize(np.zeros(2))
+        tampered = payload.replace(b'"dtype":"<f8"', b'"dtype":"|O8"')
+        with pytest.raises(SerializationError):
+            deserialize(tampered)
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, width=64)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.tuples(children, children),
+    max_leaves=12,
+)
+
+
+@given(json_like)
+@settings(max_examples=80, deadline=None)
+def test_property_generic_round_trip(value):
+    assert round_trip(value) == value

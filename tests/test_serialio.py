@@ -1,0 +1,167 @@
+"""Simulated serial ports and line framing."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PortNotOpenError, SerialTimeoutError
+from repro.serialio import CRLF, LineFramer, create_port_pair
+from repro.serialio.framing import frame_line
+
+
+class TestSerialEndpoint:
+    def test_write_read_round_trip(self):
+        host, device = create_port_pair()
+        host.write(b"hello")
+        assert device.read(5) == b"hello"
+
+    def test_read_returns_partial_when_less_available(self):
+        host, device = create_port_pair()
+        host.write(b"ab")
+        assert device.read(10) == b"ab"
+
+    def test_read_timeout_returns_empty(self):
+        _host, device = create_port_pair(timeout=0.05)
+        assert device.read(1) == b""
+
+    def test_read_exactly_raises_on_timeout(self):
+        host, device = create_port_pair(timeout=0.05)
+        host.write(b"ab")
+        with pytest.raises(SerialTimeoutError):
+            device.read_exactly(5)
+
+    def test_read_exactly_assembles_chunks(self):
+        host, device = create_port_pair()
+        host.write(b"abc")
+        host.write(b"def")
+        assert device.read_exactly(6) == b"abcdef"
+
+    def test_read_until_terminator(self):
+        host, device = create_port_pair()
+        host.write(b"CMD(1)\r\nrest")
+        assert device.read_until(CRLF) == b"CMD(1)\r\n"
+        assert device.read(4) == b"rest"
+
+    def test_read_until_timeout(self):
+        host, device = create_port_pair(timeout=0.05)
+        host.write(b"no terminator")
+        with pytest.raises(SerialTimeoutError):
+            device.read_until(CRLF)
+
+    def test_read_until_max_bytes(self):
+        host, device = create_port_pair()
+        host.write(b"x" * 300)
+        with pytest.raises(ValueError):
+            device.read_until(CRLF, max_bytes=256)
+
+    def test_write_after_close_raises(self):
+        host, _device = create_port_pair()
+        host.close()
+        with pytest.raises(PortNotOpenError):
+            host.write(b"x")
+
+    def test_peer_close_gives_eof_after_buffer(self):
+        host, device = create_port_pair(timeout=0.05)
+        host.write(b"last")
+        host.close()
+        assert device.read(4) == b"last"
+        assert device.read(1) == b""
+
+    def test_write_requires_bytes(self):
+        host, _device = create_port_pair()
+        with pytest.raises(TypeError):
+            host.write("text")  # type: ignore[arg-type]
+
+    def test_in_waiting_counts_buffered(self):
+        host, device = create_port_pair()
+        host.write(b"abcd")
+        assert device.in_waiting() == 4
+
+    def test_reset_input_buffer(self):
+        host, device = create_port_pair(timeout=0.05)
+        host.write(b"junk")
+        device.reset_input_buffer()
+        assert device.read(1) == b""
+
+    def test_context_manager_closes(self):
+        host, _device = create_port_pair()
+        with host:
+            pass
+        assert not host.is_open
+
+    def test_blocking_read_wakes_on_write(self):
+        host, device = create_port_pair(timeout=2.0)
+        result: list[bytes] = []
+
+        def reader():
+            result.append(device.read(5))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        host.write(b"hello")
+        thread.join(timeout=2.0)
+        assert result == [b"hello"]
+
+
+class TestLineFramer:
+    def test_single_complete_line(self):
+        framer = LineFramer()
+        assert framer.feed(b"CMD()\r\n") == [b"CMD()"]
+
+    def test_split_across_chunks(self):
+        framer = LineFramer()
+        assert framer.feed(b"CM") == []
+        assert framer.feed(b"D()\r") == []
+        assert framer.feed(b"\n") == [b"CMD()"]
+
+    def test_multiple_lines_one_chunk(self):
+        framer = LineFramer()
+        assert framer.feed(b"A()\r\nB()\r\n") == [b"A()", b"B()"]
+
+    def test_pending_exposed(self):
+        framer = LineFramer()
+        framer.feed(b"partial")
+        assert framer.pending == b"partial"
+
+    def test_reset_drops_partial(self):
+        framer = LineFramer()
+        framer.feed(b"partial")
+        framer.reset()
+        assert framer.pending == b""
+
+    def test_overlong_line_raises_and_clears(self):
+        framer = LineFramer(max_line=8)
+        with pytest.raises(ValueError):
+            framer.feed(b"x" * 20)
+        assert framer.pending == b""
+
+    def test_empty_terminator_rejected(self):
+        with pytest.raises(ValueError):
+            LineFramer(terminator=b"")
+
+    def test_feed_text_decodes(self):
+        framer = LineFramer()
+        assert framer.feed_text(b"OK\r\n") == ["OK"]
+
+    @given(st.lists(st.binary(min_size=0, max_size=40).filter(lambda b: CRLF not in b), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_lines_survive_arbitrary_chunking(self, lines):
+        stream = b"".join(line + CRLF for line in lines)
+        framer = LineFramer(max_line=1 << 16)
+        out: list[bytes] = []
+        # feed one byte at a time: worst-case chunking
+        for i in range(len(stream)):
+            out.extend(framer.feed(stream[i : i + 1]))
+        assert out == lines
+        assert framer.pending == b""
+
+
+class TestFrameLine:
+    def test_appends_terminator(self):
+        assert frame_line("OK") == b"OK\r\n"
+
+    def test_rejects_control_characters(self):
+        with pytest.raises(ValueError):
+            frame_line("bad\nline")

@@ -1,0 +1,116 @@
+"""Remaining server-surface behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InstrumentStateError, TechniqueError
+
+
+class TestInlineMeasurements:
+    """Get_Measurements_Inline: the control-channel data path that the
+    LiveMonitor's compliance guard and quick-look reads use."""
+
+    def test_inline_matches_file(self, ice):
+        client = ice.client()
+        client.call_Set_Rate_SyringePump(1, 10.0)
+        client.call_Set_Vial_FractionCollector(1, "BOTTOM")
+        client.call_Set_Port_SyringePump(1, 1)
+        client.call_Withdraw_SyringePump(1, 5.0)
+        client.call_Set_Port_SyringePump(1, 8)
+        client.call_Dispense_SyringePump(1, 5.0)
+        client.call_Initialize_SP200_API({"channel": 1})
+        client.call_Connect_SP200()
+        client.call_Load_Firmware_SP200()
+        client.call_Initialize_CV_Tech_SP200({"e_step_v": 0.002})
+        client.call_Load_Technique_SP200()
+        client.call_Start_Channel_SP200()
+        inline = client.call_Get_Measurements_Inline(wait=True)
+        assert len(inline["current_a"]) == 600
+        # note: Get_Measurements_Inline consumed one acquisition; re-read
+        # via the file path written by the same call
+        mount = ice.mount()
+        files = [s.path for s in mount.listdir() if s.path.endswith(".mpt")]
+        assert files
+        trace = mount.read_voltammogram(files[-1])
+        np.testing.assert_allclose(
+            np.asarray(inline["current_a"]), trace.current_a, rtol=1e-5
+        )
+        mount.unmount()
+        client.call_Disconnect_SP200()
+        client.close()
+
+    def test_inline_before_start_errors(self, ice):
+        client = ice.client()
+        client.call_Initialize_SP200_API({"channel": 1})
+        with pytest.raises(InstrumentStateError):
+            client.call_Get_Measurements_Inline(wait=False)
+        client.close()
+
+
+class TestCharacterizationServerEdges:
+    def test_inject_without_vial(self, ice):
+        station = ice.characterization_client()
+        with pytest.raises(InstrumentStateError, match="no vial"):
+            station.call_Inject_HPLC(0.5)
+        station.close()
+
+    def test_handoff_without_vial(self, ice):
+        station = ice.characterization_client()
+        with pytest.raises(InstrumentStateError):
+            station.call_Handoff_Fraction_To_Robot("TOP")
+        station.close()
+
+    def test_hplc_status(self, ice):
+        station = ice.characterization_client()
+        status = station.call_HPLC_Status()
+        assert status["injections_run"] == 0
+        assert status["method_minutes"] == pytest.approx(12.0)
+        station.close()
+
+    def test_fresh_fraction_vials_get_unique_names(self, ice):
+        station = ice.characterization_client()
+        first = station.call_Load_Fraction_Vial("TOP")
+        second = station.call_Load_Fraction_Vial("MIDDLE")
+        assert first != second
+        station.close()
+
+    def test_double_load_same_position_replaces(self, ice):
+        # the collector rack allows swapping a vial in place
+        station = ice.characterization_client()
+        station.call_Load_Fraction_Vial("TOP")
+        reply = station.call_Load_Fraction_Vial("TOP")
+        assert reply.startswith("OK fraction-")
+        station.close()
+
+
+class TestTechniqueSwitching:
+    def test_wrong_params_for_technique_rejected(self, ice):
+        client = ice.client()
+        client.call_Initialize_SP200_API({"channel": 1})
+        with pytest.raises((TechniqueError, Exception)):
+            client.call_Initialize_DPV_Tech_SP200({"nonsense": 1})
+        client.close()
+
+    def test_reinitialize_technique_requires_reload(self, ice):
+        client = ice.client()
+        client.call_Set_Rate_SyringePump(1, 10.0)
+        client.call_Set_Vial_FractionCollector(1, "BOTTOM")
+        client.call_Set_Port_SyringePump(1, 1)
+        client.call_Withdraw_SyringePump(1, 5.0)
+        client.call_Set_Port_SyringePump(1, 8)
+        client.call_Dispense_SyringePump(1, 5.0)
+        client.call_Initialize_SP200_API({"channel": 1})
+        client.call_Connect_SP200()
+        client.call_Load_Firmware_SP200()
+        client.call_Initialize_CV_Tech_SP200({"e_step_v": 0.002})
+        client.call_Load_Technique_SP200()
+        # re-init swaps the technique: starting without reloading fails
+        client.call_Initialize_LSV_Tech_SP200({"e_step_v": 0.002})
+        with pytest.raises(TechniqueError):
+            client.call_Start_Channel_SP200()
+        client.call_Load_Technique_SP200()
+        client.call_Start_Channel_SP200()
+        result = client.call_Get_Tech_Path_Rslt()
+        assert result["technique"] == "LSV"
+        client.call_Disconnect_SP200()
+        client.close()

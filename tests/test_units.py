@@ -1,0 +1,62 @@
+"""Unit helpers: conversions and physical constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_faraday_constant_codata():
+    assert units.FARADAY == pytest.approx(96485.332, abs=0.01)
+
+
+def test_mv_volt_round_trip():
+    assert units.mv_to_v(units.v_to_mv(0.123)) == pytest.approx(0.123)
+
+
+def test_ua_amp_round_trip():
+    assert units.a_to_ua(units.ua_to_a(42.0)) == pytest.approx(42.0)
+
+
+def test_ml_liter_round_trip():
+    assert units.l_to_ml(units.ml_to_l(7.5)) == pytest.approx(7.5)
+
+
+def test_flow_rate_conversion():
+    assert units.ml_min_to_ml_s(60.0) == pytest.approx(1.0)
+
+
+def test_millimolar_to_mol_per_cm3():
+    # 1 M = 1e-3 mol/cm^3, so 2 mM = 2e-6 mol/cm^3
+    assert units.mm_to_mol_per_cm3(2.0) == pytest.approx(2e-6)
+
+
+def test_temperature_round_trip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+
+def test_nernst_slope_at_25c():
+    assert units.nernst_slope(25.0, 1) == pytest.approx(0.025693, rel=1e-4)
+
+
+def test_nernst_slope_scales_inverse_with_n():
+    assert units.nernst_slope(25.0, 2) == pytest.approx(
+        units.nernst_slope(25.0, 1) / 2
+    )
+
+
+def test_nernst_slope_rejects_zero_electrons():
+    with pytest.raises(ValueError):
+        units.nernst_slope(25.0, 0)
+
+
+def test_reversible_peak_separation_is_59mv():
+    # the classic 2.218 RT/nF criterion
+    assert 2.218 * units.nernst_slope(25.0, 1) == pytest.approx(0.057, abs=0.001)
+
+
+def test_sccm_conversion_positive():
+    assert units.sccm_to_mol_s(22414.0 / 1000) == pytest.approx(
+        1.0 / 1000 / 60, rel=1e-3
+    )

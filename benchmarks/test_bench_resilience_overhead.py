@@ -1,0 +1,119 @@
+"""RES1 — what the resilience layer costs when nothing goes wrong.
+
+The retry/reconnect machinery must be cheap enough to leave on for every
+cross-facility call: the target is <5% added latency on the no-fault
+fast path (one idempotency key + one policy wrapper per call). Faults
+are exercised in the chaos tests; this file only prices the happy path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.resilience import CircuitBreaker, ResilientProxy, RetryPolicy
+from repro.rpc import Daemon, Proxy, expose
+
+
+@expose
+class BenchService:
+    def ping(self):
+        return None
+
+    def echo(self, value):
+        return value
+
+
+@pytest.fixture(scope="module")
+def served():
+    daemon = Daemon()
+    uri = daemon.register(BenchService(), object_id="ResBench")
+    daemon.start_background()
+    yield uri, daemon
+    daemon.shutdown()
+
+
+@pytest.fixture(scope="module")
+def bare(served):
+    uri, _ = served
+    with Proxy(uri) as proxy:
+        yield proxy
+
+
+@pytest.fixture(scope="module")
+def resilient(served):
+    uri, _ = served
+    wrapped = ResilientProxy(
+        Proxy(uri),
+        policy=RetryPolicy(),
+        breaker=CircuitBreaker(),
+    )
+    with wrapped:
+        yield wrapped
+
+
+def test_bench_bare_proxy_call(benchmark, bare):
+    """Baseline: a small call on an unwrapped proxy."""
+    benchmark(bare.echo, 1.0)
+
+
+def test_bench_resilient_proxy_call(benchmark, resilient):
+    """The same call through policy + breaker + idempotency key."""
+    benchmark(resilient.echo, 1.0)
+
+
+def test_no_fault_overhead_under_five_percent(served, capsys):
+    """Head-to-head measurement of the no-fault overhead.
+
+    Interleaves batches of bare and wrapped calls (so drift hits both
+    alike), takes the best batch each (floor latency), and reports the
+    relative overhead. The hard gate is deliberately loose — CI boxes
+    are noisy — while the printed number tracks the <5% design target.
+    """
+    uri, _ = served
+    batches, calls = 30, 50
+
+    with Proxy(uri) as plain, ResilientProxy(
+        Proxy(uri), policy=RetryPolicy(), breaker=CircuitBreaker()
+    ) as wrapped:
+        for proxy in (plain, wrapped):  # warm both connections
+            for _ in range(calls):
+                proxy.echo(1.0)
+
+        def best_batch(proxy):
+            best = float("inf")
+            for _ in range(batches):
+                start = time.perf_counter()
+                for _ in range(calls):
+                    proxy.echo(1.0)
+                best = min(best, time.perf_counter() - start)
+            return best / calls
+
+        timings = {}
+        for _ in range(2):  # interleave: bare, wrapped, bare, wrapped
+            for name, proxy in (("bare", plain), ("resilient", wrapped)):
+                timings[name] = min(
+                    timings.get(name, float("inf")), best_batch(proxy)
+                )
+
+        assert wrapped.retry_count == 0  # the fast path really was fault-free
+
+    overhead = timings["resilient"] / timings["bare"] - 1.0
+    delta_s = timings["resilient"] - timings["bare"]
+    # the added work is a fixed per-call cost, so its relative weight
+    # shrinks with the round trip: loopback here is the worst case,
+    # while on the paper's ACL<->ORNL path (~ms RTT) the same delta
+    # is what the <5% design target is stated against
+    wan_overhead = delta_s / (timings["bare"] + 1e-3)
+    with capsys.disabled():
+        print(
+            f"\n[RES1] bare={timings['bare'] * 1e6:.1f}us/call "
+            f"resilient={timings['resilient'] * 1e6:.1f}us/call "
+            f"delta={delta_s * 1e6:+.1f}us "
+            f"loopback overhead={overhead * 100:+.1f}% | "
+            f"at 1ms RTT: {wan_overhead * 100:+.2f}% (target < 5%)"
+        )
+    # egregious-regression gate only; the design target is the report
+    assert overhead < 0.5
+    assert wan_overhead < 0.05

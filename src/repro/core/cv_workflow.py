@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.errors import WorkflowError
 from repro.logging_utils import EventLog
+from repro.resilience import RetryPolicy
 from repro.chemistry.voltammogram import Voltammogram
 from repro.analysis.metrics import CVMetrics, characterize
 from repro.analysis.peaks import find_peaks
@@ -37,6 +38,19 @@ class CVWorkflowSettings:
     Defaults reproduce the paper's run: 5 mL of 2 mM ferrocene pumped at
     5 mL/min from the fraction collector's BOTTOM vial into the cell,
     swept 0.2 -> 0.8 V at 100 mV/s.
+
+    Resilience knobs:
+        resilient_client: open the control channel through a
+            :class:`~repro.resilience.ResilientProxy` — calls reconnect
+            and retry across link flaps/resets, with idempotency keys so
+            retried instrument commands never execute twice.
+        client_retry_policy: override the resilient client's policy.
+        task_policy: per-task retry policy (backoff-driven) applied to
+            the instrument tasks B-D instead of their fixed defaults.
+        task_timeout_s: per-attempt deadline for tasks B-D.
+        safe_state_teardown: register safe-state teardowns (halt pumps,
+            shut off purge gas, park the potentiostat, drop the mount)
+            that fire when a run ends with a failed or skipped task.
     """
 
     fill_volume_ml: float = 5.0
@@ -51,6 +65,11 @@ class CVWorkflowSettings:
     channel: int = 1
     measurement_stem: str | None = None
     acquisition_timeout_s: float = 300.0
+    resilient_client: bool = False
+    client_retry_policy: RetryPolicy | None = None
+    task_policy: RetryPolicy | None = None
+    task_timeout_s: float | None = None
+    safe_state_teardown: bool = True
 
 
 @dataclass
@@ -98,6 +117,12 @@ def build_cv_workflow(
         "cv-workflow",
         event_log=event_log if event_log is not None else ice.event_log,
     )
+    # knobs shared by the instrument tasks B-D; A keeps its historical
+    # fixed retry so connection-establishment failures stay cheap to spot
+    instrument_opts = {
+        "policy": settings.task_policy,
+        "timeout_s": settings.task_timeout_s,
+    }
 
     @flow.task(
         "A_establish_communications",
@@ -105,7 +130,10 @@ def build_cv_workflow(
         description="Pyro channel + data mount between ACL and K200",
     )
     def task_a(ctx: Context) -> str:
-        ctx.client = ice.client()
+        ctx.client = ice.client(
+            resilient=settings.resilient_client,
+            retry_policy=settings.client_retry_policy,
+        )
         ctx.client.ping()
         cache = Path(tempfile.mkdtemp(prefix="dgx-cache-"))
         ctx.cache_dir = cache
@@ -117,6 +145,7 @@ def build_cv_workflow(
         "B_configure_jkem",
         depends=("A_establish_communications",),
         description="configure/connect syringe pump + fraction collector",
+        **instrument_opts,
     )
     def task_b(ctx: Context) -> str:
         client = ctx.client
@@ -132,6 +161,7 @@ def build_cv_workflow(
         "C_fill_cell",
         depends=("B_configure_jkem",),
         description="pump ferrocene solution into the electrochemical cell",
+        **instrument_opts,
     )
     def task_c(ctx: Context) -> dict[str, Any]:
         client = ctx.client
@@ -153,6 +183,7 @@ def build_cv_workflow(
         "D_run_cv",
         depends=("C_fill_cell",),
         description="SP200 8-step pipeline + data-channel collection",
+        **instrument_opts,
     )
     def task_d(ctx: Context) -> dict[str, Any]:
         client = ctx.client
@@ -211,6 +242,35 @@ def build_cv_workflow(
             "has_peaks": pair.complete,
             "normality": ctx.normality.label if ctx.normality else "unchecked",
         }
+
+    if settings.safe_state_teardown:
+        # Registered as separate teardowns so the engine guards each
+        # independently: a dead control channel must not stop the local
+        # cleanup of the mount and cache.
+        def safe_state_instruments(ctx: Context) -> None:
+            client = ctx.get("client")
+            if client is not None:
+                outcome = client.call_Safe_State()
+                flow.log.emit(
+                    flow.name,
+                    "teardown",
+                    f"safe state: done={outcome['done']} "
+                    f"errors={outcome['errors']}",
+                )
+
+        def unmount_data_channel(ctx: Context) -> None:
+            mount = ctx.get("mount")
+            if mount is not None:
+                mount.unmount()
+
+        def close_control_channel(ctx: Context) -> None:
+            client = ctx.get("client")
+            if client is not None:
+                client.close()
+
+        flow.add_teardown(safe_state_instruments)
+        flow.add_teardown(unmount_data_channel)
+        flow.add_teardown(close_control_channel)
 
     return flow
 

@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable
 
-from repro.errors import DependencyError, TaskFailedError
+from repro.clock import Clock, WALL
+from repro.errors import DependencyError, TaskFailedError, TaskTimeoutError
 from repro.logging_utils import EventLog
+from repro.resilience.policy import RetryPolicy
 
 
 class TaskState(Enum):
@@ -58,8 +60,15 @@ class Task:
         name: unique identifier (e.g. ``"A_establish_communications"``).
         fn: callable taking the shared :class:`Context`.
         depends: names of tasks that must succeed first.
-        retries: additional attempts on exception.
-        retry_delay_s: pause between attempts.
+        retries: additional attempts on exception (fixed-delay mode;
+            ignored when ``policy`` is set).
+        retry_delay_s: pause between attempts (fixed-delay mode).
+        policy: optional :class:`~repro.resilience.policy.RetryPolicy`
+            governing attempts and backoff instead of the fixed-delay
+            pair; non-retryable errors (per the policy) fail immediately.
+        timeout_s: per-attempt deadline; a run past it fails that attempt
+            with :class:`~repro.errors.TaskTimeoutError`. Measured on
+            wall time — the attempt runs on a real watchdog thread.
         description: human-readable purpose.
     """
 
@@ -68,7 +77,13 @@ class Task:
     depends: tuple[str, ...] = ()
     retries: int = 0
     retry_delay_s: float = 0.0
+    policy: RetryPolicy | None = None
+    timeout_s: float | None = None
     description: str = ""
+
+    @property
+    def max_attempts(self) -> int:
+        return self.policy.max_attempts if self.policy else self.retries + 1
 
 
 @dataclass
@@ -121,6 +136,9 @@ class Workflow:
         name: workflow label for transcripts.
         event_log: shared log; a fresh one is created if omitted.
         max_workers: thread budget for independent ready tasks.
+        clock: time source for retry pauses, so a workflow under a
+            :class:`~repro.clock.VirtualClock` retries without real
+            sleeping.
     """
 
     def __init__(
@@ -128,13 +146,16 @@ class Workflow:
         name: str,
         event_log: EventLog | None = None,
         max_workers: int = 1,
+        clock: Clock | None = None,
     ):
         if max_workers < 1:
             raise DependencyError("max_workers must be >= 1")
         self.name = name
         self.log = event_log if event_log is not None else EventLog()
         self.max_workers = max_workers
+        self.clock = clock or WALL
         self._tasks: dict[str, Task] = {}
+        self._teardowns: list[tuple[str, Callable[[Context], Any]]] = []
 
     # -- construction -------------------------------------------------------
     def add_task(
@@ -144,6 +165,8 @@ class Workflow:
         depends: tuple[str, ...] | list[str] = (),
         retries: int = 0,
         retry_delay_s: float = 0.0,
+        policy: RetryPolicy | None = None,
+        timeout_s: float | None = None,
         description: str = "",
     ) -> Task:
         """Register a task; duplicate names raise."""
@@ -155,10 +178,26 @@ class Workflow:
             depends=tuple(depends),
             retries=retries,
             retry_delay_s=retry_delay_s,
+            policy=policy,
+            timeout_s=timeout_s,
             description=description,
         )
         self._tasks[name] = task
         return task
+
+    def add_teardown(
+        self, fn: Callable[[Context], Any], name: str | None = None
+    ) -> None:
+        """Register a safe-state action for unhealthy runs.
+
+        Teardowns run (in registration order) after any run that ends
+        with a failed or skipped task — the moment the workflow can no
+        longer vouch for the apparatus, pumps must stop, the purge gas
+        must close and the potentiostat must park. Each teardown is
+        best-effort: an exception is logged and the rest still run, since
+        a dead control link must not stop the remaining safety actions.
+        """
+        self._teardowns.append((name or getattr(fn, "__name__", "teardown"), fn))
 
     def task(
         self, name: str, depends: tuple[str, ...] | list[str] = (), **kwargs
@@ -242,25 +281,70 @@ class Workflow:
                     )
             return out
 
+        def run_attempt(task: Task) -> Any:
+            if task.timeout_s is None:
+                return task.fn(ctx)
+            # run on a watchdog thread so a hung attempt (e.g. a blocked
+            # instrument call) can be abandoned; the thread is daemonic —
+            # its eventual result is discarded, the deadline is the
+            # contract
+            box: dict[str, Any] = {}
+
+            def target() -> None:
+                try:
+                    box["result"] = task.fn(ctx)
+                except BaseException as exc:  # noqa: BLE001 - relayed below
+                    box["error"] = exc
+
+            worker = threading.Thread(
+                target=target, name=f"{self.name}:{task.name}", daemon=True
+            )
+            worker.start()
+            worker.join(task.timeout_s)
+            if worker.is_alive():
+                raise TaskTimeoutError(
+                    f"task {task.name!r} exceeded its "
+                    f"{task.timeout_s}s deadline"
+                )
+            if "error" in box:
+                raise box["error"]
+            return box.get("result")
+
         def execute(task: Task) -> None:
             record = results[task.name]
             record.state = TaskState.RUNNING
             record.started_at = time.monotonic()
             self.log.emit(self.name, "task", f"{task.name} started")
             last_error: BaseException | None = None
-            for attempt in range(task.retries + 1):
-                record.attempts = attempt + 1
+            max_attempts = task.max_attempts
+            for attempt in range(1, max_attempts + 1):
+                record.attempts = attempt
                 try:
-                    outcome = task.fn(ctx)
+                    outcome = run_attempt(task)
                 except Exception as exc:  # noqa: BLE001 - task boundary
                     last_error = exc
                     self.log.emit(
                         self.name,
                         "task",
-                        f"{task.name} attempt {attempt + 1} raised: {exc}",
+                        f"{task.name} attempt {attempt} raised: {exc}",
                     )
-                    if attempt < task.retries and task.retry_delay_s > 0:
-                        time.sleep(task.retry_delay_s)
+                    # a timed-out attempt is always worth retrying (the
+                    # outcome is unknown; idempotency keys make the redo
+                    # safe), everything else defers to the policy
+                    if (
+                        task.policy is not None
+                        and not isinstance(exc, TaskTimeoutError)
+                        and not task.policy.is_retryable(exc)
+                    ):
+                        break
+                    if attempt < max_attempts:
+                        delay = (
+                            task.policy.backoff_s(attempt + 1)
+                            if task.policy is not None
+                            else task.retry_delay_s
+                        )
+                        if delay > 0:
+                            self.clock.sleep(delay)
                     continue
                 with lock:
                     record.state = TaskState.SUCCEEDED
@@ -328,4 +412,27 @@ class Workflow:
             "run finished: "
             + ", ".join(f"{n}={r.state.value}" for n, r in results.items()),
         )
+        unhealthy = any(
+            r.state in (TaskState.FAILED, TaskState.SKIPPED)
+            for r in results.values()
+        )
+        if unhealthy and self._teardowns:
+            self._run_teardowns(ctx)
         return WorkflowResult(tasks=results, context=ctx)
+
+    def _run_teardowns(self, ctx: Context) -> None:
+        self.log.emit(
+            self.name,
+            "teardown",
+            f"run unhealthy; executing {len(self._teardowns)} "
+            "safe-state action(s)",
+        )
+        for name, fn in self._teardowns:
+            try:
+                fn(ctx)
+            except Exception as exc:  # noqa: BLE001 - never block safing
+                self.log.emit(
+                    self.name, "teardown", f"{name} raised: {exc}"
+                )
+            else:
+                self.log.emit(self.name, "teardown", f"{name} done")

@@ -11,6 +11,7 @@ the DC1 benchmark's ablations.
 from __future__ import annotations
 
 import fnmatch
+import logging
 import threading
 from typing import Callable
 
@@ -18,6 +19,8 @@ from repro.clock import Clock, WALL
 from repro.errors import DataChannelError
 from repro.datachannel.mount import Mount
 from repro.datachannel.share import FileStat
+
+logger = logging.getLogger(__name__)
 
 
 class MeasurementWatcher:
@@ -49,6 +52,8 @@ class MeasurementWatcher:
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.polls = 0
+        #: consecutive background polls that raised; reset by a clean poll
+        self.failure_streak = 0
 
     def snapshot(self) -> None:
         """Record the current state without reporting anything (baseline)."""
@@ -96,20 +101,57 @@ class MeasurementWatcher:
             self.clock.sleep(self.interval_s)
 
     # -- background mode ----------------------------------------------------
-    def start(self, callback: Callable[[FileStat], None]) -> None:
-        """Poll on a thread, invoking ``callback`` per new/changed file."""
+    def start(
+        self,
+        callback: Callable[[FileStat], None],
+        on_error: Callable[[DataChannelError], None] | None = None,
+        error_threshold: int = 5,
+    ) -> None:
+        """Poll on a thread, invoking ``callback`` per new/changed file.
+
+        A transient mount error is retried on the next tick, but not
+        silently forever: after ``error_threshold`` *consecutive*
+        failures a warning is logged and ``on_error`` (if given) is
+        invoked with the latest error, once per streak — a share that
+        went away mid-acquisition should page somebody, not spin. A
+        clean poll resets the streak.
+        """
+        if error_threshold < 1:
+            raise DataChannelError("error_threshold must be >= 1")
         if self._thread is not None and self._thread.is_alive():
             raise DataChannelError("watcher already running")
         self._stop.clear()
+        self.failure_streak = 0
 
         def loop() -> None:
+            notified = False
             while not self._stop.is_set():
                 try:
                     for stat in self.poll():
                         callback(stat)
-                except DataChannelError:
-                    # transient mount errors: retry on the next tick
-                    pass
+                except DataChannelError as exc:
+                    # transient mount errors: retry on the next tick,
+                    # but escalate once the streak crosses the threshold
+                    self.failure_streak += 1
+                    if self.failure_streak >= error_threshold and not notified:
+                        notified = True
+                        logger.warning(
+                            "measurement watcher: %d consecutive poll "
+                            "failures on %r (last: %s)",
+                            self.failure_streak,
+                            self.directory or "/",
+                            exc,
+                        )
+                        if on_error is not None:
+                            try:
+                                on_error(exc)
+                            except Exception:  # noqa: BLE001
+                                logger.exception(
+                                    "watcher on_error callback raised"
+                                )
+                else:
+                    self.failure_streak = 0
+                    notified = False
                 self._stop.wait(self.interval_s)
 
         self._thread = threading.Thread(target=loop, name="mpt-watcher", daemon=True)

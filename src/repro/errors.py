@@ -35,6 +35,16 @@ class CommunicationError(RPCError):
     """The transport could not reach the remote daemon."""
 
 
+class CallTimeoutError(CommunicationError):
+    """A call's transport deadline expired before the reply arrived.
+
+    Subclass of :class:`CommunicationError` so existing handlers keep
+    working, but distinct so retry classification can treat a timeout
+    (outcome unknown, safe to retry with an idempotency key) differently
+    from a hard protocol error.
+    """
+
+
 class NamingError(RPCError):
     """URI parse failures and name-server lookup misses."""
 
@@ -185,6 +195,36 @@ class FeatureExtractionError(MLError):
 
 
 # --------------------------------------------------------------------------
+# Resilience
+# --------------------------------------------------------------------------
+class ResilienceError(ReproError):
+    """Base class for retry/circuit-breaker layer failures."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every allowed attempt (or the deadline) was consumed.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the exception raised by the final attempt.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+# --------------------------------------------------------------------------
 # Workflow / orchestration
 # --------------------------------------------------------------------------
 class WorkflowError(ReproError):
@@ -209,3 +249,7 @@ class DependencyError(WorkflowError):
 
 class WorkflowAbortedError(WorkflowError):
     """Workflow stopped early by policy or operator request."""
+
+
+class TaskTimeoutError(WorkflowError):
+    """A task exceeded its per-task deadline."""

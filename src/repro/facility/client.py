@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.logging_utils import EventLog
+from repro.resilience import CircuitBreaker, ResilientProxy, RetryPolicy
 from repro.rpc.naming import PyroURI, make_uri
 from repro.rpc.proxy import Proxy
 
@@ -25,6 +27,12 @@ class ACLPyroClient:
         object_id: registered Pyro object id.
         connection_factory: custom dialer (the simulated network's).
         timeout: per-call deadline in seconds.
+        retry_policy: wrap the proxy in a
+            :class:`~repro.resilience.ResilientProxy` under this policy
+            (reconnect + retry with idempotent replay).
+        breaker: optional circuit breaker for the resilient wrapper.
+        event_log: structured log the resilient wrapper emits retry
+            events to.
     """
 
     def __init__(
@@ -35,14 +43,25 @@ class ACLPyroClient:
         connection_factory: Callable | None = None,
         timeout: float | None = 60.0,
         secret: bytes | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        event_log: EventLog | None = None,
     ):
         uri = make_uri(object_id, host, port)
-        self._proxy = Proxy(
+        proxy = Proxy(
             uri,
             timeout=timeout,
             connection_factory=connection_factory,
             secret=secret,
         )
+        if retry_policy is not None or breaker is not None:
+            proxy = ResilientProxy(
+                proxy,
+                policy=retry_policy,
+                breaker=breaker,
+                event_log=event_log,
+            )
+        self._proxy = proxy
 
     @classmethod
     def from_uri(
@@ -51,6 +70,9 @@ class ACLPyroClient:
         connection_factory: Callable | None = None,
         timeout: float | None = 60.0,
         secret: bytes | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        event_log: EventLog | None = None,
     ) -> "ACLPyroClient":
         """Build from a full ``PYRO:`` URI."""
         from repro.rpc.naming import parse_uri
@@ -63,7 +85,15 @@ class ACLPyroClient:
             connection_factory=connection_factory,
             timeout=timeout,
             secret=secret,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            event_log=event_log,
         )
+
+    @property
+    def resilient(self) -> bool:
+        """Whether calls retry/replay through a :class:`ResilientProxy`."""
+        return isinstance(self._proxy, ResilientProxy)
 
     # -- connection management ---------------------------------------------
     def ping(self) -> None:

@@ -329,13 +329,32 @@ class ElectrochemistryICE:
             return self.simnet.connection_factory(HOST_DGX, networks, priority)
         return lambda host, port: connect_tcp(host, port, timeout=30.0)
 
-    def client(self, timeout: float | None = 120.0) -> ACLPyroClient:
-        """A control-channel client dialled from the DGX."""
+    def client(
+        self,
+        timeout: float | None = 120.0,
+        resilient: bool = False,
+        retry_policy: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> ACLPyroClient:
+        """A control-channel client dialled from the DGX.
+
+        With ``resilient=True`` (or an explicit ``retry_policy`` /
+        ``breaker``) calls reconnect and retry across link flaps and
+        connection resets, carrying idempotency keys so the daemon
+        replays rather than re-executes anything already done.
+        """
+        from repro.resilience import RetryPolicy
+
+        if resilient and retry_policy is None:
+            retry_policy = RetryPolicy()
         return ACLPyroClient.from_uri(
             self.control_uri,
             connection_factory=self._factory(self.control_networks),
             timeout=timeout,
             secret=self.config.control_secret,
+            retry_policy=retry_policy,
+            breaker=breaker,
+            event_log=self.event_log,
         )
 
     def characterization_client(self, timeout: float | None = 120.0) -> ACLPyroClient:

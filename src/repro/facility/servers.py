@@ -152,6 +152,14 @@ class ACLWorkstationServer:
     def Read_PH(self, unit: int) -> float:
         return self._ws.jkem_api.read_ph(unit)
 
+    def Halt_SyringePump(self, unit: int) -> str:
+        """Emergency-stop the syringe pump via the serial link."""
+        return self._ws.jkem_api.halt_syringe_pump(unit)
+
+    def Halt_PeristalticPump(self, unit: int) -> str:
+        """Emergency-stop the peristaltic pump via the serial link."""
+        return self._ws.jkem_api.halt_peristaltic_pump(unit)
+
     def Status_JKem(self) -> str:
         return self._ws.jkem_api.status()
 
@@ -162,6 +170,37 @@ class ACLWorkstationServer:
     def Exit_JKem_API(self) -> str:
         """Fig 5a's final cell: ``call_Exit_JKem_API`` -> "J-Kem API exit OK"."""
         return self._ws.jkem_api.exit()
+
+    # ------------------------------------------------------------------
+    # Safe state (workflow teardown target)
+    # ------------------------------------------------------------------
+    def Safe_State(self) -> dict[str, Any]:
+        """Drive the bench to a safe idle state; idempotent, best-effort.
+
+        Halts both pumps, shuts off the purge gas and parks the
+        potentiostat (disconnecting stops any running channel). Acts on
+        the devices directly rather than through the J-Kem driver so it
+        still works when the driver session is closed or a device has
+        faulted — this is the call a workflow teardown makes when a run
+        aborts mid-experiment. Each action's outcome is reported instead
+        of raised: safing must attempt everything.
+        """
+        done: list[str] = []
+        errors: dict[str, str] = {}
+
+        def attempt(label: str, action) -> None:
+            try:
+                action()
+            except Exception as exc:  # noqa: BLE001 - report, keep safing
+                errors[label] = str(exc)
+            else:
+                done.append(label)
+
+        attempt("syringe_pump", self._ws.syringe_pump.halt)
+        attempt("peristaltic_pump", self._ws.peristaltic_pump.halt)
+        attempt("mfc", self._ws.mfc.shutoff)
+        attempt("potentiostat", self._ws.eclab.disconnect)
+        return {"done": done, "errors": errors}
 
     # ------------------------------------------------------------------
     # Cell state (lab-side observability / fault injection for tests)

@@ -126,6 +126,14 @@ class JKemAPI:
             self._roundtrip("PERIPUMP_TRANSFER", unit, float(volume_ml))
         )
 
+    def halt_syringe_pump(self, unit: int) -> str:
+        """Emergency-stop the plunger (safe-state action)."""
+        return self._status_text(self._roundtrip("SYRINGEPUMP_HALT", unit))
+
+    def halt_peristaltic_pump(self, unit: int) -> str:
+        """Emergency-stop the rollers (safe-state action)."""
+        return self._status_text(self._roundtrip("PERIPUMP_HALT", unit))
+
     # -- mass flow controller --------------------------------------------------
     def set_flow_mfc(self, unit: int, sccm: float) -> str:
         return self._status_text(self._roundtrip("MFC_FLOW", unit, float(sccm)))

@@ -184,6 +184,17 @@ class SyringePump(Instrument):
         self._emit("command", f"emptied {discarded:g} mL to waste")
         return discarded
 
+    def halt(self) -> None:
+        """Emergency stop: freeze the plunger where it is.
+
+        Deliberately skips the fault check — safing must work on a
+        faulted pump. Held liquid stays in the barrel for the operator.
+        """
+        self.status = (
+            InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+        )
+        self._emit("halt", "syringe pump halted")
+
 
 class PeristalticPump(Instrument):
     """Continuous transfer pump between two fixed liquid endpoints."""
@@ -253,6 +264,14 @@ class PeristalticPump(Instrument):
                 InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
             )
 
+    def halt(self) -> None:
+        """Emergency stop: stop the rollers, no fault check."""
+        self.running = False
+        self.status = (
+            InstrumentStatus.ERROR if self.faulted else InstrumentStatus.IDLE
+        )
+        self._emit("halt", "peristaltic pump halted")
+
 
 class MassFlowController(Instrument):
     """Gas MFC feeding the cell's purge line."""
@@ -283,6 +302,18 @@ class MassFlowController(Instrument):
         if self.cell is not None:
             self.cell.set_purge(self.gas if sccm > 0 else None, sccm)
         self._emit("command", f"{self.gas} flow set to {sccm:g} sccm")
+
+    def shutoff(self) -> None:
+        """Close the gas valve unconditionally (no fault check).
+
+        Safe-state counterpart of ``set_flow(0)``: usable even when the
+        controller has faulted, because venting purge gas into a cell
+        nobody is watching is the thing safing exists to prevent.
+        """
+        self.setpoint_sccm = 0.0
+        if self.cell is not None:
+            self.cell.set_purge(None, 0.0)
+        self._emit("halt", f"{self.gas} flow shut off")
 
     @property
     def actual_sccm(self) -> float:

@@ -127,9 +127,11 @@ class JKemSBC:
             "SYRINGEPUMP_WITHDRAW": self._cmd_syringe_withdraw,
             "SYRINGEPUMP_DISPENSE": self._cmd_syringe_dispense,
             "SYRINGEPUMP_STATUS": self._cmd_syringe_status,
+            "SYRINGEPUMP_HALT": self._cmd_syringe_halt,
             "FRACTIONCOLLECTOR_VIAL": self._cmd_collector_vial,
             "PERIPUMP_RATE": self._cmd_peri_rate,
             "PERIPUMP_TRANSFER": self._cmd_peri_transfer,
+            "PERIPUMP_HALT": self._cmd_peri_halt,
             "MFC_FLOW": self._cmd_mfc_flow,
             "MFC_READ": self._cmd_mfc_read,
             "TEMPCONTROLLER_SET": self._cmd_temp_set,
@@ -186,6 +188,10 @@ class JKemSBC:
             f"rate={pump.rate_ml_min:.3f} status={pump.status.value}"
         )
 
+    def _cmd_syringe_halt(self, args: tuple) -> None:
+        (unit,) = self._need(args, 1, "SYRINGEPUMP_HALT")
+        self._device(self._syringe_pumps, unit, "syringe pump").halt()
+
     # fraction collector -----------------------------------------------------
     def _cmd_collector_vial(self, args: tuple) -> None:
         unit, position = self._need(args, 2, "FRACTIONCOLLECTOR_VIAL")
@@ -206,6 +212,10 @@ class JKemSBC:
         unit, volume = self._need(args, 2, "PERIPUMP_TRANSFER")
         pump = self._device(self._peri_pumps, unit, "peristaltic pump")
         pump.transfer(self._as_number(volume, "volume"))
+
+    def _cmd_peri_halt(self, args: tuple) -> None:
+        (unit,) = self._need(args, 1, "PERIPUMP_HALT")
+        self._device(self._peri_pumps, unit, "peristaltic pump").halt()
 
     # MFC ------------------------------------------------------------------
     def _cmd_mfc_flow(self, args: tuple) -> None:

@@ -22,8 +22,10 @@ from repro.net.links import LinkSpec, SharedLink
 from repro.net.firewall import Firewall, FirewallRule, Action
 from repro.net.topology import Topology, Host, HubNetwork, Facility
 from repro.net.simtransport import SimNetwork, SimListener, SimConnection
+from repro.net.chaos import ChaosController
 
 __all__ = [
+    "ChaosController",
     "LinkSpec",
     "SharedLink",
     "Firewall",

@@ -1,0 +1,277 @@
+"""Deterministic fault injection for the simulated ICE network.
+
+Chaos engineering against a *simulated* facility network: the controller
+attaches transmit hooks to topology links and fires faults after an exact
+number of observed frames — link flaps, latency spikes, connection resets,
+partitions. Frame counts (not timers) trigger everything, so a scenario
+replays identically under :class:`~repro.clock.WallClock` and
+:class:`~repro.clock.VirtualClock` and regardless of host speed.
+
+Hooks fire at the *start* of a transmit attempt, before the link-up check
+(:meth:`~repro.net.links.SharedLink.add_transmit_hook`), so the frame that
+trips a flap is itself the first casualty, and recovery attempts made
+while the link is down count toward bringing it back — the retry traffic
+is part of the experiment.
+
+Typical scenario (the chaos e2e test)::
+
+    chaos = ChaosController(network, event_log=log)
+    chaos.flap_link("k200-dgx", "ornl-wan", after_frames=20, down_frames=3)
+    chaos.reset_connections_after(
+        "acl-control-agent", "acl-hub", after_frames=40, port=CONTROL_PORT
+    )
+    try:
+        run_cv_workflow(...)          # survives via ResilientProxy
+    finally:
+        chaos.stop()                  # detach hooks, restore links
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.logging_utils import EventLog
+from repro.net.links import SharedLink
+from repro.net.simtransport import SimNetwork
+
+
+class ChaosController:
+    """Schedules and injects faults into a :class:`SimNetwork`.
+
+    Args:
+        network: the simulated network under test.
+        event_log: optional structured log; every injected fault emits a
+            ``chaos`` event, so tests can assert the scenario actually
+            fired (a chaos test whose faults never trigger proves nothing).
+
+    Attributes:
+        injections: chronological record of fired faults, as dicts.
+    """
+
+    def __init__(self, network: SimNetwork, event_log: EventLog | None = None):
+        self.network = network
+        self.topology = network.topology
+        self._event_log = event_log
+        self._lock = threading.Lock()
+        self._unsubscribers: list = []
+        self._touched_links: set[SharedLink] = set()
+        self.injections: list[dict[str, Any]] = []
+
+    # -- bookkeeping -------------------------------------------------------
+    def _emit(self, kind: str, message: str, **data: Any) -> None:
+        self.injections.append({"kind": kind, "message": message, **data})
+        if self._event_log is not None:
+            self._event_log.emit("chaos", kind, message, **data)
+
+    def _watch(self, link: SharedLink, hook) -> None:
+        self._touched_links.add(link)
+        self._unsubscribers.append(link.add_transmit_hook(hook))
+
+    def fired(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Injected-fault records, optionally filtered by kind."""
+        with self._lock:
+            snapshot = list(self.injections)
+        if kind is None:
+            return snapshot
+        return [record for record in snapshot if record["kind"] == kind]
+
+    # -- scheduled faults --------------------------------------------------
+    def flap_link(
+        self,
+        host: str,
+        network: str,
+        after_frames: int,
+        down_frames: int = 3,
+    ) -> None:
+        """Drop the ``host<->network`` link mid-run, then restore it.
+
+        The link goes down once ``after_frames`` frames have crossed it;
+        it stays down for exactly ``down_frames`` *attempted* frames (each
+        fails with ``LinkDownError``, surfaced to RPC clients as
+        ``CommunicationError``) and comes back up on the attempt after
+        that. Retry traffic therefore drives the recovery clock — a
+        client that stops retrying never sees the link heal, just as a
+        real operator only learns a WAN path recovered by re-trying it.
+        """
+        link = self.topology.link(host, network)
+        state = {"seen": 0, "failed": 0, "phase": "armed"}
+
+        def hook(lnk: SharedLink, size_bytes: int) -> None:
+            with self._lock:
+                if state["phase"] == "armed":
+                    state["seen"] += 1
+                    if state["seen"] > after_frames:
+                        state["phase"] = "down"
+                        lnk.set_up(False)
+                        self._emit(
+                            "link-down",
+                            f"flap: {lnk.name} down after {after_frames} frames",
+                            link=lnk.name,
+                            after_frames=after_frames,
+                        )
+                if state["phase"] == "down":
+                    if state["failed"] >= down_frames:
+                        state["phase"] = "done"
+                        lnk.set_up(True)
+                        self._emit(
+                            "link-up",
+                            f"flap: {lnk.name} restored after "
+                            f"{state['failed']} failed attempts",
+                            link=lnk.name,
+                            failed_attempts=state["failed"],
+                        )
+                    else:
+                        state["failed"] += 1
+
+        self._watch(link, hook)
+
+    def spike_latency(
+        self,
+        host: str,
+        network: str,
+        after_frames: int,
+        extra_s: float,
+        duration_frames: int = 10,
+    ) -> None:
+        """Add ``extra_s`` of one-way latency for a window of frames.
+
+        Kicks in after ``after_frames`` frames and clears after a further
+        ``duration_frames`` — modelling transient congestion on a shared
+        campus or WAN segment rather than an outage.
+        """
+        link = self.topology.link(host, network)
+        state = {"seen": 0, "phase": "armed"}
+
+        def hook(lnk: SharedLink, size_bytes: int) -> None:
+            with self._lock:
+                state["seen"] += 1
+                if state["phase"] == "armed" and state["seen"] > after_frames:
+                    state["phase"] = "spiking"
+                    state["until"] = state["seen"] + duration_frames
+                    lnk.extra_latency_s += extra_s
+                    self._emit(
+                        "latency-spike",
+                        f"spike: +{extra_s}s on {lnk.name} "
+                        f"for {duration_frames} frames",
+                        link=lnk.name,
+                        extra_s=extra_s,
+                        duration_frames=duration_frames,
+                    )
+                elif state["phase"] == "spiking" and state["seen"] > state["until"]:
+                    state["phase"] = "done"
+                    lnk.extra_latency_s -= extra_s
+                    self._emit(
+                        "latency-clear",
+                        f"spike cleared on {lnk.name}",
+                        link=lnk.name,
+                    )
+
+        self._watch(link, hook)
+
+    def reset_connections_after(
+        self,
+        host: str,
+        network: str,
+        after_frames: int,
+        src_host: str | None = None,
+        dst_host: str | None = None,
+        port: int | None = None,
+    ) -> None:
+        """Reset matching connections once a link has carried N frames.
+
+        Watches the ``host<->network`` attachment as the trigger, then
+        calls :meth:`SimNetwork.reset_connections` with the endpoint
+        filters — e.g. kill every control-channel session to the agent
+        the moment the 40th frame crosses the lab hub. One-shot.
+        """
+        link = self.topology.link(host, network)
+        state = {"seen": 0, "fired": False}
+
+        def hook(lnk: SharedLink, size_bytes: int) -> None:
+            with self._lock:
+                if state["fired"]:
+                    return
+                state["seen"] += 1
+                if state["seen"] <= after_frames:
+                    return
+                state["fired"] = True
+            count = self.network.reset_connections(
+                src_host=src_host, dst_host=dst_host, port=port
+            )
+            with self._lock:
+                self._emit(
+                    "connection-reset",
+                    f"reset {count} connection(s) "
+                    f"(src={src_host}, dst={dst_host}, port={port}) "
+                    f"after {after_frames} frames on {lnk.name}",
+                    link=lnk.name,
+                    connections=count,
+                    src_host=src_host,
+                    dst_host=dst_host,
+                    port=port,
+                )
+
+        self._watch(link, hook)
+
+    # -- immediate faults --------------------------------------------------
+    def reset_now(
+        self,
+        src_host: str | None = None,
+        dst_host: str | None = None,
+        port: int | None = None,
+    ) -> int:
+        """Reset matching live connections immediately."""
+        count = self.network.reset_connections(
+            src_host=src_host, dst_host=dst_host, port=port
+        )
+        with self._lock:
+            self._emit(
+                "connection-reset",
+                f"reset {count} connection(s) now "
+                f"(src={src_host}, dst={dst_host}, port={port})",
+                connections=count,
+                src_host=src_host,
+                dst_host=dst_host,
+                port=port,
+            )
+        return count
+
+    def partition(self, attachments: list[tuple[str, str]]) -> None:
+        """Drop a set of ``(host, network)`` attachments at once.
+
+        Stays down until :meth:`heal` (or :meth:`stop`) — a hard
+        partition, unlike the self-healing :meth:`flap_link`.
+        """
+        with self._lock:
+            for host, network in attachments:
+                link = self.topology.link(host, network)
+                self._touched_links.add(link)
+                link.set_up(False)
+                self._emit(
+                    "partition", f"partition: {link.name} down", link=link.name
+                )
+
+    def heal(self) -> None:
+        """Bring every link this controller touched back up."""
+        with self._lock:
+            for link in self._touched_links:
+                if not link.is_up:
+                    link.set_up(True)
+                    self._emit("heal", f"heal: {link.name} up", link=link.name)
+
+    # -- teardown ----------------------------------------------------------
+    def stop(self) -> None:
+        """Detach all hooks and restore links to a healthy state.
+
+        Safe to call from a ``finally``: repairs anything a scheduled
+        fault left broken (a flap that never reached its recovery frame,
+        a spike that never cleared, a standing partition).
+        """
+        with self._lock:
+            for unsubscribe in self._unsubscribers:
+                unsubscribe()
+            self._unsubscribers.clear()
+            for link in self._touched_links:
+                link.set_up(True)
+                link.extra_latency_s = 0.0

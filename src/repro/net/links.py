@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.clock import Clock, WALL
 from repro.errors import LinkDownError
@@ -78,6 +79,9 @@ class SharedLink:
         self._up = True
         self.bytes_carried = 0
         self.transmissions = 0
+        #: additional one-way latency charged per frame (chaos "spike")
+        self.extra_latency_s = 0.0
+        self._transmit_hooks: list[Callable[["SharedLink", int], None]] = []
 
     @property
     def is_up(self) -> bool:
@@ -86,6 +90,27 @@ class SharedLink:
     def set_up(self, up: bool) -> None:
         """Administratively raise/drop the link (fault injection)."""
         self._up = up
+
+    def add_transmit_hook(
+        self, hook: Callable[["SharedLink", int], None]
+    ) -> Callable[[], None]:
+        """Register ``hook(link, size_bytes)`` fired at the *start* of every
+        transmit attempt, before the link-up check — so a hook that drops
+        the link fails the very frame that triggered it. Returns an
+        unsubscribe function. This is the chaos controller's attachment
+        point; hooks run outside the transmitter lock and must not block.
+        """
+        self._transmit_hooks.append(hook)
+
+        def unsubscribe() -> None:
+            if hook in self._transmit_hooks:
+                self._transmit_hooks.remove(hook)
+
+        return unsubscribe
+
+    def _fire_transmit_hooks(self, size_bytes: int) -> None:
+        for hook in list(self._transmit_hooks):
+            hook(self, size_bytes)
 
     def transmit(
         self,
@@ -110,6 +135,7 @@ class SharedLink:
         Raises:
             LinkDownError: the link is down.
         """
+        self._fire_transmit_hooks(size_bytes)
         if not self._up:
             raise LinkDownError(f"link {self.name} is down")
         with self._tx_lock:
@@ -118,7 +144,7 @@ class SharedLink:
             self.clock.sleep(self.spec.transmission_time(size_bytes))
             self.bytes_carried += size_bytes
             self.transmissions += 1
-        latency = self.spec.latency_s
+        latency = self.spec.latency_s + self.extra_latency_s
         if self.spec.jitter_s:
             latency += self._rng.uniform(0.0, self.spec.jitter_s)
         if charge_latency:
@@ -176,6 +202,7 @@ class PriorityLink(SharedLink):
         charge_latency: bool = True,
         priority: int = 1,
     ) -> float:
+        self._fire_transmit_hooks(size_bytes)
         if not self._up:
             raise LinkDownError(f"link {self.name} is down")
         remaining = size_bytes
@@ -193,7 +220,7 @@ class PriorityLink(SharedLink):
             if remaining <= 0:
                 break
         self.transmissions += 1
-        latency = self.spec.latency_s
+        latency = self.spec.latency_s + self.extra_latency_s
         if self.spec.jitter_s:
             latency += self._rng.uniform(0.0, self.spec.jitter_s)
         if charge_latency:

@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 from repro.clock import Clock, WALL
 from repro.errors import (
     AddressInUseError,
+    CallTimeoutError,
     CommunicationError,
     ConnectionClosedError,
+    LinkDownError,
     NetworkError,
 )
 from repro.net.links import SharedLink
@@ -43,12 +45,30 @@ class _BytePipe:
 
     def push(self, data: bytes) -> None:
         with self.ready:
+            if self.closed:
+                # a dead pipe swallows writes, like a socket after RST;
+                # the *reader* side is what surfaces the failure
+                return
             self.chunks.append(data)
             self.buffered += len(data)
             self.ready.notify_all()
 
     def close(self) -> None:
         with self.ready:
+            self.closed = True
+            self.ready.notify_all()
+
+    def reset(self) -> None:
+        """Abrupt teardown: discard buffered bytes, then close.
+
+        Models a connection RST rather than an orderly FIN — any frame
+        sitting in the pipe is lost, so a reader mid-message gets a
+        ``ConnectionClosedError`` with bytes pending instead of a clean
+        end-of-stream.
+        """
+        with self.ready:
+            self.chunks.clear()
+            self.buffered = 0
             self.closed = True
             self.ready.notify_all()
 
@@ -89,10 +109,18 @@ class SimConnection:
         # Propagation latency is accumulated and slept once (time.sleep
         # granularity makes per-hop micro-sleeps dominate otherwise).
         pending_latency = 0.0
-        for link in self._path:
-            pending_latency += link.transmit(
-                len(data), charge_latency=False, priority=self.priority
-            )
+        try:
+            for link in self._path:
+                pending_latency += link.transmit(
+                    len(data), charge_latency=False, priority=self.priority
+                )
+        except LinkDownError as exc:
+            # surface as a transport error so the RPC client treats it
+            # like any other failed send (close + optionally retry); the
+            # LinkDownError cause is preserved for diagnostics
+            raise CommunicationError(
+                f"send {self.local_host}->{self.peer_host} failed: {exc}"
+            ) from exc
         if pending_latency > 0.0:
             self._clock.sleep(pending_latency)
         self._tx.push(data)
@@ -127,7 +155,7 @@ class SimConnection:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise CommunicationError(
+                        raise CallTimeoutError(
                             f"recv from {self.peer_host} timed out"
                         )
                     self._rx.ready.wait(timeout=remaining)
@@ -141,6 +169,12 @@ class SimConnection:
             self._closed = True
             self._tx.close()
             self._rx.close()
+
+    def reset(self) -> None:
+        """Kill the connection abruptly, dropping in-flight bytes."""
+        self._closed = True
+        self._tx.reset()
+        self._rx.reset()
 
     def settimeout(self, timeout: float | None) -> None:
         self._timeout = timeout
@@ -210,6 +244,9 @@ class SimNetwork:
         self._lock = threading.Lock()
         self.connects_attempted = 0
         self.connects_denied = 0
+        # live connections, kept so chaos can reset them mid-run:
+        # (src_host, dst_host, port, client_conn)
+        self._connections: list[tuple[str, str, int, SimConnection]] = []
 
     # -- server side ---------------------------------------------------------
     def listen(self, host: str, port: int) -> SimListener:
@@ -284,7 +321,41 @@ class SimNetwork:
             self.clock.sleep(handshake_latency)
         dial = _PendingDial(connection_for_server=server_conn)
         listener._enqueue(dial)
+        with self._lock:
+            self._connections.append((src_host, dst_host, port, client_conn))
         return client_conn
+
+    def reset_connections(
+        self,
+        src_host: str | None = None,
+        dst_host: str | None = None,
+        port: int | None = None,
+    ) -> int:
+        """Abruptly reset live connections matching the given endpoints.
+
+        Any ``None`` criterion matches everything. Returns the number of
+        connections reset. Both ends of each matching connection see a
+        :class:`~repro.errors.ConnectionClosedError` on their next I/O,
+        with any in-flight bytes discarded — the simulated equivalent of
+        a firewall or NAT dropping state mid-session.
+        """
+        with self._lock:
+            live = [
+                entry
+                for entry in self._connections
+                if not entry[3]._closed
+            ]
+            self._connections = live
+            victims = [
+                conn
+                for (src, dst, prt, conn) in live
+                if (src_host is None or src == src_host)
+                and (dst_host is None or dst == dst_host)
+                and (port is None or prt == port)
+            ]
+        for conn in victims:
+            conn.reset()
+        return len(victims)
 
     def connection_factory(
         self,

@@ -1,0 +1,25 @@
+"""Cross-facility resilience: retry policies, breakers, resilient RPC.
+
+The paper's orchestration spans two facilities joined by WAN links,
+gateways and firewalls; this package makes the control plane survive the
+failures that geometry invites. See ``docs/RESILIENCE.md`` for the
+design and :mod:`repro.net.chaos` for the fault injector used to test it.
+"""
+
+from repro.resilience.policy import (
+    DEFAULT_RPC_POLICY,
+    TRANSIENT_ERRORS,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.resilience.proxy import ResilientProxy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_RPC_POLICY",
+    "ResilientProxy",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+]

@@ -1,0 +1,310 @@
+"""Retry and circuit-breaker policies for cross-facility calls.
+
+The steering loop of the paper runs over facility networks, gateways and
+firewalls — precisely where links flap and calls time out mid-step. This
+module holds the *decision* logic (when to retry, how long to wait, when
+to stop hammering a dead peer); the *mechanics* of reconnecting live in
+:class:`repro.resilience.proxy.ResilientProxy` and the workflow engine.
+
+Everything is :class:`~repro.clock.Clock`-driven so the same policies run
+deterministically under :class:`~repro.clock.VirtualClock` in tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.clock import Clock, WALL
+from repro.errors import (
+    CircuitOpenError,
+    CommunicationError,
+    ConnectionClosedError,
+    LinkDownError,
+    RetryExhaustedError,
+)
+
+#: Exception types a retry may safely assume are transient transport
+#: trouble rather than application failures. ``CallTimeoutError`` is a
+#: subclass of ``CommunicationError`` and is therefore included.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
+    CommunicationError,
+    ConnectionClosedError,
+    LinkDownError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, bounded by a deadline.
+
+    The delay before attempt ``n`` (2-based: the first *retry*) is drawn
+    uniformly from ``[0, min(max_delay_s, base_delay_s * multiplier**(n-2))]``
+    — AWS-style "full jitter", which decorrelates clients that failed
+    together when a shared link flapped.
+
+    Attributes:
+        max_attempts: total attempts including the first (>= 1).
+        base_delay_s: backoff scale for the first retry.
+        multiplier: exponential growth factor per retry.
+        max_delay_s: cap on any single backoff sleep.
+        deadline_s: total budget across all attempts *and* sleeps,
+            measured on the policy's clock; None disables.
+        jitter: ``"full"`` (default) or ``"none"`` (deterministic delays,
+            useful in tests and when callers provide their own spacing).
+        retry_on: exception types considered retryable.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    deadline_s: float | None = None
+    jitter: str = "full"
+    retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.jitter not in ("full", "none"):
+            raise ValueError(f"jitter must be 'full' or 'none', got {self.jitter!r}")
+
+    # -- classification ----------------------------------------------------
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt under this policy."""
+        return isinstance(exc, self.retry_on)
+
+    # -- delay math --------------------------------------------------------
+    def backoff_ceiling_s(self, attempt: int) -> float:
+        """Upper bound of the sleep before ``attempt`` (attempt >= 2)."""
+        if attempt < 2:
+            return 0.0
+        return min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 2)
+        )
+
+    def backoff_s(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Concrete (possibly jittered) sleep before ``attempt``."""
+        ceiling = self.backoff_ceiling_s(attempt)
+        if self.jitter == "none" or ceiling <= 0.0:
+            return ceiling
+        return (rng or random).uniform(0.0, ceiling)
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[], Any],
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> Any:
+        """Call ``fn`` under this policy.
+
+        Args:
+            fn: zero-argument callable (bind arguments with a closure).
+            clock: time source for deadline math and backoff sleeps.
+            rng: jitter source (pass a seeded one for determinism).
+            on_retry: observer invoked as ``(next_attempt, exc, delay_s)``
+                before each backoff sleep.
+
+        Raises:
+            RetryExhaustedError: attempts or the deadline ran out; carries
+                the final attempt's exception as ``last_error`` (and as
+                ``__cause__``).
+            BaseException: the first non-retryable exception, unwrapped.
+        """
+        clock = clock or WALL
+        started = clock.now()
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not self.is_retryable(exc):
+                    raise
+                last_error = exc
+            if attempt >= self.max_attempts:
+                break
+            delay = self.backoff_s(attempt + 1, rng=rng)
+            if self.deadline_s is not None:
+                remaining = self.deadline_s - (clock.now() - started)
+                if remaining <= delay:
+                    raise RetryExhaustedError(
+                        f"deadline of {self.deadline_s}s exhausted after "
+                        f"{attempt} attempt(s): {last_error}",
+                        attempts=attempt,
+                        last_error=last_error,
+                    ) from last_error
+            if on_retry is not None:
+                on_retry(attempt + 1, last_error, delay)
+            if delay > 0:
+                clock.sleep(delay)
+        raise RetryExhaustedError(
+            f"all {self.max_attempts} attempt(s) failed: {last_error}",
+            attempts=self.max_attempts,
+            last_error=last_error,
+        ) from last_error
+
+
+#: Sensible default for control-channel RPC: a handful of quick attempts.
+DEFAULT_RPC_POLICY = RetryPolicy()
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Window:
+    """Sliding outcome window for failure-rate accounting."""
+
+    size: int
+    outcomes: deque = field(default_factory=deque)
+
+    def record(self, ok: bool) -> None:
+        self.outcomes.append(ok)
+        while len(self.outcomes) > self.size:
+            self.outcomes.popleft()
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for ok in self.outcomes if not ok)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.failures / len(self.outcomes)
+
+    def clear(self) -> None:
+        self.outcomes.clear()
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker over a failure window.
+
+    While CLOSED, outcomes are recorded into a sliding window; when the
+    window holds at least ``min_calls`` outcomes with ``failure_rate``
+    at or above the threshold (and at least ``failure_threshold``
+    absolute failures), the breaker OPENs: calls fail fast with
+    :class:`~repro.errors.CircuitOpenError` without touching the network,
+    so a dead gateway is not hammered by every steering iteration. After
+    ``cooldown_s`` on the breaker's clock it becomes HALF_OPEN and admits
+    probe calls one at a time: a success closes it, a failure re-opens it
+    for another cooldown.
+
+    Thread-safe; share one breaker per remote endpoint.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        failure_rate: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Clock | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in (0, 1]")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.failure_rate = failure_rate
+        self.min_calls = max(1, min_calls)
+        self.cooldown_s = cooldown_s
+        self.clock = clock or WALL
+        self._window = _Window(size=max(window, self.min_calls))
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._lock = threading.Lock()
+        self.open_count = 0
+        self.rejected_calls = 0
+
+    # -- observability -----------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    # -- gate --------------------------------------------------------------
+    def before_call(self) -> None:
+        """Admission gate; raises :class:`CircuitOpenError` when tripped."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.OPEN:
+                self.rejected_calls += 1
+                remaining = self.cooldown_s - (self.clock.now() - self._opened_at)
+                raise CircuitOpenError(
+                    f"circuit open; retry in {max(0.0, remaining):.3f}s"
+                )
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probe_in_flight:
+                    self.rejected_calls += 1
+                    raise CircuitOpenError("circuit half-open; probe in flight")
+                self._probe_in_flight = True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._window.clear()
+                self._probe_in_flight = False
+                return
+            self._window.record(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._window.record(False)
+            if (
+                len(self._window.outcomes) >= self.min_calls
+                and self._window.failures >= self.failure_threshold
+                and self._window.failure_rate >= self.failure_rate
+            ):
+                self._trip()
+
+    # -- internals ---------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self.clock.now()
+        self._probe_in_flight = False
+        self._window.clear()
+        self.open_count += 1
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self.clock.now() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` through the breaker, recording the outcome."""
+        self.before_call()
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

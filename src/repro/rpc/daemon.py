@@ -19,9 +19,11 @@ from __future__ import annotations
 import threading
 import traceback
 import uuid
+from collections import OrderedDict
 from typing import Any
 
 from repro.errors import (
+    CommunicationError,
     ConnectionClosedError,
     MethodNotExposedError,
     NamingError,
@@ -35,10 +37,83 @@ from repro.rpc.protocol import (
     MessageType,
     error_body,
     recv_message,
+    request_idempotency_key,
     send_message,
     validate_request_body,
 )
 from repro.rpc.transport import Connection, Listener, TCPListener
+
+
+class DedupCache:
+    """Bounded idempotent-replay cache shared by every connection.
+
+    One entry per idempotency key holds the recorded outcome frame
+    (RESPONSE or ERROR body) of the first execution. Duplicates arriving
+    *after* completion replay the outcome; duplicates arriving while the
+    first execution is still in flight wait for it instead of running the
+    method a second time. Eviction is LRU at ``capacity`` entries, which
+    bounds memory regardless of client behaviour.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"dedup capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._done: OrderedDict[str, tuple[MessageType, Any]] = OrderedDict()
+        # key -> None while executing with no waiter yet; the Event is
+        # only allocated when a duplicate actually arrives mid-flight,
+        # keeping the (overwhelmingly common) no-duplicate path cheap
+        self._pending: dict[str, threading.Event | None] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._done)
+
+    def claim(
+        self, key: str, wait_s: float | None = 300.0
+    ) -> tuple[MessageType, Any] | None:
+        """Resolve who handles ``key``.
+
+        Returns the cached outcome when one exists (caller replays it), or
+        None when the caller now owns execution and must eventually call
+        :meth:`finish` or :meth:`abandon`. When another thread is already
+        executing the same key, blocks until it finishes (bounded by
+        ``wait_s``; on timeout the caller executes anyway — the original
+        executor is presumed wedged).
+        """
+        while True:
+            with self._lock:
+                if key in self._done:
+                    self._done.move_to_end(key)
+                    return self._done[key]
+                if key not in self._pending:
+                    self._pending[key] = None
+                    return None
+                event = self._pending[key]
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+            if not event.wait(wait_s):
+                return None
+
+    def finish(self, key: str, msg_type: MessageType, body: Any) -> None:
+        """Record the outcome of an executed key and wake any waiters."""
+        with self._lock:
+            self._done[key] = (msg_type, body)
+            self._done.move_to_end(key)
+            while len(self._done) > self.capacity:
+                self._done.popitem(last=False)
+            event = self._pending.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def abandon(self, key: str) -> None:
+        """Release a claim without recording an outcome (handler died)."""
+        with self._lock:
+            event = self._pending.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 class Daemon:
@@ -54,6 +129,12 @@ class Daemon:
             challenge-response before any request is served (the paper's
             future-work "security posture" hardening — facility firewalls
             alone are not authentication).
+        dedup_capacity: LRU bound of the idempotent-replay cache (entries
+            survive reconnects; a retried REQUEST carrying an already-seen
+            idempotency key replays the recorded outcome instead of
+            re-executing the instrument call).
+        dedup_wait_s: how long a duplicate waits for an in-flight
+            execution of the same key before giving up and executing.
     """
 
     def __init__(
@@ -63,6 +144,8 @@ class Daemon:
         listener: Listener | None = None,
         event_log: EventLog | None = None,
         secret: bytes | None = None,
+        dedup_capacity: int = 256,
+        dedup_wait_s: float = 300.0,
     ):
         self._listener = listener if listener is not None else TCPListener(host, port)
         self._secret = secret
@@ -72,8 +155,11 @@ class Daemon:
         self._accept_thread: threading.Thread | None = None
         self._client_threads: list[threading.Thread] = []
         self._open_connections: set[Connection] = set()
+        self._dedup = DedupCache(dedup_capacity)
+        self._dedup_wait_s = dedup_wait_s
         self.log = event_log if event_log is not None else EventLog()
         self.call_count = 0
+        self.replay_count = 0
 
     # -- registry ------------------------------------------------------------
     @property
@@ -222,7 +308,16 @@ class Daemon:
                     # A malformed frame poisons stream framing: report and drop.
                     self._try_send_error(conn, 0, exc)
                     break
-                self._handle_message(conn, msg)
+                try:
+                    self._handle_message(conn, msg)
+                except (CommunicationError, ConnectionClosedError, OSError) as exc:
+                    # The peer vanished while we were answering. Any
+                    # idempotent outcome is already in the dedup cache, so
+                    # the reply is replayed when the client retransmits.
+                    self.log.emit(
+                        "daemon", "reply-lost", f"reply to {conn.peer} lost: {exc}"
+                    )
+                    break
         finally:
             conn.close()
             with self._lock:
@@ -258,6 +353,53 @@ class Daemon:
             self._try_send_error(conn, msg.seq, exc)
 
     def _handle_request(self, conn: Connection, msg: Message) -> None:
+        key = request_idempotency_key(msg.body)
+        if key is not None:
+            cached = self._dedup.claim(key, wait_s=self._dedup_wait_s)
+            if cached is not None:
+                self._replay(conn, msg, key, cached)
+                return
+        # This thread now owns execution for ``key`` (when one was sent):
+        # the outcome must be recorded *before* the reply frame is sent, so
+        # a retransmission after a lost response replays instead of
+        # re-executing the instrument call.
+        recorded = key is None
+
+        def record(msg_type: MessageType, body: Any) -> None:
+            nonlocal recorded
+            if not recorded:
+                recorded = True
+                self._dedup.finish(key, msg_type, body)
+
+        try:
+            self._execute_request(conn, msg, record)
+        finally:
+            if not recorded:
+                self._dedup.abandon(key)
+
+    def _replay(
+        self,
+        conn: Connection,
+        msg: Message,
+        key: str,
+        cached: tuple[MessageType, Any],
+    ) -> None:
+        """Answer a retransmitted request from the dedup cache."""
+        self.replay_count += 1
+        msg_type, body = cached
+        self.log.emit(
+            "daemon",
+            "replay",
+            f"idempotent replay for key {key[:16]} ({msg_type.name})",
+        )
+        if msg.oneway:
+            return
+        try:
+            send_message(conn, Message(msg_type, msg.seq, body))
+        except (ConnectionClosedError, SerializationError):
+            pass
+
+    def _execute_request(self, conn: Connection, msg: Message, record) -> None:
         try:
             object_id, method_name, args, kwargs = validate_request_body(msg.body)
             obj = self._get_object(object_id)
@@ -267,6 +409,7 @@ class Daemon:
                 )
             bound = getattr(obj, method_name)
         except Exception as exc:  # noqa: BLE001
+            record(MessageType.ERROR, self._error_body_for(exc))
             if not msg.oneway:
                 self._try_send_error(conn, msg.seq, exc)
             return
@@ -275,14 +418,21 @@ class Daemon:
             if not msg.oneway:
                 # Client used a normal call on a @oneway method: ack first.
                 send_message(conn, Message(MessageType.RESPONSE, msg.seq, None))
-            self._invoke_logged(object_id, method_name, bound, args, kwargs, swallow=True)
+            try:
+                self._invoke_logged(
+                    object_id, method_name, bound, args, kwargs, swallow=True
+                )
+            finally:
+                record(MessageType.RESPONSE, None)
             return
 
         try:
             result = self._invoke_logged(object_id, method_name, bound, args, kwargs)
         except Exception as exc:  # noqa: BLE001 - remote errors travel as frames
+            record(MessageType.ERROR, self._error_body_for(exc))
             self._try_send_error(conn, msg.seq, exc)
             return
+        record(MessageType.RESPONSE, {"result": result})
         try:
             send_message(conn, Message(MessageType.RESPONSE, msg.seq, {"result": result}))
         except SerializationError as exc:
@@ -313,14 +463,18 @@ class Daemon:
                 return None
             raise
 
-    def _try_send_error(self, conn: Connection, seq: int, exc: Exception) -> None:
-        body = error_body(
+    @staticmethod
+    def _error_body_for(exc: Exception) -> dict[str, Any]:
+        return error_body(
             error_type=type(exc).__name__,
             message=str(exc),
             traceback_text="".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
             ),
         )
+
+    def _try_send_error(self, conn: Connection, seq: int, exc: Exception) -> None:
+        body = self._error_body_for(exc)
         try:
             send_message(conn, Message(MessageType.ERROR, seq, body))
         except (ConnectionClosedError, SerializationError):

@@ -116,15 +116,39 @@ def recv_message(stream: Stream) -> Message:
 # Body shapes (kept as plain dicts on the wire; helpers build/validate them)
 # --------------------------------------------------------------------------
 def request_body(
-    object_id: str, method: str, args: tuple, kwargs: dict
+    object_id: str,
+    method: str,
+    args: tuple,
+    kwargs: dict,
+    idempotency_key: str | None = None,
 ) -> dict[str, Any]:
-    """Build a REQUEST body."""
-    return {
+    """Build a REQUEST body.
+
+    ``idempotency_key`` is an optional client-chosen token identifying one
+    *logical* call across retransmissions. A daemon that has already
+    executed a request with the same key replays the recorded outcome
+    instead of re-executing the method; daemons predating the field simply
+    ignore the extra key (the body stays a plain dict), so the frame is
+    backward-compatible on the wire.
+    """
+    body = {
         "object": object_id,
         "method": method,
         "args": list(args),
         "kwargs": kwargs,
     }
+    if idempotency_key is not None:
+        body["idem"] = idempotency_key
+    return body
+
+
+def request_idempotency_key(body: Any) -> str | None:
+    """Extract the optional idempotency key from a decoded REQUEST body."""
+    if isinstance(body, dict):
+        key = body.get("idem")
+        if isinstance(key, str) and key:
+            return key
+    return None
 
 
 def validate_request_body(body: Any) -> tuple[str, str, list, dict]:

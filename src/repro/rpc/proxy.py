@@ -191,10 +191,21 @@ class Proxy:
         return reply
 
     def _call(
-        self, method: str, args: tuple, kwargs: dict, oneway: bool = False
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        oneway: bool = False,
+        idempotency_key: str | None = None,
     ) -> Any:
         with self._lock:
-            body = request_body(self._uri.object_id, method, args, kwargs)
+            body = request_body(
+                self._uri.object_id,
+                method,
+                args,
+                kwargs,
+                idempotency_key=idempotency_key,
+            )
             flags = FLAG_ONEWAY if oneway else 0
             msg = Message(MessageType.REQUEST, self._next_seq(), body, flags=flags)
             reply = self._roundtrip(msg)

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import socket
 
-from repro.errors import CommunicationError, ConnectionClosedError
+from repro.errors import (
+    CallTimeoutError,
+    CommunicationError,
+    ConnectionClosedError,
+)
 
 
 class Connection:
@@ -84,7 +88,7 @@ class TCPConnection(Connection):
             try:
                 chunk = self._sock.recv(min(remaining, 65536))
             except socket.timeout as exc:
-                raise CommunicationError(
+                raise CallTimeoutError(
                     f"read from {self._peer} timed out with {remaining} bytes pending"
                 ) from exc
             except OSError as exc:
@@ -147,6 +151,10 @@ def connect_tcp(host: str, port: int, timeout: float | None = 5.0) -> TCPConnect
     """Open a client connection to ``host:port``."""
     try:
         sock = socket.create_connection((host, port), timeout=timeout)
+    except socket.timeout as exc:
+        raise CallTimeoutError(
+            f"connect to {host}:{port} timed out after {timeout}s"
+        ) from exc
     except OSError as exc:
         raise CommunicationError(f"cannot connect to {host}:{port}: {exc}") from exc
     sock.settimeout(None)

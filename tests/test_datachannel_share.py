@@ -1,6 +1,7 @@
 """File share service + mount, over real RPC."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -226,3 +227,89 @@ class TestWatcher:
         _, _, mount = share_setup
         with pytest.raises(DataChannelError):
             MeasurementWatcher(mount, interval_s=0.0)
+
+
+class TestWatcherErrorEscalation:
+    def test_on_error_fires_once_after_consecutive_failures(self, share_setup):
+        _, _, mount = share_setup
+        watcher = MeasurementWatcher(mount, interval_s=0.01)
+        failures: list[Exception] = []
+        notified = threading.Event()
+
+        def broken_poll():
+            raise DataChannelError("share went away")
+
+        watcher.poll = broken_poll
+
+        def on_error(exc):
+            failures.append(exc)
+            notified.set()
+
+        watcher.start(lambda s: None, on_error=on_error, error_threshold=3)
+        try:
+            assert notified.wait(timeout=5.0)
+            time.sleep(0.1)  # more failing ticks must not re-notify
+        finally:
+            watcher.stop()
+        assert len(failures) == 1
+        assert watcher.failure_streak >= 3
+
+    def test_clean_poll_resets_streak_and_rearms(self, share_setup):
+        _, _, mount = share_setup
+        watcher = MeasurementWatcher(mount, interval_s=0.01)
+        notifications = []
+        second_streak = threading.Event()
+        state = {"mode": "fail", "polls": 0}
+
+        def scripted_poll():
+            state["polls"] += 1
+            if state["mode"] == "fail":
+                raise DataChannelError("flaky share")
+            return []
+
+        watcher.poll = scripted_poll
+
+        def on_error(exc):
+            notifications.append(exc)
+            if len(notifications) == 2:
+                second_streak.set()
+
+        watcher.start(lambda s: None, on_error=on_error, error_threshold=2)
+        try:
+            # first streak notifies; a clean stretch resets; second streak
+            # notifies again
+            while len(notifications) < 1:
+                time.sleep(0.005)
+            state["mode"] = "ok"
+            while watcher.failure_streak != 0:
+                time.sleep(0.005)
+            state["mode"] = "fail"
+            assert second_streak.wait(timeout=5.0)
+        finally:
+            watcher.stop()
+        assert len(notifications) == 2
+
+    def test_bad_threshold_rejected(self, share_setup):
+        _, _, mount = share_setup
+        watcher = MeasurementWatcher(mount, interval_s=0.01)
+        with pytest.raises(DataChannelError):
+            watcher.start(lambda s: None, error_threshold=0)
+
+    def test_on_error_exception_does_not_kill_the_loop(self, share_setup):
+        _, _, mount = share_setup
+        watcher = MeasurementWatcher(mount, interval_s=0.01)
+
+        def broken_poll():
+            raise DataChannelError("down")
+
+        watcher.poll = broken_poll
+
+        def bad_on_error(exc):
+            raise RuntimeError("pager is broken too")
+
+        watcher.start(lambda s: None, on_error=bad_on_error, error_threshold=1)
+        try:
+            time.sleep(0.1)
+            assert watcher._thread.is_alive()
+        finally:
+            watcher.stop()

@@ -1,0 +1,199 @@
+"""Retry policy and circuit breaker, deterministically under SimClock."""
+
+import random
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import (
+    CallTimeoutError,
+    CircuitOpenError,
+    CommunicationError,
+    InstrumentCommandError,
+    RetryExhaustedError,
+)
+from repro.resilience import BreakerState, CircuitBreaker, RetryPolicy
+
+
+class Flaky:
+    """Callable failing the first N calls, then succeeding."""
+
+    def __init__(self, failures: int, exc: Exception | None = None):
+        self.failures = failures
+        self.calls = 0
+        self.exc = exc or CommunicationError("boom")
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok"
+
+
+class TestRetryPolicyDelays:
+    def test_backoff_ceiling_doubles_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter="none"
+        )
+        assert policy.backoff_ceiling_s(2) == pytest.approx(0.1)
+        assert policy.backoff_ceiling_s(3) == pytest.approx(0.2)
+        assert policy.backoff_ceiling_s(4) == pytest.approx(0.4)
+        assert policy.backoff_ceiling_s(5) == pytest.approx(0.5)  # capped
+        assert policy.backoff_ceiling_s(9) == pytest.approx(0.5)
+
+    def test_full_jitter_stays_under_ceiling(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=1.0)
+        rng = random.Random(7)
+        for attempt in range(2, 8):
+            ceiling = policy.backoff_ceiling_s(attempt)
+            for _ in range(50):
+                delay = policy.backoff_s(attempt, rng=rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_jitter_none_is_deterministic(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter="none")
+        assert policy.backoff_s(2) == policy.backoff_s(2) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="gaussian")
+
+
+class TestRetryPolicyRun:
+    def test_succeeds_after_transient_failures(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1, jitter="none")
+        flaky = Flaky(failures=2)
+        assert policy.run(flaky, clock=clock) == "ok"
+        assert flaky.calls == 3
+        # two backoff sleeps were charged on the virtual clock: 0.1 + 0.2
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_exhaustion_raises_with_last_error(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01, jitter="none")
+        flaky = Flaky(failures=99)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(flaky, clock=clock)
+        assert flaky.calls == 3
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, CommunicationError)
+
+    def test_non_retryable_error_propagates_unwrapped(self):
+        policy = RetryPolicy(max_attempts=5)
+        flaky = Flaky(failures=99, exc=InstrumentCommandError("bad args"))
+        with pytest.raises(InstrumentCommandError):
+            policy.run(flaky, clock=VirtualClock())
+        assert flaky.calls == 1  # an application error is never retried
+
+    def test_timeout_is_retryable_by_default(self):
+        # CallTimeoutError subclasses CommunicationError
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter="none")
+        flaky = Flaky(failures=1, exc=CallTimeoutError("deadline"))
+        assert policy.run(flaky, clock=VirtualClock()) == "ok"
+        assert flaky.calls == 2
+
+    def test_deadline_stops_before_sleeping_past_it(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=100.0, deadline_s=2.5, jitter="none",
+        )
+        flaky = Flaky(failures=99)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(flaky, clock=clock)
+        # attempt 1 fails, sleeps 1s; attempt 2 fails; the next sleep (2s)
+        # would cross the 2.5s deadline, so the policy gives up there
+        assert flaky.calls == 2
+        assert info.value.attempts == 2
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_on_retry_observer_sees_attempts_and_delays(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter="none")
+        observed = []
+        flaky = Flaky(failures=2)
+        policy.run(
+            flaky,
+            clock=clock,
+            on_retry=lambda n, exc, d: observed.append((n, type(exc).__name__, d)),
+        )
+        assert observed == [
+            (2, "CommunicationError", pytest.approx(0.1)),
+            (3, "CommunicationError", pytest.approx(0.2)),
+        ]
+
+
+class TestCircuitBreaker:
+    def _tripped(self, clock) -> CircuitBreaker:
+        breaker = CircuitBreaker(
+            failure_threshold=3, failure_rate=0.5, min_calls=3,
+            cooldown_s=10.0, clock=clock,
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        return breaker
+
+    def test_trips_open_and_fails_fast(self):
+        clock = VirtualClock()
+        breaker = self._tripped(clock)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        assert breaker.rejected_calls == 1
+
+    def test_below_threshold_stays_closed(self):
+        breaker = CircuitBreaker(
+            failure_threshold=3, min_calls=3, clock=VirtualClock()
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.before_call()  # admits
+
+    def test_half_open_probe_success_closes(self):
+        clock = VirtualClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.before_call()  # the probe
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.before_call()  # admits freely again
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = VirtualClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_count == 2
+
+    def test_half_open_admits_one_probe_at_a_time(self):
+        clock = VirtualClock()
+        breaker = self._tripped(clock)
+        clock.advance(10.0)
+        breaker.before_call()
+        with pytest.raises(CircuitOpenError, match="probe in flight"):
+            breaker.before_call()
+
+    def test_call_wrapper_records_outcomes(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, failure_rate=0.5, min_calls=2,
+            cooldown_s=5.0, clock=clock,
+        )
+        for _ in range(2):
+            with pytest.raises(CommunicationError):
+                breaker.call(Flaky(failures=99))
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")

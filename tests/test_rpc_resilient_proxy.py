@@ -1,0 +1,192 @@
+"""ResilientProxy: reconnect across faults, replay instead of re-execute."""
+
+import pytest
+
+from repro.errors import CallTimeoutError, RetryExhaustedError
+from repro.facility.ice import HOST_DGX
+from repro.facility.workstation import PORT_CELL, PORT_COLLECTOR
+from repro.net.chaos import ChaosController
+from repro.resilience import ResilientProxy, RetryPolicy
+from repro.rpc.proxy import Proxy
+
+FAST_POLICY = RetryPolicy(max_attempts=6, base_delay_s=0.001, jitter="none")
+
+
+def _prepare_syringe(client, volume_ml=5.0):
+    """Withdraw stock so a dispense is physically possible."""
+    client.call_Set_Rate_SyringePump(1, 5.0)
+    client.call_Set_Vial_FractionCollector(1, "BOTTOM")
+    client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
+    client.call_Withdraw_SyringePump(1, volume_ml)
+    client.call_Set_Port_SyringePump(1, PORT_CELL)
+
+
+class TestReconnectUnderLinkFlap:
+    def test_call_survives_wan_flap(self, ice):
+        client = ice.client(retry_policy=FAST_POLICY)
+        client.ping()  # connection up before the fault arms
+
+        chaos = ChaosController(ice.simnet, event_log=ice.event_log)
+        # the next frame on the DGX's WAN attachment trips the flap and is
+        # the first of down_frames=2 casualties; the attempt after those
+        # finds the link healed
+        chaos.flap_link(HOST_DGX, "ornl-wan", after_frames=0, down_frames=2)
+        try:
+            status = client.call_Cell_Status()
+        finally:
+            chaos.stop()
+            client.close()
+
+        assert status["volume_ml"] == pytest.approx(0.0)
+        assert client._proxy.retry_count >= 2
+        assert client._proxy.reconnect_count >= 2
+        assert chaos.fired("link-down") and chaos.fired("link-up")
+
+    def test_bare_proxy_fails_where_resilient_succeeds(self, ice):
+        bare = ice.client()
+        bare.ping()
+        chaos = ChaosController(ice.simnet)
+        chaos.flap_link(HOST_DGX, "ornl-wan", after_frames=0, down_frames=2)
+        try:
+            with pytest.raises(Exception):
+                bare.call_Cell_Status()
+        finally:
+            chaos.stop()
+            bare.close()
+
+    def test_retries_exhaust_on_standing_partition(self, ice):
+        client = ice.client(
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.001, jitter="none"
+            )
+        )
+        client.ping()
+        chaos = ChaosController(ice.simnet)
+        chaos.partition([(HOST_DGX, "ornl-wan")])
+        try:
+            with pytest.raises(RetryExhaustedError):
+                client.call_Cell_Status()
+        finally:
+            chaos.stop()
+            client.close()
+
+
+class TestIdempotentReplay:
+    def test_same_key_does_not_double_dispense(self, ice):
+        client = ice.client()
+        _prepare_syringe(client, volume_ml=5.0)
+
+        proxy = Proxy(
+            ice.control_uri,
+            timeout=30.0,
+            connection_factory=ice.simnet.connection_factory(
+                HOST_DGX, ice.control_networks
+            ),
+        )
+        try:
+            key = "dispense-logical-call-1"
+            first = proxy._call(
+                "Dispense_SyringePump", (1, 5.0), {}, idempotency_key=key
+            )
+            # a retransmission of the same logical call: replayed, not run
+            second = proxy._call(
+                "Dispense_SyringePump", (1, 5.0), {}, idempotency_key=key
+            )
+        finally:
+            proxy.close()
+
+        assert first == second
+        assert ice.control_daemon.replay_count == 1
+        status = client.call_Cell_Status()
+        # executed twice this would read 10 mL (or have failed on an
+        # empty syringe); the cell got exactly one 5 mL dispense
+        assert status["volume_ml"] == pytest.approx(5.0)
+        client.close()
+
+    def test_replay_works_across_reconnects(self, ice):
+        """The dedup cache is keyed on the call, not the connection."""
+        client = ice.client()
+        _prepare_syringe(client, volume_ml=4.0)
+        factory = ice.simnet.connection_factory(HOST_DGX, ice.control_networks)
+
+        key = "dispense-logical-call-2"
+        first_proxy = Proxy(ice.control_uri, connection_factory=factory)
+        first = first_proxy._call(
+            "Dispense_SyringePump", (1, 4.0), {}, idempotency_key=key
+        )
+        first_proxy.close()
+
+        second_proxy = Proxy(ice.control_uri, connection_factory=factory)
+        second = second_proxy._call(
+            "Dispense_SyringePump", (1, 4.0), {}, idempotency_key=key
+        )
+        second_proxy.close()
+
+        assert first == second
+        assert ice.control_daemon.replay_count == 1
+        assert client.call_Cell_Status()["volume_ml"] == pytest.approx(4.0)
+        client.close()
+
+    def test_lost_response_replays_instead_of_reexecuting(self, ice):
+        """The J-Kem dispense scenario the resilience layer exists for:
+
+        the request reaches the agent and the pump dispenses, but the
+        response is lost. The retried frame (same idempotency key) must
+        be answered from the dedup cache, not dispensed again.
+        """
+        client = ice.client()
+        _prepare_syringe(client, volume_ml=3.0)
+
+        inner_factory = ice.simnet.connection_factory(
+            HOST_DGX, ice.control_networks
+        )
+        fault = {"armed": False, "injected": 0}
+
+        class LossyConnection:
+            """Delegates to a SimConnection, losing one reply when armed."""
+
+            def __init__(self, conn):
+                self._conn = conn
+
+            def sendall(self, data):
+                self._conn.sendall(data)
+
+            def recv_exactly(self, size):
+                if fault["armed"]:
+                    fault["armed"] = False
+                    fault["injected"] += 1
+                    raise CallTimeoutError("injected response loss")
+                return self._conn.recv_exactly(size)
+
+            def close(self):
+                self._conn.close()
+
+            def settimeout(self, timeout):
+                self._conn.settimeout(timeout)
+
+            @property
+            def peer(self):
+                return self._conn.peer
+
+        resilient = ResilientProxy(
+            Proxy(
+                ice.control_uri,
+                connection_factory=lambda h, p: LossyConnection(
+                    inner_factory(h, p)
+                ),
+            ),
+            policy=FAST_POLICY,
+        )
+        try:
+            resilient._pyro_ping()
+            fault["armed"] = True
+            result = resilient.Dispense_SyringePump(1, 3.0)
+        finally:
+            resilient.close()
+
+        assert "OK" in result
+        assert fault["injected"] == 1
+        assert resilient.retry_count == 1
+        assert ice.control_daemon.replay_count == 1
+        assert client.call_Cell_Status()["volume_ml"] == pytest.approx(3.0)
+        client.close()

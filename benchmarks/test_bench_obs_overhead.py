@@ -1,0 +1,122 @@
+"""OBS1 — what tracing + metrics cost on the RPC fast path.
+
+The observability layer must be cheap enough to leave on for every
+cross-facility call: the design target is <5% added latency per call
+over the PR-1 resilience baseline (one span + two metric updates per
+call on each side of the wire). This file prices the happy path the
+same way RES1 does — interleaved best-of-batches so clock drift hits
+both variants alike.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.rpc import Daemon, Proxy, expose
+
+
+@expose
+class BenchService:
+    def ping(self):
+        return None
+
+    def echo(self, value):
+        return value
+
+
+@pytest.fixture(scope="module")
+def served():
+    # one daemon serves both variants; tracing engages per-request only
+    # when the client sent a span context, so bare calls stay untouched
+    daemon = Daemon()
+    uri = daemon.register(BenchService(), object_id="ObsBench")
+    daemon.start_background()
+    yield uri, daemon
+    daemon.shutdown()
+
+
+@pytest.fixture(scope="module")
+def observed(served):
+    uri, daemon = served
+    tracer = Tracer("bench")
+    metrics = MetricsRegistry()
+    daemon.tracer = tracer
+    daemon.metrics = metrics
+    with Proxy(uri, tracer=tracer, metrics=metrics) as proxy:
+        yield proxy
+    daemon.tracer = None
+    daemon.metrics = None
+
+
+def test_bench_traced_proxy_call(benchmark, observed):
+    """A small call with client span + daemon span + metrics per call."""
+    benchmark(observed.echo, 1.0)
+
+
+def test_tracing_overhead_under_five_percent(served, capsys):
+    """Head-to-head: bare proxy vs fully-observed proxy.
+
+    Mirrors RES1's method: interleaved batches, best batch per variant
+    (floor latency), a loose loopback gate for noisy CI boxes, and the
+    <5% design target stated against a 1 ms cross-facility RTT.
+    """
+    uri, daemon = served
+    batches, calls = 30, 50
+
+    tracer = Tracer("bench", max_spans=200_000)
+    metrics = MetricsRegistry()
+    daemon.tracer = tracer
+    daemon.metrics = metrics
+    try:
+        with Proxy(uri) as plain, Proxy(
+            uri, tracer=tracer, metrics=metrics
+        ) as traced:
+            for proxy in (plain, traced):  # warm both connections
+                for _ in range(calls):
+                    proxy.echo(1.0)
+
+            def best_batch(proxy):
+                best = float("inf")
+                for _ in range(batches):
+                    start = time.perf_counter()
+                    for _ in range(calls):
+                        proxy.echo(1.0)
+                    best = min(best, time.perf_counter() - start)
+                return best / calls
+
+            timings = {}
+            for _ in range(2):  # interleave: bare, traced, bare, traced
+                for name, proxy in (("bare", plain), ("traced", traced)):
+                    timings[name] = min(
+                        timings.get(name, float("inf")), best_batch(proxy)
+                    )
+
+        # the observed side really did record everything
+        assert len(tracer) > 0
+        assert (
+            metrics.counter("rpc.client.calls_total", "").total() > 0
+        )
+    finally:
+        daemon.tracer = None
+        daemon.metrics = None
+
+    overhead = timings["traced"] / timings["bare"] - 1.0
+    delta_s = timings["traced"] - timings["bare"]
+    # per-call tracing cost is fixed, so its relative weight shrinks
+    # with the round trip; loopback is the worst case and the 5% gate
+    # is stated against the paper's ~1ms cross-facility RTT
+    wan_overhead = delta_s / (timings["bare"] + 1e-3)
+    with capsys.disabled():
+        print(
+            f"\n[OBS1] bare={timings['bare'] * 1e6:.1f}us/call "
+            f"traced={timings['traced'] * 1e6:.1f}us/call "
+            f"delta={delta_s * 1e6:+.1f}us "
+            f"loopback overhead={overhead * 100:+.1f}% | "
+            f"at 1ms RTT: {wan_overhead * 100:+.2f}% (target < 5%)"
+        )
+    # egregious-regression gate only; the design target is the report
+    assert overhead < 0.5
+    assert wan_overhead < 0.05

@@ -11,18 +11,15 @@ three remote experiments on the ICE:
 Run:  python examples/anomaly_detection.py
 """
 
-from repro import (
-    CVWorkflowSettings,
-    ElectrochemistryICE,
-    NormalityClassifier,
-    run_cv_workflow,
-)
+import repro
+from repro import CVWorkflowSettings, NormalityClassifier
 
 
-def run_case(ice, classifier, label, settings=None, sabotage=None):
+def run_case(session, label, settings=None, sabotage=None):
+    ice = session.ice
     if sabotage:
         sabotage(ice)
-    result = run_cv_workflow(ice, settings=settings, classifier=classifier)
+    result = session.run_workflow(settings=settings)
     verdict = result.normality
     assert verdict is not None
     print(f"{label:<32} -> {verdict.label:<24} (p={verdict.confidence:.2f})")
@@ -38,11 +35,10 @@ def main() -> None:
     print(f"  out-of-bag accuracy: {classifier.oob_score:.2f}\n")
 
     fast = CVWorkflowSettings(e_step_v=0.002)
-    with ElectrochemistryICE.build() as ice:
-        healthy = run_case(ice, classifier, "healthy run", settings=fast)
+    with repro.connect(classifier=classifier) as session:
+        healthy = run_case(session, "healthy run", settings=fast)
         broken = run_case(
-            ice,
-            classifier,
+            session,
             "disconnected working electrode",
             settings=fast,
             sabotage=lambda e: e.workstation.cell.set_electrode_connected(
@@ -50,8 +46,7 @@ def main() -> None:
             ),
         )
         low = run_case(
-            ice,
-            classifier,
+            session,
             "under-filled cell (1 mL)",
             settings=CVWorkflowSettings(fill_volume_ml=1.0, e_step_v=0.002),
         )

@@ -1,29 +1,29 @@
 #!/usr/bin/env python3
 """Quickstart: the paper's demonstration in ~20 lines.
 
-Builds the cross-facility ecosystem (ACL workstation + K200 analysis
-host over a simulated network), runs the five-task CV workflow on
-2 mM ferrocene, and prints the analysis — the same story as paper
-Figs 5-7.
+``repro.connect()`` builds the cross-facility ecosystem (ACL workstation
++ K200 analysis host over a simulated network) with tracing and metrics
+wired end to end, runs the five-task CV workflow on 2 mM ferrocene, and
+prints the analysis — the same story as paper Figs 5-7.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ElectrochemistryICE, NormalityClassifier, run_cv_workflow
+import repro
 
 
 def main() -> None:
     print("Training the I-V normality classifier on simulated data ...")
-    classifier = NormalityClassifier.train_default()
+    classifier = repro.NormalityClassifier.train_default()
     print(f"  out-of-bag accuracy: {classifier.oob_score:.2f}\n")
 
     print("Standing up the electrochemistry ICE (ACL + K200) ...")
-    with ElectrochemistryICE.build() as ice:
-        print(f"  control channel: {ice.control_uri}")
-        print(f"  data channel:    {ice.share_uri}\n")
+    with repro.connect(classifier=classifier) as session:
+        print(f"  control channel: {session.ice.control_uri}")
+        print(f"  data channel:    {session.ice.share_uri}\n")
 
         print("Running the paper's workflow (tasks A-E) ...")
-        result = run_cv_workflow(ice, classifier=classifier)
+        result = session.run_workflow()
 
         print("\nPer-task outcome:")
         for name, task in result.workflow.tasks.items():
@@ -44,6 +44,12 @@ def main() -> None:
         print(f"  E1/2:           {result.metrics.e_half_v:.3f} V")
         print(f"  dEp:            {result.metrics.peak_separation_v*1e3:.1f} mV")
         print(f"  ML verdict:     {result.normality}")
+
+        print("\nOne connected trace of the run (workflow -> RPC -> instrument):")
+        summary = session.tracer.summarize()
+        for name in sorted(summary):
+            row = summary[name]
+            print(f"  {name:<40} x{row['count']:<3} mean {row['mean_s']*1e3:7.2f} ms")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,14 @@ transcript that Figs 5b/6b show.
 Run:  python examples/remote_notebook_session.py
 """
 
-from repro import ElectrochemistryICE
+import repro
 
 
 def main() -> None:
-    with ElectrochemistryICE.build() as ice:
-        client = ice.client()
-        mount = ice.mount()
+    with repro.connect() as session:
+        ice = session.ice
+        client = session.client
+        mount = session.datachannel
 
         print("# -- Fill syringe with liquid from fraction collector (Fig 5a)")
         print("Set_Rate_SyringePump      ->", client.call_Set_Rate_SyringePump(1, 5.0))

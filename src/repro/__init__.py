@@ -13,11 +13,12 @@ normality method -- is fully implemented.
 
 Quickstart::
 
-    from repro import ElectrochemistryICE, run_cv_workflow
+    import repro
 
-    with ElectrochemistryICE.build() as ice:
-        result = run_cv_workflow(ice)
+    with repro.connect() as session:
+        result = session.run_workflow()
         print(result.summary())
+        print(session.metrics.format_table())
 
 Subpackages: :mod:`repro.rpc` (remote objects), :mod:`repro.net` (ICE
 network model), :mod:`repro.serialio`, :mod:`repro.instruments`
@@ -37,7 +38,10 @@ from repro.core.cv_workflow import (
     build_cv_workflow,
     run_cv_workflow,
 )
+from repro.core.facade import Session, connect
 from repro.core.session import RemoteSession
+from repro.errors import ReproError, code_table
+from repro.obs import MetricsRegistry, Tracer
 from repro.core.campaign import (
     Campaign,
     scan_rate_strategy,
@@ -62,7 +66,13 @@ __all__ = [
     "CVWorkflowSettings",
     "build_cv_workflow",
     "run_cv_workflow",
+    "Session",
+    "connect",
     "RemoteSession",
+    "ReproError",
+    "code_table",
+    "MetricsRegistry",
+    "Tracer",
     "Campaign",
     "scan_rate_strategy",
     "window_centering_strategy",

@@ -22,7 +22,7 @@ from typing import Sequence
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import ElectrochemistryICE, run_cv_workflow
+    import repro
     from repro.core.cv_workflow import CVWorkflowSettings
 
     settings = CVWorkflowSettings(
@@ -30,13 +30,18 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         fill_volume_ml=args.volume,
         e_step_v=args.e_step,
     )
-    with ElectrochemistryICE.build() as ice:
-        print(f"control: {ice.control_uri}")
-        print(f"data:    {ice.share_uri}")
-        result = run_cv_workflow(ice, settings=settings)
+    with repro.connect() as session:
+        print(f"control: {session.ice.control_uri}")
+        print(f"data:    {session.ice.share_uri}")
+        result = session.run_workflow(settings=settings)
         for name, task in result.workflow.tasks.items():
             print(f"  {name:<28} {task.state.value}")
         print(result.summary())
+        if args.metrics:
+            print(session.metrics.format_table())
+        if args.trace_jsonl:
+            count = session.export_trace(args.trace_jsonl)
+            print(f"trace: {count} spans -> {args.trace_jsonl}")
         return 0 if result.succeeded else 1
 
 
@@ -137,6 +142,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--scan-rate", type=float, default=0.1, metavar="V_S")
     demo.add_argument("--volume", type=float, default=5.0, metavar="ML")
     demo.add_argument("--e-step", type=float, default=0.001, metavar="V")
+    demo.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="export the run's spans as JSONL",
+    )
+    demo.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the session metrics table after the run",
+    )
     demo.set_defaults(fn=_cmd_demo)
 
     serve = sub.add_parser("serve", help="serve the control agents over TCP")

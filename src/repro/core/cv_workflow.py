@@ -19,8 +19,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.clock import WALL
 from repro.errors import WorkflowError
 from repro.logging_utils import EventLog
+from repro.obs.trace import child_span
 from repro.resilience import RetryPolicy
 from repro.chemistry.voltammogram import Voltammogram
 from repro.analysis.metrics import CVMetrics, characterize
@@ -106,16 +108,26 @@ def build_cv_workflow(
     settings: CVWorkflowSettings | None = None,
     classifier: NormalityClassifier | None = None,
     event_log: EventLog | None = None,
+    tracer: Any = None,
+    metrics: Any = None,
 ) -> Workflow:
     """Assemble the five-task workflow against a running ICE.
 
     The returned workflow is re-runnable; handles opened by task A are
     closed by task E (or leak detection in tests will flag it).
+
+    ``tracer``/``metrics`` default to whatever the ICE carries (see
+    :meth:`~repro.facility.ice.ElectrochemistryICE.attach_observability`),
+    so a session-wired ecosystem traces the workflow without extra knobs.
     """
     settings = settings or CVWorkflowSettings()
+    tracer = tracer if tracer is not None else ice.tracer
+    metrics = metrics if metrics is not None else ice.metrics
     flow = Workflow(
         "cv-workflow",
         event_log=event_log if event_log is not None else ice.event_log,
+        tracer=tracer,
+        metrics=metrics,
     )
     # knobs shared by the instrument tasks B-D; A keeps its historical
     # fixed retry so connection-establishment failures stay cheap to spot
@@ -133,11 +145,13 @@ def build_cv_workflow(
         ctx.client = ice.client(
             resilient=settings.resilient_client,
             retry_policy=settings.client_retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
         ctx.client.ping()
         cache = Path(tempfile.mkdtemp(prefix="dgx-cache-"))
         ctx.cache_dir = cache
-        ctx.mount = ice.mount(cache_dir=cache)
+        ctx.mount = ice.mount(cache_dir=cache, tracer=tracer, metrics=metrics)
         ctx.mount.info()  # data-channel liveness probe
         return "control + data channels up"
 
@@ -187,6 +201,7 @@ def build_cv_workflow(
     )
     def task_d(ctx: Context) -> dict[str, Any]:
         client = ctx.client
+        clock = tracer.clock if tracer is not None else WALL
         client.call_Initialize_SP200_API({"channel": settings.channel})      # (1)
         client.call_Connect_SP200()                                          # (2)
         client.call_Load_Firmware_SP200()                                    # (3)
@@ -200,6 +215,7 @@ def build_cv_workflow(
             }
         )
         client.call_Load_Technique_SP200()                                   # (5)
+        issued_at = clock.now()
         client.call_Start_Channel_SP200()                                    # (6)
         result = client.call_Get_Tech_Path_Rslt(                             # (7)
             wait=True, save_as=settings.measurement_stem
@@ -207,7 +223,18 @@ def build_cv_workflow(
         file_name = result["file"]
         if file_name is None:
             raise WorkflowError("potentiostat reported no measurement file")
-        trace = ctx.mount.read_voltammogram(file_name)
+        # the acquisition command has been issued; the measurement is
+        # "arrived" once its file is readable over the *data* channel
+        with child_span("datachannel.file_arrival", file=file_name) as span:
+            trace = ctx.mount.read_voltammogram(file_name)
+            arrival_s = clock.now() - issued_at
+            if span is not None:
+                span.set_attribute("latency_s", arrival_s)
+        if metrics is not None:
+            metrics.histogram(
+                "datachannel.file_arrival_latency_s",
+                "acquisition command issue -> file readable on the mount",
+            ).observe(arrival_s)
         ctx.measurement_file = file_name
         ctx.voltammogram = trace
         return {"file": file_name, "n_samples": len(trace)}
@@ -279,9 +306,17 @@ def run_cv_workflow(
     ice: ElectrochemistryICE,
     settings: CVWorkflowSettings | None = None,
     classifier: NormalityClassifier | None = None,
+    tracer: Any = None,
+    metrics: Any = None,
 ) -> CVWorkflowResult:
     """Build, run, and package the paper's workflow in one call."""
-    flow = build_cv_workflow(ice, settings=settings, classifier=classifier)
+    flow = build_cv_workflow(
+        ice,
+        settings=settings,
+        classifier=classifier,
+        tracer=tracer,
+        metrics=metrics,
+    )
     outcome = flow.run()
     ctx = outcome.context
     return CVWorkflowResult(

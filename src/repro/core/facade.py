@@ -1,0 +1,428 @@
+"""The unified entry point: ``repro.connect()``.
+
+One call stands up (or attaches to) the cross-facility ecosystem and
+hands back a :class:`Session` that exposes every surface a scientist on
+the analysis host needs::
+
+    import repro
+
+    with repro.connect() as session:           # build a simulated ICE
+        session.fill_cell(5.0)
+        trace = session.run_cv()
+        print(session.analyze(trace).format_summary())
+        print(session.metrics.format_table())  # observability built in
+
+    with repro.connect(ice) as session:        # attach to a running ICE
+        result = session.run_workflow()        # paper tasks A-E, traced
+
+Observability is on by default: unless a ``tracer``/``metrics`` pair is
+injected, the session creates its own and wires them through the client,
+the data-channel mount, the workflow engine and — when the ecosystem is
+in-process — the daemons and simulated network, so a single run yields
+one connected trace from workflow task down to instrument command.
+
+``connect`` accepts three targets:
+
+- ``None``: build a fresh simulated :class:`ElectrochemistryICE` (the
+  session owns it and shuts it down on :meth:`Session.close`);
+- a running :class:`ElectrochemistryICE` (caller keeps ownership);
+- a ``PYRO:`` URI string for a real TCP control agent (two-machine
+  mode); the data channel needs ``data_uri`` in that case.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkflowError
+from repro.obs import JsonlSpanExporter, MetricsRegistry, Tracer
+from repro.chemistry.voltammogram import Voltammogram
+from repro.analysis.metrics import CVMetrics, characterize
+from repro.ml.normality import NormalityClassifier, NormalityReport
+from repro.facility.client import ACLPyroClient
+from repro.facility.ice import ElectrochemistryICE
+from repro.facility.workstation import PORT_CELL, PORT_COLLECTOR
+
+
+class Session:
+    """Everything the remote scientist holds: client, data channel,
+    workflow builder, metrics, and the notebook verbs.
+
+    Build via :func:`connect`; attributes of note:
+
+    Attributes:
+        client: control-channel :class:`ACLPyroClient` (resilient by
+            default — reconnect/retry with idempotent replay).
+        datachannel: mounted measurement share
+            (:class:`~repro.datachannel.mount.Mount`); ``None`` when
+            connected by URI without a ``data_uri``.
+        tracer: the session :class:`~repro.obs.Tracer`.
+        metrics: the session :class:`~repro.obs.MetricsRegistry`.
+        ice: the in-process ecosystem, when there is one.
+    """
+
+    def __init__(
+        self,
+        target: ElectrochemistryICE | str | None = None,
+        *,
+        resilient: bool = True,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        classifier: NormalityClassifier | None = None,
+        config: Any = None,
+        data_uri: str | None = None,
+        cache_dir: str | Path | None = None,
+    ):
+        self._owns_ice = False
+        self.ice: ElectrochemistryICE | None = None
+        self.tracer = tracer if tracer is not None else Tracer("dgx-session")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._classifier = classifier
+        self._sp200_ready = False
+        self._jkem_ready = False
+        self._characterization = None
+
+        if target is None:
+            self.ice = ElectrochemistryICE.build(config)
+            self._owns_ice = True
+        elif isinstance(target, ElectrochemistryICE):
+            self.ice = target
+        elif isinstance(target, str):
+            if config is not None:
+                raise WorkflowError("config is only valid when building an ICE")
+        else:
+            raise WorkflowError(
+                f"connect() target must be an ICE, a PYRO: URI or None, "
+                f"not {target!r}"
+            )
+
+        if self.ice is not None:
+            # one tracer on both "facilities": daemon dispatch spans land
+            # in the same store as the client's call spans
+            self.ice.attach_observability(self.tracer, self.metrics)
+            self.client = self.ice.client(
+                resilient=resilient, tracer=self.tracer, metrics=self.metrics
+            )
+            self._cache = Path(
+                cache_dir
+                if cache_dir is not None
+                else tempfile.mkdtemp(prefix="session-cache-")
+            )
+            self.datachannel = self.ice.mount(
+                cache_dir=self._cache, tracer=self.tracer, metrics=self.metrics
+            )
+        else:
+            from repro.resilience import RetryPolicy
+
+            self.client = ACLPyroClient.from_uri(
+                target,
+                retry_policy=RetryPolicy() if resilient else None,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            self.datachannel = None
+            if data_uri is not None:
+                from repro.rpc.proxy import Proxy
+                from repro.datachannel.mount import Mount
+
+                self._cache = Path(
+                    cache_dir
+                    if cache_dir is not None
+                    else tempfile.mkdtemp(prefix="session-cache-")
+                )
+                self.datachannel = Mount(
+                    Proxy(data_uri, tracer=self.tracer, metrics=self.metrics),
+                    cache_dir=self._cache,
+                )
+
+    # -- back-compat alias (RemoteSession called it ``mount``) -------------
+    @property
+    def mount(self):
+        return self.datachannel
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Tear down both channels; shut the ICE down if this session
+        built it."""
+        try:
+            if self._sp200_ready:
+                self.client.call_Disconnect_SP200()
+        finally:
+            if self.datachannel is not None:
+                self.datachannel.unmount()
+            self.client.close()
+            if self._characterization is not None:
+                self._characterization.close()
+            if self._owns_ice and self.ice is not None:
+                self.ice.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- workflows -----------------------------------------------------------
+    def workflow(
+        self,
+        settings: Any = None,
+        classifier: NormalityClassifier | None = None,
+    ):
+        """Build the paper's five-task CV workflow, observability wired."""
+        from repro.core.cv_workflow import build_cv_workflow
+
+        if self.ice is None:
+            raise WorkflowError(
+                "workflow() needs an in-process ICE; connect() was given a URI"
+            )
+        return build_cv_workflow(
+            self.ice,
+            settings=settings,
+            classifier=classifier if classifier is not None else self._classifier,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+
+    def run_workflow(self, settings: Any = None, classifier=None):
+        """Build + run + package the CV workflow (tasks A-E)."""
+        from repro.core.cv_workflow import run_cv_workflow
+
+        if self.ice is None:
+            raise WorkflowError(
+                "run_workflow() needs an in-process ICE; connect() was given a URI"
+            )
+        return run_cv_workflow(
+            self.ice,
+            settings=settings,
+            classifier=classifier if classifier is not None else self._classifier,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+
+    # -- observability ---------------------------------------------------------
+    def summarize(self) -> dict[str, Any]:
+        """Session-wide rollup: span timings and metric values."""
+        return {"spans": self.tracer.summarize(), "metrics": self.metrics.summarize()}
+
+    def export_trace(self, path: str | Path) -> int:
+        """Write every finished span to ``path`` as JSONL; returns count."""
+        spans = self.tracer.finished_spans()
+        with JsonlSpanExporter(path) as export:
+            for span in spans:
+                export(span)
+        return len(spans)
+
+    # -- liquid handling -------------------------------------------------------
+    def _ensure_jkem(self) -> None:
+        if not self._jkem_ready:
+            self.client.call_Connect_JKem_API()
+            self._jkem_ready = True
+
+    def fill_cell(
+        self,
+        volume_ml: float = 5.0,
+        rate_ml_min: float = 5.0,
+        vial: str = "BOTTOM",
+        purge_sccm: float = 0.0,
+    ) -> dict[str, Any]:
+        """Tasks B+C: pump solution from the collector vial into the cell."""
+        self._ensure_jkem()
+        client = self.client
+        client.call_Set_Rate_SyringePump(1, rate_ml_min)
+        client.call_Set_Vial_FractionCollector(1, vial)
+        client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
+        client.call_Withdraw_SyringePump(1, volume_ml)
+        client.call_Set_Port_SyringePump(1, PORT_CELL)
+        client.call_Dispense_SyringePump(1, volume_ml)
+        if purge_sccm > 0:
+            client.call_Set_Flow_MFC(1, purge_sccm)
+        return client.call_Cell_Status()
+
+    def cell_status(self) -> dict[str, Any]:
+        return self.client.call_Cell_Status()
+
+    # -- measurement ----------------------------------------------------------
+    def _ensure_sp200(self, channel: int) -> None:
+        if not self._sp200_ready:
+            self.client.call_Initialize_SP200_API({"channel": channel})
+            self.client.call_Connect_SP200()
+            self.client.call_Load_Firmware_SP200()
+            self._sp200_ready = True
+
+    def _collect(self, save_as: str | None) -> Voltammogram:
+        self.client.call_Load_Technique_SP200()
+        self.client.call_Start_Channel_SP200()
+        result = self.client.call_Get_Tech_Path_Rslt(wait=True, save_as=save_as)
+        if result["file"] is None:
+            raise WorkflowError("no measurement file produced")
+        if self.datachannel is None:
+            raise WorkflowError(
+                "no data channel mounted; pass data_uri= to connect()"
+            )
+        return self.datachannel.read_voltammogram(result["file"])
+
+    def run_cv(
+        self,
+        e_begin_v: float = 0.2,
+        e_vertex_v: float = 0.8,
+        scan_rate_v_s: float = 0.1,
+        n_cycles: int = 1,
+        e_step_v: float = 0.001,
+        channel: int = 1,
+        save_as: str | None = None,
+    ) -> Voltammogram:
+        """Task D: the full 8-step pipeline; returns the fetched trace."""
+        self._ensure_sp200(channel)
+        self.client.call_Initialize_CV_Tech_SP200(
+            {
+                "e_begin_v": e_begin_v,
+                "e_vertex_v": e_vertex_v,
+                "scan_rate_v_s": scan_rate_v_s,
+                "n_cycles": n_cycles,
+                "e_step_v": e_step_v,
+            }
+        )
+        return self._collect(save_as)
+
+    def run_lsv(
+        self,
+        e_begin_v: float = 0.2,
+        e_end_v: float = 0.8,
+        scan_rate_v_s: float = 0.1,
+        e_step_v: float = 0.001,
+        channel: int = 1,
+        save_as: str | None = None,
+    ) -> Voltammogram:
+        """A single linear sweep through the same remote pipeline."""
+        self._ensure_sp200(channel)
+        self.client.call_Initialize_LSV_Tech_SP200(
+            {
+                "e_begin_v": e_begin_v,
+                "e_end_v": e_end_v,
+                "scan_rate_v_s": scan_rate_v_s,
+                "e_step_v": e_step_v,
+            }
+        )
+        return self._collect(save_as)
+
+    def run_dpv(
+        self,
+        e_begin_v: float = 0.2,
+        e_end_v: float = 0.8,
+        step_e_v: float = 0.005,
+        pulse_amplitude_v: float = 0.05,
+        channel: int = 1,
+        save_as: str | None = None,
+    ) -> Voltammogram:
+        """Differential pulse voltammetry through the remote pipeline."""
+        self._ensure_sp200(channel)
+        self.client.call_Initialize_DPV_Tech_SP200(
+            {
+                "e_begin_v": e_begin_v,
+                "e_end_v": e_end_v,
+                "step_e_v": step_e_v,
+                "pulse_amplitude_v": pulse_amplitude_v,
+            }
+        )
+        return self._collect(save_as)
+
+    # -- characterization station (fraction -> robot -> HPLC-MS) -----------
+    @property
+    def characterization(self):
+        """Lazy client to the characterization control agent."""
+        if self._characterization is None:
+            if self.ice is None:
+                raise WorkflowError(
+                    "characterization needs an in-process ICE"
+                )
+            self._characterization = self.ice.characterization_client()
+        return self._characterization
+
+    def collect_fraction(
+        self,
+        volume_ml: float = 1.0,
+        vial_position: str = "TOP",
+    ) -> str:
+        """Pull a fraction from the cell into a fresh collector vial."""
+        self._ensure_jkem()
+        reply = self.characterization.call_Load_Fraction_Vial(vial_position)
+        self.client.call_Set_Vial_FractionCollector(1, vial_position)
+        self.client.call_Set_Port_SyringePump(1, PORT_CELL)
+        self.client.call_Withdraw_SyringePump(1, volume_ml)
+        self.client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
+        self.client.call_Dispense_SyringePump(1, volume_ml)
+        return reply  # "OK <vial-name>"
+
+    def analyze_fraction(
+        self,
+        vial_position: str = "TOP",
+        injection_volume_ml: float = 0.5,
+    ):
+        """Robot-transfer the fraction to the HPLC-MS and inject it."""
+        from repro.facility.characterization import (
+            STATION_ELECTROCHEM,
+            STATION_HPLC,
+        )
+        from repro.instruments.characterization.chromatogram import Chromatogram
+
+        station = self.characterization
+        station.call_Handoff_Fraction_To_Robot(vial_position)
+        station.call_Robot_Transfer(STATION_ELECTROCHEM, STATION_HPLC)
+        payload = station.call_Inject_HPLC(injection_volume_ml)
+        return Chromatogram.from_dict(payload)
+
+    # -- analysis ------------------------------------------------------------
+    def analyze(self, trace: Voltammogram) -> CVMetrics:
+        """Peak analysis of a fetched trace."""
+        return characterize(trace)
+
+    def check_normality(self, trace: Voltammogram) -> NormalityReport:
+        """ML screen; trains the default classifier on first use."""
+        if self._classifier is None:
+            self._classifier = NormalityClassifier.train_default()
+        return self._classifier.classify(trace)
+
+
+def connect(
+    target: ElectrochemistryICE | str | None = None,
+    *,
+    resilient: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    classifier: NormalityClassifier | None = None,
+    config: Any = None,
+    data_uri: str | None = None,
+    cache_dir: str | Path | None = None,
+) -> Session:
+    """Open a :class:`Session` against an ICE, a URI, or a fresh build.
+
+    Args:
+        target: ``None`` (build a simulated ecosystem, owned by the
+            session), a running :class:`ElectrochemistryICE`, or a
+            ``PYRO:`` control-channel URI.
+        resilient: route calls through a
+            :class:`~repro.resilience.ResilientProxy` (reconnect + retry
+            with idempotent replay). On by default.
+        tracer: share an existing :class:`~repro.obs.Tracer`; a fresh
+            one is created otherwise.
+        metrics: share an existing :class:`~repro.obs.MetricsRegistry`;
+            a fresh one is created otherwise.
+        classifier: pre-trained normality classifier for
+            :meth:`Session.check_normality` and workflows.
+        config: :class:`~repro.facility.ice.ICEConfig` for the
+            ``target=None`` build.
+        data_uri: share URI for the data channel in URI mode.
+        cache_dir: local cache for fetched measurement files.
+    """
+    return Session(
+        target,
+        resilient=resilient,
+        tracer=tracer,
+        metrics=metrics,
+        classifier=classifier,
+        config=config,
+        data_uri=data_uri,
+        cache_dir=cache_dir,
+    )

@@ -1,37 +1,35 @@
-"""Notebook-style facade: what a scientist types on the DGX.
+"""Deprecated notebook facade — superseded by :func:`repro.connect`.
 
-The paper composes the workflow interactively in Jupyter; this class is
-that ergonomic layer over the client + mount pair, with the boilerplate
-(ports, 8-step pipeline, file fetch) folded into three verbs::
+:class:`RemoteSession` predates the unified :class:`repro.core.facade.Session`
+and remains as a thin shim so existing notebooks keep running::
 
-    with RemoteSession(ice) as session:
-        session.fill_cell(volume_ml=5.0)
-        trace = session.run_cv(scan_rate_v_s=0.1)
-        print(session.analyze(trace).format_summary())
-        print(session.check_normality(trace))
+    with RemoteSession(ice) as session:          # deprecated
+        ...
+
+    with repro.connect(ice) as session:          # the replacement
+        ...
+
+The shim preserves the historical behaviour exactly: a plain
+(non-resilient) client and an eager J-Kem driver connect. Everything
+else — the verbs, analysis helpers, characterization hooks — lives on
+the shared :class:`~repro.core.facade.Session` base.
 """
 
 from __future__ import annotations
 
-import tempfile
-from pathlib import Path
-from typing import Any
+import warnings
 
-from repro.errors import WorkflowError
-from repro.chemistry.voltammogram import Voltammogram
-from repro.analysis.metrics import CVMetrics, characterize
-from repro.ml.normality import NormalityClassifier, NormalityReport
+from repro.ml.normality import NormalityClassifier
 from repro.facility.ice import ElectrochemistryICE
-from repro.facility.workstation import PORT_CELL, PORT_COLLECTOR
+from repro.core.facade import Session
 
 
-class RemoteSession:
-    """Interactive handle to a running ICE from the analysis host.
+class RemoteSession(Session):
+    """Deprecated alias of :class:`repro.core.facade.Session`.
 
-    Args:
-        ice: the ecosystem.
-        classifier: optional pre-trained normality classifier; one is
-            trained on demand by :meth:`check_normality` otherwise.
+    .. deprecated::
+        Use ``repro.connect(ice)`` instead; it adds resilience and
+        observability by default.
     """
 
     def __init__(
@@ -39,193 +37,12 @@ class RemoteSession:
         ice: ElectrochemistryICE,
         classifier: NormalityClassifier | None = None,
     ):
-        self.ice = ice
-        self.client = ice.client()
+        warnings.warn(
+            "RemoteSession is deprecated; use repro.connect(ice) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(ice, resilient=False, classifier=classifier)
+        # historical eager driver connect (Session does this lazily)
         self.client.call_Connect_JKem_API()
-        self._cache = Path(tempfile.mkdtemp(prefix="session-cache-"))
-        self.mount = ice.mount(cache_dir=self._cache)
-        self._classifier = classifier
-        self._sp200_ready = False
-        self._characterization = None
-
-    # -- lifecycle -----------------------------------------------------------
-    def close(self) -> None:
-        """Tear down both channels (workflow task E)."""
-        try:
-            if self._sp200_ready:
-                self.client.call_Disconnect_SP200()
-        finally:
-            self.mount.unmount()
-            self.client.close()
-            if self._characterization is not None:
-                self._characterization.close()
-
-    def __enter__(self) -> "RemoteSession":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    # -- liquid handling -------------------------------------------------------
-    def fill_cell(
-        self,
-        volume_ml: float = 5.0,
-        rate_ml_min: float = 5.0,
-        vial: str = "BOTTOM",
-        purge_sccm: float = 0.0,
-    ) -> dict[str, Any]:
-        """Tasks B+C: pump solution from the collector vial into the cell."""
-        client = self.client
-        client.call_Set_Rate_SyringePump(1, rate_ml_min)
-        client.call_Set_Vial_FractionCollector(1, vial)
-        client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
-        client.call_Withdraw_SyringePump(1, volume_ml)
-        client.call_Set_Port_SyringePump(1, PORT_CELL)
-        client.call_Dispense_SyringePump(1, volume_ml)
-        if purge_sccm > 0:
-            client.call_Set_Flow_MFC(1, purge_sccm)
-        return client.call_Cell_Status()
-
-    def cell_status(self) -> dict[str, Any]:
-        return self.client.call_Cell_Status()
-
-    # -- measurement ----------------------------------------------------------
-    def _ensure_sp200(self, channel: int) -> None:
-        if not self._sp200_ready:
-            self.client.call_Initialize_SP200_API({"channel": channel})
-            self.client.call_Connect_SP200()
-            self.client.call_Load_Firmware_SP200()
-            self._sp200_ready = True
-
-    def run_cv(
-        self,
-        e_begin_v: float = 0.2,
-        e_vertex_v: float = 0.8,
-        scan_rate_v_s: float = 0.1,
-        n_cycles: int = 1,
-        e_step_v: float = 0.001,
-        channel: int = 1,
-        save_as: str | None = None,
-    ) -> Voltammogram:
-        """Task D: the full 8-step pipeline; returns the fetched trace."""
-        self._ensure_sp200(channel)
-        self.client.call_Initialize_CV_Tech_SP200(
-            {
-                "e_begin_v": e_begin_v,
-                "e_vertex_v": e_vertex_v,
-                "scan_rate_v_s": scan_rate_v_s,
-                "n_cycles": n_cycles,
-                "e_step_v": e_step_v,
-            }
-        )
-        self.client.call_Load_Technique_SP200()
-        self.client.call_Start_Channel_SP200()
-        result = self.client.call_Get_Tech_Path_Rslt(wait=True, save_as=save_as)
-        if result["file"] is None:
-            raise WorkflowError("no measurement file produced")
-        return self.mount.read_voltammogram(result["file"])
-
-    def run_lsv(
-        self,
-        e_begin_v: float = 0.2,
-        e_end_v: float = 0.8,
-        scan_rate_v_s: float = 0.1,
-        e_step_v: float = 0.001,
-        channel: int = 1,
-        save_as: str | None = None,
-    ) -> Voltammogram:
-        """A single linear sweep through the same remote pipeline."""
-        self._ensure_sp200(channel)
-        self.client.call_Initialize_LSV_Tech_SP200(
-            {
-                "e_begin_v": e_begin_v,
-                "e_end_v": e_end_v,
-                "scan_rate_v_s": scan_rate_v_s,
-                "e_step_v": e_step_v,
-            }
-        )
-        self.client.call_Load_Technique_SP200()
-        self.client.call_Start_Channel_SP200()
-        result = self.client.call_Get_Tech_Path_Rslt(wait=True, save_as=save_as)
-        if result["file"] is None:
-            raise WorkflowError("no measurement file produced")
-        return self.mount.read_voltammogram(result["file"])
-
-    def run_dpv(
-        self,
-        e_begin_v: float = 0.2,
-        e_end_v: float = 0.8,
-        step_e_v: float = 0.005,
-        pulse_amplitude_v: float = 0.05,
-        channel: int = 1,
-        save_as: str | None = None,
-    ) -> Voltammogram:
-        """Differential pulse voltammetry through the remote pipeline."""
-        self._ensure_sp200(channel)
-        self.client.call_Initialize_DPV_Tech_SP200(
-            {
-                "e_begin_v": e_begin_v,
-                "e_end_v": e_end_v,
-                "step_e_v": step_e_v,
-                "pulse_amplitude_v": pulse_amplitude_v,
-            }
-        )
-        self.client.call_Load_Technique_SP200()
-        self.client.call_Start_Channel_SP200()
-        result = self.client.call_Get_Tech_Path_Rslt(wait=True, save_as=save_as)
-        if result["file"] is None:
-            raise WorkflowError("no measurement file produced")
-        return self.mount.read_voltammogram(result["file"])
-
-    # -- characterization station (fraction -> robot -> HPLC-MS) -----------
-    @property
-    def characterization(self):
-        """Lazy client to the characterization control agent."""
-        if self._characterization is None:
-            self._characterization = self.ice.characterization_client()
-        return self._characterization
-
-    def collect_fraction(
-        self,
-        volume_ml: float = 1.0,
-        vial_position: str = "TOP",
-    ) -> str:
-        """Pull a fraction from the cell into a fresh collector vial."""
-        from repro.facility.workstation import PORT_CELL, PORT_COLLECTOR
-
-        reply = self.characterization.call_Load_Fraction_Vial(vial_position)
-        self.client.call_Set_Vial_FractionCollector(1, vial_position)
-        self.client.call_Set_Port_SyringePump(1, PORT_CELL)
-        self.client.call_Withdraw_SyringePump(1, volume_ml)
-        self.client.call_Set_Port_SyringePump(1, PORT_COLLECTOR)
-        self.client.call_Dispense_SyringePump(1, volume_ml)
-        return reply  # "OK <vial-name>"
-
-    def analyze_fraction(
-        self,
-        vial_position: str = "TOP",
-        injection_volume_ml: float = 0.5,
-    ):
-        """Robot-transfer the fraction to the HPLC-MS and inject it."""
-        from repro.facility.characterization import (
-            STATION_ELECTROCHEM,
-            STATION_HPLC,
-        )
-        from repro.instruments.characterization.chromatogram import Chromatogram
-
-        station = self.characterization
-        station.call_Handoff_Fraction_To_Robot(vial_position)
-        station.call_Robot_Transfer(STATION_ELECTROCHEM, STATION_HPLC)
-        payload = station.call_Inject_HPLC(injection_volume_ml)
-        return Chromatogram.from_dict(payload)
-
-    # -- analysis ------------------------------------------------------------
-    def analyze(self, trace: Voltammogram) -> CVMetrics:
-        """Peak analysis of a fetched trace."""
-        return characterize(trace)
-
-    def check_normality(self, trace: Voltammogram) -> NormalityReport:
-        """ML screen; trains the default classifier on first use."""
-        if self._classifier is None:
-            self._classifier = NormalityClassifier.train_default()
-        return self._classifier.classify(trace)
+        self._jkem_ready = True

@@ -28,6 +28,7 @@ from typing import Any, Callable
 from repro.clock import Clock, WALL
 from repro.errors import DependencyError, TaskFailedError, TaskTimeoutError
 from repro.logging_utils import EventLog
+from repro.obs.trace import current_span as _current_span, use_span as _use_span
 from repro.resilience.policy import RetryPolicy
 
 
@@ -139,6 +140,12 @@ class Workflow:
         clock: time source for retry pauses, so a workflow under a
             :class:`~repro.clock.VirtualClock` retries without real
             sleeping.
+        tracer: optional :class:`repro.obs.Tracer`; a run produces a
+            ``workflow.<name>`` root span with one ``task.<task>`` child
+            per task, installed as current around each attempt so RPC
+            and instrument spans nest beneath their task.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            per-task duration histograms and outcome counters.
     """
 
     def __init__(
@@ -147,6 +154,8 @@ class Workflow:
         event_log: EventLog | None = None,
         max_workers: int = 1,
         clock: Clock | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         if max_workers < 1:
             raise DependencyError("max_workers must be >= 1")
@@ -154,6 +163,8 @@ class Workflow:
         self.log = event_log if event_log is not None else EventLog()
         self.max_workers = max_workers
         self.clock = clock or WALL
+        self.tracer = tracer
+        self.metrics = metrics
         self._tasks: dict[str, Task] = {}
         self._teardowns: list[tuple[str, Callable[[Context], Any]]] = []
 
@@ -262,6 +273,14 @@ class Workflow:
         }
         lock = threading.Lock()
         self.log.emit(self.name, "workflow", f"run started ({len(results)} tasks)")
+        run_span = (
+            self.tracer.start_as_current_span(
+                f"workflow.{self.name}",
+                attributes={"workflow.task_count": len(results)},
+            )
+            if self.tracer is not None
+            else None
+        )
 
         def ready_tasks() -> list[Task]:
             out = []
@@ -289,10 +308,15 @@ class Workflow:
             # its eventual result is discarded, the deadline is the
             # contract
             box: dict[str, Any] = {}
+            # contextvars do not flow into a fresh thread: hand the
+            # watchdog the ambient span so instrument/RPC child spans
+            # still nest under this task
+            ambient_span = _current_span()
 
             def target() -> None:
                 try:
-                    box["result"] = task.fn(ctx)
+                    with _use_span(ambient_span):
+                        box["result"] = task.fn(ctx)
                 except BaseException as exc:  # noqa: BLE001 - relayed below
                     box["error"] = exc
 
@@ -310,17 +334,43 @@ class Workflow:
                 raise box["error"]
             return box.get("result")
 
+        def finish_task(record: TaskResult, task: Task, span) -> None:
+            """Publish one task's outcome to metrics and its span."""
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "workflow.tasks_total", "task outcomes by state"
+                ).inc(workflow=self.name, task=task.name, state=record.state.value)
+                self.metrics.histogram(
+                    "workflow.task_duration_s", "wall time per task"
+                ).observe(record.duration_s, workflow=self.name, task=task.name)
+            if span is not None:
+                span.set_attribute("task.attempts", record.attempts)
+                span.set_attribute("task.state", record.state.value)
+                if record.error is not None:
+                    span.record_exception(record.error)
+                span.end(
+                    "OK" if record.state is TaskState.SUCCEEDED else "ERROR"
+                )
+
         def execute(task: Task) -> None:
             record = results[task.name]
             record.state = TaskState.RUNNING
             record.started_at = time.monotonic()
             self.log.emit(self.name, "task", f"{task.name} started")
+            # pool threads do not inherit the contextvar, so the task
+            # span parents on the run span explicitly
+            task_span = (
+                self.tracer.start_span(f"task.{task.name}", parent=run_span)
+                if self.tracer is not None
+                else None
+            )
             last_error: BaseException | None = None
             max_attempts = task.max_attempts
             for attempt in range(1, max_attempts + 1):
                 record.attempts = attempt
                 try:
-                    outcome = run_attempt(task)
+                    with _use_span(task_span):
+                        outcome = run_attempt(task)
                 except Exception as exc:  # noqa: BLE001 - task boundary
                     last_error = exc
                     self.log.emit(
@@ -328,6 +378,12 @@ class Workflow:
                         "task",
                         f"{task.name} attempt {attempt} raised: {exc}",
                     )
+                    if task_span is not None:
+                        task_span.add_event(
+                            "attempt-failed",
+                            attempt=attempt,
+                            error_type=type(exc).__name__,
+                        )
                     # a timed-out attempt is always worth retrying (the
                     # outcome is unknown; idempotency keys make the redo
                     # safe), everything else defers to the policy
@@ -355,12 +411,14 @@ class Workflow:
                     "task",
                     f"{task.name} succeeded in {record.duration_s:.3f}s",
                 )
+                finish_task(record, task, task_span)
                 return
             with lock:
                 record.state = TaskState.FAILED
                 record.error = last_error
                 record.finished_at = time.monotonic()
             self.log.emit(self.name, "task", f"{task.name} FAILED: {last_error}")
+            finish_task(record, task, task_span)
 
         if self.max_workers == 1:
             progressed = True
@@ -418,6 +476,9 @@ class Workflow:
         )
         if unhealthy and self._teardowns:
             self._run_teardowns(ctx)
+        if run_span is not None:
+            run_span.set_attribute("workflow.unhealthy", unhealthy)
+            run_span.end("ERROR" if unhealthy else "OK")
         return WorkflowResult(tasks=results, context=ctx)
 
     def _run_teardowns(self, ctx: Context) -> None:
@@ -427,6 +488,7 @@ class Workflow:
             f"run unhealthy; executing {len(self._teardowns)} "
             "safe-state action(s)",
         )
+        span = _current_span()
         for name, fn in self._teardowns:
             try:
                 fn(ctx)
@@ -434,5 +496,12 @@ class Workflow:
                 self.log.emit(
                     self.name, "teardown", f"{name} raised: {exc}"
                 )
+                if span is not None:
+                    span.add_event(
+                        "teardown", action=name, ok=False,
+                        error_type=type(exc).__name__,
+                    )
             else:
                 self.log.emit(self.name, "teardown", f"{name} done")
+                if span is not None:
+                    span.add_event("teardown", action=name, ok=True)

@@ -12,6 +12,7 @@ import hashlib
 from pathlib import Path
 
 from repro.errors import DataChannelError, ShareNotMountedError
+from repro.obs.trace import child_span
 from repro.rpc.proxy import Proxy
 from repro.datachannel.formats import read_mpt
 from repro.datachannel.share import CHUNK_SIZE, FileStat
@@ -69,26 +70,29 @@ class Mount:
                 SHA-256 and raise on mismatch.
         """
         service = self._service()
-        chunks: list[bytes] = []
-        offset = 0
-        while True:
-            chunk = service.read_chunk(relative, offset, CHUNK_SIZE)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            offset += len(chunk)
-            if len(chunk) < CHUNK_SIZE:
-                break
-        data = b"".join(chunks)
-        self.bytes_fetched += len(data)
-        if verify:
-            expected = service.checksum(relative)
-            actual = hashlib.sha256(data).hexdigest()
-            if actual != expected:
-                raise DataChannelError(
-                    f"checksum mismatch for {relative!r}: "
-                    f"{actual[:12]} != {expected[:12]}"
-                )
+        with child_span("datachannel.read", path=relative) as span:
+            chunks: list[bytes] = []
+            offset = 0
+            while True:
+                chunk = service.read_chunk(relative, offset, CHUNK_SIZE)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                offset += len(chunk)
+                if len(chunk) < CHUNK_SIZE:
+                    break
+            data = b"".join(chunks)
+            self.bytes_fetched += len(data)
+            if span is not None:
+                span.set_attribute("bytes", len(data))
+            if verify:
+                expected = service.checksum(relative)
+                actual = hashlib.sha256(data).hexdigest()
+                if actual != expected:
+                    raise DataChannelError(
+                        f"checksum mismatch for {relative!r}: "
+                        f"{actual[:12]} != {expected[:12]}"
+                    )
         return data
 
     def read_text(self, relative: str, encoding: str = "utf-8") -> str:

@@ -59,6 +59,8 @@ class FileShareService:
         self.share_name = share_name
         self.reads_served = 0
         self.bytes_served = 0
+        #: optional repro.obs.MetricsRegistry (assign after construction)
+        self.metrics = None
 
     # -- path safety -----------------------------------------------------------
     def _resolve(self, relative: str) -> Path:
@@ -124,6 +126,13 @@ class FileShareService:
             data = handle.read(min(size, CHUNK_SIZE))
         self.reads_served += 1
         self.bytes_served += len(data)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "datachannel.share.reads_total", "chunk reads served"
+            ).inc(share=self.share_name)
+            self.metrics.counter(
+                "datachannel.share.bytes_total", "bytes served"
+            ).inc(len(data), share=self.share_name)
         return data
 
     def checksum(self, relative: str) -> str:

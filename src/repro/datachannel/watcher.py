@@ -1,11 +1,16 @@
 """Polling watcher: notice new/changed measurement files on a mount.
 
 The paper's workflow learns an acquisition is complete when its file
-appears on the mounted share. :class:`MeasurementWatcher` polls a mount
-directory, keeps (size, mtime) fingerprints, and reports new or modified
-entries — either on demand (:meth:`poll`) or from a background thread
-with a callback (:meth:`start`). The polling-vs-push trade-off is one of
-the DC1 benchmark's ablations.
+appears on the mounted share. :class:`MeasurementWatcher` polls one or
+more mount directories, keeps (size, mtime) fingerprints, and reports
+new or modified entries — either on demand (:meth:`poll`) or from a
+background thread with a callback (:meth:`start`). The polling-vs-push
+trade-off is one of the DC1 benchmark's ablations.
+
+Error-streak escalation is tracked **per watched path**: a healthy poll
+of one directory must not mask a share subtree that has been failing for
+minutes (the historical global counter did exactly that — any success
+reset the streak for every path).
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from __future__ import annotations
 import fnmatch
 import logging
 import threading
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 from repro.clock import Clock, WALL
 from repro.errors import DataChannelError
@@ -24,59 +29,116 @@ logger = logging.getLogger(__name__)
 
 
 class MeasurementWatcher:
-    """Watches one directory of a mount for file arrivals.
+    """Watches directories of a mount for file arrivals.
 
     Args:
         mount: the mounted share.
-        directory: share-relative directory to watch ("" = root).
+        directory: share-relative directory to watch ("" = root), or a
+            sequence of directories to watch together.
         pattern: fnmatch pattern, e.g. ``"*.mpt"``.
         interval_s: polling period for the background mode.
+        clock: time source for waits.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            poll counters and per-directory failure counts.
     """
 
     def __init__(
         self,
         mount: Mount,
-        directory: str = "",
+        directory: str | Sequence[str] = "",
         pattern: str = "*.mpt",
         interval_s: float = 0.2,
         clock: Clock | None = None,
+        metrics: Any = None,
     ):
         if interval_s <= 0:
             raise DataChannelError("poll interval must be > 0")
         self.mount = mount
-        self.directory = directory
+        if isinstance(directory, str):
+            self.directories: tuple[str, ...] = (directory,)
+        else:
+            self.directories = tuple(directory) or ("",)
+        #: primary directory, kept for the single-directory call sites
+        self.directory = self.directories[0]
         self.pattern = pattern
         self.interval_s = interval_s
         self.clock = clock or WALL
+        self.metrics = metrics
         self._seen: dict[str, tuple[int, float]] = {}
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.polls = 0
-        #: consecutive background polls that raised; reset by a clean poll
-        self.failure_streak = 0
+        #: consecutive failing polls per watched directory
+        self.failure_streaks: dict[str, int] = {d: 0 for d in self.directories}
+        #: most recent error per directory (for escalation callbacks)
+        self.last_errors: dict[str, DataChannelError] = {}
+        # bumped whenever the *real* poll() does its own per-directory
+        # streak accounting; lets the background loop detect a wholesale
+        # poll() replacement (tests do this) and fall back to coarse
+        # accounting instead of double-counting
+        self._streak_epoch = 0
+
+    @property
+    def failure_streak(self) -> int:
+        """Worst current streak across all watched directories."""
+        return max(self.failure_streaks.values(), default=0)
 
     def snapshot(self) -> None:
         """Record the current state without reporting anything (baseline)."""
-        for stat in self._matching():
-            self._seen[stat.path] = (stat.size, stat.mtime)
+        for directory in self.directories:
+            for stat in self._matching(directory):
+                self._seen[stat.path] = (stat.size, stat.mtime)
 
-    def _matching(self) -> list[FileStat]:
-        entries = self.mount.listdir(self.directory)
+    def _matching(self, directory: str) -> list[FileStat]:
+        entries = self.mount.listdir(directory)
         return [
             stat
             for stat in entries
-            if not stat.is_dir and fnmatch.fnmatch(stat.path.rsplit("/", 1)[-1], self.pattern)
+            if not stat.is_dir
+            and fnmatch.fnmatch(stat.path.rsplit("/", 1)[-1], self.pattern)
         ]
 
     def poll(self) -> list[FileStat]:
-        """One poll: returns files that are new or changed since last look."""
+        """One poll pass: files that are new or changed since last look.
+
+        Each directory is polled independently and its failure streak
+        updated in isolation; the pass raises only when *every* watched
+        directory failed (with a single directory this is the historical
+        behaviour).
+        """
         self.polls += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "datachannel.watcher.polls_total", "watcher poll passes"
+            ).inc()
         changed: list[FileStat] = []
-        for stat in self._matching():
-            fingerprint = (stat.size, stat.mtime)
-            if self._seen.get(stat.path) != fingerprint:
-                self._seen[stat.path] = fingerprint
-                changed.append(stat)
+        last_error: DataChannelError | None = None
+        failed_dirs = 0
+        for directory in self.directories:
+            try:
+                matches = self._matching(directory)
+            except DataChannelError as exc:
+                failed_dirs += 1
+                self.failure_streaks[directory] = (
+                    self.failure_streaks.get(directory, 0) + 1
+                )
+                self.last_errors[directory] = exc
+                last_error = exc
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "datachannel.watcher.poll_failures_total",
+                        "failed directory polls",
+                    ).inc(directory=directory or "/")
+                continue
+            self.failure_streaks[directory] = 0
+            for stat in matches:
+                fingerprint = (stat.size, stat.mtime)
+                if self._seen.get(stat.path) != fingerprint:
+                    self._seen[stat.path] = fingerprint
+                    changed.append(stat)
+        self._streak_epoch += 1
+        if last_error is not None and failed_dirs == len(self.directories):
+            raise last_error
         return changed
 
     def wait_for(
@@ -111,47 +173,65 @@ class MeasurementWatcher:
 
         A transient mount error is retried on the next tick, but not
         silently forever: after ``error_threshold`` *consecutive*
-        failures a warning is logged and ``on_error`` (if given) is
-        invoked with the latest error, once per streak — a share that
-        went away mid-acquisition should page somebody, not spin. A
-        clean poll resets the streak.
+        failures of one directory a warning is logged and ``on_error``
+        (if given) is invoked with that directory's latest error, once
+        per streak — a share that went away mid-acquisition should page
+        somebody, not spin. A clean poll of a directory resets *that
+        directory's* streak (and re-arms its notification); other
+        directories' streaks are unaffected.
         """
         if error_threshold < 1:
             raise DataChannelError("error_threshold must be >= 1")
         if self._thread is not None and self._thread.is_alive():
             raise DataChannelError("watcher already running")
         self._stop.clear()
-        self.failure_streak = 0
+        self.failure_streaks = {d: 0 for d in self.directories}
+        self.last_errors = {}
 
         def loop() -> None:
-            notified = False
+            notified: dict[str, bool] = {d: False for d in self.directories}
             while not self._stop.is_set():
+                epoch_before = self._streak_epoch
+                tick_error: DataChannelError | None = None
                 try:
                     for stat in self.poll():
                         callback(stat)
                 except DataChannelError as exc:
-                    # transient mount errors: retry on the next tick,
-                    # but escalate once the streak crosses the threshold
-                    self.failure_streak += 1
-                    if self.failure_streak >= error_threshold and not notified:
-                        notified = True
+                    tick_error = exc
+                    if self._streak_epoch == epoch_before:
+                        # poll() was replaced wholesale (tests monkeypatch
+                        # it): no per-directory accounting happened, so
+                        # every watched directory shares the failure
+                        for d in self.directories:
+                            self.failure_streaks[d] = (
+                                self.failure_streaks.get(d, 0) + 1
+                            )
+                            self.last_errors[d] = exc
+                else:
+                    if self._streak_epoch == epoch_before:
+                        for d in self.directories:
+                            self.failure_streaks[d] = 0
+                for d in self.directories:
+                    streak = self.failure_streaks.get(d, 0)
+                    if streak == 0:
+                        notified[d] = False
+                    elif streak >= error_threshold and not notified[d]:
+                        notified[d] = True
+                        exc = self.last_errors.get(d) or tick_error
                         logger.warning(
                             "measurement watcher: %d consecutive poll "
                             "failures on %r (last: %s)",
-                            self.failure_streak,
-                            self.directory or "/",
+                            streak,
+                            d or "/",
                             exc,
                         )
-                        if on_error is not None:
+                        if on_error is not None and exc is not None:
                             try:
                                 on_error(exc)
                             except Exception:  # noqa: BLE001
                                 logger.exception(
                                     "watcher on_error callback raised"
                                 )
-                else:
-                    self.failure_streak = 0
-                    notified = False
                 self._stop.wait(self.interval_s)
 
         self._thread = threading.Thread(target=loop, name="mpt-watcher", daemon=True)

@@ -3,13 +3,25 @@
 Every layer of the stack raises a subclass of :class:`ReproError` so that
 workflow code can catch one base type at task boundaries while tests can
 assert on precise failure modes.
+
+Each class carries a machine-readable ``code`` (stable, SCREAMING_SNAKE,
+namespaced by layer: ``RPC_*``, ``NET_*``, ``INSTRUMENT_*``, ...). Codes
+travel where classes cannot — ERROR frame bodies on the wire, span events,
+metric labels — and the code ↔ class table in ``docs/PROTOCOLS.md`` is
+generated from :func:`code_table`, so the two cannot drift.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    Attributes:
+        code: stable machine-readable identifier for this failure mode.
+    """
+
+    code: str = "REPRO_ERROR"
 
 
 # --------------------------------------------------------------------------
@@ -18,21 +30,31 @@ class ReproError(Exception):
 class RPCError(ReproError):
     """Base class for remote-object layer failures."""
 
+    code = "RPC_ERROR"
+
 
 class SerializationError(RPCError):
     """A value could not be converted to or from the wire format."""
+
+    code = "RPC_SERIALIZATION"
 
 
 class ProtocolError(RPCError):
     """A malformed or out-of-sequence frame was received."""
 
+    code = "RPC_PROTOCOL"
+
 
 class ConnectionClosedError(RPCError):
     """The peer closed the connection mid-exchange."""
 
+    code = "RPC_CONNECTION_CLOSED"
+
 
 class CommunicationError(RPCError):
     """The transport could not reach the remote daemon."""
+
+    code = "RPC_COMMUNICATION"
 
 
 class CallTimeoutError(CommunicationError):
@@ -44,9 +66,13 @@ class CallTimeoutError(CommunicationError):
     from a hard protocol error.
     """
 
+    code = "RPC_TIMEOUT"
+
 
 class NamingError(RPCError):
     """URI parse failures and name-server lookup misses."""
+
+    code = "RPC_NAMING"
 
 
 class RemoteInvocationError(RPCError):
@@ -55,20 +81,35 @@ class RemoteInvocationError(RPCError):
     Attributes:
         remote_type: exception class name raised on the server.
         remote_traceback: formatted traceback captured server side.
+        remote_code: the ``code`` of the server-side exception when it
+            was a :class:`ReproError` (empty string otherwise).
     """
 
-    def __init__(self, message: str, remote_type: str = "", remote_traceback: str = ""):
+    code = "RPC_REMOTE_INVOCATION"
+
+    def __init__(
+        self,
+        message: str,
+        remote_type: str = "",
+        remote_traceback: str = "",
+        remote_code: str = "",
+    ):
         super().__init__(message)
         self.remote_type = remote_type
         self.remote_traceback = remote_traceback
+        self.remote_code = remote_code
 
 
 class MethodNotExposedError(RPCError):
     """Client called a method the server object does not expose."""
 
+    code = "RPC_METHOD_NOT_EXPOSED"
+
 
 class AuthenticationError(RPCError):
     """The HMAC challenge-response handshake failed or was missing."""
+
+    code = "RPC_AUTH"
 
 
 # --------------------------------------------------------------------------
@@ -77,21 +118,31 @@ class AuthenticationError(RPCError):
 class NetworkError(ReproError):
     """Base class for ICE network-model failures."""
 
+    code = "NET_ERROR"
+
 
 class FirewallDeniedError(NetworkError):
     """A firewall rule rejected the connection attempt."""
+
+    code = "NET_FIREWALL_DENIED"
 
 
 class NoRouteError(NetworkError):
     """No path exists between the two hosts in the topology."""
 
+    code = "NET_NO_ROUTE"
+
 
 class AddressInUseError(NetworkError):
     """A simulated port is already bound on the host."""
 
+    code = "NET_ADDRESS_IN_USE"
+
 
 class LinkDownError(NetworkError):
     """The traversed link is administratively or fault-injected down."""
+
+    code = "NET_LINK_DOWN"
 
 
 # --------------------------------------------------------------------------
@@ -100,41 +151,61 @@ class LinkDownError(NetworkError):
 class SerialIOError(ReproError):
     """Base class for simulated serial-port failures."""
 
+    code = "SERIAL_IO"
+
 
 class SerialTimeoutError(SerialIOError):
     """Read or write deadline expired."""
+
+    code = "SERIAL_TIMEOUT"
 
 
 class PortNotOpenError(SerialIOError):
     """Operation attempted on a closed port."""
 
+    code = "SERIAL_PORT_NOT_OPEN"
+
 
 class InstrumentError(ReproError):
     """Base class for instrument failures."""
+
+    code = "INSTRUMENT_ERROR"
 
 
 class InstrumentStateError(InstrumentError):
     """Command issued in a state that does not allow it."""
 
+    code = "INSTRUMENT_STATE"
+
 
 class InstrumentCommandError(InstrumentError):
     """The device rejected the command (bad args, unknown verb...)."""
+
+    code = "INSTRUMENT_COMMAND"
 
 
 class InstrumentFaultError(InstrumentError):
     """An injected or emergent hardware fault prevented the operation."""
 
+    code = "INSTRUMENT_FAULT"
+
 
 class FirmwareError(InstrumentError):
     """Firmware image missing, corrupt, or incompatible."""
+
+    code = "INSTRUMENT_FIRMWARE"
 
 
 class TechniqueError(InstrumentError):
     """Electrochemical technique misconfigured or not loaded."""
 
+    code = "INSTRUMENT_TECHNIQUE"
+
 
 class ChannelBusyError(InstrumentError):
     """Potentiostat channel already running an acquisition."""
+
+    code = "INSTRUMENT_CHANNEL_BUSY"
 
 
 # --------------------------------------------------------------------------
@@ -143,17 +214,25 @@ class ChannelBusyError(InstrumentError):
 class ChemistryError(ReproError):
     """Base class for cell and solution model failures."""
 
+    code = "CHEM_ERROR"
+
 
 class CellOverflowError(ChemistryError):
     """Dispensing more liquid than the cell can hold."""
+
+    code = "CHEM_CELL_OVERFLOW"
 
 
 class CellUnderflowError(ChemistryError):
     """Withdrawing more liquid than the cell contains."""
 
+    code = "CHEM_CELL_UNDERFLOW"
+
 
 class SimulationError(ChemistryError):
     """The finite-difference engine failed (instability, bad params)."""
+
+    code = "CHEM_SIMULATION"
 
 
 # --------------------------------------------------------------------------
@@ -162,21 +241,31 @@ class SimulationError(ChemistryError):
 class DataChannelError(ReproError):
     """Base class for file-share failures."""
 
+    code = "DATA_ERROR"
+
 
 class ShareNotMountedError(DataChannelError):
     """Mount operation required before file access."""
+
+    code = "DATA_NOT_MOUNTED"
 
 
 class RemoteFileNotFoundError(DataChannelError):
     """The requested path does not exist on the share."""
 
+    code = "DATA_NOT_FOUND"
+
 
 class AccessDeniedError(DataChannelError):
     """Share-level permission rejected the operation."""
 
+    code = "DATA_ACCESS_DENIED"
+
 
 class FileFormatError(DataChannelError):
     """Measurement file could not be parsed."""
+
+    code = "DATA_FORMAT"
 
 
 # --------------------------------------------------------------------------
@@ -185,13 +274,19 @@ class FileFormatError(DataChannelError):
 class MLError(ReproError):
     """Base class for ML-layer failures."""
 
+    code = "ML_ERROR"
+
 
 class NotFittedError(MLError):
     """Predict called before fit."""
 
+    code = "ML_NOT_FITTED"
+
 
 class FeatureExtractionError(MLError):
     """I-V trace unsuitable for feature extraction."""
+
+    code = "ML_FEATURE_EXTRACTION"
 
 
 # --------------------------------------------------------------------------
@@ -199,6 +294,8 @@ class FeatureExtractionError(MLError):
 # --------------------------------------------------------------------------
 class ResilienceError(ReproError):
     """Base class for retry/circuit-breaker layer failures."""
+
+    code = "RESILIENCE_ERROR"
 
 
 class RetryExhaustedError(ResilienceError):
@@ -208,6 +305,8 @@ class RetryExhaustedError(ResilienceError):
         attempts: how many attempts were made.
         last_error: the exception raised by the final attempt.
     """
+
+    code = "RESILIENCE_RETRY_EXHAUSTED"
 
     def __init__(
         self,
@@ -223,12 +322,16 @@ class RetryExhaustedError(ResilienceError):
 class CircuitOpenError(ResilienceError):
     """The circuit breaker is open; the call was not attempted."""
 
+    code = "RESILIENCE_CIRCUIT_OPEN"
+
 
 # --------------------------------------------------------------------------
 # Workflow / orchestration
 # --------------------------------------------------------------------------
 class WorkflowError(ReproError):
     """Base class for orchestration failures."""
+
+    code = "WORKFLOW_ERROR"
 
 
 class TaskFailedError(WorkflowError):
@@ -238,6 +341,8 @@ class TaskFailedError(WorkflowError):
         task_name: name of the failed task.
     """
 
+    code = "WORKFLOW_TASK_FAILED"
+
     def __init__(self, message: str, task_name: str = ""):
         super().__init__(message)
         self.task_name = task_name
@@ -246,10 +351,43 @@ class TaskFailedError(WorkflowError):
 class DependencyError(WorkflowError):
     """Workflow graph is cyclic or references unknown tasks."""
 
+    code = "WORKFLOW_DEPENDENCY"
+
 
 class WorkflowAbortedError(WorkflowError):
     """Workflow stopped early by policy or operator request."""
 
+    code = "WORKFLOW_ABORTED"
+
 
 class TaskTimeoutError(WorkflowError):
     """A task exceeded its per-task deadline."""
+
+    code = "WORKFLOW_TASK_TIMEOUT"
+
+
+# --------------------------------------------------------------------------
+# Code registry
+# --------------------------------------------------------------------------
+def code_table() -> dict[str, type[ReproError]]:
+    """Map every distinct error code to its owning class.
+
+    Walks the subclass tree of :class:`ReproError`; each class must own
+    its code (no two classes may share one), which the test suite
+    enforces and the docs table relies on.
+    """
+    table: dict[str, type[ReproError]] = {ReproError.code: ReproError}
+    stack: list[type[ReproError]] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            if "code" in vars(sub):
+                existing = table.get(sub.code)
+                if existing is not None and existing is not sub:
+                    raise ValueError(
+                        f"duplicate error code {sub.code!r}: "
+                        f"{existing.__name__} and {sub.__name__}"
+                    )
+                table[sub.code] = sub
+            stack.append(sub)
+    return table

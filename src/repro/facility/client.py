@@ -33,6 +33,10 @@ class ACLPyroClient:
         breaker: optional circuit breaker for the resilient wrapper.
         event_log: structured log the resilient wrapper emits retry
             events to.
+        tracer: optional :class:`repro.obs.Tracer`; every call gets a
+            client-side span whose context rides the request frame.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            per-call counters/latencies.
     """
 
     def __init__(
@@ -46,6 +50,8 @@ class ACLPyroClient:
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         event_log: EventLog | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         uri = make_uri(object_id, host, port)
         proxy = Proxy(
@@ -53,6 +59,8 @@ class ACLPyroClient:
             timeout=timeout,
             connection_factory=connection_factory,
             secret=secret,
+            tracer=tracer,
+            metrics=metrics,
         )
         if retry_policy is not None or breaker is not None:
             proxy = ResilientProxy(
@@ -60,6 +68,8 @@ class ACLPyroClient:
                 policy=retry_policy,
                 breaker=breaker,
                 event_log=event_log,
+                tracer=tracer,
+                metrics=metrics,
             )
         self._proxy = proxy
 
@@ -73,6 +83,8 @@ class ACLPyroClient:
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         event_log: EventLog | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> "ACLPyroClient":
         """Build from a full ``PYRO:`` URI."""
         from repro.rpc.naming import parse_uri
@@ -88,6 +100,8 @@ class ACLPyroClient:
             retry_policy=retry_policy,
             breaker=breaker,
             event_log=event_log,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     @property

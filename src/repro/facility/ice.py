@@ -140,6 +140,9 @@ class ElectrochemistryICE:
         #: "priority" channel mode; harmless FCFS no-ops otherwise)
         self.control_priority: int = 0
         self.data_priority: int = 1
+        #: session observability — wired by :meth:`attach_observability`
+        self.tracer = None
+        self.metrics = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -322,6 +325,32 @@ class ElectrochemistryICE:
         return topology, control_networks, data_networks
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Wire a tracer/metrics registry through every in-process part.
+
+        Because the ICE hosts both "facilities" in one process, a single
+        tracer sees client-side call spans *and* daemon-side dispatch
+        spans — the wire context joins them into one trace. Clients and
+        mounts created *after* this call inherit the pair by default.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+        for daemon in (
+            self.control_daemon,
+            self.data_daemon,
+            self.characterization_daemon,
+            self.ns_daemon,
+        ):
+            if daemon is not None:
+                daemon.tracer = tracer
+                daemon.metrics = metrics
+        self.share.metrics = metrics
+        if self.simnet is not None:
+            self.simnet.metrics = metrics
+
+    # ------------------------------------------------------------------
     # Remote-side helpers (what runs on the DGX)
     # ------------------------------------------------------------------
     def _factory(self, networks: set[str] | None, priority: int = 0):
@@ -335,6 +364,8 @@ class ElectrochemistryICE:
         resilient: bool = False,
         retry_policy: "RetryPolicy | None" = None,
         breaker: "CircuitBreaker | None" = None,
+        tracer=None,
+        metrics=None,
     ) -> ACLPyroClient:
         """A control-channel client dialled from the DGX.
 
@@ -355,6 +386,8 @@ class ElectrochemistryICE:
             retry_policy=retry_policy,
             breaker=breaker,
             event_log=self.event_log,
+            tracer=tracer if tracer is not None else self.tracer,
+            metrics=metrics if metrics is not None else self.metrics,
         )
 
     def characterization_client(self, timeout: float | None = 120.0) -> ACLPyroClient:
@@ -366,7 +399,9 @@ class ElectrochemistryICE:
             secret=self.config.control_secret,
         )
 
-    def mount(self, cache_dir: str | Path | None = None) -> Mount:
+    def mount(
+        self, cache_dir: str | Path | None = None, tracer=None, metrics=None
+    ) -> Mount:
         """Mount the measurement share on the DGX over the data channel."""
         proxy = Proxy(
             self.share_uri,
@@ -374,6 +409,8 @@ class ElectrochemistryICE:
             connection_factory=self._factory(
                 self.data_networks, self.data_priority
             ),
+            tracer=tracer if tracer is not None else self.tracer,
+            metrics=metrics if metrics is not None else self.metrics,
         )
         return Mount(proxy, cache_dir=cache_dir)
 

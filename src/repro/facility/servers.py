@@ -9,12 +9,45 @@ data travels as plain dicts the serializer handles.
 
 from __future__ import annotations
 
+import functools
+import inspect
 from typing import Any
 
+from repro.obs.trace import child_span
 from repro.rpc.expose import expose
 from repro.facility.workstation import ElectrochemistryWorkstation
 
 
+def _traced(func):
+    """Run a command inside an ``instrument.<Name>`` span.
+
+    ``child_span`` is ambient: when the daemon dispatch span is current
+    (the normal remote-call path) the command span nests under it; with
+    no tracer in play it is a single contextvar read and a no-op.
+    """
+
+    @functools.wraps(func)
+    def wrapper(self, *args, **kwargs):
+        with child_span(f"instrument.{func.__name__}"):
+            return func(self, *args, **kwargs)
+
+    return wrapper
+
+
+def _trace_commands(cls):
+    """Wrap every public command method of ``cls`` with :func:`_traced`.
+
+    ``functools.wraps`` keeps names/docstrings, and exposure is a
+    class-level attribute (``@expose`` on the class), so wrapped methods
+    stay remotely callable.
+    """
+    for name, attr in list(vars(cls).items()):
+        if not name.startswith("_") and inspect.isfunction(attr):
+            setattr(cls, name, _traced(attr))
+    return cls
+
+
+@_trace_commands
 @expose
 class ACLWorkstationServer:
     """Remote face of the whole workstation.

@@ -15,6 +15,21 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 
+_current_span_fn: Callable[[], Any] | None = None
+
+
+def _current_span():
+    # late import: logging_utils is imported by nearly everything, and a
+    # module-level import of repro.obs here would be the one place a
+    # cycle could form as obs grows
+    global _current_span_fn
+    if _current_span_fn is None:
+        from repro.obs.trace import current_span
+
+        _current_span_fn = current_span
+    return _current_span_fn()
+
+
 @dataclass(frozen=True)
 class Event:
     """One timestamped occurrence inside a component.
@@ -54,7 +69,12 @@ class EventLog:
         message: str,
         **data: Any,
     ) -> Event:
-        """Record an event and fan it out to subscribers."""
+        """Record an event and fan it out to subscribers.
+
+        When the emitting code runs inside an active trace span (see
+        :mod:`repro.obs.trace`), the event is also attached to that span,
+        so existing transcripts gain trace context with no caller change.
+        """
         event = Event(
             timestamp=self._clock_fn(),
             source=source,
@@ -67,6 +87,9 @@ class EventLog:
             subscribers = list(self._subscribers)
         for callback in subscribers:
             callback(event)
+        span = _current_span()
+        if span is not None:
+            span.add_event(f"{source}:{kind}", message=message)
         return event
 
     def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:

@@ -85,6 +85,7 @@ class SimConnection:
         path: list[SharedLink],
         clock: Clock,
         priority: int = 1,
+        metrics=None,
     ):
         self.local_host = local_host
         self.peer_host = peer_host
@@ -93,6 +94,7 @@ class SimConnection:
         self._path = path
         self._clock = clock
         self.priority = priority
+        self.metrics = metrics
         self._timeout: float | None = None
         self._closed = False
         self.bytes_sent = 0
@@ -109,18 +111,50 @@ class SimConnection:
         # Propagation latency is accumulated and slept once (time.sleep
         # granularity makes per-hop micro-sleeps dominate otherwise).
         pending_latency = 0.0
+        metrics = self.metrics
         try:
             for link in self._path:
-                pending_latency += link.transmit(
+                owed = link.transmit(
                     len(data), charge_latency=False, priority=self.priority
                 )
+                pending_latency += owed
+                if metrics is not None:
+                    metrics.counter(
+                        "net.link.bytes_total", "payload bytes carried per link"
+                    ).inc(len(data), link=link.name)
+                    metrics.gauge(
+                        "net.link.latency_s",
+                        "last observed one-way latency per link",
+                    ).set(owed, link=link.name)
         except LinkDownError as exc:
             # surface as a transport error so the RPC client treats it
             # like any other failed send (close + optionally retry); the
             # LinkDownError cause is preserved for diagnostics
+            if metrics is not None:
+                metrics.counter(
+                    "net.link.down_errors_total", "sends lost to a down link"
+                ).inc()
             raise CommunicationError(
                 f"send {self.local_host}->{self.peer_host} failed: {exc}"
             ) from exc
+        if metrics is not None:
+            metrics.gauge(
+                "net.path.rtt_s",
+                "last observed round-trip latency estimate per peer pair",
+            ).set(
+                2.0 * pending_latency,
+                src=self.local_host,
+                dst=self.peer_host,
+            )
+            if pending_latency > 0.0:
+                metrics.gauge(
+                    "net.path.throughput_bps",
+                    "payload bits over one-way path delay, last send",
+                ).set(
+                    len(data) * 8.0 / pending_latency,
+                    src=self.local_host,
+                    dst=self.peer_host,
+                )
         if pending_latency > 0.0:
             self._clock.sleep(pending_latency)
         self._tx.push(data)
@@ -244,6 +278,10 @@ class SimNetwork:
         self._lock = threading.Lock()
         self.connects_attempted = 0
         self.connects_denied = 0
+        #: optional repro.obs.MetricsRegistry; assign to meter every
+        #: connection established after the assignment (per-link byte
+        #: counts, latency gauges, path RTT/throughput)
+        self.metrics = None
         # live connections, kept so chaos can reset them mid-run:
         # (src_host, dst_host, port, client_conn)
         self._connections: list[tuple[str, str, int, SimConnection]] = []
@@ -306,10 +344,12 @@ class SimNetwork:
         client_conn = SimConnection(
             src_host, dst_host, rx=server_to_client, tx=client_to_server,
             path=path, clock=self.clock, priority=priority,
+            metrics=self.metrics,
         )
         server_conn = SimConnection(
             dst_host, src_host, rx=client_to_server, tx=server_to_client,
             path=reverse_path, clock=self.clock, priority=priority,
+            metrics=self.metrics,
         )
         # SYN + SYN/ACK: one round trip of pure latency, slept in one go.
         handshake_latency = 0.0

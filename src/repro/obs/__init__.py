@@ -1,0 +1,68 @@
+"""Observability: dependency-free tracing and metrics for the ICE.
+
+The paper's cross-facility runs span a control channel (Pyro RPC), a
+deliberately separate data channel (the CIFS share), and instrument
+serial links — and the companion framework paper (arXiv:2307.06883)
+stresses *per-segment* latency measurement across exactly that path.
+This package is the measurement substrate:
+
+- :mod:`repro.obs.trace` — spans (trace_id/span_id/parent_id) produced
+  by a :class:`Tracer`, with context propagation both in-process (a
+  contextvar) and across the control channel (a ``trace`` REQUEST
+  field), so a workflow-task span on the DGX parents the daemon-side
+  dispatch span and the instrument-command span at ACL;
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms shared by every layer;
+- :mod:`repro.obs.exporters` — JSONL span files, console tables, and
+  the ``summarize`` API the benchmarks print.
+
+Everything is optional and off by default: components accept
+``tracer=None`` / ``metrics=None`` and skip all bookkeeping when unset,
+so the untraced hot path stays untouched.
+"""
+
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    SpanStatus,
+    Tracer,
+    child_span,
+    current_span,
+    extract_context,
+    use_span,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.exporters import (
+    ConsoleSpanExporter,
+    JsonlSpanExporter,
+    format_span_table,
+    read_jsonl_spans,
+    summarize_spans,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanStatus",
+    "Tracer",
+    "child_span",
+    "current_span",
+    "extract_context",
+    "use_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "ConsoleSpanExporter",
+    "JsonlSpanExporter",
+    "format_span_table",
+    "read_jsonl_spans",
+    "summarize_spans",
+]

@@ -1,0 +1,165 @@
+"""Span exporters and trace analysis.
+
+Two sinks — a JSONL file (one span per line, the CI artifact format)
+and a console table — plus the pure functions that read traces back
+and summarize them for the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+from typing import Any, IO, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Span
+
+
+class JsonlSpanExporter:
+    """Append each finished span as one JSON line.
+
+    Pass an instance as ``Tracer(exporter=...)``; the file is opened
+    lazily and flushed per span so a crashed run still leaves a usable
+    trace. Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = None
+
+    def __call__(self, span: "Span") -> None:
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(json.dumps(span.to_dict(), default=str) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ConsoleSpanExporter:
+    """Print one line per finished span (debugging aid)."""
+
+    def __init__(self, stream: IO[str] | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def __call__(self, span: "Span") -> None:
+        line = (
+            f"[span] {span.name:<32} {span.duration_s * 1000:9.3f} ms "
+            f"{span.status:<6} trace={span.trace_id[:8]} "
+            f"span={span.span_id[:8]} "
+            f"parent={span.parent_id[:8] if span.parent_id else '-':<8}"
+        )
+        with self._lock:
+            print(line, file=self.stream)
+
+
+def read_jsonl_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace file back into span dicts (skips blank lines)."""
+    spans: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def _as_dicts(spans: Iterable[Any]) -> list[dict[str, Any]]:
+    return [s if isinstance(s, dict) else s.to_dict() for s in spans]
+
+
+def summarize_spans(spans: Iterable[Any]) -> dict[str, dict[str, float]]:
+    """Per-name stats over spans (live :class:`Span` objects or dicts).
+
+    Returns ``{name: {count, errors, total_s, mean_s, min_s, max_s}}`` —
+    the structure the overhead benchmark prints and asserts on.
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for span in _as_dicts(spans):
+        entry = stats.setdefault(
+            span["name"],
+            {
+                "count": 0,
+                "errors": 0,
+                "total_s": 0.0,
+                "mean_s": 0.0,
+                "min_s": float("inf"),
+                "max_s": 0.0,
+            },
+        )
+        duration = float(span.get("duration_s") or 0.0)
+        entry["count"] += 1
+        if span.get("status") == "ERROR":
+            entry["errors"] += 1
+        entry["total_s"] += duration
+        entry["min_s"] = min(entry["min_s"], duration)
+        entry["max_s"] = max(entry["max_s"], duration)
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+        if entry["min_s"] == float("inf"):
+            entry["min_s"] = 0.0
+    return stats
+
+
+def format_span_table(spans: Iterable[Any]) -> str:
+    """Console table of :func:`summarize_spans` output."""
+    stats = summarize_spans(spans)
+    if not stats:
+        return "(no spans recorded)"
+    name_w = max(len("span"), max(len(n) for n in stats))
+    header = (
+        f"{'span'.ljust(name_w)}  {'count':>6}  {'errors':>6}  "
+        f"{'mean ms':>10}  {'min ms':>10}  {'max ms':>10}  {'total s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(stats):
+        e = stats[name]
+        lines.append(
+            f"{name.ljust(name_w)}  {int(e['count']):>6}  {int(e['errors']):>6}  "
+            f"{e['mean_s'] * 1000:>10.3f}  {e['min_s'] * 1000:>10.3f}  "
+            f"{e['max_s'] * 1000:>10.3f}  {e['total_s']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def trace_tree(spans: Iterable[Any], trace_id: str | None = None) -> str:
+    """Indented parent→child rendering of one trace (docs/debugging)."""
+    span_dicts = _as_dicts(spans)
+    if trace_id is not None:
+        span_dicts = [s for s in span_dicts if s["trace_id"] == trace_id]
+    by_parent: dict[str | None, list[dict[str, Any]]] = {}
+    ids = {s["span_id"] for s in span_dicts}
+    for s in span_dicts:
+        parent = s.get("parent_id")
+        key = parent if parent in ids else None
+        by_parent.setdefault(key, []).append(s)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.get("start_time") or 0.0)
+    lines: list[str] = []
+
+    def render(parent_key: str | None, depth: int) -> None:
+        for s in by_parent.get(parent_key, []):
+            lines.append(
+                f"{'  ' * depth}{s['name']} "
+                f"[{(s.get('duration_s') or 0.0) * 1000:.3f} ms, {s.get('status')}]"
+            )
+            render(s["span_id"], depth + 1)
+
+    render(None, 0)
+    return "\n".join(lines) if lines else "(no spans)"

@@ -1,0 +1,289 @@
+"""Counters, gauges and fixed-bucket histograms for every layer.
+
+Prometheus-flavoured but dependency-free: instruments are get-or-create
+through a :class:`MetricsRegistry`, label sets are kwargs, and each
+(name, labels) pair owns one scalar/bucket state guarded by a lock.
+The registry is cheap enough to thread through the RPC hot path — one
+dict lookup plus one locked float add per observation — and components
+that are handed ``metrics=None`` skip even that.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+#: Default latency buckets (seconds). Chosen for the paper's regimes:
+#: sub-ms loopback RPC, ~35 ms ACL<->ORNL WAN RTT, multi-second CV
+#: techniques and file-arrival waits.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared plumbing: per-label-set state behind one lock."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+
+    def _new_state(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _state(self, labels: dict[str, Any]) -> Any:
+        key = _label_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._new_state()
+            self._series[key] = state
+        return state
+
+    def labels_seen(self) -> list[dict[str, str]]:
+        with self._lock:
+            return [dict(key) for key in self._series]
+
+    def series(self) -> Iterator[tuple[dict[str, str], Any]]:
+        with self._lock:
+            items = list(self._series.items())
+        for key, state in items:
+            yield dict(key), state
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    kind = "counter"
+
+    def _new_state(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase")
+        with self._lock:
+            self._state(labels)[0] += amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return state[0] if state else 0.0
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(state[0] for state in self._series.values())
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (breaker state, link RTT, queue depth)."""
+
+    kind = "gauge"
+
+    def _new_state(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._state(labels)[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        with self._lock:
+            self._state(labels)[0] += amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return state[0] if state else 0.0
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution — latency, sizes, arrival gaps.
+
+    Buckets are cumulative-upper-bound style: an observation lands in
+    the first bucket whose bound is >= the value, or the +Inf overflow.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+    ):
+        super().__init__(name, description)
+        self.buckets = tuple(sorted(buckets))
+
+    def _new_state(self) -> _HistogramState:
+        return _HistogramState(len(self.buckets))
+
+    def observe(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            state = self._state(labels)
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            state.bucket_counts[idx] += 1
+            state.count += 1
+            state.total += value
+            if value < state.minimum:
+                state.minimum = value
+            if value > state.maximum:
+                state.maximum = value
+
+    def snapshot(self, **labels: Any) -> dict[str, Any]:
+        """Stats for one label set (zeros when never observed)."""
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            if state is None or state.count == 0:
+                return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+            return {
+                "count": state.count,
+                "sum": state.total,
+                "mean": state.total / state.count,
+                "min": state.minimum,
+                "max": state.maximum,
+                "buckets": {
+                    str(bound): state.bucket_counts[i]
+                    for i, bound in enumerate(self.buckets)
+                }
+                | {"+Inf": state.bucket_counts[-1]},
+            }
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return state.count if state else 0
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in a session.
+
+    One registry is shared by the proxy, daemon, breaker, workflow and
+    datachannel layers so ``session.metrics.summarize()`` sees the whole
+    run. Re-registering a name returns the existing instrument (kind
+    mismatch raises — that is always a programming error).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, description, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, description, buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- reporting ----------------------------------------------------------
+    def summarize(self) -> dict[str, Any]:
+        """Flat dict of every series: ``{name{label=value}: reading}``.
+
+        Counters/gauges map to their float; histograms to their
+        :meth:`Histogram.snapshot` minus the bucket detail.
+        """
+        out: dict[str, Any] = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            for labels, state in metric.series():
+                label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                key = f"{metric.name}{{{label_str}}}" if label_str else metric.name
+                if metric.kind == "histogram":
+                    out[key] = {
+                        "count": state.count,
+                        "mean": (state.total / state.count) if state.count else 0.0,
+                        "min": state.minimum if state.count else 0.0,
+                        "max": state.maximum if state.count else 0.0,
+                    }
+                else:
+                    out[key] = state[0]
+        return out
+
+    def format_table(self) -> str:
+        """Console-friendly rendering of :meth:`summarize`."""
+        summary = self.summarize()
+        if not summary:
+            return "(no metrics recorded)"
+        width = max(len(k) for k in summary)
+        lines = [f"{'metric'.ljust(width)}  value", f"{'-' * width}  {'-' * 5}"]
+        for key in sorted(summary):
+            reading = summary[key]
+            if isinstance(reading, dict):
+                rendered = (
+                    f"count={reading['count']} mean={reading['mean']:.6f}s "
+                    f"min={reading['min']:.6f}s max={reading['max']:.6f}s"
+                )
+            else:
+                rendered = f"{reading:g}"
+            lines.append(f"{key.ljust(width)}  {rendered}")
+        return "\n".join(lines)

@@ -166,6 +166,15 @@ class BreakerState(Enum):
     HALF_OPEN = "half_open"
 
 
+#: Numeric encoding of breaker states for the ``resilience.breaker.state``
+#: gauge (dashboards plot numbers, not enum names).
+BREAKER_STATE_VALUES: dict[BreakerState, int] = {
+    BreakerState.CLOSED: 0,
+    BreakerState.OPEN: 1,
+    BreakerState.HALF_OPEN: 2,
+}
+
+
 @dataclass
 class _Window:
     """Sliding outcome window for failure-rate accounting."""
@@ -206,6 +215,11 @@ class CircuitBreaker:
     for another cooldown.
 
     Thread-safe; share one breaker per remote endpoint.
+
+    When a :class:`repro.obs.MetricsRegistry` is attached (``metrics=``
+    plus an identifying ``name``), the breaker publishes a
+    ``resilience.breaker.state`` gauge (see :data:`BREAKER_STATE_VALUES`)
+    on every transition and counts opens/rejections.
     """
 
     def __init__(
@@ -216,6 +230,8 @@ class CircuitBreaker:
         min_calls: int = 5,
         cooldown_s: float = 30.0,
         clock: Clock | None = None,
+        metrics: Any = None,
+        name: str = "default",
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -235,6 +251,17 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self.open_count = 0
         self.rejected_calls = 0
+        self.name = name
+        self.metrics = metrics
+        self._publish_state()
+
+    def _publish_state(self) -> None:
+        """Push the current state to the gauge (no-op when unmetered)."""
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "resilience.breaker.state",
+                "0=closed 1=open 2=half_open",
+            ).set(BREAKER_STATE_VALUES[self._state], breaker=self.name)
 
     # -- observability -----------------------------------------------------
     @property
@@ -250,6 +277,7 @@ class CircuitBreaker:
             self._maybe_half_open()
             if self._state is BreakerState.OPEN:
                 self.rejected_calls += 1
+                self._count_rejection()
                 remaining = self.cooldown_s - (self.clock.now() - self._opened_at)
                 raise CircuitOpenError(
                     f"circuit open; retry in {max(0.0, remaining):.3f}s"
@@ -257,8 +285,15 @@ class CircuitBreaker:
             if self._state is BreakerState.HALF_OPEN:
                 if self._probe_in_flight:
                     self.rejected_calls += 1
+                    self._count_rejection()
                     raise CircuitOpenError("circuit half-open; probe in flight")
                 self._probe_in_flight = True
+
+    def _count_rejection(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "resilience.breaker.rejected_total", "calls failed fast by the breaker"
+            ).inc(breaker=self.name)
 
     def record_success(self) -> None:
         with self._lock:
@@ -266,6 +301,7 @@ class CircuitBreaker:
                 self._state = BreakerState.CLOSED
                 self._window.clear()
                 self._probe_in_flight = False
+                self._publish_state()
                 return
             self._window.record(True)
 
@@ -289,6 +325,11 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self._window.clear()
         self.open_count += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "resilience.breaker.opens_total", "breaker trips to OPEN"
+            ).inc(breaker=self.name)
+        self._publish_state()
 
     def _maybe_half_open(self) -> None:
         if (
@@ -297,6 +338,7 @@ class CircuitBreaker:
         ):
             self._state = BreakerState.HALF_OPEN
             self._probe_in_flight = False
+            self._publish_state()
 
     def call(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` through the breaker, recording the outcome."""

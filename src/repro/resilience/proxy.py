@@ -61,6 +61,12 @@ class ResilientProxy:
             reproducible backoff sequences.
         event_log: optional structured log; emits ``rpc.resilient`` retry
             events for transcript-style assertions.
+        tracer: optional :class:`repro.obs.Tracer`; each logical call gets
+            an ``rpc.resilient.<method>`` span under which every attempt's
+            ``rpc.call.<method>`` span nests. Defaults to the wrapped
+            proxy's tracer so one knob configures both layers.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            retry/reconnect counters (defaults to the proxy's registry).
 
     Attributes:
         retry_count: attempts beyond the first, across all calls.
@@ -76,6 +82,8 @@ class ResilientProxy:
         clock: Clock | None = None,
         rng: random.Random | None = None,
         event_log: EventLog | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         self._proxy = proxy
         self._policy = policy or RetryPolicy()
@@ -83,6 +91,10 @@ class ResilientProxy:
         self._clock = clock or WALL
         self._rng = rng
         self._event_log = event_log
+        self.tracer = tracer if tracer is not None else getattr(proxy, "tracer", None)
+        self.metrics = (
+            metrics if metrics is not None else getattr(proxy, "metrics", None)
+        )
         # one random prefix per proxy + a counter keeps keys globally
         # unique at a fraction of the cost of a uuid4 per call
         self._key_prefix = uuid.uuid4().hex
@@ -130,6 +142,24 @@ class ResilientProxy:
             # error types it does not recognise
             self._proxy.close()
             self.reconnect_count += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "resilience.retries_total", "retry attempts beyond the first"
+                ).inc(method=label, error_type=type(exc).__name__)
+                self.metrics.counter(
+                    "resilience.reconnects_total", "connection redials after failure"
+                ).inc()
+            if self.tracer is not None:
+                from repro.obs.trace import current_span
+
+                span = current_span()
+                if span is not None:
+                    span.add_event(
+                        "retry",
+                        attempt=next_attempt,
+                        error_type=type(exc).__name__,
+                        delay_s=delay,
+                    )
             if self._event_log is not None:
                 self._event_log.emit(
                     "rpc.resilient",
@@ -152,12 +182,15 @@ class ResilientProxy:
         # one key per *logical* call: every retransmission of this call
         # carries the same key, so the daemon executes it at most once
         key = f"{self._key_prefix}:{next(self._key_seq)}"
-        return self._run_with_retry(
-            method,
-            lambda: self._proxy._call(
-                method, args, kwargs, oneway=oneway, idempotency_key=key
-            ),
+        attempt = lambda: self._proxy._call(  # noqa: E731
+            method, args, kwargs, oneway=oneway, idempotency_key=key
         )
+        if self.tracer is None:
+            return self._run_with_retry(method, attempt)
+        with self.tracer.start_as_current_span(
+            f"rpc.resilient.{method}", attributes={"rpc.method": method}
+        ):
+            return self._run_with_retry(method, attempt)
 
     def _pyro_ping(self) -> None:
         # ping carries no side effects, so no idempotency key is needed

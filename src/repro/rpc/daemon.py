@@ -38,6 +38,7 @@ from repro.rpc.protocol import (
     error_body,
     recv_message,
     request_idempotency_key,
+    request_trace_context,
     send_message,
     validate_request_body,
 )
@@ -135,6 +136,14 @@ class Daemon:
             re-executing the instrument call).
         dedup_wait_s: how long a duplicate waits for an in-flight
             execution of the same key before giving up and executing.
+        tracer: optional :class:`repro.obs.Tracer`; when set, every
+            dispatched request runs inside an ``rpc.dispatch.<method>``
+            span parented under the client span carried in the REQUEST
+            ``trace`` field. Assignable after construction too —
+            ``repro.connect`` wires in-process sim daemons this way so
+            client and daemon spans land in one trace store.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            dispatch counters and latency histograms (also assignable).
     """
 
     def __init__(
@@ -146,6 +155,8 @@ class Daemon:
         secret: bytes | None = None,
         dedup_capacity: int = 256,
         dedup_wait_s: float = 300.0,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         self._listener = listener if listener is not None else TCPListener(host, port)
         self._secret = secret
@@ -160,6 +171,8 @@ class Daemon:
         self.log = event_log if event_log is not None else EventLog()
         self.call_count = 0
         self.replay_count = 0
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- registry ------------------------------------------------------------
     @property
@@ -386,6 +399,10 @@ class Daemon:
     ) -> None:
         """Answer a retransmitted request from the dedup cache."""
         self.replay_count += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "rpc.daemon.replays_total", "idempotent replays served from cache"
+            ).inc()
         msg_type, body = cached
         self.log.emit(
             "daemon",
@@ -400,6 +417,7 @@ class Daemon:
             pass
 
     def _execute_request(self, conn: Connection, msg: Message, record) -> None:
+        trace_parent = request_trace_context(msg.body)
         try:
             object_id, method_name, args, kwargs = validate_request_body(msg.body)
             obj = self._get_object(object_id)
@@ -420,14 +438,22 @@ class Daemon:
                 send_message(conn, Message(MessageType.RESPONSE, msg.seq, None))
             try:
                 self._invoke_logged(
-                    object_id, method_name, bound, args, kwargs, swallow=True
+                    object_id,
+                    method_name,
+                    bound,
+                    args,
+                    kwargs,
+                    swallow=True,
+                    trace_parent=trace_parent,
                 )
             finally:
                 record(MessageType.RESPONSE, None)
             return
 
         try:
-            result = self._invoke_logged(object_id, method_name, bound, args, kwargs)
+            result = self._invoke_logged(
+                object_id, method_name, bound, args, kwargs, trace_parent=trace_parent
+            )
         except Exception as exc:  # noqa: BLE001 - remote errors travel as frames
             record(MessageType.ERROR, self._error_body_for(exc))
             self._try_send_error(conn, msg.seq, exc)
@@ -446,11 +472,62 @@ class Daemon:
         args: list,
         kwargs: dict,
         swallow: bool = False,
+        trace_parent: dict[str, str] | None = None,
     ) -> Any:
         self.call_count += 1
         self.log.emit(
             "daemon", "call", f"{object_id}.{method_name}", args=len(args)
         )
+        if self.tracer is None and self.metrics is None:
+            return self._invoke_raw(object_id, method_name, bound, args, kwargs, swallow)
+
+        from repro.obs.trace import extract_context
+
+        span = None
+        if self.tracer is not None:
+            # Each connection runs on its own thread, so the contextvar is
+            # empty here; the parent comes from the wire (or None = root).
+            span = self.tracer.start_as_current_span(
+                f"rpc.dispatch.{method_name}",
+                parent=extract_context(trace_parent),
+                attributes={"rpc.method": method_name, "rpc.object": object_id},
+            )
+        clock = self.tracer.clock if self.tracer is not None else None
+        start = clock.now() if clock is not None else None
+        status = "ok"
+        try:
+            return self._invoke_raw(
+                object_id, method_name, bound, args, kwargs, swallow
+            )
+        except Exception as exc:
+            status = "error"
+            if span is not None:
+                span.record_exception(exc)
+                span.end("ERROR")
+                span = None
+            raise
+        finally:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "rpc.daemon.calls_total", "requests dispatched by this daemon"
+                ).inc(method=method_name, status=status)
+                if start is not None:
+                    self.metrics.histogram(
+                        "rpc.daemon.dispatch_latency_s",
+                        "daemon-side method execution time",
+                    ).observe(clock.now() - start, method=method_name)
+            if span is not None:
+                span.end()
+
+    def _invoke_raw(
+        self,
+        object_id: str,
+        method_name: str,
+        bound: Any,
+        args: list,
+        kwargs: dict,
+        swallow: bool,
+    ) -> Any:
         try:
             return bound(*args, **kwargs)
         except Exception:
@@ -465,12 +542,14 @@ class Daemon:
 
     @staticmethod
     def _error_body_for(exc: Exception) -> dict[str, Any]:
+        code = getattr(exc, "code", "")
         return error_body(
             error_type=type(exc).__name__,
             message=str(exc),
             traceback_text="".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
             ),
+            code=code if isinstance(code, str) else "",
         )
 
     def _try_send_error(self, conn: Connection, seq: int, exc: Exception) -> None:

@@ -121,6 +121,7 @@ def request_body(
     args: tuple,
     kwargs: dict,
     idempotency_key: str | None = None,
+    trace_context: dict[str, str] | None = None,
 ) -> dict[str, Any]:
     """Build a REQUEST body.
 
@@ -130,6 +131,12 @@ def request_body(
     instead of re-executing the method; daemons predating the field simply
     ignore the extra key (the body stays a plain dict), so the frame is
     backward-compatible on the wire.
+
+    ``trace_context`` is an optional ``{"trace_id": ..., "span_id": ...}``
+    carrier (see ``repro.obs.trace``) identifying the client-side span on
+    whose behalf this request is made; a tracing daemon parents its
+    dispatch span under it. Same compatibility story as ``idem``: absent
+    for untraced calls, ignored by daemons that predate it.
     """
     body = {
         "object": object_id,
@@ -139,6 +146,8 @@ def request_body(
     }
     if idempotency_key is not None:
         body["idem"] = idempotency_key
+    if trace_context is not None:
+        body["trace"] = trace_context
     return body
 
 
@@ -148,6 +157,26 @@ def request_idempotency_key(body: Any) -> str | None:
         key = body.get("idem")
         if isinstance(key, str) and key:
             return key
+    return None
+
+
+def request_trace_context(body: Any) -> dict[str, str] | None:
+    """Extract the optional trace carrier from a decoded REQUEST body.
+
+    Returns the raw ``{"trace_id", "span_id"}`` dict when both fields are
+    non-empty strings, else ``None`` — malformed observability metadata
+    must never fail a request, so there is no error path here.
+    """
+    if isinstance(body, dict):
+        carrier = body.get("trace")
+        if (
+            isinstance(carrier, dict)
+            and isinstance(carrier.get("trace_id"), str)
+            and isinstance(carrier.get("span_id"), str)
+            and carrier["trace_id"]
+            and carrier["span_id"]
+        ):
+            return {"trace_id": carrier["trace_id"], "span_id": carrier["span_id"]}
     return None
 
 
@@ -169,10 +198,21 @@ def validate_request_body(body: Any) -> tuple[str, str, list, dict]:
     return object_id, method, args, kwargs
 
 
-def error_body(error_type: str, message: str, traceback_text: str) -> dict[str, Any]:
-    """Build an ERROR body."""
-    return {
+def error_body(
+    error_type: str, message: str, traceback_text: str, code: str = ""
+) -> dict[str, Any]:
+    """Build an ERROR body.
+
+    ``code`` is the machine-readable :attr:`repro.errors.ReproError.code`
+    of the server-side exception when it was a :class:`ReproError`
+    (empty for foreign exception types); clients surface it as
+    ``RemoteInvocationError.remote_code``.
+    """
+    body = {
         "error_type": error_type,
         "message": message,
         "traceback": traceback_text,
     }
+    if code:
+        body["code"] = code
+    return body

@@ -42,6 +42,7 @@ def _rebuild_remote_error(body: dict) -> Exception:
     error_type = body.get("error_type", "Exception")
     message = body.get("message", "")
     traceback_text = body.get("traceback", "")
+    remote_code = body.get("code", "")
     candidate = getattr(_errors_module, error_type, None)
     if (
         isinstance(candidate, type)
@@ -53,6 +54,7 @@ def _rebuild_remote_error(body: dict) -> Exception:
         f"remote call raised {error_type}: {message}",
         remote_type=error_type,
         remote_traceback=traceback_text,
+        remote_code=remote_code if isinstance(remote_code, str) else "",
     )
 
 
@@ -81,6 +83,12 @@ class Proxy:
             simulated network passes its own dialer here.
         secret: shared secret for daemons that require the HMAC
             challenge-response handshake.
+        tracer: optional :class:`repro.obs.Tracer`; when set, every call
+            runs inside an ``rpc.call.<method>`` span and its context is
+            carried in the REQUEST ``trace`` field so the daemon's
+            dispatch span parents under it. None = zero overhead.
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            per-call counters, latency histograms and byte counts.
     """
 
     def __init__(
@@ -89,6 +97,8 @@ class Proxy:
         timeout: float | None = 10.0,
         connection_factory: Callable[[str, int], Connection] | None = None,
         secret: bytes | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         self._uri = parse_uri(uri)
         self._timeout = timeout
@@ -100,6 +110,8 @@ class Proxy:
         self._seq = 0
         self._lock = threading.RLock()
         self._metadata: dict[str, Any] | None = None
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- connection management ----------------------------------------------
     @property
@@ -198,6 +210,19 @@ class Proxy:
         oneway: bool = False,
         idempotency_key: str | None = None,
     ) -> Any:
+        if self.tracer is None and self.metrics is None:
+            return self._call_inner(method, args, kwargs, oneway, idempotency_key)
+        return self._call_observed(method, args, kwargs, oneway, idempotency_key)
+
+    def _call_inner(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        oneway: bool,
+        idempotency_key: str | None,
+        trace_context: dict[str, str] | None = None,
+    ) -> Any:
         with self._lock:
             body = request_body(
                 self._uri.object_id,
@@ -205,6 +230,7 @@ class Proxy:
                 args,
                 kwargs,
                 idempotency_key=idempotency_key,
+                trace_context=trace_context,
             )
             flags = FLAG_ONEWAY if oneway else 0
             msg = Message(MessageType.REQUEST, self._next_seq(), body, flags=flags)
@@ -218,6 +244,67 @@ class Proxy:
         if isinstance(reply.body, dict) and "result" in reply.body:
             return reply.body["result"]
         return reply.body
+
+    def _call_observed(
+        self,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        oneway: bool,
+        idempotency_key: str | None,
+    ) -> Any:
+        """Traced/metered variant of :meth:`_call_inner` (observability on)."""
+        tracer, metrics = self.tracer, self.metrics
+        span = (
+            tracer.start_as_current_span(
+                f"rpc.call.{method}",
+                attributes={"rpc.method": method, "rpc.object": self._uri.object_id},
+            )
+            if tracer is not None
+            else None
+        )
+        trace_context = span.context.to_wire() if span is not None else None
+        clock = tracer.clock if tracer is not None else None
+        start = clock.now() if clock is not None else None
+        conn = self._conn
+        sent0 = getattr(conn, "bytes_sent", None) if conn is not None else None
+        recv0 = getattr(conn, "bytes_received", None) if conn is not None else None
+        status = "ok"
+        try:
+            return self._call_inner(
+                method, args, kwargs, oneway, idempotency_key, trace_context
+            )
+        except Exception as exc:
+            status = "error"
+            if span is not None:
+                span.record_exception(exc)
+                span.end("ERROR")
+                span = None
+            raise
+        finally:
+            if metrics is not None:
+                metrics.counter(
+                    "rpc.client.calls_total", "RPC calls issued by this client"
+                ).inc(method=method, status=status)
+                if start is not None:
+                    metrics.histogram(
+                        "rpc.client.call_latency_s", "client-observed RPC latency"
+                    ).observe(clock.now() - start, method=method)
+                conn = self._conn
+                if conn is not None and sent0 is not None:
+                    sent1 = getattr(conn, "bytes_sent", None)
+                    recv1 = getattr(conn, "bytes_received", None)
+                    if sent1 is not None and sent1 >= sent0:
+                        metrics.counter(
+                            "rpc.client.bytes_sent_total", "request bytes on the wire"
+                        ).inc(sent1 - sent0, method=method)
+                    if recv1 is not None and recv0 is not None and recv1 >= recv0:
+                        metrics.counter(
+                            "rpc.client.bytes_received_total",
+                            "response bytes on the wire",
+                        ).inc(recv1 - recv0, method=method)
+            if span is not None:
+                span.end()
 
     def _pyro_ping(self) -> None:
         """Liveness probe (task A of the paper's workflow uses this).

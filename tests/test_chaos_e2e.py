@@ -11,9 +11,11 @@ import pytest
 
 from repro.core.cv_workflow import CVWorkflowSettings, run_cv_workflow
 from repro.core.workflow import TaskState
+from repro.errors import CircuitOpenError, RetryExhaustedError
 from repro.facility.ice import CONTROL_PORT, HOST_AGENT, HOST_DGX
 from repro.net.chaos import ChaosController
-from repro.resilience import RetryPolicy
+from repro.obs import MetricsRegistry
+from repro.resilience import CircuitBreaker, RetryPolicy
 
 FAST_POLICY = RetryPolicy(max_attempts=8, base_delay_s=0.01, jitter="none")
 
@@ -131,3 +133,70 @@ class TestSafeStateOnAbort:
         # without stopping the remaining teardowns
         assert any("raised" in m for m in teardown_msgs)
         assert any("executing 3 safe-state" in m for m in teardown_msgs)
+
+
+@pytest.mark.chaos
+class TestChaosMetrics:
+    """The observability layer must *see* the faults the chaos controller
+    injects — retries, reconnects and breaker trips all land in metrics."""
+
+    def test_retry_counter_increments_under_link_flap(self, ice):
+        metrics = MetricsRegistry()
+        chaos = ChaosController(ice.simnet, event_log=ice.event_log)
+        chaos.flap_link(HOST_DGX, "ornl-wan", after_frames=18, down_frames=3)
+        try:
+            result = run_cv_workflow(ice, settings=RESILIENT, metrics=metrics)
+        finally:
+            chaos.stop()
+
+        assert chaos.fired("link-down") and result.succeeded
+        retries = metrics.counter("resilience.retries_total")
+        assert retries.total() > 0
+        # every retried attempt redialled the dead connection first
+        assert metrics.counter("resilience.reconnects_total").total() > 0
+        # labels identify what was retried and why
+        assert any(
+            labels.get("error_type") for labels, _ in retries.series()
+        )
+
+    def test_breaker_open_gauge_observed_under_partition(self, ice):
+        metrics = MetricsRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            min_calls=2,
+            cooldown_s=60.0,
+            metrics=metrics,
+            name="control",
+        )
+        client = ice.client(
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.01, jitter="none"
+            ),
+            breaker=breaker,
+            metrics=metrics,
+        )
+        chaos = ChaosController(ice.simnet, event_log=ice.event_log)
+        chaos.flap_link(HOST_DGX, "ornl-wan", after_frames=0, down_frames=10**6)
+        try:
+            saw_open = False
+            for _ in range(8):
+                try:
+                    client.call_Status_JKem()
+                except CircuitOpenError:
+                    saw_open = True
+                    break
+                except (RetryExhaustedError, Exception):
+                    continue
+        finally:
+            chaos.stop()
+            client.close()
+
+        assert saw_open, "breaker never failed fast under a hard partition"
+        state = metrics.gauge("resilience.breaker.state")
+        assert state.value(breaker="control") == 1  # 1 == OPEN
+        assert metrics.counter(
+            "resilience.breaker.opens_total"
+        ).value(breaker="control") >= 1
+        assert metrics.counter(
+            "resilience.breaker.rejected_total"
+        ).value(breaker="control") >= 1

@@ -1,0 +1,116 @@
+"""The ``repro.connect()`` facade and the deprecated entry-point shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.cv_workflow import CVWorkflowSettings
+from repro.core.session import RemoteSession
+from repro.errors import ReproError, WorkflowError
+from repro.obs import MetricsRegistry, Tracer, read_jsonl_spans
+
+FAST = CVWorkflowSettings(e_step_v=0.002)
+
+
+class TestConnect:
+    def test_connect_exposes_the_unified_surface(self, ice):
+        with repro.connect(ice) as session:
+            assert session.client is not None
+            assert session.datachannel is not None
+            assert session.mount is session.datachannel  # back-compat alias
+            assert isinstance(session.tracer, Tracer)
+            assert isinstance(session.metrics, MetricsRegistry)
+            wf = session.workflow()
+            assert wf.name == "cv-workflow"
+
+    def test_connect_with_no_target_owns_its_ice(self):
+        with repro.connect() as session:
+            assert session.ice is not None
+            assert session.client.call_Status_JKem()
+        # owned ICE is shut down on close: the control daemon is gone
+        assert not session.ice.control_daemon._running.is_set()
+
+    def test_injected_observability_is_used(self, ice):
+        tracer, metrics = Tracer("mine"), MetricsRegistry()
+        with repro.connect(ice, tracer=tracer, metrics=metrics) as session:
+            assert session.tracer is tracer
+            assert session.metrics is metrics
+            session.client.call_Status_JKem()
+        assert tracer.find("rpc.call.Status_JKem")
+
+    def test_uri_mode_has_no_workflow(self, ice_tcp):
+        session = repro.connect(ice_tcp.control_uri)
+        try:
+            assert session.client.call_Status_JKem()
+            assert session.datachannel is None
+            with pytest.raises(WorkflowError):
+                session.workflow()
+            with pytest.raises(WorkflowError):
+                _ = session.characterization
+        finally:
+            session.close()
+
+    def test_summarize_covers_spans_and_metrics(self, ice):
+        with repro.connect(ice) as session:
+            session.client.call_Status_JKem()
+        summary = session.summarize()
+        assert "rpc.call.Status_JKem" in summary["spans"]
+        assert any(k.startswith("rpc.client.calls_total") for k in summary["metrics"])
+
+    def test_export_trace_writes_readable_jsonl(self, ice, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with repro.connect(ice) as session:
+            session.client.call_Status_JKem()
+            count = session.export_trace(path)
+        assert count > 0
+        rows = read_jsonl_spans(path)
+        assert len(rows) == count
+        assert any(r["name"] == "rpc.call.Status_JKem" for r in rows)
+
+    def test_close_is_idempotent(self, ice):
+        session = repro.connect(ice)
+        session.close()
+        session.close()
+
+    def test_notebook_verbs_run_a_cv(self, ice):
+        with repro.connect(ice) as session:
+            trace = session.run_cv(
+                e_begin_v=0.2, e_vertex_v=0.8, scan_rate_v_s=0.1
+            )
+            assert len(trace) > 0
+            status = session.cell_status()
+            assert "volume_ml" in status
+
+
+class TestWorkflowThroughSession:
+    def test_run_workflow_threads_session_observability(self, ice):
+        with repro.connect(ice) as session:
+            result = session.run_workflow(settings=FAST)
+        assert result.succeeded
+        assert session.tracer.find("workflow.cv-workflow")
+        assert session.metrics.counter("workflow.tasks_total").total() >= 5
+
+
+class TestDeprecatedShims:
+    def test_remote_session_warns_but_works(self, ice):
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            session = RemoteSession(ice)
+        try:
+            assert session.client.call_Status_JKem()
+            assert session.datachannel is not None
+        finally:
+            session.close()
+
+    def test_facade_is_exported_at_top_level(self):
+        assert repro.connect is not None
+        assert repro.Session is not None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the new path must not warn
+            assert callable(repro.connect)
+
+    def test_error_hierarchy_root(self):
+        assert issubclass(WorkflowError, ReproError)
+        assert WorkflowError("x").code == "WORKFLOW_ERROR"

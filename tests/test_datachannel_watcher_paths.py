@@ -1,0 +1,153 @@
+"""Per-path error-streak escalation in the measurement watcher.
+
+Regression tests for the historical bug where the watcher kept ONE
+global failure streak: a healthy poll of any directory reset the
+counter for every watched path, so a share subtree failing for minutes
+never crossed the escalation threshold as long as one sibling stayed
+up. Streaks (and their pages) are now tracked per watched directory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datachannel import MeasurementWatcher
+from repro.datachannel.share import FileStat
+from repro.errors import DataChannelError
+from repro.obs import MetricsRegistry
+
+
+class FakeMount:
+    """Just enough of a Mount for the watcher: per-directory listings
+    with switchable failures."""
+
+    def __init__(self, listings):
+        self.listings = dict(listings)
+        self.failing: set[str] = set()
+
+    def listdir(self, directory=""):
+        if directory in self.failing:
+            raise DataChannelError(f"subtree {directory!r} unreachable")
+        return list(self.listings.get(directory, []))
+
+    def exists(self, path):
+        return False
+
+
+def _stat(path, size=10, mtime=1.0):
+    return FileStat(path=path, size=size, mtime=mtime, is_dir=False)
+
+
+def make_watcher(**kwargs):
+    mount = FakeMount(
+        {
+            "good": [_stat("good/a.mpt")],
+            "bad": [_stat("bad/b.mpt")],
+        }
+    )
+    watcher = MeasurementWatcher(
+        mount, directory=("good", "bad"), interval_s=0.01, **kwargs
+    )
+    return mount, watcher
+
+
+class TestPerPathStreaks:
+    def test_one_failing_directory_does_not_fail_the_pass(self):
+        mount, watcher = make_watcher()
+        mount.failing = {"bad"}
+        changed = watcher.poll()  # must not raise: "good" still served
+        assert [s.path for s in changed] == ["good/a.mpt"]
+        assert watcher.failure_streaks == {"good": 0, "bad": 1}
+        assert watcher.failure_streak == 1  # worst streak across paths
+
+    def test_all_directories_failing_raises(self):
+        mount, watcher = make_watcher()
+        mount.failing = {"good", "bad"}
+        for expected in (1, 2):
+            try:
+                watcher.poll()
+            except DataChannelError:
+                pass
+            else:  # pragma: no cover - the pass must raise
+                raise AssertionError("poll() should raise when all dirs fail")
+            assert watcher.failure_streaks == {
+                "good": expected,
+                "bad": expected,
+            }
+
+    def test_healthy_directory_does_not_reset_siblings_streak(self):
+        """The historical bug: one success reset EVERY path's streak."""
+        mount, watcher = make_watcher()
+        mount.failing = {"bad"}
+        for expected in (1, 2, 3):
+            watcher.poll()
+            assert watcher.failure_streaks["bad"] == expected
+            assert watcher.failure_streaks["good"] == 0
+
+    def test_recovery_resets_only_that_directory(self):
+        mount, watcher = make_watcher()
+        mount.failing = {"good", "bad"}
+        for _ in range(3):
+            try:
+                watcher.poll()
+            except DataChannelError:
+                pass
+        mount.failing = {"bad"}  # "good" comes back
+        watcher.poll()
+        assert watcher.failure_streaks == {"good": 0, "bad": 4}
+        assert watcher.last_errors["bad"] is not None
+
+    def test_failure_metrics_labeled_per_directory(self):
+        metrics = MetricsRegistry()
+        mount, watcher = make_watcher(metrics=metrics)
+        mount.failing = {"bad"}
+        watcher.poll()
+        watcher.poll()
+        failures = metrics.counter("datachannel.watcher.poll_failures_total")
+        assert failures.value(directory="bad") == 2
+        assert failures.value(directory="good") == 0
+        assert metrics.counter("datachannel.watcher.polls_total").total() == 2
+
+
+class TestBackgroundEscalation:
+    def _wait_until(self, predicate, timeout_s=5.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(0.01)
+        raise AssertionError("condition not reached in time")
+
+    def test_failing_subtree_pages_despite_healthy_sibling(self):
+        """End-to-end escalation: the bad directory crosses the threshold
+        and pages exactly once per streak, while the good directory keeps
+        delivering files the whole time."""
+        mount, watcher = make_watcher()
+        mount.failing = {"bad"}
+        pages: list[DataChannelError] = []
+        arrivals: list[str] = []
+        watcher.start(
+            lambda stat: arrivals.append(stat.path),
+            on_error=pages.append,
+            error_threshold=3,
+        )
+        try:
+            self._wait_until(lambda: pages)
+            # one page per streak, not one per failing tick
+            self._wait_until(
+                lambda: watcher.failure_streaks["bad"] >= 6
+            )
+            assert len(pages) == 1
+            assert "bad" in str(pages[0])
+            assert watcher.failure_streaks["good"] == 0
+            assert arrivals and set(arrivals) == {"good/a.mpt"}
+
+            # recovery re-arms the notification for the next streak
+            mount.failing = set()
+            self._wait_until(
+                lambda: watcher.failure_streaks["bad"] == 0
+            )
+            mount.failing = {"bad"}
+            self._wait_until(lambda: len(pages) == 2)
+        finally:
+            watcher.stop()

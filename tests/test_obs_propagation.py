@@ -1,0 +1,223 @@
+"""Context propagation across the control channel, end to end.
+
+The acceptance bar for the observability layer: one CV workflow run
+under ``repro.connect()`` must emit a single connected trace — workflow
+task → client RPC call → daemon dispatch → instrument command — plus
+the data-file arrival span, all sharing one ``trace_id`` and linked by
+``parent_id`` (verified by walking the links, not by name matching).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.cv_workflow import CVWorkflowSettings
+from repro.obs import MetricsRegistry, Tracer
+from repro.rpc import Daemon, Proxy, expose
+from repro.rpc.protocol import request_body, request_trace_context
+
+FAST = CVWorkflowSettings(e_step_v=0.002)
+
+
+@expose
+class Echo:
+    def echo(self, value):
+        return value
+
+
+class TestWireField:
+    def test_request_body_carries_trace_field(self):
+        body = request_body(
+            "obj", "m", (), {}, trace_context={"trace_id": "t" * 32, "span_id": "s" * 16}
+        )
+        assert body["trace"] == {"trace_id": "t" * 32, "span_id": "s" * 16}
+        assert request_trace_context(body) is not None
+
+    def test_request_body_omits_trace_field_by_default(self):
+        body = request_body("obj", "m", (), {})
+        assert "trace" not in body
+        assert request_trace_context(body) is None
+
+    @pytest.mark.parametrize(
+        "carrier", ["junk", 42, {"trace_id": "only"}, ["a", "b"], {}]
+    )
+    def test_malformed_trace_field_extracts_to_none(self, carrier):
+        body = request_body("obj", "m", (), {})
+        body["trace"] = carrier
+        assert request_trace_context(body) is None
+
+    def test_daemon_serves_malformed_trace_field_untraced(self, monkeypatch):
+        """A garbage ``trace`` field must not fail the call — the daemon
+        serves it, recording the dispatch as a trace root."""
+        import repro.rpc.proxy as proxy_mod
+
+        daemon = Daemon()
+        daemon.tracer = Tracer("daemon")
+        uri = daemon.register(Echo(), object_id="echo")
+        daemon.start_background()
+
+        real_request_body = proxy_mod.request_body
+
+        def poisoned(*args, **kwargs):
+            body = real_request_body(*args, **kwargs)
+            body["trace"] = {"trace_id": 123, "span_id": None}
+            return body
+
+        monkeypatch.setattr(proxy_mod, "request_body", poisoned)
+        try:
+            with Proxy(uri) as proxy:
+                assert proxy.echo(7) == 7
+        finally:
+            daemon.shutdown()
+        (dispatch,) = daemon.tracer.find("rpc.dispatch.echo")
+        assert dispatch.parent_id is None  # served untraced, not failed
+
+
+class TestClientDaemonPropagation:
+    def test_client_span_parents_daemon_span_across_wan(self, ice):
+        """Same trace on both sides of the simulated ACL<->K200 WAN."""
+        tracer = Tracer("session")
+        metrics = MetricsRegistry()
+        ice.attach_observability(tracer, metrics)
+        client = ice.client(tracer=tracer, metrics=metrics)
+        client.call_Status_JKem()
+        client.close()
+
+        calls = tracer.find("rpc.call.Status_JKem")
+        dispatches = tracer.find("rpc.dispatch.Status_JKem")
+        assert len(calls) == 1 and len(dispatches) == 1
+        assert dispatches[0].trace_id == calls[0].trace_id
+        assert dispatches[0].parent_id == calls[0].span_id
+        # and the metrics saw both sides
+        assert metrics.counter("rpc.client.calls_total").total() == 1
+        assert metrics.counter("rpc.daemon.calls_total").value(
+            method="Status_JKem", status="ok"
+        ) == 1
+
+    def test_untraced_client_yields_root_dispatch_spans(self, ice):
+        """Daemon tracing engages even when the client sends no context;
+        those dispatch spans are roots of their own traces."""
+        daemon_tracer = Tracer("daemon-only")
+        ice.control_daemon.tracer = daemon_tracer
+        client = ice.client()  # no client tracer: no trace on the wire
+        client.call_Status_JKem()
+        client.close()
+        (dispatch,) = daemon_tracer.find("rpc.dispatch.Status_JKem")
+        assert dispatch.parent_id is None
+        assert dispatch.status == "OK"
+
+
+class TestEndToEndTrace:
+    def _walk_to_root(self, by_id, span):
+        chain = [span]
+        while chain[-1].parent_id is not None:
+            parent = by_id.get(chain[-1].parent_id)
+            assert parent is not None, (
+                f"broken parent link at {chain[-1].name}: {chain[-1].parent_id}"
+            )
+            chain.append(parent)
+        return chain
+
+    def test_cv_workflow_emits_one_connected_trace(self, ice, trained_classifier):
+        with repro.connect(ice, classifier=trained_classifier) as session:
+            result = session.run_workflow(settings=FAST)
+        assert result.succeeded
+
+        spans = session.tracer.finished_spans()
+        by_id = {s.span_id: s for s in spans}
+
+        # the acceptance walk: instrument command -> daemon dispatch ->
+        # client RPC -> workflow task -> workflow root, via parent links
+        (start_cmd,) = [
+            s for s in spans if s.name == "instrument.Start_Channel_SP200"
+        ]
+        chain = self._walk_to_root(by_id, start_cmd)
+        names = [s.name for s in chain]
+        assert names == [
+            "instrument.Start_Channel_SP200",
+            "rpc.dispatch.Start_Channel_SP200",
+            "rpc.call.Start_Channel_SP200",
+            "task.D_run_cv",
+            "workflow.cv-workflow",
+        ]
+
+        # the data-file arrival is part of the same task, same trace
+        (arrival,) = [s for s in spans if s.name == "datachannel.file_arrival"]
+        arrival_chain = self._walk_to_root(by_id, arrival)
+        assert arrival_chain[-1].name == "workflow.cv-workflow"
+        assert any(s.name == "task.D_run_cv" for s in arrival_chain)
+
+        # one trace covers the entire workflow's span tree
+        workflow_trace = chain[-1].trace_id
+        connected = [
+            s
+            for s in spans
+            if s.name.startswith(
+                ("workflow.", "task.", "rpc.", "instrument.", "datachannel.")
+            )
+        ]
+        assert connected and all(s.trace_id == workflow_trace for s in connected)
+
+        # every non-root span's parent actually exists in the trace
+        for span in connected:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id
+
+    def test_resilient_client_adds_logical_call_span_to_chain(self, ice):
+        """With the resilient wrapper on, each attempt's ``rpc.call`` span
+        nests under the logical ``rpc.resilient`` span, same trace."""
+        settings = CVWorkflowSettings(e_step_v=0.002, resilient_client=True)
+        with repro.connect(ice) as session:
+            result = session.run_workflow(settings=settings)
+        assert result.succeeded
+        spans = session.tracer.finished_spans()
+        by_id = {s.span_id: s for s in spans}
+        (start_cmd,) = [
+            s for s in spans if s.name == "instrument.Start_Channel_SP200"
+        ]
+        names = [s.name for s in self._walk_to_root(by_id, start_cmd)]
+        assert names == [
+            "instrument.Start_Channel_SP200",
+            "rpc.dispatch.Start_Channel_SP200",
+            "rpc.call.Start_Channel_SP200",
+            "rpc.resilient.Start_Channel_SP200",
+            "task.D_run_cv",
+            "workflow.cv-workflow",
+        ]
+
+    def test_file_arrival_latency_histogram_recorded(self, ice):
+        with repro.connect(ice) as session:
+            result = session.run_workflow(settings=FAST)
+        assert result.succeeded
+        hist = session.metrics.histogram("datachannel.file_arrival_latency_s")
+        assert hist.count() == 1
+        snap = hist.snapshot()
+        assert snap["min"] > 0
+
+    def test_task_metrics_and_teardown_events(self, ice):
+        settings = CVWorkflowSettings(fill_volume_ml=25.0)  # task C aborts
+        with repro.connect(ice) as session:
+            result = session.run_workflow(settings=settings)
+        assert not result.succeeded
+        m = session.metrics
+        assert m.counter("workflow.tasks_total").value(
+            workflow="cv-workflow", task="C_fill_cell", state="failed"
+        ) == 1
+        assert m.counter("workflow.tasks_total").value(
+            workflow="cv-workflow", task="B_configure_jkem", state="succeeded"
+        ) == 1
+        # the run span carries the teardown events and an ERROR status
+        (run_span,) = session.tracer.find("workflow.cv-workflow")
+        assert run_span.status == "ERROR"
+        teardowns = [e for e in run_span.events if e["name"] == "teardown"]
+        assert len(teardowns) == 3
+
+    def test_simnet_link_metrics_observed(self, ice):
+        with repro.connect(ice) as session:
+            session.client.call_Status_JKem()
+        m = session.metrics
+        link_bytes = m.counter("net.link.bytes_total")
+        assert link_bytes.total() > 0
+        rtt = m.gauge("net.path.rtt_s")
+        assert any(v[1][0] > 0 for v in rtt.series())

@@ -22,6 +22,8 @@ from repro.core.cv_workflow import (
 from repro.core.campaign import (
     Campaign,
     CampaignRound,
+    FleetCampaign,
+    FleetCellResult,
     scan_rate_strategy,
     window_centering_strategy,
     kinetics_targeting_strategy,
@@ -52,6 +54,8 @@ __all__ = [
     "run_cv_workflow",
     "Campaign",
     "CampaignRound",
+    "FleetCampaign",
+    "FleetCellResult",
     "scan_rate_strategy",
     "window_centering_strategy",
     "kinetics_targeting_strategy",

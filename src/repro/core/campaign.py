@@ -18,26 +18,35 @@ propose the next round's settings or stop. Three strategies ship:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
 from repro.errors import WorkflowError
 from repro.ml.normality import NormalityClassifier
 from repro.facility.ice import ElectrochemistryICE
+from repro.obs.trace import child_span, use_span
 from repro.core.cv_workflow import (
     CVWorkflowResult,
     CVWorkflowSettings,
     run_cv_workflow,
 )
+from repro.core.provenance import capture_provenance, write_provenance
 
 
 @dataclass
 class CampaignRound:
-    """One completed round."""
+    """One completed round.
+
+    ``retry_of`` is the index of the abnormal round this one re-ran
+    (None for first attempts) — see :class:`Campaign` retry semantics.
+    """
 
     index: int
     settings: CVWorkflowSettings
     result: CVWorkflowResult
+    retry_of: int | None = None
 
 
 #: A strategy inspects history and returns the next settings, or None to stop.
@@ -65,33 +74,76 @@ class Campaign:
     rounds: list[CampaignRound] = field(default_factory=list)
 
     def run(self) -> list[CampaignRound]:
-        """Run until the strategy stops, a round fails, or max_rounds."""
+        """Run until the strategy stops, a round fails, or max_rounds.
+
+        Abnormal rounds: with ``abort_on_abnormal=True`` the campaign
+        stops at the first abnormal measurement. With it False, the
+        abnormal round is retried once with a refilled cell (fresh
+        liquid often clears a fouled electrode or a bubble); the retry
+        is recorded as its own round with ``retry_of`` set, and the
+        campaign continues only if the retry comes back normal.
+        """
         if self.max_rounds < 1:
             raise WorkflowError("max_rounds must be >= 1")
         self.rounds.clear()
         while len(self.rounds) < self.max_rounds:
-            settings = self.strategy(self.rounds)
-            if settings is None:
+            # the strategy sees effective history: a retry supersedes the
+            # abnormal round it re-ran, so sweep strategies keyed on
+            # round count are not thrown off by retries
+            proposed = self.strategy(self.effective_rounds)
+            if proposed is None:
                 break
             # rounds after the first reuse the liquid already in the cell
-            if self.rounds:
-                settings = replace(settings, fill_volume_ml=0.0)
-            result = run_cv_workflow(
-                self.ice, settings=settings, classifier=self.classifier
+            settings = (
+                replace(proposed, fill_volume_ml=0.0) if self.rounds else proposed
             )
-            record = CampaignRound(
-                index=len(self.rounds), settings=settings, result=result
-            )
-            self.rounds.append(record)
-            if not result.succeeded:
+            record = self._run_round(settings)
+            if not record.result.succeeded:
                 break
-            if (
-                self.abort_on_abnormal
-                and result.normality is not None
-                and not result.normality.normal
-            ):
-                break
+            if self._abnormal(record):
+                if self.abort_on_abnormal:
+                    break
+                if len(self.rounds) >= self.max_rounds:
+                    break
+                retry = self._run_round(
+                    replace(
+                        settings,
+                        fill_volume_ml=proposed.fill_volume_ml,
+                        measurement_stem=f"{settings.measurement_stem}_retry",
+                    ),
+                    retry_of=record.index,
+                )
+                if not retry.result.succeeded or self._abnormal(retry):
+                    break
         return self.rounds
+
+    def _run_round(
+        self, settings: CVWorkflowSettings, retry_of: int | None = None
+    ) -> CampaignRound:
+        result = run_cv_workflow(
+            self.ice, settings=settings, classifier=self.classifier
+        )
+        record = CampaignRound(
+            index=len(self.rounds),
+            settings=settings,
+            result=result,
+            retry_of=retry_of,
+        )
+        self.rounds.append(record)
+        return record
+
+    @staticmethod
+    def _abnormal(record: CampaignRound) -> bool:
+        report = record.result.normality
+        return report is not None and not report.normal
+
+    @property
+    def effective_rounds(self) -> list[CampaignRound]:
+        """Rounds minus any abnormal round superseded by its retry."""
+        superseded = {
+            r.retry_of for r in self.rounds if r.retry_of is not None
+        }
+        return [r for r in self.rounds if r.index not in superseded]
 
     @property
     def all_normal(self) -> bool:
@@ -99,6 +151,181 @@ class Campaign:
             r.result.normality is None or r.result.normality.normal
             for r in self.rounds
         )
+
+
+@dataclass
+class FleetCellResult:
+    """Outcome of one cell's campaign inside a :class:`FleetCampaign`."""
+
+    cell: str
+    rounds: list[CampaignRound]
+    error: Exception | None = None
+    safe_stated: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the campaign ran to completion without crashing."""
+        return self.error is None
+
+
+class FleetCampaign:
+    """Independent campaigns against multiple ICE cells, concurrently.
+
+    The paper runs one cell per workflow; fleets of ICEs (the follow-on
+    "self-driving labs" scaling) run many. Each cell's campaign executes
+    in its own worker thread against its own ICE, so one slow or broken
+    cell never stalls the others:
+
+    - **failure isolation** — an exception in one cell's campaign is
+      captured in that cell's :class:`FleetCellResult`; every other cell
+      runs to completion;
+    - **safe state** — a crashed cell's workstation is sent
+      ``Safe_State`` (syringe/peri pumps halted, cell drained) before
+      its result is recorded, so no hardware is left pumping;
+    - **merged provenance** — :meth:`merged_provenance` folds each
+      cell's per-round provenance records into one fleet-level document.
+
+    Args:
+        campaigns: cell name -> ready-to-run :class:`Campaign` (each
+            with its *own* ICE).
+        max_workers: concurrency bound (default: one thread per cell).
+        tracer: optional tracer; cells run under ``fleet.cell`` spans
+            parented to one ``fleet.run`` root.
+        metrics: optional registry; receives the ``fleet.cells_total``
+            counter labelled by outcome.
+    """
+
+    def __init__(
+        self,
+        campaigns: dict[str, Campaign],
+        max_workers: int | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
+    ):
+        if not campaigns:
+            raise WorkflowError("a fleet needs at least one campaign")
+        self.campaigns = dict(campaigns)
+        self.max_workers = max_workers
+        self.tracer = tracer
+        self.metrics = metrics
+        self.results: dict[str, FleetCellResult] = {}
+
+    def run(self) -> dict[str, FleetCellResult]:
+        """Run every cell's campaign; returns cell name -> result."""
+        self.results.clear()
+        root = (
+            self.tracer.start_span(
+                "fleet.run", attributes={"cells": len(self.campaigns)}
+            )
+            if self.tracer is not None
+            else None
+        )
+        workers = self.max_workers or len(self.campaigns)
+        try:
+            with ThreadPoolExecutor(
+                max_workers=max(1, workers), thread_name_prefix="fleet"
+            ) as pool:
+                futures = {
+                    name: pool.submit(self._run_cell, name, campaign, root)
+                    for name, campaign in self.campaigns.items()
+                }
+                for name, future in futures.items():
+                    self.results[name] = future.result()
+        finally:
+            if root is not None:
+                failed = [r.cell for r in self.results.values() if not r.succeeded]
+                root.set_attribute("cells_failed", len(failed))
+                root.end("ERROR" if failed else None)
+        if self.metrics is not None:
+            counter = self.metrics.counter(
+                "fleet.cells_total", "fleet campaign cells by outcome"
+            )
+            for result in self.results.values():
+                counter.inc(status="ok" if result.succeeded else "error")
+        return self.results
+
+    def _run_cell(
+        self, name: str, campaign: Campaign, parent: Any
+    ) -> FleetCellResult:
+        with use_span(parent):
+            with child_span("fleet.cell", cell=name) as span:
+                try:
+                    rounds = campaign.run()
+                except Exception as exc:  # noqa: BLE001 - isolate the cell
+                    if span is not None:
+                        span.record_exception(exc)
+                    safe = self._safe_state(campaign)
+                    return FleetCellResult(
+                        cell=name,
+                        rounds=list(campaign.rounds),
+                        error=exc,
+                        safe_stated=safe,
+                    )
+                return FleetCellResult(cell=name, rounds=rounds)
+
+    @staticmethod
+    def _safe_state(campaign: Campaign) -> bool:
+        """Best-effort hardware quiesce after a cell's campaign crashed."""
+        try:
+            client = campaign.ice.client()
+            try:
+                client.call_Safe_State()
+            finally:
+                client.close()
+            return True
+        except Exception:  # noqa: BLE001 - teardown must never re-raise
+            return False
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.results) and all(
+            r.succeeded for r in self.results.values()
+        )
+
+    def merged_provenance(self) -> dict[str, Any]:
+        """One fleet-level provenance document spanning every cell.
+
+        Each completed round contributes its full
+        :func:`capture_provenance` record (task states, timings,
+        SHA-256'd measurement artifact); crashed cells record the error
+        and whether safe state was reached.
+        """
+        cells: dict[str, Any] = {}
+        for name, result in self.results.items():
+            campaign = self.campaigns[name]
+            round_records = []
+            for round_ in result.rounds:
+                artifacts: list[Path] = []
+                measurement = round_.result.measurement_file
+                if measurement:
+                    local = campaign.ice.measurement_dir / measurement
+                    if local.exists():
+                        artifacts.append(local)
+                record = capture_provenance(
+                    round_.result.workflow,
+                    workflow_name=f"cv-campaign[{name}]#{round_.index}",
+                    settings=round_.settings,
+                    artifacts=artifacts,
+                )
+                record["round"] = round_.index
+                record["retry_of"] = round_.retry_of
+                round_records.append(record)
+            cells[name] = {
+                "rounds": round_records,
+                "error": str(result.error) if result.error else None,
+                "safe_stated": result.safe_stated,
+            }
+        return {
+            "schema": "repro-fleet-provenance-1",
+            "cells": cells,
+            "succeeded": self.succeeded,
+        }
+
+    def write_merged_provenance(
+        self, directory: str | Path, stem: str = "fleet-provenance"
+    ) -> Path:
+        """Write :meth:`merged_provenance` as ``<stem>.json``."""
+        return write_provenance(self.merged_provenance(), directory, stem)
 
 
 def scan_rate_strategy(

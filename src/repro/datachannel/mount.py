@@ -24,11 +24,24 @@ class Mount:
     Args:
         proxy: connected proxy to the share service.
         cache_dir: local directory for :meth:`fetch`; created on demand.
+        read_size: request granularity for chunked reads, in bytes. The
+            server clamps each ``read_chunk`` to its own ``CHUNK_SIZE``,
+            so values above that are ineffective; smaller values mean
+            more, smaller frames — which pipelining turns into deeper
+            read-ahead on high-latency links.
     """
 
-    def __init__(self, proxy: Proxy, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        proxy: Proxy,
+        cache_dir: str | Path | None = None,
+        read_size: int = CHUNK_SIZE,
+    ):
+        if read_size < 1:
+            raise ValueError(f"read_size must be >= 1, got {read_size}")
         self._proxy: Proxy | None = proxy
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.read_size = min(read_size, CHUNK_SIZE)
         self.bytes_fetched = 0
 
     # -- lifecycle -----------------------------------------------------------
@@ -62,29 +75,78 @@ class Mount:
         return bool(self._service().exists(relative))
 
     # -- file access -------------------------------------------------------
+    def _read_serial(self, service, relative: str, offset: int = 0) -> list[bytes]:
+        """Chunk-at-a-time fetch loop starting at ``offset``."""
+        size = self.read_size
+        chunks: list[bytes] = []
+        while True:
+            chunk = service.read_chunk(relative, offset, size)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            offset += len(chunk)
+            if len(chunk) < size:
+                break
+        return chunks
+
+    def _read_pipelined(self, service, relative: str) -> list[bytes]:
+        """Read-ahead fetch: every ``read_chunk`` in flight at once.
+
+        A ``stat`` sizes the file, then all chunk requests go down the
+        pipe back-to-back — the whole file costs one round trip plus the
+        transfers instead of one round trip per chunk. If the file grew
+        after the stat (a measurement still being written), a serial
+        tail loop picks up the extra chunks.
+        """
+        read_size = self.read_size
+        size = int(service.stat(relative)["size"])
+        n_chunks = max(1, -(-size // read_size))
+        with service.pipeline() as pipe:
+            pending = [
+                pipe.call("read_chunk", relative, i * read_size, read_size)
+                for i in range(n_chunks)
+            ]
+            chunks = [p.result() for p in pending]
+        # truncate at the first short/empty chunk (file shrank mid-read)
+        out: list[bytes] = []
+        for chunk in chunks:
+            if not chunk:
+                break
+            out.append(chunk)
+            if len(chunk) < read_size:
+                break
+        else:
+            # every chunk came back full — the file may have grown
+            out.extend(
+                self._read_serial(service, relative, n_chunks * read_size)
+            )
+        return out
+
     def read_bytes(self, relative: str, verify: bool = False) -> bytes:
         """Read a whole remote file (chunked under the hood).
+
+        When the mount's proxy was built with ``max_inflight > 1`` the
+        chunk fetches are pipelined (each ``read_chunk`` is issued before
+        the previous reply lands); otherwise the classic serial loop
+        runs. Both paths return identical bytes.
 
         Args:
             verify: re-checksum the assembled bytes against the server's
                 SHA-256 and raise on mismatch.
         """
         service = self._service()
+        depth = getattr(service, "max_inflight", 1)
+        pipelined = isinstance(depth, int) and depth > 1
         with child_span("datachannel.read", path=relative) as span:
-            chunks: list[bytes] = []
-            offset = 0
-            while True:
-                chunk = service.read_chunk(relative, offset, CHUNK_SIZE)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-                offset += len(chunk)
-                if len(chunk) < CHUNK_SIZE:
-                    break
+            if pipelined:
+                chunks = self._read_pipelined(service, relative)
+            else:
+                chunks = self._read_serial(service, relative)
             data = b"".join(chunks)
             self.bytes_fetched += len(data)
             if span is not None:
                 span.set_attribute("bytes", len(data))
+                span.set_attribute("pipelined", pipelined)
             if verify:
                 expected = service.checksum(relative)
                 actual = hashlib.sha256(data).hexdigest()

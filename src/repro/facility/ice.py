@@ -400,9 +400,19 @@ class ElectrochemistryICE:
         )
 
     def mount(
-        self, cache_dir: str | Path | None = None, tracer=None, metrics=None
+        self,
+        cache_dir: str | Path | None = None,
+        tracer=None,
+        metrics=None,
+        pipeline_depth: int = 1,
     ) -> Mount:
-        """Mount the measurement share on the DGX over the data channel."""
+        """Mount the measurement share on the DGX over the data channel.
+
+        ``pipeline_depth > 1`` builds the share proxy with that many
+        in-flight requests allowed, so multi-chunk reads pipeline their
+        ``read_chunk`` calls instead of paying one WAN round trip per
+        chunk (PROTOCOLS §1.4).
+        """
         proxy = Proxy(
             self.share_uri,
             timeout=120.0,
@@ -411,6 +421,7 @@ class ElectrochemistryICE:
             ),
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
+            max_inflight=pipeline_depth,
         )
         return Mount(proxy, cache_dir=cache_dir)
 

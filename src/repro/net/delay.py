@@ -1,0 +1,125 @@
+"""Propagation-delay transport wrapper for latency benchmarks.
+
+The simulated WAN in :mod:`repro.net.simnet` charges link latency in the
+*sender's* thread, which is right for modelling a shared medium but wrong
+for measuring pipelining: back-to-back sends would serialise their
+delays. Real propagation delay overlaps — ten frames sent in one burst
+all arrive ~RTT/2 later, not 10×RTT/2 apart.
+
+This module wraps any :class:`~repro.rpc.transport.Connection` so that
+each ``sendall`` is stamped with a *deliver-at* time and returns
+immediately; the **receiver** sleeps until the stamp is due. Delays on
+different frames therefore overlap exactly like propagation delay on a
+long pipe, which is the property the pipelining benchmark
+(`benchmarks/test_bench_pipelining.py`) depends on:
+
+    serial:     N calls  →  N × (RTT + proc)
+    pipelined:  N calls  →  RTT + N × proc
+
+Wire format between two wrapped endpoints: each ``sendall`` payload is
+prefixed with an 8-byte monotonic deadline and a 4-byte length
+(``!dI``). Both sides of a connection must be wrapped.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import threading
+
+from repro.rpc.transport import Connection, Listener, TCPListener, connect_tcp
+
+_HEADER = struct.Struct("!dI")
+
+
+class DelayedConnection(Connection):
+    """One endpoint of a delay-stamped byte stream.
+
+    Args:
+        inner: the real transport both endpoints share (e.g. TCP
+            loopback).
+        one_way_s: propagation delay added to every segment, in seconds.
+
+    ``bytes_sent`` / ``bytes_received`` count payload bytes (headers
+    excluded), mirroring the sim transport's counters so client metrics
+    behave identically over this wrapper.
+    """
+
+    def __init__(self, inner: Connection, one_way_s: float):
+        self._inner = inner
+        self._one_way_s = float(one_way_s)
+        self._buffer = bytearray()
+        self._recv_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def sendall(self, data: bytes) -> None:
+        deliver_at = time.monotonic() + self._one_way_s
+        with self._send_lock:
+            self._inner.sendall(_HEADER.pack(deliver_at, len(data)) + bytes(data))
+            self.bytes_sent += len(data)
+
+    def recv_exactly(self, size: int) -> bytes:
+        with self._recv_lock:
+            while len(self._buffer) < size:
+                header = self._inner.recv_exactly(_HEADER.size)
+                deliver_at, length = _HEADER.unpack(header)
+                payload = self._inner.recv_exactly(length) if length else b""
+                # the sender returned immediately; propagation is paid
+                # here, so delays of back-to-back segments overlap
+                remaining = deliver_at - time.monotonic()
+                if remaining > 0:
+                    time.sleep(remaining)
+                self._buffer.extend(payload)
+            out = bytes(self._buffer[:size])
+            del self._buffer[:size]
+            self.bytes_received += size
+            return out
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._inner.settimeout(timeout)
+
+    @property
+    def peer(self) -> str:
+        return f"delayed+{self._inner.peer}"
+
+
+class DelayedListener(Listener):
+    """Accepts connections and wraps each in a :class:`DelayedConnection`."""
+
+    def __init__(self, inner: Listener, one_way_s: float):
+        self._inner = inner
+        self._one_way_s = float(one_way_s)
+
+    def accept(self) -> DelayedConnection:
+        return DelayedConnection(self._inner.accept(), self._one_way_s)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._inner.address
+
+
+def delayed_loopback(
+    one_way_s: float, host: str = "127.0.0.1"
+) -> tuple[DelayedListener, "type(connect_tcp)"]:
+    """A loopback listener/dialer pair with symmetric propagation delay.
+
+    Returns ``(listener, connection_factory)``: pass the listener to a
+    :class:`~repro.rpc.Daemon` and the factory to a
+    :class:`~repro.rpc.Proxy`, and every frame in either direction
+    arrives ``one_way_s`` after it was sent — a 2×``one_way_s`` RTT whose
+    per-frame delays overlap under pipelining.
+    """
+    listener = DelayedListener(TCPListener(host, 0), one_way_s)
+
+    def factory(h: str, port: int, timeout: float | None = 5.0) -> DelayedConnection:
+        return DelayedConnection(connect_tcp(h, port, timeout=timeout), one_way_s)
+
+    return listener, factory

@@ -9,7 +9,10 @@ reimplements the subset the paper uses, with the same shape:
 - :class:`Daemon` registers objects and serves them — ``daemon.register``
   returns a ``PYRO:ObjectId@host:port`` URI, ``daemon.request_loop()``
   serves until shut down (a background-thread variant is provided);
-- :class:`Proxy` connects to a URI and forwards attribute calls;
+- :class:`Proxy` connects to a URI and forwards attribute calls; built
+  with ``max_inflight > 1`` it pipelines requests (PROTOCOLS §1.4) and
+  offers :meth:`Proxy.pipeline` for explicit bursts;
+- :class:`ProxyPool` hands out independent connections to one endpoint;
 - :class:`NameServer` maps logical names to URIs, itself served by a daemon.
 
 Serialisation is JSON with explicit type tags (bytes, ndarray, tuple, set,
@@ -34,7 +37,7 @@ Example::
 from repro.rpc.expose import expose, is_exposed, exposed_methods, oneway
 from repro.rpc.serialization import serialize, deserialize
 from repro.rpc.daemon import Daemon
-from repro.rpc.proxy import Proxy
+from repro.rpc.proxy import PendingReply, Pipeline, Proxy, ProxyPool
 from repro.rpc.naming import (
     NameServer,
     PyroURI,
@@ -52,6 +55,9 @@ __all__ = [
     "deserialize",
     "Daemon",
     "Proxy",
+    "ProxyPool",
+    "Pipeline",
+    "PendingReply",
     "NameServer",
     "PyroURI",
     "parse_uri",

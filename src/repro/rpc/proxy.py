@@ -6,16 +6,28 @@ attribute calls::
     with Proxy("PYRO:ACL_Workstation@10.2.11.161:9690") as ws:
         ws.call_Initialize_SP200_API(params)
 
-One proxy holds one connection; calls on it are serialised by a lock (same
-contract as Pyro4 — share across threads or clone per thread). Remote
-exceptions re-raise locally: known :mod:`repro.errors` classes keep their
-type, anything else becomes :class:`RemoteInvocationError` carrying the
-remote traceback.
+One proxy holds one connection; by default calls on it are serialised by
+a lock (same contract as Pyro4 — share across threads or clone per
+thread). Remote exceptions re-raise locally: known :mod:`repro.errors`
+classes keep their type, anything else becomes
+:class:`RemoteInvocationError` carrying the remote traceback.
+
+Pipelining (``docs/PROTOCOLS.md`` §1.4): a proxy built with
+``max_inflight > 1`` allows that many REQUEST frames on the wire at once,
+demultiplexing replies by sequence id through a shared waiter map — N
+calls cost one round trip plus N executions instead of N round trips.
+Threads sharing the proxy overlap automatically; a single thread can
+burst explicitly through :meth:`Proxy.pipeline`. Callers that want truly
+independent connections instead of a multiplexed one use
+:class:`ProxyPool`.
 """
 
 from __future__ import annotations
 
+import copy
+import itertools
 import threading
+import uuid
 from typing import Any, Callable
 
 import repro.errors as _errors_module
@@ -30,6 +42,7 @@ from repro.rpc.protocol import (
     FLAG_ONEWAY,
     Message,
     MessageType,
+    encode_message,
     recv_message,
     request_body,
     send_message,
@@ -56,6 +69,37 @@ def _rebuild_remote_error(body: dict) -> Exception:
         remote_traceback=traceback_text,
         remote_code=remote_code if isinstance(remote_code, str) else "",
     )
+
+
+def _clone_transport_error(exc: Exception) -> Exception:
+    """A per-waiter copy of a shared failure.
+
+    Every call in flight when the connection dies must raise, but raising
+    one exception object from several threads races on its traceback;
+    each waiter gets its own instance instead.
+    """
+    try:
+        clone = type(exc)(str(exc))
+    except Exception:  # noqa: BLE001 - exotic signature; fall back
+        clone = CommunicationError(str(exc))
+    clone.__cause__ = exc
+    return clone
+
+
+class _PendingSlot:
+    """Waiter-map entry for one in-flight frame."""
+
+    __slots__ = ("reply", "error", "bytes_sent", "bytes_received")
+
+    def __init__(self) -> None:
+        self.reply: Message | None = None
+        self.error: Exception | None = None
+        self.bytes_sent: int | None = None
+        self.bytes_received: int | None = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.reply is not None or self.error is not None
 
 
 class _RemoteMethod:
@@ -88,7 +132,13 @@ class Proxy:
             carried in the REQUEST ``trace`` field so the daemon's
             dispatch span parents under it. None = zero overhead.
         metrics: optional :class:`repro.obs.MetricsRegistry` receiving
-            per-call counters, latency histograms and byte counts.
+            per-call counters, latency histograms, byte counts and the
+            ``rpc.client.inflight`` gauge.
+        max_inflight: in-flight REQUEST window. 1 (default) keeps the
+            classic one-call-at-a-time semantics; above 1 the proxy
+            pipelines — concurrent threads overlap their round trips on
+            the one connection, and :meth:`pipeline` becomes available
+            for single-threaded bursts.
     """
 
     def __init__(
@@ -99,7 +149,10 @@ class Proxy:
         secret: bytes | None = None,
         tracer: Any = None,
         metrics: Any = None,
+        max_inflight: int = 1,
     ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self._uri = parse_uri(uri)
         self._timeout = timeout
         self._secret = secret
@@ -112,6 +165,15 @@ class Proxy:
         self._metadata: dict[str, Any] | None = None
         self.tracer = tracer
         self.metrics = metrics
+        # pipelining state: a waiter map keyed by sequence id plus a
+        # "become the reader" condition — at most one thread blocks in
+        # recv at a time, depositing replies for everyone else
+        self._max_inflight = int(max_inflight)
+        self._send_lock = threading.Lock()
+        self._demux = threading.Condition(threading.Lock())
+        self._pending: dict[int, _PendingSlot] = {}
+        self._reader_busy = False
+        self._inflight_frames = 0
 
     # -- connection management ----------------------------------------------
     @property
@@ -121,6 +183,11 @@ class Proxy:
     @property
     def connected(self) -> bool:
         return self._conn is not None
+
+    @property
+    def max_inflight(self) -> int:
+        """Size of the in-flight REQUEST window (1 = no pipelining)."""
+        return self._max_inflight
 
     def _ensure_connected(self) -> Connection:
         if self._conn is None:
@@ -180,12 +247,24 @@ class Proxy:
         self._seq = (self._seq + 1) & 0xFFFFFFFF
         return self._seq
 
-    def _roundtrip(self, msg: Message) -> Message:
-        """Send one frame and read its correlated reply."""
+    def _roundtrip(
+        self, msg: Message, byte_window: list[tuple[int, int]] | None = None
+    ) -> Message:
+        """Send one frame and read its correlated reply (serial mode).
+
+        ``byte_window``, when given, receives one ``(sent, received)``
+        delta captured here — inside the locked exchange — so concurrent
+        callers can never misattribute each other's bytes.
+        """
         conn = self._ensure_connected()
+        track = byte_window is not None and hasattr(conn, "bytes_sent")
+        sent0 = conn.bytes_sent if track else 0
+        recv0 = getattr(conn, "bytes_received", 0) if track else 0
         try:
             send_message(conn, msg)
             if msg.oneway:
+                if track:
+                    byte_window.append((conn.bytes_sent - sent0, 0))
                 return msg
             reply = recv_message(conn)
         except (CommunicationError, ProtocolError):
@@ -200,7 +279,22 @@ class Proxy:
             raise ProtocolError(
                 f"reply sequence {reply.seq} does not match request {msg.seq}"
             )
+        if track:
+            byte_window.append(
+                (conn.bytes_sent - sent0, conn.bytes_received - recv0)
+            )
         return reply
+
+    @staticmethod
+    def _process_reply(reply: Message) -> Any:
+        """Unpack a REQUEST's reply frame into a return value or raise."""
+        if reply.msg_type == MessageType.ERROR:
+            raise _rebuild_remote_error(reply.body)
+        if reply.msg_type != MessageType.RESPONSE:
+            raise ProtocolError(f"unexpected reply type {reply.msg_type}")
+        if isinstance(reply.body, dict) and "result" in reply.body:
+            return reply.body["result"]
+        return reply.body
 
     def _call(
         self,
@@ -222,28 +316,30 @@ class Proxy:
         oneway: bool,
         idempotency_key: str | None,
         trace_context: dict[str, str] | None = None,
+        byte_window: list[tuple[int, int]] | None = None,
     ) -> Any:
-        with self._lock:
-            body = request_body(
-                self._uri.object_id,
-                method,
-                args,
-                kwargs,
-                idempotency_key=idempotency_key,
-                trace_context=trace_context,
+        body = request_body(
+            self._uri.object_id,
+            method,
+            args,
+            kwargs,
+            idempotency_key=idempotency_key,
+            trace_context=trace_context,
+        )
+        flags = FLAG_ONEWAY if oneway else 0
+        if self._max_inflight > 1:
+            reply = self._exchange_pipelined(
+                MessageType.REQUEST, body, flags, byte_window
             )
-            flags = FLAG_ONEWAY if oneway else 0
-            msg = Message(MessageType.REQUEST, self._next_seq(), body, flags=flags)
-            reply = self._roundtrip(msg)
             if oneway:
                 return None
-        if reply.msg_type == MessageType.ERROR:
-            raise _rebuild_remote_error(reply.body)
-        if reply.msg_type != MessageType.RESPONSE:
-            raise ProtocolError(f"unexpected reply type {reply.msg_type}")
-        if isinstance(reply.body, dict) and "result" in reply.body:
-            return reply.body["result"]
-        return reply.body
+            return self._process_reply(reply)
+        with self._lock:
+            msg = Message(MessageType.REQUEST, self._next_seq(), body, flags=flags)
+            reply = self._roundtrip(msg, byte_window)
+            if oneway:
+                return None
+        return self._process_reply(reply)
 
     def _call_observed(
         self,
@@ -266,13 +362,24 @@ class Proxy:
         trace_context = span.context.to_wire() if span is not None else None
         clock = tracer.clock if tracer is not None else None
         start = clock.now() if clock is not None else None
-        conn = self._conn
-        sent0 = getattr(conn, "bytes_sent", None) if conn is not None else None
-        recv0 = getattr(conn, "bytes_received", None) if conn is not None else None
+        byte_window: list[tuple[int, int]] | None = (
+            [] if metrics is not None else None
+        )
         status = "ok"
+        # the pipelined path maintains the inflight gauge at the frame
+        # level (deposits decrement it); serial mode tracks it here
+        serial_gauge = metrics is not None and self._max_inflight == 1
+        if serial_gauge:
+            self._inflight_gauge().inc()
         try:
             return self._call_inner(
-                method, args, kwargs, oneway, idempotency_key, trace_context
+                method,
+                args,
+                kwargs,
+                oneway,
+                idempotency_key,
+                trace_context,
+                byte_window,
             )
         except Exception as exc:
             status = "error"
@@ -282,6 +389,8 @@ class Proxy:
                 span = None
             raise
         finally:
+            if serial_gauge:
+                self._inflight_gauge().dec()
             if metrics is not None:
                 metrics.counter(
                     "rpc.client.calls_total", "RPC calls issued by this client"
@@ -290,21 +399,172 @@ class Proxy:
                     metrics.histogram(
                         "rpc.client.call_latency_s", "client-observed RPC latency"
                     ).observe(clock.now() - start, method=method)
-                conn = self._conn
-                if conn is not None and sent0 is not None:
-                    sent1 = getattr(conn, "bytes_sent", None)
-                    recv1 = getattr(conn, "bytes_received", None)
-                    if sent1 is not None and sent1 >= sent0:
+                if byte_window:
+                    sent, received = byte_window[0]
+                    if sent > 0:
                         metrics.counter(
                             "rpc.client.bytes_sent_total", "request bytes on the wire"
-                        ).inc(sent1 - sent0, method=method)
-                    if recv1 is not None and recv0 is not None and recv1 >= recv0:
+                        ).inc(sent, method=method)
+                    if received > 0:
                         metrics.counter(
                             "rpc.client.bytes_received_total",
                             "response bytes on the wire",
-                        ).inc(recv1 - recv0, method=method)
+                        ).inc(received, method=method)
             if span is not None:
                 span.end()
+
+    def _inflight_gauge(self):
+        return self.metrics.gauge(
+            "rpc.client.inflight", "REQUEST frames awaiting their reply"
+        )
+
+    # -- pipelined exchange --------------------------------------------------
+    def _claim_window(self) -> bool:
+        """Try to take one in-flight window slot (demux lock held)."""
+        if self._inflight_frames < self._max_inflight:
+            self._inflight_frames += 1
+            if self.metrics is not None:
+                self._inflight_gauge().inc()
+            return True
+        return False
+
+    def _fail_pending_locked(self, exc: Exception) -> None:
+        """Fail every waiter (demux lock held) — the stream is undefined."""
+        for slot in self._pending.values():
+            if not slot.resolved:
+                slot.error = _clone_transport_error(exc)
+        self._pending.clear()
+        if self.metrics is not None and self._inflight_frames:
+            self._inflight_gauge().dec(self._inflight_frames)
+        self._inflight_frames = 0
+
+    def _pump(self, conn: Connection, done: Callable[[], bool]) -> None:
+        """Drive the shared reader until ``done()`` holds.
+
+        ``done`` is evaluated with the demux lock held, so it may claim
+        state atomically (the window claim does). At most one thread sits
+        in ``recv`` at a time; it deposits each reply into the waiter map
+        by sequence id and wakes everyone. Any transport or framing error
+        fails every in-flight call and drops the connection — the same
+        "state undefined after a failed exchange" rule as serial mode.
+        """
+        cond = self._demux
+        cond.acquire()
+        try:
+            while not done():
+                if self._reader_busy:
+                    cond.wait()
+                    continue
+                self._reader_busy = True
+                cond.release()
+                failure: Exception | None = None
+                msg: Message | None = None
+                received: int | None = None
+                try:
+                    try:
+                        track = hasattr(conn, "bytes_received")
+                        recv0 = conn.bytes_received if track else 0
+                        msg = recv_message(conn)
+                        if track:
+                            received = conn.bytes_received - recv0
+                    except Exception as exc:  # noqa: BLE001 - fails the stream
+                        failure = exc
+                finally:
+                    cond.acquire()
+                    self._reader_busy = False
+                if failure is None:
+                    slot = self._pending.pop(msg.seq, None)
+                    if slot is not None:
+                        slot.reply = msg
+                        slot.bytes_received = received
+                        self._inflight_frames = max(0, self._inflight_frames - 1)
+                        if self.metrics is not None:
+                            self._inflight_gauge().dec()
+                        cond.notify_all()
+                        continue
+                    failure = ProtocolError(
+                        f"reply sequence {msg.seq} matches no in-flight request"
+                    )
+                self._fail_pending_locked(failure)
+                cond.notify_all()
+                cond.release()
+                try:
+                    self.close()
+                finally:
+                    cond.acquire()
+        finally:
+            cond.release()
+
+    def _pipeline_submit(
+        self, msg_type: MessageType, body: Any, flags: int = 0
+    ) -> tuple[Connection, int, _PendingSlot | None]:
+        """Claim a window slot, register the waiter, and send one frame."""
+        oneway = bool(flags & FLAG_ONEWAY)
+        with self._lock:
+            conn = self._ensure_connected()
+            seq = self._next_seq()
+        # encode before claiming a window slot: a serialisation error must
+        # surface to this caller alone, not fail the whole pipeline
+        payload = encode_message(Message(msg_type, seq, body, flags=flags))
+        slot: _PendingSlot | None = None
+        if not oneway:
+            # claiming may have to drain replies first — that is the
+            # backpressure that bounds the window without a second thread
+            self._pump(conn, self._claim_window)
+            slot = _PendingSlot()
+            with self._demux:
+                self._pending[seq] = slot
+        try:
+            with self._send_lock:
+                track = hasattr(conn, "bytes_sent")
+                sent0 = conn.bytes_sent if track else 0
+                conn.sendall(payload)
+                if slot is not None and track:
+                    slot.bytes_sent = conn.bytes_sent - sent0
+        except Exception as exc:  # noqa: BLE001 - a half-sent frame kills
+            # the stream: every in-flight call fails, same rule as serial
+            with self._demux:
+                self._fail_pending_locked(exc)
+                self._demux.notify_all()
+            self.close()
+            raise
+        return conn, seq, slot
+
+    def _pipeline_await(self, conn: Connection, slot: _PendingSlot) -> Message:
+        self._pump(conn, lambda: slot.resolved)
+        if slot.error is not None:
+            raise slot.error
+        return slot.reply
+
+    def _exchange_pipelined(
+        self,
+        msg_type: MessageType,
+        body: Any,
+        flags: int = 0,
+        byte_window: list[tuple[int, int]] | None = None,
+    ) -> Message | None:
+        """One frame through the demux machinery; None for oneway sends."""
+        conn, _seq, slot = self._pipeline_submit(msg_type, body, flags)
+        if slot is None:
+            return None
+        reply = self._pipeline_await(conn, slot)
+        if byte_window is not None and slot.bytes_sent is not None:
+            byte_window.append((slot.bytes_sent, slot.bytes_received or 0))
+        return reply
+
+    def pipeline(self, idempotent: bool = False) -> "Pipeline":
+        """Explicit burst issuance over this proxy's connection.
+
+        Requires ``max_inflight > 1``. With ``idempotent=True`` every
+        call carries a fresh idempotency key, so re-issuing a burst after
+        a transport failure replays completed calls instead of
+        re-executing them (PROTOCOLS §1.1).
+        """
+        if self._max_inflight < 2:
+            raise ValueError(
+                "pipeline() needs a proxy built with max_inflight > 1"
+            )
+        return Pipeline(self, idempotent=idempotent)
 
     def _pyro_ping(self) -> None:
         """Liveness probe (task A of the paper's workflow uses this).
@@ -312,13 +572,35 @@ class Proxy:
         Named with the underscore prefix (Pyro4's ``_pyroBind`` convention)
         so it can never shadow a remote method called ``ping``.
         """
-        with self._lock:
-            reply = self._roundtrip(Message(MessageType.PING, self._next_seq(), None))
+        if self._max_inflight > 1:
+            reply = self._exchange_pipelined(MessageType.PING, None)
+        else:
+            with self._lock:
+                reply = self._roundtrip(
+                    Message(MessageType.PING, self._next_seq(), None)
+                )
         if reply.msg_type != MessageType.PONG:
             raise ProtocolError(f"expected PONG, got {reply.msg_type}")
 
     def _pyro_metadata(self) -> dict[str, Any]:
-        """Exposed-method metadata from the daemon (cached)."""
+        """Exposed-method metadata from the daemon (cached).
+
+        Returns a copy: mutating the result must not poison the cache
+        for later callers.
+        """
+        if self._max_inflight > 1:
+            with self._lock:
+                cached = self._metadata
+            if cached is None:
+                reply = self._exchange_pipelined(
+                    MessageType.METADATA, {"object": self._uri.object_id}
+                )
+                if reply.msg_type == MessageType.ERROR:
+                    raise _rebuild_remote_error(reply.body)
+                cached = reply.body
+                with self._lock:
+                    self._metadata = cached
+            return copy.deepcopy(cached)
         with self._lock:
             if self._metadata is None:
                 reply = self._roundtrip(
@@ -331,9 +613,397 @@ class Proxy:
                 if reply.msg_type == MessageType.ERROR:
                     raise _rebuild_remote_error(reply.body)
                 self._metadata = reply.body
-            return self._metadata
+            return copy.deepcopy(self._metadata)
 
     def __getattr__(self, name: str) -> _RemoteMethod:
         if name.startswith("_"):
             raise AttributeError(name)
         return _RemoteMethod(self, name)
+
+
+class PendingReply:
+    """Handle to one in-flight pipelined call.
+
+    :meth:`result` blocks until the correlated reply arrives (driving the
+    shared reader if nobody else is) and returns the remote value or
+    raises the remote/transport error. Resolution is cached: ``result``
+    can be called repeatedly.
+    """
+
+    __slots__ = (
+        "_proxy",
+        "_conn",
+        "_slot",
+        "_method",
+        "_span",
+        "_start",
+        "_resolved",
+        "_value",
+        "_error",
+    )
+
+    def __init__(
+        self,
+        proxy: Proxy,
+        conn: Connection,
+        slot: _PendingSlot,
+        method: str,
+        span: Any = None,
+        start: float | None = None,
+    ):
+        self._proxy = proxy
+        self._conn = conn
+        self._slot = slot
+        self._method = method
+        self._span = span
+        self._start = start
+        self._resolved = False
+        self._value: Any = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        """True when the reply has landed (``result`` will not block)."""
+        return self._resolved or self._slot.resolved
+
+    def result(self) -> Any:
+        """The remote return value; raises what the call raised."""
+        if not self._resolved:
+            proxy = self._proxy
+            status = "ok"
+            try:
+                reply = proxy._pipeline_await(self._conn, self._slot)
+                self._value = proxy._process_reply(reply)
+            except Exception as exc:
+                self._error = exc
+                status = "error"
+                if self._span is not None:
+                    self._span.record_exception(exc)
+            finally:
+                self._resolved = True
+                if self._span is not None:
+                    self._span.end("ERROR" if status == "error" else None)
+                    self._span = None
+                self._record_metrics(status)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _record_metrics(self, status: str) -> None:
+        proxy = self._proxy
+        metrics = proxy.metrics
+        if metrics is None:
+            return
+        method = self._method
+        metrics.counter(
+            "rpc.client.calls_total", "RPC calls issued by this client"
+        ).inc(method=method, status=status)
+        if self._start is not None and proxy.tracer is not None:
+            metrics.histogram(
+                "rpc.client.call_latency_s", "client-observed RPC latency"
+            ).observe(proxy.tracer.clock.now() - self._start, method=method)
+        slot = self._slot
+        if slot.bytes_sent:
+            metrics.counter(
+                "rpc.client.bytes_sent_total", "request bytes on the wire"
+            ).inc(slot.bytes_sent, method=method)
+        if slot.bytes_received:
+            metrics.counter(
+                "rpc.client.bytes_received_total", "response bytes on the wire"
+            ).inc(slot.bytes_received, method=method)
+
+
+class Pipeline:
+    """Futures-style burst issuance over one pipelined proxy.
+
+    ::
+
+        with proxy.pipeline() as pipe:
+            pending = [pipe.call("read_chunk", path, off) for off in offsets]
+            chunks = [p.result() for p in pending]
+
+    :meth:`call` returns immediately with a :class:`PendingReply` while
+    the REQUEST frame is already on the wire; when ``max_inflight``
+    frames are outstanding it drains replies while waiting for a window
+    slot, so a single thread can issue an arbitrarily long burst without
+    deadlocking. Exiting the context collects every uncollected reply
+    (the first error propagates, unless the block is already unwinding
+    on an exception).
+
+    Each call gets its own ``rpc.call.<method>`` span (parented under
+    the span current at issue time, not at collection time) and, with
+    ``idempotent=True``, its own idempotency key.
+    """
+
+    def __init__(self, proxy: Proxy, idempotent: bool = False):
+        self._proxy = proxy
+        self._idempotent = idempotent
+        self._key_prefix = uuid.uuid4().hex
+        self._key_seq = itertools.count()
+        self._issued: list[PendingReply] = []
+
+    def call(
+        self,
+        method: str,
+        *args: Any,
+        _idempotency_key: str | None = None,
+        **kwargs: Any,
+    ) -> PendingReply:
+        """Send one call; the reply is collected via the returned handle."""
+        proxy = self._proxy
+        key = _idempotency_key
+        if key is None and self._idempotent:
+            key = f"{self._key_prefix}:{next(self._key_seq)}"
+        tracer = proxy.tracer
+        span = None
+        start = None
+        trace_context = None
+        if tracer is not None:
+            span = tracer.start_span(
+                f"rpc.call.{method}",
+                attributes={
+                    "rpc.method": method,
+                    "rpc.object": proxy._uri.object_id,
+                    "rpc.pipelined": True,
+                },
+            )
+            trace_context = span.context.to_wire()
+            start = tracer.clock.now()
+        body = request_body(
+            proxy._uri.object_id,
+            method,
+            args,
+            kwargs,
+            idempotency_key=key,
+            trace_context=trace_context,
+        )
+        try:
+            conn, _seq, slot = proxy._pipeline_submit(MessageType.REQUEST, body)
+        except Exception as exc:
+            if span is not None:
+                span.record_exception(exc)
+                span.end("ERROR")
+            if proxy.metrics is not None:
+                proxy.metrics.counter(
+                    "rpc.client.calls_total", "RPC calls issued by this client"
+                ).inc(method=method, status="error")
+            raise
+        pending = PendingReply(proxy, conn, slot, method, span=span, start=start)
+        self._issued.append(pending)
+        return pending
+
+    def drain(self) -> None:
+        """Collect every not-yet-collected reply.
+
+        Raises the first error among them; errors already delivered to
+        the caller through :meth:`PendingReply.result` are theirs to
+        handle and are not raised again here.
+        """
+        first_error: Exception | None = None
+        for pending in self._issued:
+            if pending._resolved:
+                continue
+            try:
+                pending.result()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                if first_error is None:
+                    first_error = exc
+        self._issued.clear()
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            # already unwinding: collect best-effort so no reply is left
+            # orphaned in the waiter map, but keep the original error
+            for pending in self._issued:
+                if pending._resolved:
+                    continue
+                try:
+                    pending.result()
+                except Exception:  # noqa: BLE001
+                    pass
+            self._issued.clear()
+            return
+        self.drain()
+
+
+class ProxyPool:
+    """A small pool of independent connections to one endpoint.
+
+    Pipelining multiplexes one connection; a pool hands out *separate*
+    connections, so concurrent callers (fleet-campaign threads, parallel
+    fetch loops) never share a byte stream at all. Members are created
+    lazily up to ``size`` and reused; :meth:`acquire` blocks while all
+    are checked out.
+
+    Resilience threads through per the PR-1 layer: pass ``retry_policy``
+    (and optionally ``breaker``) and every member is wrapped in a
+    :class:`~repro.resilience.ResilientProxy` — with **one** circuit
+    breaker shared pool-wide, because the endpoint's health is a
+    property of the endpoint, not of whichever pooled connection
+    observed the failure.
+
+    Args:
+        uri: ``PYRO:`` URI every member dials.
+        size: maximum concurrent connections.
+        timeout / connection_factory / secret / tracer / metrics /
+            max_inflight: forwarded to each member :class:`Proxy`.
+        retry_policy: wrap members in ResilientProxy with this policy.
+        breaker: shared breaker; default-constructed when a
+            ``retry_policy`` is given without one.
+        proxy_factory: full override — zero-arg callable building one
+            member (the ICE uses this to inject its simulated dialer).
+    """
+
+    def __init__(
+        self,
+        uri: str | PyroURI,
+        size: int = 4,
+        *,
+        timeout: float | None = 10.0,
+        connection_factory: Callable[[str, int], Connection] | None = None,
+        secret: bytes | None = None,
+        tracer: Any = None,
+        metrics: Any = None,
+        max_inflight: int = 1,
+        retry_policy: Any = None,
+        breaker: Any = None,
+        proxy_factory: Callable[[], Any] | None = None,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._uri = parse_uri(uri)
+        self.size = size
+        self._timeout = timeout
+        self._connection_factory = connection_factory
+        self._secret = secret
+        self.tracer = tracer
+        self.metrics = metrics
+        self._max_inflight = max_inflight
+        self._retry_policy = retry_policy
+        if retry_policy is not None and breaker is None:
+            from repro.resilience.policy import CircuitBreaker
+
+            breaker = CircuitBreaker(metrics=metrics, name=str(self._uri))
+        self._breaker = breaker
+        self._proxy_factory = proxy_factory
+        self._cond = threading.Condition(threading.Lock())
+        self._idle: list[Any] = []
+        self._created = 0
+        self._closed = False
+
+    @property
+    def breaker(self) -> Any:
+        """The endpoint's shared circuit breaker (None when unwrapped)."""
+        return self._breaker
+
+    @property
+    def in_use(self) -> int:
+        with self._cond:
+            return self._created - len(self._idle)
+
+    def _make_member(self) -> Any:
+        if self._proxy_factory is not None:
+            proxy = self._proxy_factory()
+        else:
+            proxy = Proxy(
+                self._uri,
+                timeout=self._timeout,
+                connection_factory=self._connection_factory,
+                secret=self._secret,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                max_inflight=self._max_inflight,
+            )
+        if self._retry_policy is not None or self._breaker is not None:
+            from repro.resilience.proxy import ResilientProxy
+
+            proxy = ResilientProxy(
+                proxy,
+                policy=self._retry_policy,
+                breaker=self._breaker,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        return proxy
+
+    def _checkout(self, timeout: float | None = None) -> Any:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise CommunicationError("proxy pool is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._created < self.size:
+                    self._created += 1
+                    break
+                if not self._cond.wait(timeout):
+                    raise _errors_module.CallTimeoutError(
+                        f"no pooled connection to {self._uri} became free "
+                        f"within {timeout}s"
+                    )
+        try:
+            return self._make_member()
+        except BaseException:
+            with self._cond:
+                self._created -= 1
+                self._cond.notify()
+            raise
+
+    def _checkin(self, proxy: Any) -> None:
+        with self._cond:
+            if not self._closed:
+                self._idle.append(proxy)
+                self._cond.notify()
+                return
+        proxy.close()
+
+    class _Lease:
+        """Context manager pairing one checkout with its checkin."""
+
+        __slots__ = ("_pool", "_proxy")
+
+        def __init__(self, pool: "ProxyPool", proxy: Any):
+            self._pool = pool
+            self._proxy = proxy
+
+        def __enter__(self) -> Any:
+            return self._proxy
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._pool._checkin(self._proxy)
+
+    def acquire(self, timeout: float | None = None) -> "ProxyPool._Lease":
+        """Check a member out; use as a context manager to return it."""
+        return ProxyPool._Lease(self, self._checkout(timeout))
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """One call on whichever member is free first."""
+        with self.acquire() as proxy:
+            return getattr(proxy, method)(*args, **kwargs)
+
+    def close(self) -> None:
+        """Close every idle member and refuse further checkouts.
+
+        Members currently checked out are closed when checked back in.
+        """
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for proxy in idle:
+            proxy.close()
+
+    def __enter__(self) -> "ProxyPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._created

@@ -41,7 +41,13 @@ from repro.core.cv_workflow import (
 from repro.core.facade import Session, connect
 from repro.core.session import RemoteSession
 from repro.errors import ReproError, code_table
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import (
+    FlightRecorder,
+    HealthEngine,
+    HealthReport,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.core.campaign import (
     Campaign,
     scan_rate_strategy,
@@ -73,6 +79,9 @@ __all__ = [
     "code_table",
     "MetricsRegistry",
     "Tracer",
+    "FlightRecorder",
+    "HealthEngine",
+    "HealthReport",
     "Campaign",
     "scan_rate_strategy",
     "window_centering_strategy",

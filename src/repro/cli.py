@@ -9,7 +9,10 @@ Subcommands:
   a remote client at the printed URIs);
 - ``repro-ice scan-rate`` — the Randles-Sevcik campaign, printing D;
 - ``repro-ice analyze FILE.mpt`` — offline analysis of a measurement
-  file (peaks, E1/2, dEp, optional Nicholson k0).
+  file (peaks, E1/2, dEp, optional Nicholson k0);
+- ``repro-ice health`` — stand the ICE up, run one probe workflow, and
+  print the per-subsystem health verdict table (exit code encodes the
+  overall status: 0 healthy, 1 degraded, 2 unhealthy).
 
 Run as ``python -m repro.cli <subcommand>``.
 """
@@ -21,6 +24,40 @@ import sys
 from typing import Sequence
 
 
+def _report_session_telemetry(session, args: argparse.Namespace) -> None:
+    """Metrics table, machine-readable metrics, health verdict, trace.
+
+    Called from a ``finally``: a failed run is exactly when the operator
+    needs the telemetry, so none of this is gated on success, and no
+    single reporter failing may mask the run's own outcome.
+    """
+    import json
+    from pathlib import Path
+
+    if args.metrics:
+        print(session.metrics.format_table())
+    if args.metrics_json:
+        path = Path(args.metrics_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(session.metrics.summarize(), indent=2, default=str)
+        )
+        print(f"metrics: -> {path}")
+    try:
+        report = session.health()
+    except Exception as exc:  # noqa: BLE001
+        print(f"health: evaluation failed ({exc})", file=sys.stderr)
+    else:
+        line = f"health: {report.status}"
+        reasons = report.reasons()
+        if reasons:
+            line += " (" + "; ".join(reasons) + ")"
+        print(line)
+    if args.trace_jsonl:
+        count = session.export_trace(args.trace_jsonl)
+        print(f"trace: {count} spans -> {args.trace_jsonl}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import repro
     from repro.core.cv_workflow import CVWorkflowSettings
@@ -30,19 +67,41 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         fill_volume_ml=args.volume,
         e_step_v=args.e_step,
     )
-    with repro.connect() as session:
+    with repro.connect(flight_dir=args.flight_dir) as session:
         print(f"control: {session.ice.control_uri}")
         print(f"data:    {session.ice.share_uri}")
-        result = session.run_workflow(settings=settings)
-        for name, task in result.workflow.tasks.items():
-            print(f"  {name:<28} {task.state.value}")
-        print(result.summary())
-        if args.metrics:
-            print(session.metrics.format_table())
-        if args.trace_jsonl:
-            count = session.export_trace(args.trace_jsonl)
-            print(f"trace: {count} spans -> {args.trace_jsonl}")
-        return 0 if result.succeeded else 1
+        try:
+            result = session.run_workflow(settings=settings)
+            for name, task in result.workflow.tasks.items():
+                print(f"  {name:<28} {task.state.value}")
+            print(result.summary())
+            if not result.succeeded:
+                print(f"flight recorder dir: {session.flight_dir}")
+            return 0 if result.succeeded else 1
+        finally:
+            _report_session_telemetry(session, args)
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """One-shot verdict: stand the ICE up, probe it, print the table."""
+    import repro
+    from repro.core.cv_workflow import CVWorkflowSettings
+
+    with repro.connect(flight_dir=args.flight_dir) as session:
+        if not args.no_probe:
+            # a coarse but representative probe workflow: exercises RPC,
+            # the data channel, and the workflow engine so every
+            # subsystem has fresh telemetry inside the health window
+            settings = CVWorkflowSettings(e_step_v=args.e_step)
+            try:
+                session.run_workflow(settings=settings)
+            except Exception as exc:  # noqa: BLE001 - verdict still wanted
+                print(f"probe workflow failed: {exc}", file=sys.stderr)
+        report = session.health()
+        print(report.format_table())
+        if report.status == "healthy":
+            return 0
+        return 1 if report.status == "degraded" else 2
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -151,9 +210,39 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--metrics",
         action="store_true",
-        help="print the session metrics table after the run",
+        help="print the session metrics table after the run (even on failure)",
+    )
+    demo.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the metrics summary as JSON (even on failure)",
+    )
+    demo.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for flight-recorder black-box dumps",
     )
     demo.set_defaults(fn=_cmd_demo)
+
+    health = sub.add_parser(
+        "health",
+        help="run a probe workflow and print the health verdict table",
+    )
+    health.add_argument("--e-step", type=float, default=0.01, metavar="V")
+    health.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="evaluate the rules without running the probe workflow",
+    )
+    health.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for flight-recorder black-box dumps",
+    )
+    health.set_defaults(fn=_cmd_health)
 
     serve = sub.add_parser("serve", help="serve the control agents over TCP")
     serve.add_argument("--secret", default=None, help="require HMAC auth")

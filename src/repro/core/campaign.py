@@ -26,6 +26,8 @@ from typing import Any, Callable
 from repro.errors import WorkflowError
 from repro.ml.normality import NormalityClassifier
 from repro.facility.ice import ElectrochemistryICE
+from repro.obs.health import HealthEngine
+from repro.obs.health import require_healthy as _gate_healthy
 from repro.obs.trace import child_span, use_span
 from repro.core.cv_workflow import (
     CVWorkflowResult,
@@ -64,6 +66,17 @@ class Campaign:
             campaign or are retried once with a refilled cell, depending
             on ``abort_on_abnormal``.
         max_rounds: hard bound regardless of strategy.
+        require_healthy: evaluate the health rules before the first
+            round and refuse to start (:class:`~repro.errors.HealthGateError`)
+            when the ecosystem is ``unhealthy``. Uses ``health_engine``,
+            or builds one over the ICE's metrics registry.
+        health_engine: the :class:`~repro.obs.health.HealthEngine` the
+            gate consults (share the session's to judge its window).
+        flight_recorder: client-half flight recorder; abnormal rounds
+            dump a black box, and each round's workflow dumps on
+            safe-state teardown.
+        flight_dir: dump directory (default
+            ``<measurement_dir>/flight-recorder``).
     """
 
     ice: ElectrochemistryICE
@@ -71,6 +84,10 @@ class Campaign:
     classifier: NormalityClassifier | None = None
     max_rounds: int = 10
     abort_on_abnormal: bool = True
+    require_healthy: bool = False
+    health_engine: Any = None
+    flight_recorder: Any = None
+    flight_dir: str | Path | None = None
     rounds: list[CampaignRound] = field(default_factory=list)
 
     def run(self) -> list[CampaignRound]:
@@ -85,6 +102,10 @@ class Campaign:
         """
         if self.max_rounds < 1:
             raise WorkflowError("max_rounds must be >= 1")
+        if self.require_healthy:
+            if self.health_engine is None and self.ice.metrics is not None:
+                self.health_engine = HealthEngine(self.ice.metrics)
+            _gate_healthy(self.health_engine, what="campaign")
         self.rounds.clear()
         while len(self.rounds) < self.max_rounds:
             # the strategy sees effective history: a retry supersedes the
@@ -101,6 +122,7 @@ class Campaign:
             if not record.result.succeeded:
                 break
             if self._abnormal(record):
+                self.dump_flight("abnormal-round")
                 if self.abort_on_abnormal:
                     break
                 if len(self.rounds) >= self.max_rounds:
@@ -114,14 +136,51 @@ class Campaign:
                     retry_of=record.index,
                 )
                 if not retry.result.succeeded or self._abnormal(retry):
+                    if self._abnormal(retry):
+                        self.dump_flight("abnormal-round")
                     break
         return self.rounds
+
+    def dump_flight(self, trigger: str) -> Path | None:
+        """Write a black box now (no-op without a flight recorder).
+
+        The daemon half is pulled over the control channel best-effort;
+        a partitioned channel still yields the client half.
+        """
+        if self.flight_recorder is None:
+            return None
+        remote: list[Any] = []
+        try:
+            proxy = self.ice.recorder_client()
+            try:
+                snapshot = proxy.Recorder_Dump()
+                if isinstance(snapshot, dict):
+                    remote.append(snapshot)
+            finally:
+                proxy.close()
+        except Exception:  # noqa: BLE001 - the dump must still land
+            pass
+        target = (
+            Path(self.flight_dir)
+            if self.flight_dir is not None
+            else self.ice.measurement_dir / "flight-recorder"
+        )
+        try:
+            return self.flight_recorder.dump(
+                target, trigger=trigger, remote_snapshots=remote
+            )
+        except Exception:  # noqa: BLE001 - never fail a campaign over a dump
+            return None
 
     def _run_round(
         self, settings: CVWorkflowSettings, retry_of: int | None = None
     ) -> CampaignRound:
         result = run_cv_workflow(
-            self.ice, settings=settings, classifier=self.classifier
+            self.ice,
+            settings=settings,
+            classifier=self.classifier,
+            flight_recorder=self.flight_recorder,
+            flight_dir=self.flight_dir,
         )
         record = CampaignRound(
             index=len(self.rounds),
@@ -193,6 +252,10 @@ class FleetCampaign:
             parented to one ``fleet.run`` root.
         metrics: optional registry; receives the ``fleet.cells_total``
             counter labelled by outcome.
+        require_healthy: propagate the pre-flight health gate to every
+            cell's campaign — a cell whose ecosystem is ``unhealthy``
+            records :class:`~repro.errors.HealthGateError` as its result
+            instead of running (the other cells are unaffected).
     """
 
     def __init__(
@@ -201,6 +264,7 @@ class FleetCampaign:
         max_workers: int | None = None,
         tracer: Any = None,
         metrics: Any = None,
+        require_healthy: bool = False,
     ):
         if not campaigns:
             raise WorkflowError("a fleet needs at least one campaign")
@@ -208,11 +272,15 @@ class FleetCampaign:
         self.max_workers = max_workers
         self.tracer = tracer
         self.metrics = metrics
+        self.require_healthy = require_healthy
         self.results: dict[str, FleetCellResult] = {}
 
     def run(self) -> dict[str, FleetCellResult]:
         """Run every cell's campaign; returns cell name -> result."""
         self.results.clear()
+        if self.require_healthy:
+            for campaign in self.campaigns.values():
+                campaign.require_healthy = True
         root = (
             self.tracer.start_span(
                 "fleet.run", attributes={"cells": len(self.campaigns)}
@@ -255,6 +323,7 @@ class FleetCampaign:
                     if span is not None:
                         span.record_exception(exc)
                     safe = self._safe_state(campaign)
+                    campaign.dump_flight("fleet-cell-failure")
                     return FleetCellResult(
                         cell=name,
                         rounds=list(campaign.rounds),

@@ -110,6 +110,8 @@ def build_cv_workflow(
     event_log: EventLog | None = None,
     tracer: Any = None,
     metrics: Any = None,
+    flight_recorder: Any = None,
+    flight_dir: str | Path | None = None,
 ) -> Workflow:
     """Assemble the five-task workflow against a running ICE.
 
@@ -119,6 +121,12 @@ def build_cv_workflow(
     ``tracer``/``metrics`` default to whatever the ICE carries (see
     :meth:`~repro.facility.ice.ElectrochemistryICE.attach_observability`),
     so a session-wired ecosystem traces the workflow without extra knobs.
+
+    When a ``flight_recorder`` (the client half) is supplied along with
+    ``safe_state_teardown``, an extra teardown — registered last, after
+    the control channel is already closed — pulls the daemon half over a
+    fresh short-timeout proxy and writes the merged black box into
+    ``flight_dir`` (default ``<measurement_dir>/flight-recorder``).
     """
     settings = settings or CVWorkflowSettings()
     tracer = tracer if tracer is not None else ice.tracer
@@ -299,6 +307,40 @@ def build_cv_workflow(
         flow.add_teardown(unmount_data_channel)
         flow.add_teardown(close_control_channel)
 
+        if flight_recorder is not None:
+
+            def dump_flight_recording(ctx: Context) -> None:
+                # runs after close_control_channel, so it opens its own
+                # proxy; a partitioned channel yields a client-half-only
+                # dump rather than no dump at all
+                remote: list[Any] = []
+                try:
+                    proxy = ice.recorder_client()
+                    try:
+                        snapshot = proxy.Recorder_Dump()
+                        if isinstance(snapshot, dict):
+                            remote.append(snapshot)
+                    finally:
+                        proxy.close()
+                except Exception:  # noqa: BLE001 - the dump must still land
+                    pass
+                target = (
+                    Path(flight_dir)
+                    if flight_dir is not None
+                    else ice.measurement_dir / "flight-recorder"
+                )
+                path = flight_recorder.dump(
+                    target, trigger="safe-state-teardown", remote_snapshots=remote
+                )
+                flow.log.emit(
+                    flow.name,
+                    "teardown",
+                    f"flight recording dumped to {path}",
+                    halves=1 + len(remote),
+                )
+
+            flow.add_teardown(dump_flight_recording)
+
     return flow
 
 
@@ -308,6 +350,8 @@ def run_cv_workflow(
     classifier: NormalityClassifier | None = None,
     tracer: Any = None,
     metrics: Any = None,
+    flight_recorder: Any = None,
+    flight_dir: str | Path | None = None,
 ) -> CVWorkflowResult:
     """Build, run, and package the paper's workflow in one call."""
     flow = build_cv_workflow(
@@ -316,6 +360,8 @@ def run_cv_workflow(
         classifier=classifier,
         tracer=tracer,
         metrics=metrics,
+        flight_recorder=flight_recorder,
+        flight_dir=flight_dir,
     )
     outcome = flow.run()
     ctx = outcome.context

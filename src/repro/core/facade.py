@@ -38,6 +38,13 @@ from typing import Any
 
 from repro.errors import WorkflowError
 from repro.obs import JsonlSpanExporter, MetricsRegistry, Tracer
+from repro.obs.health import HealthEngine, HealthReport
+from repro.obs.health import require_healthy as _gate_healthy
+from repro.obs.recorder import (
+    FlightRecorder,
+    FlightRecorderServer,
+    is_daemon_side_span,
+)
 from repro.chemistry.voltammogram import Voltammogram
 from repro.analysis.metrics import CVMetrics, characterize
 from repro.ml.normality import NormalityClassifier, NormalityReport
@@ -60,6 +67,11 @@ class Session:
             connected by URI without a ``data_uri``.
         tracer: the session :class:`~repro.obs.Tracer`.
         metrics: the session :class:`~repro.obs.MetricsRegistry`.
+        recorder: the client-half :class:`~repro.obs.FlightRecorder`.
+        health_engine: the session :class:`~repro.obs.HealthEngine`
+            behind :meth:`health`.
+        flight_dir: where black-box dumps land (override per call or via
+            the ``flight_dir=`` connect argument).
         ice: the in-process ecosystem, when there is one.
     """
 
@@ -74,6 +86,9 @@ class Session:
         config: Any = None,
         data_uri: str | None = None,
         cache_dir: str | Path | None = None,
+        flight_dir: str | Path | None = None,
+        health_window_s: float = 300.0,
+        breaker: Any = None,
     ):
         self._owns_ice = False
         self.ice: ElectrochemistryICE | None = None
@@ -83,13 +98,22 @@ class Session:
         self._sp200_ready = False
         self._jkem_ready = False
         self._characterization = None
+        # client-half black box: DGX-side spans (the daemon half records
+        # its own via the ICE) plus the session's metric snapshots
+        self.recorder = FlightRecorder("dgx-session", clock=self.tracer.clock)
+        self.recorder.attach_tracer(
+            self.tracer, only=lambda s: not is_daemon_side_span(s)
+        )
+        self.recorder.observe_metrics(self.metrics)
 
+        self._control_uri: str | None = None
         if target is None:
             self.ice = ElectrochemistryICE.build(config)
             self._owns_ice = True
         elif isinstance(target, ElectrochemistryICE):
             self.ice = target
         elif isinstance(target, str):
+            self._control_uri = target
             if config is not None:
                 raise WorkflowError("config is only valid when building an ICE")
         else:
@@ -103,7 +127,10 @@ class Session:
             # in the same store as the client's call spans
             self.ice.attach_observability(self.tracer, self.metrics)
             self.client = self.ice.client(
-                resilient=resilient, tracer=self.tracer, metrics=self.metrics
+                resilient=resilient,
+                breaker=breaker,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             self._cache = Path(
                 cache_dir
@@ -119,6 +146,7 @@ class Session:
             self.client = ACLPyroClient.from_uri(
                 target,
                 retry_policy=RetryPolicy() if resilient else None,
+                breaker=breaker,
                 tracer=self.tracer,
                 metrics=self.metrics,
             )
@@ -135,7 +163,35 @@ class Session:
                 self.datachannel = Mount(
                     Proxy(data_uri, tracer=self.tracer, metrics=self.metrics),
                     cache_dir=self._cache,
+                    metrics=self.metrics,
                 )
+
+        if flight_dir is not None:
+            self.flight_dir = Path(flight_dir)
+        elif getattr(self, "_cache", None) is not None:
+            self.flight_dir = Path(self._cache) / "flight-recorder"
+        else:
+            self.flight_dir = Path(
+                tempfile.mkdtemp(prefix="session-flightrec-")
+            )
+        # a breaker trip is one of the automatic black-box triggers:
+        # hook on_open of whichever breaker guards the control channel
+        self._hook_breaker_dump()
+        # baseline the health window only after the channels are up, so
+        # connection-time traffic does not count against the first verdict
+        self.health_engine = HealthEngine(
+            self.metrics, clock=self.tracer.clock, window_s=health_window_s
+        )
+
+    def _hook_breaker_dump(self) -> None:
+        from repro.resilience import ResilientProxy
+
+        proxy = getattr(self.client, "_proxy", None)
+        guard = proxy.breaker if isinstance(proxy, ResilientProxy) else None
+        if guard is not None and getattr(guard, "on_open", None) is None:
+            guard.on_open = lambda b: self.dump_flight(
+                f"breaker-open-{b.name}"
+            )
 
     # -- back-compat alias (RemoteSession called it ``mount``) -------------
     @property
@@ -169,23 +225,41 @@ class Session:
         self,
         settings: Any = None,
         classifier: NormalityClassifier | None = None,
+        require_healthy: bool = False,
+        flight_dir: str | Path | None = None,
     ):
-        """Build the paper's five-task CV workflow, observability wired."""
+        """Build the paper's five-task CV workflow, observability wired.
+
+        ``require_healthy=True`` evaluates :meth:`health` first and
+        raises :class:`~repro.errors.HealthGateError` on ``unhealthy``
+        (the pre-flight gate). A safe-state teardown of the built
+        workflow dumps the session's flight recorder automatically.
+        """
         from repro.core.cv_workflow import build_cv_workflow
 
         if self.ice is None:
             raise WorkflowError(
                 "workflow() needs an in-process ICE; connect() was given a URI"
             )
+        if require_healthy:
+            _gate_healthy(self.health_engine, what="workflow")
         return build_cv_workflow(
             self.ice,
             settings=settings,
             classifier=classifier if classifier is not None else self._classifier,
             tracer=self.tracer,
             metrics=self.metrics,
+            flight_recorder=self.recorder,
+            flight_dir=flight_dir if flight_dir is not None else self.flight_dir,
         )
 
-    def run_workflow(self, settings: Any = None, classifier=None):
+    def run_workflow(
+        self,
+        settings: Any = None,
+        classifier=None,
+        require_healthy: bool = False,
+        flight_dir: str | Path | None = None,
+    ):
         """Build + run + package the CV workflow (tasks A-E)."""
         from repro.core.cv_workflow import run_cv_workflow
 
@@ -193,18 +267,68 @@ class Session:
             raise WorkflowError(
                 "run_workflow() needs an in-process ICE; connect() was given a URI"
             )
+        if require_healthy:
+            _gate_healthy(self.health_engine, what="workflow")
         return run_cv_workflow(
             self.ice,
             settings=settings,
             classifier=classifier if classifier is not None else self._classifier,
             tracer=self.tracer,
             metrics=self.metrics,
+            flight_recorder=self.recorder,
+            flight_dir=flight_dir if flight_dir is not None else self.flight_dir,
         )
 
     # -- observability ---------------------------------------------------------
     def summarize(self) -> dict[str, Any]:
         """Session-wide rollup: span timings and metric values."""
         return {"spans": self.tracer.summarize(), "metrics": self.metrics.summarize()}
+
+    def health(self) -> HealthReport:
+        """Evaluate the health rules now; returns the verdict report."""
+        return self.health_engine.evaluate()
+
+    def pull_remote_recorder(self) -> list[dict[str, Any]]:
+        """Fetch the daemon half of the black box over the control channel.
+
+        Best-effort by design: when the channel is partitioned (often
+        exactly why a dump is happening) the client half must still be
+        written, so failures return an empty list instead of raising.
+        """
+        try:
+            if self.ice is not None:
+                proxy = self.ice.recorder_client()
+            else:
+                uri = self._remote_recorder_uri()
+                if uri is None:
+                    return []
+                from repro.rpc.proxy import Proxy
+
+                proxy = Proxy(uri, timeout=10.0)
+            try:
+                snapshot = proxy.Recorder_Dump()
+            finally:
+                proxy.close()
+        except Exception:  # noqa: BLE001 - dump must survive a dead channel
+            return []
+        return [snapshot] if isinstance(snapshot, dict) else []
+
+    def _remote_recorder_uri(self) -> str | None:
+        """Recorder URI next to the control object (URI mode only)."""
+        uri = self._control_uri
+        if not uri or "@" not in uri:
+            return None
+        return f"PYRO:{FlightRecorderServer.OBJECT_ID}@{uri.split('@', 1)[1]}"
+
+    def dump_flight(
+        self, trigger: str, directory: str | Path | None = None
+    ) -> Path:
+        """Write the merged client+daemon black box; returns its path."""
+        return self.recorder.dump(
+            directory if directory is not None else self.flight_dir,
+            trigger=trigger,
+            remote_snapshots=self.pull_remote_recorder(),
+        )
 
     def export_trace(self, path: str | Path) -> int:
         """Write every finished span to ``path`` as JSONL; returns count."""
@@ -395,6 +519,9 @@ def connect(
     config: Any = None,
     data_uri: str | None = None,
     cache_dir: str | Path | None = None,
+    flight_dir: str | Path | None = None,
+    health_window_s: float = 300.0,
+    breaker: Any = None,
 ) -> Session:
     """Open a :class:`Session` against an ICE, a URI, or a fresh build.
 
@@ -415,6 +542,11 @@ def connect(
             ``target=None`` build.
         data_uri: share URI for the data channel in URI mode.
         cache_dir: local cache for fetched measurement files.
+        flight_dir: where flight-recorder black boxes are written
+            (defaults to ``<cache_dir>/flight-recorder``).
+        health_window_s: rolling window for :meth:`Session.health`.
+        breaker: share a :class:`~repro.resilience.CircuitBreaker` for
+            the control channel; its trips dump a flight recording.
     """
     return Session(
         target,
@@ -425,4 +557,7 @@ def connect(
         config=config,
         data_uri=data_uri,
         cache_dir=cache_dir,
+        flight_dir=flight_dir,
+        health_window_s=health_window_s,
+        breaker=breaker,
     )

@@ -29,6 +29,9 @@ class Mount:
             so values above that are ineffective; smaller values mean
             more, smaller frames — which pipelining turns into deeper
             read-ahead on high-latency links.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            checksum-verify failures count into
+            ``datachannel.verify_failures_total`` (a health-rule input).
     """
 
     def __init__(
@@ -36,6 +39,7 @@ class Mount:
         proxy: Proxy,
         cache_dir: str | Path | None = None,
         read_size: int = CHUNK_SIZE,
+        metrics=None,
     ):
         if read_size < 1:
             raise ValueError(f"read_size must be >= 1, got {read_size}")
@@ -43,6 +47,7 @@ class Mount:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.read_size = min(read_size, CHUNK_SIZE)
         self.bytes_fetched = 0
+        self.metrics = metrics
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -151,6 +156,11 @@ class Mount:
                 expected = service.checksum(relative)
                 actual = hashlib.sha256(data).hexdigest()
                 if actual != expected:
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "datachannel.verify_failures_total",
+                            "mount reads whose SHA-256 did not match the server's",
+                        ).inc(path=relative)
                     raise DataChannelError(
                         f"checksum mismatch for {relative!r}: "
                         f"{actual[:12]} != {expected[:12]}"

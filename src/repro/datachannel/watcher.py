@@ -83,6 +83,32 @@ class MeasurementWatcher:
         """Worst current streak across all watched directories."""
         return max(self.failure_streaks.values(), default=0)
 
+    def _record_poll_outcome(
+        self,
+        directory: str,
+        error: DataChannelError | None = None,
+        count_metric: bool = False,
+    ) -> None:
+        """The single point of per-directory streak bookkeeping.
+
+        Success resets the directory's streak; failure extends it and
+        remembers the error. Both :meth:`poll` and the background loop's
+        coarse fallback route through here (the loop does not count
+        metrics — only real per-directory polls do).
+        """
+        if error is None:
+            self.failure_streaks[directory] = 0
+            return
+        self.failure_streaks[directory] = (
+            self.failure_streaks.get(directory, 0) + 1
+        )
+        self.last_errors[directory] = error
+        if count_metric and self.metrics is not None:
+            self.metrics.counter(
+                "datachannel.watcher.poll_failures_total",
+                "failed directory polls",
+            ).inc(directory=directory or "/")
+
     def snapshot(self) -> None:
         """Record the current state without reporting anything (baseline)."""
         for directory in self.directories:
@@ -119,18 +145,10 @@ class MeasurementWatcher:
                 matches = self._matching(directory)
             except DataChannelError as exc:
                 failed_dirs += 1
-                self.failure_streaks[directory] = (
-                    self.failure_streaks.get(directory, 0) + 1
-                )
-                self.last_errors[directory] = exc
                 last_error = exc
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "datachannel.watcher.poll_failures_total",
-                        "failed directory polls",
-                    ).inc(directory=directory or "/")
+                self._record_poll_outcome(directory, exc, count_metric=True)
                 continue
-            self.failure_streaks[directory] = 0
+            self._record_poll_outcome(directory)
             for stat in matches:
                 fingerprint = (stat.size, stat.mtime)
                 if self._seen.get(stat.path) != fingerprint:
@@ -203,14 +221,11 @@ class MeasurementWatcher:
                         # it): no per-directory accounting happened, so
                         # every watched directory shares the failure
                         for d in self.directories:
-                            self.failure_streaks[d] = (
-                                self.failure_streaks.get(d, 0) + 1
-                            )
-                            self.last_errors[d] = exc
+                            self._record_poll_outcome(d, exc)
                 else:
                     if self._streak_epoch == epoch_before:
                         for d in self.directories:
-                            self.failure_streaks[d] = 0
+                            self._record_poll_outcome(d)
                 for d in self.directories:
                     streak = self.failure_streaks.get(d, 0)
                     if streak == 0:

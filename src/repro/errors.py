@@ -366,6 +366,17 @@ class TaskTimeoutError(WorkflowError):
     code = "WORKFLOW_TASK_TIMEOUT"
 
 
+class HealthGateError(WorkflowError):
+    """The pre-flight health gate refused to start a run.
+
+    Raised by ``require_healthy=True`` on workflows and campaigns when
+    the :class:`~repro.obs.health.HealthEngine` reports ``unhealthy``;
+    the message carries every subsystem's reasons.
+    """
+
+    code = "WORKFLOW_HEALTH_GATE"
+
+
 # --------------------------------------------------------------------------
 # Code registry
 # --------------------------------------------------------------------------

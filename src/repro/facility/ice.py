@@ -38,6 +38,11 @@ from repro.net.links import (
 )
 from repro.net.simtransport import SimNetwork
 from repro.net.topology import Topology
+from repro.obs.recorder import (
+    FlightRecorder,
+    FlightRecorderServer,
+    is_daemon_side_span,
+)
 from repro.rpc.daemon import Daemon
 from repro.rpc.naming import NameServer
 from repro.rpc.proxy import Proxy
@@ -143,6 +148,11 @@ class ElectrochemistryICE:
         #: session observability — wired by :meth:`attach_observability`
         self.tracer = None
         self.metrics = None
+        #: daemon-half flight recorder, served over the control channel
+        #: (``FlightRecorderServer.OBJECT_ID``); :meth:`attach_observability`
+        #: chains it onto the tracer for daemon-side spans
+        self.recorder: FlightRecorder = parts["recorder"]
+        self.recorder_uri: str = parts["recorder_uri"]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -213,6 +223,15 @@ class ElectrochemistryICE:
         control_uri = control_daemon.register(
             ACLWorkstationServer(workstation), object_id="ACL_Workstation"
         )
+        # daemon-half black box: captures ACL-side events now and ACL-side
+        # spans once attach_observability() wires a tracer; the client pulls
+        # it over the control channel via Recorder_Dump when dumping
+        recorder = FlightRecorder("acl-daemon", clock=clock)
+        recorder.attach_event_log(log)
+        recorder_uri = control_daemon.register(
+            FlightRecorderServer(recorder),
+            object_id=FlightRecorderServer.OBJECT_ID,
+        )
         control_daemon.start_background()
 
         share = FileShareService(measurement_dir, share_name="acl-measurements")
@@ -275,6 +294,8 @@ class ElectrochemistryICE:
             tempdir=tempdir,
             control_networks=control_networks,
             data_networks=data_networks,
+            recorder=recorder,
+            recorder_uri=recorder_uri,
         )
 
     @staticmethod
@@ -349,6 +370,14 @@ class ElectrochemistryICE:
         self.share.metrics = metrics
         if self.simnet is not None:
             self.simnet.metrics = metrics
+        # the single in-process tracer sees both facilities' spans; the
+        # daemon-half recorder keeps only the ACL-side ones so the two
+        # halves of a merged dump stay disjoint
+        if tracer is not None:
+            self.recorder.clock = tracer.clock
+            self.recorder.attach_tracer(tracer, only=is_daemon_side_span)
+        if metrics is not None:
+            self.recorder.observe_metrics(metrics)
 
     # ------------------------------------------------------------------
     # Remote-side helpers (what runs on the DGX)
@@ -423,7 +452,25 @@ class ElectrochemistryICE:
             metrics=metrics if metrics is not None else self.metrics,
             max_inflight=pipeline_depth,
         )
-        return Mount(proxy, cache_dir=cache_dir)
+        return Mount(
+            proxy,
+            cache_dir=cache_dir,
+            metrics=metrics if metrics is not None else self.metrics,
+        )
+
+    def recorder_client(self, timeout: float | None = 10.0) -> Proxy:
+        """Control-channel proxy to the daemon-half flight recorder.
+
+        Deliberately short default timeout: recorder pulls happen inside
+        failure-path teardowns and must not stall a safe-state sequence
+        when the channel is partitioned.
+        """
+        return Proxy(
+            self.recorder_uri,
+            timeout=timeout,
+            connection_factory=self._factory(self.control_networks),
+            secret=self.config.control_secret,
+        )
 
     def lookup(self, name: str) -> str:
         """Resolve a logical name via the gateway's name server."""

@@ -44,15 +44,25 @@ class ChaosController:
         event_log: optional structured log; every injected fault emits a
             ``chaos`` event, so tests can assert the scenario actually
             fired (a chaos test whose faults never trigger proves nothing).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            every injected fault counts into ``chaos.faults_total{kind}``
+            so the health engine can tell deliberate fault injection from
+            organic trouble.
 
     Attributes:
         injections: chronological record of fired faults, as dicts.
     """
 
-    def __init__(self, network: SimNetwork, event_log: EventLog | None = None):
+    def __init__(
+        self,
+        network: SimNetwork,
+        event_log: EventLog | None = None,
+        metrics: Any = None,
+    ):
         self.network = network
         self.topology = network.topology
         self._event_log = event_log
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._unsubscribers: list = []
         self._touched_links: set[SharedLink] = set()
@@ -63,6 +73,10 @@ class ChaosController:
         self.injections.append({"kind": kind, "message": message, **data})
         if self._event_log is not None:
             self._event_log.emit("chaos", kind, message, **data)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "chaos.faults_total", "deliberately injected faults"
+            ).inc(kind=kind)
 
     def _watch(self, link: SharedLink, hook) -> None:
         self._touched_links.add(link)

@@ -14,7 +14,13 @@ This package is the measurement substrate:
 - :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges and fixed-bucket histograms shared by every layer;
 - :mod:`repro.obs.exporters` — JSONL span files, console tables, and
-  the ``summarize`` API the benchmarks print.
+  the ``summarize`` API the benchmarks print;
+- :mod:`repro.obs.health` — the :class:`HealthEngine` that turns the
+  raw telemetry into per-subsystem healthy/degraded/unhealthy verdicts
+  (``session.health()`` and the ``require_healthy=True`` gate);
+- :mod:`repro.obs.recorder` — the :class:`FlightRecorder` black box
+  dumped on safe-state teardowns, abnormal rounds, breaker trips and
+  fleet-cell failures (schema ``repro-flightrec-1``).
 
 Everything is optional and off by default: components accept
 ``tracer=None`` / ``metrics=None`` and skip all bookkeeping when unset,
@@ -37,6 +43,18 @@ from repro.obs.metrics import (
     Histogram,
     LATENCY_BUCKETS_S,
     MetricsRegistry,
+    bucket_quantile,
+)
+from repro.obs.health import (
+    HealthEngine,
+    HealthReport,
+    HealthThresholds,
+    SubsystemHealth,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    FlightRecorderServer,
+    merge_snapshots,
 )
 from repro.obs.exporters import (
     ConsoleSpanExporter,
@@ -60,6 +78,14 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
+    "bucket_quantile",
+    "HealthEngine",
+    "HealthReport",
+    "HealthThresholds",
+    "SubsystemHealth",
+    "FlightRecorder",
+    "FlightRecorderServer",
+    "merge_snapshots",
     "ConsoleSpanExporter",
     "JsonlSpanExporter",
     "format_span_table",

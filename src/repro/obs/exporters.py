@@ -84,36 +84,69 @@ def _as_dicts(spans: Iterable[Any]) -> list[dict[str, Any]]:
     return [s if isinstance(s, dict) else s.to_dict() for s in spans]
 
 
+def _durations_p95(durations: list[float]) -> float:
+    """p95 of a duration list via the shared bucket interpolation."""
+    from repro.obs.metrics import LATENCY_BUCKETS_S, bucket_quantile
+
+    counts = [0] * (len(LATENCY_BUCKETS_S) + 1)
+    for value in durations:
+        idx = len(LATENCY_BUCKETS_S)
+        for i, bound in enumerate(LATENCY_BUCKETS_S):
+            if value <= bound:
+                idx = i
+                break
+        counts[idx] += 1
+    estimate = bucket_quantile(
+        LATENCY_BUCKETS_S,
+        counts,
+        len(durations),
+        0.95,
+        min(durations),
+        max(durations),
+    )
+    return estimate if estimate is not None else 0.0
+
+
 def summarize_spans(spans: Iterable[Any]) -> dict[str, dict[str, float]]:
     """Per-name stats over spans (live :class:`Span` objects or dicts).
 
-    Returns ``{name: {count, errors, total_s, mean_s, min_s, max_s}}`` —
-    the structure the overhead benchmark prints and asserts on.
+    Returns ``{name: {count, errors, total_s, mean_s, min_s, max_s,
+    p95_s}}`` — the structure the overhead benchmark prints and asserts
+    on. Timing stats come from the spans that actually carry a
+    ``duration_s``; a group whose spans all lack one (e.g. spans read
+    back from a foreign trace file) reports zeros — never ``inf``.
     """
     stats: dict[str, dict[str, float]] = {}
+    timed: dict[str, list[float]] = {}
     for span in _as_dicts(spans):
+        name = span["name"]
         entry = stats.setdefault(
-            span["name"],
+            name,
             {
                 "count": 0,
                 "errors": 0,
                 "total_s": 0.0,
                 "mean_s": 0.0,
-                "min_s": float("inf"),
+                "min_s": 0.0,
                 "max_s": 0.0,
+                "p95_s": 0.0,
             },
         )
-        duration = float(span.get("duration_s") or 0.0)
         entry["count"] += 1
         if span.get("status") == "ERROR":
             entry["errors"] += 1
-        entry["total_s"] += duration
-        entry["min_s"] = min(entry["min_s"], duration)
-        entry["max_s"] = max(entry["max_s"], duration)
-    for entry in stats.values():
-        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
-        if entry["min_s"] == float("inf"):
-            entry["min_s"] = 0.0
+        duration = span.get("duration_s")
+        if duration is not None:
+            timed.setdefault(name, []).append(float(duration))
+    for name, entry in stats.items():
+        durations = timed.get(name)
+        if not durations:
+            continue
+        entry["total_s"] = sum(durations)
+        entry["mean_s"] = entry["total_s"] / len(durations)
+        entry["min_s"] = min(durations)
+        entry["max_s"] = max(durations)
+        entry["p95_s"] = _durations_p95(durations)
     return stats
 
 
@@ -125,7 +158,8 @@ def format_span_table(spans: Iterable[Any]) -> str:
     name_w = max(len("span"), max(len(n) for n in stats))
     header = (
         f"{'span'.ljust(name_w)}  {'count':>6}  {'errors':>6}  "
-        f"{'mean ms':>10}  {'min ms':>10}  {'max ms':>10}  {'total s':>9}"
+        f"{'mean ms':>10}  {'min ms':>10}  {'p95 ms':>10}  {'max ms':>10}  "
+        f"{'total s':>9}"
     )
     lines = [header, "-" * len(header)]
     for name in sorted(stats):
@@ -133,7 +167,8 @@ def format_span_table(spans: Iterable[Any]) -> str:
         lines.append(
             f"{name.ljust(name_w)}  {int(e['count']):>6}  {int(e['errors']):>6}  "
             f"{e['mean_s'] * 1000:>10.3f}  {e['min_s'] * 1000:>10.3f}  "
-            f"{e['max_s'] * 1000:>10.3f}  {e['total_s']:>9.3f}"
+            f"{e['p95_s'] * 1000:>10.3f}  {e['max_s'] * 1000:>10.3f}  "
+            f"{e['total_s']:>9.3f}"
         )
     return "\n".join(lines)
 

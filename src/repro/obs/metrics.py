@@ -40,6 +40,51 @@ def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def bucket_quantile(
+    buckets: tuple[float, ...],
+    bucket_counts: list[int],
+    count: int,
+    q: float,
+    minimum: float,
+    maximum: float,
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative-style bucket counts.
+
+    Prometheus-flavoured: find the bucket the rank lands in, then
+    linearly interpolate between its lower and upper bounds. The result
+    is clamped to the observed ``[minimum, maximum]`` so a
+    single-observation histogram returns the observation rather than a
+    bucket bound, and a rank that falls in the +Inf overflow bucket
+    returns the observed maximum (the only honest point estimate there).
+
+    Shared by :meth:`Histogram.quantile` and callers that first merge
+    several label sets' bucket counts into one distribution (the health
+    engine's aggregate p95).
+
+    Returns None when ``count`` is zero; raises on q outside [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if count <= 0:
+        return None
+    if q == 0.0:
+        return minimum
+    if q == 1.0:
+        return maximum
+    rank = q * count
+    cumulative = 0
+    lower = 0.0
+    for i, bound in enumerate(buckets):
+        in_bucket = bucket_counts[i]
+        if in_bucket and cumulative + in_bucket >= rank:
+            fraction = (rank - cumulative) / in_bucket
+            estimate = lower + (bound - lower) * fraction
+            return min(max(estimate, minimum), maximum)
+        cumulative += in_bucket
+        lower = bound
+    return maximum
+
+
 class _Instrument:
     """Shared plumbing: per-label-set state behind one lock."""
 
@@ -194,6 +239,28 @@ class Histogram(_Instrument):
         with self._lock:
             state = self._series.get(_label_key(labels))
             return state.count if state else 0
+
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Estimate the ``q``-quantile for one label set's distribution.
+
+        Interpolated from the cumulative bucket counts (see
+        :func:`bucket_quantile`); ``q=0``/``q=1`` return the observed
+        min/max exactly. Returns None when nothing was observed.
+        """
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            if state is None:
+                if not 0.0 <= q <= 1.0:
+                    raise ValueError(f"q must be in [0, 1], got {q}")
+                return None
+            return bucket_quantile(
+                self.buckets,
+                state.bucket_counts,
+                state.count,
+                q,
+                state.minimum,
+                state.maximum,
+            )
 
 
 class MetricsRegistry:

@@ -232,6 +232,7 @@ class CircuitBreaker:
         clock: Clock | None = None,
         metrics: Any = None,
         name: str = "default",
+        on_open: Callable[["CircuitBreaker"], None] | None = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -253,6 +254,10 @@ class CircuitBreaker:
         self.rejected_calls = 0
         self.name = name
         self.metrics = metrics
+        #: invoked with the breaker after each trip to OPEN — the flight
+        #: recorder's dump-on-breaker-open hook; called outside the
+        #: breaker lock, exceptions swallowed
+        self.on_open = on_open
         self._publish_state()
 
     def _publish_state(self) -> None:
@@ -306,17 +311,27 @@ class CircuitBreaker:
             self._window.record(True)
 
     def record_failure(self) -> None:
+        tripped = False
         with self._lock:
             if self._state is BreakerState.HALF_OPEN:
                 self._trip()
-                return
-            self._window.record(False)
-            if (
-                len(self._window.outcomes) >= self.min_calls
-                and self._window.failures >= self.failure_threshold
-                and self._window.failure_rate >= self.failure_rate
-            ):
-                self._trip()
+                tripped = True
+            else:
+                self._window.record(False)
+                if (
+                    len(self._window.outcomes) >= self.min_calls
+                    and self._window.failures >= self.failure_threshold
+                    and self._window.failure_rate >= self.failure_rate
+                ):
+                    self._trip()
+                    tripped = True
+        # outside the (non-reentrant) lock: the callback may read breaker
+        # state or dump a flight recording, neither of which may deadlock
+        if tripped and self.on_open is not None:
+            try:
+                self.on_open(self)
+            except Exception:  # noqa: BLE001 - hooks must not mask the failure
+                pass
 
     # -- internals ---------------------------------------------------------
     def _trip(self) -> None:

@@ -211,7 +211,14 @@ class TestEndToEndTrace:
         (run_span,) = session.tracer.find("workflow.cv-workflow")
         assert run_span.status == "ERROR"
         teardowns = [e for e in run_span.events if e["name"] == "teardown"]
-        assert len(teardowns) == 3
+        # safe-state instruments, unmount, close channel, flight dump
+        assert len(teardowns) == 4
+        assert [e["attributes"]["action"] for e in teardowns] == [
+            "safe_state_instruments",
+            "unmount_data_channel",
+            "close_control_channel",
+            "dump_flight_recording",
+        ]
 
     def test_simnet_link_metrics_observed(self, ice):
         with repro.connect(ice) as session:

@@ -42,10 +42,15 @@ from repro.core.facade import Session, connect
 from repro.core.session import RemoteSession
 from repro.errors import ReproError, code_table
 from repro.obs import (
+    BaselineStore,
     FlightRecorder,
     HealthEngine,
     HealthReport,
     MetricsRegistry,
+    SessionStream,
+    SpanProfiler,
+    TelemetryBus,
+    TelemetryEvent,
     Tracer,
 )
 from repro.core.campaign import (
@@ -79,6 +84,11 @@ __all__ = [
     "code_table",
     "MetricsRegistry",
     "Tracer",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "SessionStream",
+    "SpanProfiler",
+    "BaselineStore",
     "FlightRecorder",
     "HealthEngine",
     "HealthReport",

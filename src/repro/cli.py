@@ -12,7 +12,11 @@ Subcommands:
   file (peaks, E1/2, dEp, optional Nicholson k0);
 - ``repro-ice health`` — stand the ICE up, run one probe workflow, and
   print the per-subsystem health verdict table (exit code encodes the
-  overall status: 0 healthy, 1 degraded, 2 unhealthy).
+  overall status: 0 healthy, 1 degraded, 2 unhealthy);
+- ``repro-ice watch`` — run the workflow while tailing the live
+  telemetry feed (``session.stream()``): span completions, health
+  flips and event-log lines as they happen, a ``top``-style view of
+  the run; ``--profile`` appends the hot-operation profile.
 
 Run as ``python -m repro.cli <subcommand>``.
 """
@@ -102,6 +106,106 @@ def _cmd_health(args: argparse.Namespace) -> int:
         if report.status == "healthy":
             return 0
         return 1 if report.status == "degraded" else 2
+
+
+def _format_stream_event(event) -> str | None:
+    """One display line per telemetry event; None for tallied kinds."""
+    if event.kind == "metric":
+        return None  # too chatty line-by-line; drained into a counter
+    stamp = f"{event.timestamp:10.3f}"
+    if event.kind == "span":
+        duration = event.data.get("duration_s")
+        extra = (
+            f" {duration * 1e3:9.2f} ms"
+            if isinstance(duration, (int, float))
+            else ""
+        )
+        status = event.data.get("status", "")
+        flag = "" if status in ("ok", "") else f"  [{status}]"
+        return f"{stamp}  span    {event.service:<11} {event.name}{extra}{flag}"
+    if event.kind == "health":
+        return (
+            f"{stamp}  health  {event.service:<11} "
+            f"{event.data.get('previous', '?')} -> {event.data.get('status', '?')}"
+        )
+    if event.kind == "stream":
+        detail = ""
+        if "missed" in event.data:
+            detail = f" missed={event.data['missed']}"
+        return f"{stamp}  stream  {event.service:<11} {event.name}{detail}"
+    return f"{stamp}  {event.kind:<7} {event.service:<11} {event.name}"
+
+
+def _print_profile(profile: dict, top: int = 10) -> None:
+    operations = profile.get("operations", {})
+    ranked = sorted(
+        operations.items(), key=lambda kv: -kv[1].get("self_s", 0.0)
+    )[:top]
+    print(f"profile: {profile.get('samples_total', 0)} samples, "
+          f"{profile.get('wall_s', 0.0):.3f} s wall")
+    print(f"  {'operation':<32} {'count':>6} {'self_s':>9} {'total_s':>9}")
+    for name, stats in ranked:
+        print(
+            f"  {name:<32} {stats.get('count', 0):>6} "
+            f"{stats.get('self_s', 0.0):>9.3f} {stats.get('total_s', 0.0):>9.3f}"
+        )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Run the workflow with the live feed scrolling: ``top`` for the ICE."""
+    import threading
+
+    import repro
+    from repro.core.cv_workflow import CVWorkflowSettings
+
+    settings = CVWorkflowSettings(
+        scan_rate_v_s=args.scan_rate, e_step_v=args.e_step
+    )
+    with repro.connect() as session:
+        outcome: dict = {}
+
+        def _run() -> None:
+            try:
+                outcome["result"] = session.run_workflow(
+                    settings=settings, profile=args.profile
+                )
+            except Exception as exc:  # noqa: BLE001 - reported after the tail
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=_run, name="watch-workflow")
+        metric_updates = 0
+        with session.stream() as stream:
+            worker.start()
+            try:
+                while worker.is_alive():
+                    worker.join(args.interval)
+                    for event in stream.drain():
+                        line = _format_stream_event(event)
+                        if line is None:
+                            metric_updates += 1
+                        else:
+                            print(line, flush=True)
+            finally:
+                worker.join()
+                # final drain: events raced in while we were printing
+                for event in stream.drain():
+                    line = _format_stream_event(event)
+                    if line is None:
+                        metric_updates += 1
+                    else:
+                        print(line, flush=True)
+            print(
+                f"stream: {metric_updates} metric updates, "
+                f"{stream.dropped} dropped"
+            )
+        if "error" in outcome:
+            print(f"workflow failed: {outcome['error']}", file=sys.stderr)
+            return 1
+        result = outcome["result"]
+        print(result.summary())
+        if args.profile and result.profile is not None:
+            _print_profile(result.profile)
+        return 0 if result.succeeded else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -243,6 +347,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for flight-recorder black-box dumps",
     )
     health.set_defaults(fn=_cmd_health)
+
+    watch = sub.add_parser(
+        "watch",
+        help="run the workflow while tailing the live telemetry feed",
+    )
+    watch.add_argument("--scan-rate", type=float, default=0.1, metavar="V_S")
+    watch.add_argument("--e-step", type=float, default=0.005, metavar="V")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="feed drain cadence in seconds",
+    )
+    watch.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run and print the hot-operation table",
+    )
+    watch.set_defaults(fn=_cmd_watch)
 
     serve = sub.add_parser("serve", help="serve the control agents over TCP")
     serve.add_argument("--secret", default=None, help="require HMAC auth")

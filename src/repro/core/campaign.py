@@ -28,6 +28,7 @@ from repro.ml.normality import NormalityClassifier
 from repro.facility.ice import ElectrochemistryICE
 from repro.obs.health import HealthEngine
 from repro.obs.health import require_healthy as _gate_healthy
+from repro.obs.profiler import SpanProfiler
 from repro.obs.trace import child_span, use_span
 from repro.core.cv_workflow import (
     CVWorkflowResult,
@@ -77,6 +78,11 @@ class Campaign:
             safe-state teardown.
         flight_dir: dump directory (default
             ``<measurement_dir>/flight-recorder``).
+        profile: attach one
+            :class:`~repro.obs.profiler.SpanProfiler` to the ICE's
+            tracer for the whole campaign; the cumulative
+            ``repro-profile-1`` document lands on ``profile_doc`` (and
+            each round's result carries the snapshot taken at its end).
     """
 
     ice: ElectrochemistryICE
@@ -88,6 +94,8 @@ class Campaign:
     health_engine: Any = None
     flight_recorder: Any = None
     flight_dir: str | Path | None = None
+    profile: bool = False
+    profile_doc: dict[str, Any] | None = None
     rounds: list[CampaignRound] = field(default_factory=list)
 
     def run(self) -> list[CampaignRound]:
@@ -107,6 +115,35 @@ class Campaign:
                 self.health_engine = HealthEngine(self.ice.metrics)
             _gate_healthy(self.health_engine, what="campaign")
         self.rounds.clear()
+        profiler, owns_profiler = self._attach_profiler()
+        try:
+            self._run_rounds()
+        finally:
+            if profiler is not None:
+                self.profile_doc = profiler.profile()
+                if owns_profiler:
+                    profiler.detach()
+        return self.rounds
+
+    def _attach_profiler(self) -> tuple[Any, bool]:
+        """One shared profiler across all rounds when ``profile=True``.
+
+        Reuses a profiler someone already attached to the ICE tracer
+        (leaving ownership with them); otherwise attaches its own and
+        detaches it after the campaign. Without an ICE tracer, rounds
+        still profile individually via their private workflow tracers.
+        """
+        if not self.profile:
+            return None, False
+        tracer = self.ice.tracer
+        if tracer is None:
+            return None, False
+        if tracer.profiler is not None:
+            return tracer.profiler, False
+        profiler = SpanProfiler(clock=tracer.clock)
+        return profiler, profiler.attach(tracer)
+
+    def _run_rounds(self) -> None:
         while len(self.rounds) < self.max_rounds:
             # the strategy sees effective history: a retry supersedes the
             # abnormal round it re-ran, so sweep strategies keyed on
@@ -139,7 +176,6 @@ class Campaign:
                     if self._abnormal(retry):
                         self.dump_flight("abnormal-round")
                     break
-        return self.rounds
 
     def dump_flight(self, trigger: str) -> Path | None:
         """Write a black box now (no-op without a flight recorder).
@@ -181,6 +217,7 @@ class Campaign:
             classifier=self.classifier,
             flight_recorder=self.flight_recorder,
             flight_dir=self.flight_dir,
+            profile=self.profile,
         )
         record = CampaignRound(
             index=len(self.rounds),

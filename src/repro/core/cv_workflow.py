@@ -83,6 +83,9 @@ class CVWorkflowResult:
     metrics: CVMetrics | None = None
     normality: NormalityReport | None = None
     measurement_file: str | None = None
+    #: ``repro-profile-1`` document when the run was profiled
+    #: (``profile=True``), None otherwise.
+    profile: dict[str, Any] | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -352,8 +355,17 @@ def run_cv_workflow(
     metrics: Any = None,
     flight_recorder: Any = None,
     flight_dir: str | Path | None = None,
+    profile: bool = False,
 ) -> CVWorkflowResult:
-    """Build, run, and package the paper's workflow in one call."""
+    """Build, run, and package the paper's workflow in one call.
+
+    ``profile=True`` samples the run with a
+    :class:`~repro.obs.profiler.SpanProfiler` and attaches the
+    ``repro-profile-1`` document as ``result.profile``. When the tracer
+    already carries a profiler (e.g. a campaign profiling several runs),
+    that one is shared and left attached; otherwise a private profiler
+    is attached for this run and detached afterwards.
+    """
     flow = build_cv_workflow(
         ice,
         settings=settings,
@@ -363,7 +375,28 @@ def run_cv_workflow(
         flight_recorder=flight_recorder,
         flight_dir=flight_dir,
     )
-    outcome = flow.run()
+    profiler = None
+    owns_profiler = False
+    if profile:
+        from repro.obs.profiler import SpanProfiler
+
+        run_tracer = tracer if tracer is not None else ice.tracer
+        if run_tracer is None:
+            # profile=True without any tracer: trace the run privately so
+            # there is something to sample
+            from repro.obs.trace import Tracer
+
+            run_tracer = Tracer("cv-workflow")
+            flow.tracer = run_tracer
+        profiler = run_tracer.profiler
+        if profiler is None:
+            profiler = SpanProfiler(clock=run_tracer.clock)
+            owns_profiler = profiler.attach(run_tracer)
+    try:
+        outcome = flow.run()
+    finally:
+        if owns_profiler and profiler is not None:
+            profiler.detach()
     ctx = outcome.context
     return CVWorkflowResult(
         workflow=outcome,
@@ -371,4 +404,5 @@ def run_cv_workflow(
         metrics=ctx.get("metrics"),
         normality=ctx.get("normality"),
         measurement_file=ctx.get("measurement_file"),
+        profile=profiler.profile() if profiler is not None else None,
     )

@@ -40,11 +40,13 @@ from repro.errors import WorkflowError
 from repro.obs import JsonlSpanExporter, MetricsRegistry, Tracer
 from repro.obs.health import HealthEngine, HealthReport
 from repro.obs.health import require_healthy as _gate_healthy
+from repro.obs.baseline import BaselineStore
 from repro.obs.recorder import (
     FlightRecorder,
     FlightRecorderServer,
     is_daemon_side_span,
 )
+from repro.obs.stream import SessionStream, TelemetryBus, TelemetryServer
 from repro.chemistry.voltammogram import Voltammogram
 from repro.analysis.metrics import CVMetrics, characterize
 from repro.ml.normality import NormalityClassifier, NormalityReport
@@ -68,6 +70,9 @@ class Session:
         tracer: the session :class:`~repro.obs.Tracer`.
         metrics: the session :class:`~repro.obs.MetricsRegistry`.
         recorder: the client-half :class:`~repro.obs.FlightRecorder`.
+        bus: the client-half :class:`~repro.obs.TelemetryBus` feeding
+            :meth:`stream` (DGX-side spans, metric deltas, health
+            transitions; the ACL half streams through ``Telemetry_Poll``).
         health_engine: the session :class:`~repro.obs.HealthEngine`
             behind :meth:`health`.
         flight_dir: where black-box dumps land (override per call or via
@@ -105,6 +110,17 @@ class Session:
             self.tracer, only=lambda s: not is_daemon_side_span(s)
         )
         self.recorder.observe_metrics(self.metrics)
+        # client-half live feed: DGX-side span completions plus every
+        # metric write; the daemon half streams its own spans/events and
+        # session.stream() merges the two (the split mirrors the
+        # recorder's, so no event ever appears on both halves)
+        self.bus = TelemetryBus(
+            "dgx-session", clock=self.tracer.clock, metrics=self.metrics
+        )
+        self.bus.attach_tracer(
+            self.tracer, only=lambda s: not is_daemon_side_span(s)
+        )
+        self.bus.observe_metrics(self.metrics)
 
         self._control_uri: str | None = None
         if target is None:
@@ -180,7 +196,10 @@ class Session:
         # baseline the health window only after the channels are up, so
         # connection-time traffic does not count against the first verdict
         self.health_engine = HealthEngine(
-            self.metrics, clock=self.tracer.clock, window_s=health_window_s
+            self.metrics,
+            clock=self.tracer.clock,
+            window_s=health_window_s,
+            bus=self.bus,
         )
 
     def _hook_breaker_dump(self) -> None:
@@ -206,6 +225,7 @@ class Session:
             if self._sp200_ready:
                 self.client.call_Disconnect_SP200()
         finally:
+            self.bus.detach()
             if self.datachannel is not None:
                 self.datachannel.unmount()
             self.client.close()
@@ -259,8 +279,14 @@ class Session:
         classifier=None,
         require_healthy: bool = False,
         flight_dir: str | Path | None = None,
+        profile: bool = False,
     ):
-        """Build + run + package the CV workflow (tasks A-E)."""
+        """Build + run + package the CV workflow (tasks A-E).
+
+        ``profile=True`` attaches a
+        :class:`~repro.obs.profiler.SpanProfiler` for the run; the
+        ``repro-profile-1`` document lands on ``result.profile``.
+        """
         from repro.core.cv_workflow import run_cv_workflow
 
         if self.ice is None:
@@ -277,12 +303,82 @@ class Session:
             metrics=self.metrics,
             flight_recorder=self.recorder,
             flight_dir=flight_dir if flight_dir is not None else self.flight_dir,
+            profile=profile,
         )
 
     # -- observability ---------------------------------------------------------
     def summarize(self) -> dict[str, Any]:
         """Session-wide rollup: span timings and metric values."""
         return {"spans": self.tracer.summarize(), "metrics": self.metrics.summarize()}
+
+    def stream(
+        self, capacity: int = 1024, max_remote_events: int = 256
+    ) -> SessionStream:
+        """Open the merged live telemetry feed (both facility halves).
+
+        Each :meth:`~repro.obs.stream.SessionStream.drain` call returns
+        everything new since the last one — DGX-side span completions
+        and metric updates from the session bus, ACL-side spans and
+        instrument events cursor-polled over the control channel — in
+        one time-ordered list. Pull-based: call ``drain()`` at whatever
+        cadence the steering loop runs. Remote trouble degrades the feed
+        (synthetic ``stream.*`` events, ``obs.stream.dropped_total``)
+        instead of hanging it. Close when done (context manager).
+        """
+        if self.ice is not None:
+            remote_fn = self.ice.telemetry_client
+        else:
+            uri = self._remote_telemetry_uri()
+            if uri is None:
+                remote_fn = None
+            else:
+
+                def remote_fn():
+                    from repro.rpc.proxy import Proxy
+
+                    return Proxy(uri, timeout=10.0)
+
+        return SessionStream(
+            self.bus,
+            remote_client_fn=remote_fn,
+            capacity=capacity,
+            max_remote_events=max_remote_events,
+        )
+
+    def _remote_telemetry_uri(self) -> str | None:
+        """Telemetry URI next to the control object (URI mode only)."""
+        uri = self._control_uri
+        if not uri or "@" not in uri:
+            return None
+        return f"PYRO:{TelemetryServer.OBJECT_ID}@{uri.split('@', 1)[1]}"
+
+    def record_baseline(
+        self, path: str | Path | None = None, store: BaselineStore | None = None
+    ) -> BaselineStore:
+        """Freeze this session's span timings as a perf baseline.
+
+        Records :meth:`tracer.summarize` into ``store`` (a fresh one by
+        default), optionally saving it to ``path`` as a
+        ``repro-baseline-1`` JSON document. Returns the store.
+        """
+        if store is None:
+            store = BaselineStore(clock=self.tracer.clock)
+        store.record_baseline(self.tracer.summarize())
+        if path is not None:
+            store.save(path)
+        return store
+
+    def track_baseline(self, store: "BaselineStore | str | Path") -> BaselineStore:
+        """Judge future :meth:`health` calls against a perf baseline.
+
+        Accepts a :class:`~repro.obs.baseline.BaselineStore` or a path
+        to a saved one; registers the ``perf`` probe on the session's
+        health engine and returns the store.
+        """
+        if not isinstance(store, BaselineStore):
+            store = BaselineStore.load(store, clock=self.tracer.clock)
+        self.health_engine.track_baseline(store, self.tracer)
+        return store
 
     def health(self) -> HealthReport:
         """Evaluate the health rules now; returns the verdict report."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import WorkflowError
+from repro.obs.trace import child_span
 
 
 @dataclass
@@ -59,6 +60,12 @@ class LiveMonitor:
         fetch_partial_data: also pull the partial trace inline each poll
             (costs control-channel bandwidth; gives the guard the actual
             currents, enabling compliance-style protection).
+        tracer: emit one ``monitor.poll`` span per probe (with
+            ``samples_acquired``/``state`` attributes) on this tracer —
+            and thus onto any :class:`~repro.obs.stream.TelemetryBus`
+            attached to it. Without a tracer the monitor still nests
+            under an ambient span when one is open, and costs nothing
+            otherwise.
     """
 
     def __init__(
@@ -68,6 +75,7 @@ class LiveMonitor:
         on_progress: Callable[[ProgressSample], None] | None = None,
         guard: Callable[[ProgressSample], bool] | None = None,
         fetch_partial_data: bool = False,
+        tracer: Any = None,
     ):
         if poll_interval_s <= 0:
             raise WorkflowError("poll interval must be > 0")
@@ -76,6 +84,7 @@ class LiveMonitor:
         self.on_progress = on_progress
         self.guard = guard
         self.fetch_partial_data = fetch_partial_data
+        self.tracer = tracer
 
     def watch(self, timeout_s: float = 300.0) -> MonitorOutcome:
         """Poll until the acquisition finishes, the guard trips, or timeout.
@@ -89,21 +98,7 @@ class LiveMonitor:
         start = _time.monotonic()
         deadline = start + timeout_s
         while True:
-            status = self.client.call_Probe_Status_SP200()
-            sample = ProgressSample(
-                elapsed_s=_time.monotonic() - start,
-                samples_acquired=int(status.get("samples_acquired", 0)),
-                state=str(status.get("state", "?")),
-            )
-            if self.fetch_partial_data and sample.samples_acquired > 0:
-                partial = self.client.call_Get_Measurements_Inline(wait=False)
-                currents = partial.get("current_a")
-                if currents is not None and len(currents):
-                    import numpy as np
-
-                    sample.partial_max_abs_current = float(
-                        np.abs(np.asarray(currents)).max()
-                    )
+            sample = self._poll_once(start)
             outcome.samples.append(sample)
             if self.on_progress is not None:
                 self.on_progress(sample)
@@ -118,6 +113,39 @@ class LiveMonitor:
                     f"acquisition still {sample.state!r} after {timeout_s}s"
                 )
             _time.sleep(self.poll_interval_s)
+
+    def _poll_once(self, start: float) -> ProgressSample:
+        """One probe, wrapped in a ``monitor.poll`` span."""
+        if self.tracer is not None:
+            with self.tracer.start_as_current_span("monitor.poll") as span:
+                sample = self._probe(start)
+                span.set_attribute("samples_acquired", sample.samples_acquired)
+                span.set_attribute("state", sample.state)
+                return sample
+        with child_span("monitor.poll") as span:
+            sample = self._probe(start)
+            if span is not None:
+                span.set_attribute("samples_acquired", sample.samples_acquired)
+                span.set_attribute("state", sample.state)
+            return sample
+
+    def _probe(self, start: float) -> ProgressSample:
+        status = self.client.call_Probe_Status_SP200()
+        sample = ProgressSample(
+            elapsed_s=_time.monotonic() - start,
+            samples_acquired=int(status.get("samples_acquired", 0)),
+            state=str(status.get("state", "?")),
+        )
+        if self.fetch_partial_data and sample.samples_acquired > 0:
+            partial = self.client.call_Get_Measurements_Inline(wait=False)
+            currents = partial.get("current_a")
+            if currents is not None and len(currents):
+                import numpy as np
+
+                sample.partial_max_abs_current = float(
+                    np.abs(np.asarray(currents)).max()
+                )
+        return sample
 
 
 def compliance_guard(max_abs_current_a: float) -> Callable[[ProgressSample], bool]:

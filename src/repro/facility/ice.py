@@ -43,6 +43,7 @@ from repro.obs.recorder import (
     FlightRecorderServer,
     is_daemon_side_span,
 )
+from repro.obs.stream import TelemetryBus, TelemetryServer
 from repro.rpc.daemon import Daemon
 from repro.rpc.naming import NameServer
 from repro.rpc.proxy import Proxy
@@ -153,6 +154,11 @@ class ElectrochemistryICE:
         #: chains it onto the tracer for daemon-side spans
         self.recorder: FlightRecorder = parts["recorder"]
         self.recorder_uri: str = parts["recorder_uri"]
+        #: daemon-half live telemetry bus, served over the control
+        #: channel (``TelemetryServer.OBJECT_ID``) for cursor polling;
+        #: :meth:`attach_observability` feeds it daemon-side spans
+        self.telemetry_bus: TelemetryBus = parts["telemetry_bus"]
+        self.telemetry_uri: str = parts["telemetry_uri"]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -232,6 +238,15 @@ class ElectrochemistryICE:
             FlightRecorderServer(recorder),
             object_id=FlightRecorderServer.OBJECT_ID,
         )
+        # daemon-half live feed: ACL-side events stream from build time,
+        # ACL-side spans join once attach_observability() wires a tracer;
+        # the DGX tails it over the control channel via Telemetry_Poll
+        telemetry_bus = TelemetryBus("acl-daemon", clock=clock)
+        telemetry_bus.attach_event_log(log)
+        telemetry_uri = control_daemon.register(
+            TelemetryServer(telemetry_bus),
+            object_id=TelemetryServer.OBJECT_ID,
+        )
         control_daemon.start_background()
 
         share = FileShareService(measurement_dir, share_name="acl-measurements")
@@ -296,6 +311,8 @@ class ElectrochemistryICE:
             data_networks=data_networks,
             recorder=recorder,
             recorder_uri=recorder_uri,
+            telemetry_bus=telemetry_bus,
+            telemetry_uri=telemetry_uri,
         )
 
     @staticmethod
@@ -376,6 +393,11 @@ class ElectrochemistryICE:
         if tracer is not None:
             self.recorder.clock = tracer.clock
             self.recorder.attach_tracer(tracer, only=is_daemon_side_span)
+            # same split for the live feed: the daemon bus streams only
+            # ACL-side spans, the session bus only DGX-side ones, so the
+            # merged session.stream() never sees a span twice
+            self.telemetry_bus.clock = tracer.clock
+            self.telemetry_bus.attach_tracer(tracer, only=is_daemon_side_span)
         if metrics is not None:
             self.recorder.observe_metrics(metrics)
 
@@ -467,6 +489,20 @@ class ElectrochemistryICE:
         """
         return Proxy(
             self.recorder_uri,
+            timeout=timeout,
+            connection_factory=self._factory(self.control_networks),
+            secret=self.config.control_secret,
+        )
+
+    def telemetry_client(self, timeout: float | None = 10.0) -> Proxy:
+        """Control-channel proxy to the daemon-half telemetry bus.
+
+        Short default timeout like :meth:`recorder_client`: live-feed
+        polls run inside a steering loop and must surface a partition as
+        a fast failure, never as a hung subscriber.
+        """
+        return Proxy(
+            self.telemetry_uri,
             timeout=timeout,
             connection_factory=self._factory(self.control_networks),
             secret=self.config.control_secret,

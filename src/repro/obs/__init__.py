@@ -20,7 +20,14 @@ This package is the measurement substrate:
   (``session.health()`` and the ``require_healthy=True`` gate);
 - :mod:`repro.obs.recorder` — the :class:`FlightRecorder` black box
   dumped on safe-state teardowns, abnormal rounds, breaker trips and
-  fleet-cell failures (schema ``repro-flightrec-1``).
+  fleet-cell failures (schema ``repro-flightrec-1``);
+- :mod:`repro.obs.stream` — the :class:`TelemetryBus` live feed
+  (``session.stream()`` merges the dgx-session and acl-daemon halves;
+  the daemon half is polled via ``Telemetry_Poll``);
+- :mod:`repro.obs.profiler` — the :class:`SpanProfiler` transition
+  sampler behind ``profile=True`` (schema ``repro-profile-1``);
+- :mod:`repro.obs.baseline` — the :class:`BaselineStore` perf baselines
+  feeding the ``perf`` health subsystem and ``BENCH_profile.json``.
 
 Everything is optional and off by default: components accept
 ``tracer=None`` / ``metrics=None`` and skip all bookkeeping when unset,
@@ -62,7 +69,17 @@ from repro.obs.exporters import (
     format_span_table,
     read_jsonl_spans,
     summarize_spans,
+    trace_tree,
 )
+from repro.obs.stream import (
+    SessionStream,
+    TelemetryBus,
+    TelemetryEvent,
+    TelemetryServer,
+    TelemetrySubscription,
+)
+from repro.obs.profiler import SpanProfiler, profile_tracer
+from repro.obs.baseline import BaselineStore
 
 __all__ = [
     "Span",
@@ -91,4 +108,13 @@ __all__ = [
     "format_span_table",
     "read_jsonl_spans",
     "summarize_spans",
+    "trace_tree",
+    "SessionStream",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "TelemetryServer",
+    "TelemetrySubscription",
+    "SpanProfiler",
+    "profile_tracer",
+    "BaselineStore",
 ]

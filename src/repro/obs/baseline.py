@@ -1,0 +1,213 @@
+"""Per-operation latency baselines and regression verdicts.
+
+PR 3 made the control channel ~3x faster under WAN latency — and
+nothing in the repo would notice if a later change gave it all back.
+This module closes that loop: :meth:`BaselineStore.record_baseline`
+freezes the per-operation timing profile of a known-good run (from
+:func:`~repro.obs.exporters.summarize_spans` output), and
+:meth:`BaselineStore.compare` judges a later run against it with ratio
+thresholds — ``ok`` / ``regressed`` per operation, plus ``new`` for
+operations the baseline has never seen.
+
+Wired two ways:
+
+- ``HealthEngine.track_baseline(store, tracer)`` registers a ``perf``
+  health probe, so a regressed operation degrades the ecosystem verdict
+  exactly like a flaky watcher does;
+- the profiling benchmark emits the baselines (with the
+  ``repro-profile-1`` document) into ``BENCH_profile.json``, seeding the
+  release-to-release perf trajectory CI uploads as an artifact.
+
+Store documents carry ``"schema": "repro-baseline-1"``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.clock import Clock, WALL
+
+#: Schema tag stamped into every saved store.
+SCHEMA = "repro-baseline-1"
+
+OK = "ok"
+REGRESSED = "regressed"
+NEW = "new"
+
+
+class BaselineStore:
+    """Named per-operation latency baselines with ratio comparisons.
+
+    Args:
+        clock: stamps ``recorded_at`` on baselines.
+        min_count: operations with fewer windowed spans than this are
+            not judged (two samples do not make a distribution).
+        min_floor_s: operations whose baseline *and* current mean are
+            both under this are never flagged — a 50 µs dict lookup
+            doubling is noise, not a regression.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        min_count: int = 3,
+        min_floor_s: float = 0.001,
+    ):
+        self.clock = clock or WALL
+        self.min_count = min_count
+        self.min_floor_s = min_floor_s
+        self._lock = threading.Lock()
+        self._baselines: dict[str, dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._baselines)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._baselines)
+
+    def get(self, operation: str) -> dict[str, Any] | None:
+        with self._lock:
+            entry = self._baselines.get(operation)
+            return dict(entry) if entry else None
+
+    # -- recording ----------------------------------------------------------
+    def record_baseline(
+        self, summary: dict[str, dict[str, float]]
+    ) -> dict[str, dict[str, Any]]:
+        """Freeze a run's per-operation stats as the new baseline.
+
+        ``summary`` is :func:`~repro.obs.exporters.summarize_spans`
+        output (``tracer.summarize()``). Operations below ``min_count``
+        are skipped — they would make meaningless denominators later.
+        Returns what was recorded.
+        """
+        now = self.clock.now()
+        recorded: dict[str, dict[str, Any]] = {}
+        for name, stats in summary.items():
+            count = int(stats.get("count", 0))
+            if count < self.min_count:
+                continue
+            recorded[name] = {
+                "mean_s": float(stats.get("mean_s", 0.0)),
+                "p95_s": float(stats.get("p95_s", 0.0)),
+                "count": count,
+                "recorded_at": now,
+            }
+        with self._lock:
+            self._baselines.update(recorded)
+        return recorded
+
+    # -- judging ------------------------------------------------------------
+    def compare(
+        self,
+        summary: dict[str, dict[str, float]],
+        ratio_degraded: float = 1.5,
+        ratio_unhealthy: float = 3.0,
+    ) -> dict[str, dict[str, Any]]:
+        """Judge a run against the recorded baselines.
+
+        Returns per-operation verdicts::
+
+            {name: {"status": "ok"|"regressed"|"new",
+                    "ratio": current_mean / baseline_mean,
+                    "severity": "degraded"|"unhealthy" (regressed only),
+                    "baseline_mean_s": ..., "current_mean_s": ...}}
+
+        ``regressed`` means the mean grew past ``ratio_degraded`` x the
+        baseline (``severity`` says how far); operations under the noise
+        floor or below ``min_count`` current samples are reported ``ok``
+        with their ratio for context.
+        """
+        with self._lock:
+            baselines = {k: dict(v) for k, v in self._baselines.items()}
+        verdicts: dict[str, dict[str, Any]] = {}
+        for name, stats in summary.items():
+            current_mean = float(stats.get("mean_s", 0.0))
+            count = int(stats.get("count", 0))
+            base = baselines.get(name)
+            if base is None:
+                verdicts[name] = {
+                    "status": NEW,
+                    "ratio": None,
+                    "baseline_mean_s": None,
+                    "current_mean_s": current_mean,
+                }
+                continue
+            base_mean = float(base.get("mean_s", 0.0))
+            ratio = (current_mean / base_mean) if base_mean > 0 else None
+            verdict: dict[str, Any] = {
+                "status": OK,
+                "ratio": ratio,
+                "baseline_mean_s": base_mean,
+                "current_mean_s": current_mean,
+            }
+            judgeable = (
+                ratio is not None
+                and count >= self.min_count
+                and max(base_mean, current_mean) >= self.min_floor_s
+            )
+            if judgeable and ratio >= ratio_degraded:
+                verdict["status"] = REGRESSED
+                verdict["severity"] = (
+                    "unhealthy" if ratio >= ratio_unhealthy else "degraded"
+                )
+            verdicts[name] = verdict
+        return verdicts
+
+    @staticmethod
+    def regressions(
+        verdicts: dict[str, dict[str, Any]]
+    ) -> list[tuple[str, dict[str, Any]]]:
+        """The regressed entries, worst ratio first."""
+        out = [
+            (name, v) for name, v in verdicts.items() if v["status"] == REGRESSED
+        ]
+        out.sort(key=lambda item: -(item[1]["ratio"] or 0.0))
+        return out
+
+    # -- persistence --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "min_count": self.min_count,
+                "min_floor_s": self.min_floor_s,
+                "baselines": {k: dict(v) for k, v in self._baselines.items()},
+            }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any], clock: Clock | None = None) -> "BaselineStore":
+        """Rebuild a store from :meth:`to_dict` output (tolerant)."""
+        store = cls(
+            clock=clock,
+            min_count=int(doc.get("min_count", 3)),
+            min_floor_s=float(doc.get("min_floor_s", 0.001)),
+        )
+        baselines = doc.get("baselines")
+        if isinstance(baselines, dict):
+            with store._lock:
+                for name, entry in baselines.items():
+                    if isinstance(entry, dict):
+                        store._baselines[str(name)] = dict(entry)
+        return store
+
+    @classmethod
+    def load(cls, path: str | Path, clock: Clock | None = None) -> "BaselineStore":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path} is not a {SCHEMA} document "
+                f"(schema={doc.get('schema')!r})"
+            )
+        return cls.from_dict(doc, clock=clock)

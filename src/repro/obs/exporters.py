@@ -22,7 +22,12 @@ class JsonlSpanExporter:
 
     Pass an instance as ``Tracer(exporter=...)``; the file is opened
     lazily and flushed per span so a crashed run still leaves a usable
-    trace. Use as a context manager or call :meth:`close`.
+    trace. Thread-safe: spans finish on daemon connection threads,
+    pipelined-reader threads and the caller's thread concurrently, so
+    serialization *and* the write run under one lock — two JSONL lines
+    can never interleave. Use as a context manager or call
+    :meth:`close` (which flushes; a span exported after close reopens
+    the file rather than being lost).
     """
 
     def __init__(self, path: str | Path):
@@ -31,6 +36,9 @@ class JsonlSpanExporter:
         self._fh: IO[str] | None = None
 
     def __call__(self, span: "Span") -> None:
+        # serialize inside the lock too: to_dict() reads mutable span
+        # state, and interleaved write() calls from two threads would
+        # corrupt the line-oriented format
         with self._lock:
             if self._fh is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -39,10 +47,14 @@ class JsonlSpanExporter:
             self._fh.flush()
 
     def close(self) -> None:
+        """Flush and close; idempotent, and late spans reopen the file."""
         with self._lock:
             if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+                try:
+                    self._fh.flush()
+                finally:
+                    self._fh.close()
+                    self._fh = None
 
     def __enter__(self) -> "JsonlSpanExporter":
         return self
@@ -174,24 +186,34 @@ def format_span_table(spans: Iterable[Any]) -> str:
 
 
 def trace_tree(spans: Iterable[Any], trace_id: str | None = None) -> str:
-    """Indented parent→child rendering of one trace (docs/debugging)."""
+    """Indented parent→child rendering of one trace (docs/debugging).
+
+    Spans whose parent id is absent from the input — the normal case
+    for partial or streamed captures, where the parent is still open or
+    fell off a ring buffer — are rendered as synthetic roots marked
+    ``…`` rather than silently merged with the true roots.
+    """
     span_dicts = _as_dicts(spans)
     if trace_id is not None:
         span_dicts = [s for s in span_dicts if s["trace_id"] == trace_id]
     by_parent: dict[str | None, list[dict[str, Any]]] = {}
     ids = {s["span_id"] for s in span_dicts}
+    orphans: set[str] = set()
     for s in span_dicts:
         parent = s.get("parent_id")
-        key = parent if parent in ids else None
-        by_parent.setdefault(key, []).append(s)
+        if parent is not None and parent not in ids:
+            orphans.add(s["span_id"])
+            parent = None
+        by_parent.setdefault(parent, []).append(s)
     for children in by_parent.values():
         children.sort(key=lambda s: s.get("start_time") or 0.0)
     lines: list[str] = []
 
     def render(parent_key: str | None, depth: int) -> None:
         for s in by_parent.get(parent_key, []):
+            marker = "… " if s["span_id"] in orphans else ""
             lines.append(
-                f"{'  ' * depth}{s['name']} "
+                f"{'  ' * depth}{marker}{s['name']} "
                 f"[{(s.get('duration_s') or 0.0) * 1000:.3f} ms, {s.get('status')}]"
             )
             render(s["span_id"], depth + 1)

@@ -54,6 +54,7 @@ SUBSYSTEMS = (
     "workflow",
     "fleet",
     "chaos",
+    "perf",
 )
 
 #: A probe returns None (nothing to report) or a (status, reason) pair.
@@ -79,6 +80,10 @@ class HealthThresholds:
         watcher_streak_degraded / watcher_streak_unhealthy: consecutive
             failing polls of a watched directory (see
             :meth:`HealthEngine.watch`).
+        perf_ratio_degraded / perf_ratio_unhealthy: how far an
+            operation's mean latency may grow past its recorded baseline
+            before the ``perf`` subsystem flags it (see
+            :meth:`HealthEngine.track_baseline`).
     """
 
     rpc_min_calls: int = 5
@@ -89,6 +94,8 @@ class HealthThresholds:
     retries_degraded: int = 3
     watcher_streak_degraded: int = 1
     watcher_streak_unhealthy: int = 5
+    perf_ratio_degraded: float = 1.5
+    perf_ratio_unhealthy: float = 3.0
 
 
 def worst(*statuses: str) -> str:
@@ -192,6 +199,7 @@ class HealthEngine:
         clock: Clock | None = None,
         window_s: float = 300.0,
         thresholds: HealthThresholds | None = None,
+        bus: Any | None = None,
     ):
         if window_s <= 0:
             raise ValueError(f"window_s must be > 0, got {window_s}")
@@ -199,9 +207,14 @@ class HealthEngine:
         self.clock = clock or WALL
         self.window_s = window_s
         self.thresholds = thresholds or HealthThresholds()
+        #: Optional :class:`~repro.obs.stream.TelemetryBus`; when set,
+        #: every *change* of the overall status publishes a ``health``
+        #: event, so the live feed shows the flip the moment it happens.
+        self.bus = bus
         self._lock = threading.Lock()
         self._history: deque[tuple[float, dict[Any, float]]] = deque()
         self._probes: list[tuple[str, Probe]] = []
+        self._last_status: str | None = None
         self._history.append((self.clock.now(), self._snapshot_counters()))
 
     # -- live-object probes -------------------------------------------------
@@ -230,6 +243,49 @@ class HealthEngine:
             if streak >= thresholds.watcher_streak_degraded:
                 return DEGRADED, f"watcher failure streak at {streak}"
             return None
+
+        self.register_probe(subsystem, probe)
+
+    def track_baseline(
+        self,
+        store: Any,
+        tracer: Any,
+        subsystem: str = "perf",
+    ) -> None:
+        """Judge span timings against a recorded perf baseline.
+
+        Registers a probe that summarizes ``tracer``'s finished spans,
+        compares them with ``store``
+        (:class:`~repro.obs.baseline.BaselineStore`), and merges the
+        worst regression into the ``perf`` subsystem: ``degraded`` past
+        ``perf_ratio_degraded`` x baseline, ``unhealthy`` past
+        ``perf_ratio_unhealthy`` x. No baselines or no regressions means
+        nothing to report.
+        """
+        thresholds = self.thresholds
+
+        def probe() -> tuple[str, str] | None:
+            if len(store) == 0:
+                return None
+            verdicts = store.compare(
+                tracer.summarize(),
+                ratio_degraded=thresholds.perf_ratio_degraded,
+                ratio_unhealthy=thresholds.perf_ratio_unhealthy,
+            )
+            regressions = store.regressions(verdicts)
+            if not regressions:
+                return None
+            name, verdict = regressions[0]
+            status = (
+                UNHEALTHY if verdict.get("severity") == "unhealthy" else DEGRADED
+            )
+            extra = len(regressions) - 1
+            suffix = f" (+{extra} more)" if extra else ""
+            return status, (
+                f"{name} mean latency {verdict['ratio']:.1f}x its baseline "
+                f"({verdict['current_mean_s']:.4f}s vs "
+                f"{verdict['baseline_mean_s']:.4f}s){suffix}"
+            )
 
         self.register_probe(subsystem, probe)
 
@@ -320,12 +376,27 @@ class HealthEngine:
                 target.merge(*outcome)
 
         overall = worst(*(sub.status for sub in subsystems.values()))
-        return HealthReport(
+        report = HealthReport(
             status=overall,
             subsystems=subsystems,
             window_s=self.window_s,
             evaluated_at=now,
         )
+        with self._lock:
+            previous = self._last_status
+            self._last_status = overall
+        if self.bus is not None and overall != previous:
+            try:
+                self.bus.publish(
+                    "health",
+                    "health.status",
+                    status=overall,
+                    previous=previous,
+                    reasons=report.reasons(),
+                )
+            except Exception:  # noqa: BLE001 - streaming must not break health
+                pass
+        return report
 
     # -- rules --------------------------------------------------------------
     def _rule_rpc(

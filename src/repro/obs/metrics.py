@@ -11,7 +11,7 @@ that are handed ``metrics=None`` skip even that.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 #: Default latency buckets (seconds). Chosen for the paper's regimes:
 #: sub-ms loopback RPC, ~35 ms ACL<->ORNL WAN RTT, multi-second CV
@@ -38,6 +38,12 @@ LATENCY_BUCKETS_S: tuple[float, ...] = (
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
     """Canonical hashable form of a label set."""
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+#: Signature of a registry update listener:
+#: ``listener(metric_name, kind, labels, value)`` where ``value`` is the
+#: new counter/gauge reading or the observed histogram sample.
+UpdateListener = Callable[[str, str, dict[str, Any], float], None]
 
 
 def bucket_quantile(
@@ -95,6 +101,18 @@ class _Instrument:
         self.description = description
         self._lock = threading.Lock()
         self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+        self._registry: "MetricsRegistry | None" = None
+
+    def _notify(self, labels: dict[str, Any], value: float) -> None:
+        """Tell the owning registry's update listeners about one write.
+
+        Called *after* the instrument lock is released so a listener that
+        itself touches metrics (the telemetry bus does) cannot deadlock.
+        Free when nothing is listening: one attribute read.
+        """
+        registry = self._registry
+        if registry is not None and registry._listeners:
+            registry._notify_update(self.name, self.kind, labels, value)
 
     def _new_state(self) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -130,7 +148,10 @@ class Counter(_Instrument):
         if amount < 0:
             raise ValueError("Counter can only increase")
         with self._lock:
-            self._state(labels)[0] += amount
+            state = self._state(labels)
+            state[0] += amount
+            value = state[0]
+        self._notify(labels, value)
 
     def value(self, **labels: Any) -> float:
         with self._lock:
@@ -154,10 +175,14 @@ class Gauge(_Instrument):
     def set(self, value: float, **labels: Any) -> None:
         with self._lock:
             self._state(labels)[0] = float(value)
+        self._notify(labels, float(value))
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         with self._lock:
-            self._state(labels)[0] += amount
+            state = self._state(labels)
+            state[0] += amount
+            value = state[0]
+        self._notify(labels, value)
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
         self.inc(-amount, **labels)
@@ -215,6 +240,7 @@ class Histogram(_Instrument):
                 state.minimum = value
             if value > state.maximum:
                 state.maximum = value
+        self._notify(labels, value)
 
     def snapshot(self, **labels: Any) -> dict[str, Any]:
         """Stats for one label set (zeros when never observed)."""
@@ -275,6 +301,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics: dict[str, _Instrument] = {}
+        self._listeners: list[UpdateListener] = []
 
     def _get_or_create(self, cls, name: str, description: str, **kwargs) -> Any:
         with self._lock:
@@ -286,8 +313,41 @@ class MetricsRegistry:
                     )
                 return existing
             metric = cls(name, description, **kwargs)
+            metric._registry = self
             self._metrics[name] = metric
             return metric
+
+    # -- live update listeners ----------------------------------------------
+    def add_update_listener(self, listener: "UpdateListener") -> Callable[[], None]:
+        """Call ``listener(name, kind, labels, value)`` after every write.
+
+        The hook behind live telemetry streaming: the
+        :class:`~repro.obs.stream.TelemetryBus` subscribes here to turn
+        counter increments and gauge/histogram updates into bus events.
+        Listeners run outside the instrument lock and must never raise
+        (exceptions are swallowed — observability cannot break the
+        operation it observes). Returns an unsubscribe callable.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._listeners.remove(listener)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
+    def _notify_update(
+        self, name: str, kind: str, labels: dict[str, Any], value: float
+    ) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(name, kind, labels, value)
+            except Exception:  # noqa: BLE001 - listeners must never break writes
+                pass
 
     def counter(self, name: str, description: str = "") -> Counter:
         return self._get_or_create(Counter, name, description)

@@ -169,6 +169,14 @@ class Span:
         elif self.status == SpanStatus.UNSET:
             self.status = SpanStatus.OK
         self.end_time = self.tracer.clock.now()
+        profiler = self.tracer.profiler
+        if profiler is not None:
+            # before the contextvar reset below: the profiler reads the
+            # current-span stack to attribute the closing interval
+            try:
+                profiler.on_end(self)
+            except Exception:  # noqa: BLE001 - profiling must never break runs
+                pass
         if self._token is not None:
             try:
                 _CURRENT.reset(self._token)
@@ -238,6 +246,10 @@ class Tracer:
         self.service = service
         self.clock = clock or WALL
         self.exporter = exporter
+        #: Optional :class:`~repro.obs.profiler.SpanProfiler` sampling
+        #: this tracer's span transitions; set via ``profiler.attach()``.
+        #: One slot only — overlapping profilers would double-attribute.
+        self.profiler: Any | None = None
         self._spans: deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
 
@@ -271,6 +283,12 @@ class Tracer:
         )
         if self.service:
             span.attributes.setdefault("service", self.service)
+        profiler = self.profiler
+        if profiler is not None:
+            try:
+                profiler.on_start(span)
+            except Exception:  # noqa: BLE001 - profiling must never break runs
+                pass
         return span
 
     def start_as_current_span(

@@ -200,3 +200,76 @@ class TestChaosMetrics:
         assert metrics.counter(
             "resilience.breaker.rejected_total"
         ).value(breaker="control") >= 1
+
+
+@pytest.mark.chaos
+class TestStreamUnderPartition:
+    """The live feed must degrade, not hang, when its remote half dies."""
+
+    def test_partition_surfaces_failure_events_without_hanging(self, ice):
+        import time
+
+        import repro
+
+        chaos = ChaosController(ice.simnet, event_log=ice.event_log)
+        try:
+            with repro.connect(ice) as session:
+                with session.stream() as stream:
+                    # healthy first: the daemon half is reachable
+                    ice.telemetry_bus.publish("event", "test.before")
+                    first = stream.drain()
+                    assert "test.before" in [e.name for e in first]
+                    assert stream.remote_poll_failures == 0
+
+                    # hard-partition the DGX's WAN uplink mid-stream
+                    chaos.flap_link(
+                        HOST_DGX, "ornl-wan", after_frames=0,
+                        down_frames=10**6,
+                    )
+                    start = time.monotonic()
+                    degraded = []
+                    for _ in range(5):
+                        degraded.extend(stream.drain())
+                        if stream.remote_poll_failures:
+                            break
+                    elapsed = time.monotonic() - start
+
+                    # the subscriber got synthetic events, not a hang
+                    assert stream.remote_poll_failures >= 1
+                    names = [e.name for e in degraded]
+                    assert "stream.remote_poll_failed" in names
+                    assert elapsed < 30.0, "drain must not hang on a partition"
+
+                    # the local half keeps flowing through the outage
+                    session.metrics.counter("test.alive_total").inc()
+                    local = stream.drain()
+                    assert any(
+                        e.name == "test.alive_total" for e in local
+                    )
+        finally:
+            chaos.stop()
+
+    def test_feed_recovers_when_the_link_heals(self, ice):
+        import repro
+
+        chaos = ChaosController(ice.simnet, event_log=ice.event_log)
+        try:
+            with repro.connect(ice) as session:
+                with session.stream() as stream:
+                    stream.drain()  # establish the remote cursor
+                    # short flap: retry traffic itself drives the heal
+                    chaos.flap_link(
+                        HOST_DGX, "ornl-wan", after_frames=0, down_frames=4
+                    )
+                    ice.telemetry_bus.publish("event", "test.during")
+                    recovered = []
+                    for _ in range(30):
+                        recovered.extend(stream.drain())
+                        if any(e.name == "test.during" for e in recovered):
+                            break
+                    # the poll failed at least once, then reconnected and
+                    # caught up on the daemon events published meanwhile
+                    assert stream.remote_poll_failures >= 1
+                    assert any(e.name == "test.during" for e in recovered)
+        finally:
+            chaos.stop()

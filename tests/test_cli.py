@@ -62,3 +62,30 @@ class TestCommands:
         captured = capsys.readouterr()
         assert code == 1
         assert "no complete" in captured.out
+
+    def test_watch_tails_the_live_feed(self, capsys):
+        code = main(["watch", "--e-step", "0.005", "--interval", "0.05"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # the feed rendered span completions from both halves
+        assert "span" in captured.out
+        assert "task." in captured.out
+        assert "stream:" in captured.out
+        assert "metric updates" in captured.out
+
+    def test_watch_profile_prints_hot_operations(self, capsys):
+        code = main(
+            ["watch", "--e-step", "0.005", "--interval", "0.05", "--profile"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "profile:" in captured.out
+        assert "task." in captured.out
+
+
+class TestWatchParser:
+    def test_watch_defaults(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.interval == pytest.approx(0.2)
+        assert args.profile is False
+        assert args.fn.__name__ == "_cmd_watch"

@@ -114,3 +114,44 @@ class TestLiveMonitor:
         with pytest.raises(WorkflowError):
             LiveMonitor(client, poll_interval_s=0.0)
         client.close()
+
+
+class TestMonitorTracing:
+    def test_each_poll_emits_a_span_onto_the_bus(self, slow_ice):
+        from repro.obs import TelemetryBus, Tracer
+
+        tracer = Tracer("steering")
+        bus = TelemetryBus("dgx-session")
+        bus.attach_tracer(tracer)
+        client = slow_ice.client()
+        start_acquisition(client)
+        monitor = LiveMonitor(client, poll_interval_s=0.05, tracer=tracer)
+        with bus.subscribe(capacity=2048) as sub:
+            outcome = monitor.watch(timeout_s=30.0)
+            events = [e for e in sub.poll() if e.name == "monitor.poll"]
+        assert outcome.finished
+        # one span per probe, each carrying the acquisition snapshot
+        assert len(events) == outcome.polls
+        assert events[-1].data["attributes"]["state"] == "finished"
+        acquired = [e.data["attributes"]["samples_acquired"] for e in events]
+        assert acquired == sorted(acquired)
+        spans = tracer.find("monitor.poll")
+        assert len(spans) == outcome.polls
+        client.call_Disconnect_SP200()
+        client.close()
+
+    def test_ambient_span_adopts_untraced_monitor(self, slow_ice):
+        from repro.obs import Tracer
+
+        tracer = Tracer("steering")
+        client = slow_ice.client()
+        start_acquisition(client)
+        monitor = LiveMonitor(client, poll_interval_s=0.05)  # no tracer
+        with tracer.start_as_current_span("steering.loop") as root:
+            outcome = monitor.watch(timeout_s=30.0)
+        assert outcome.finished
+        polls = tracer.find("monitor.poll")
+        assert len(polls) == outcome.polls
+        assert all(s.parent_id == root.span_id for s in polls)
+        client.call_Disconnect_SP200()
+        client.close()

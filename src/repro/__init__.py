@@ -55,8 +55,16 @@ from repro.obs import (
 )
 from repro.core.campaign import (
     Campaign,
+    campaign_journal_status,
     scan_rate_strategy,
+    strategy_from_spec,
     window_centering_strategy,
+)
+from repro.durability import (
+    CheckpointStore,
+    DedupJournal,
+    Journal,
+    LeaseRegistry,
 )
 from repro.core.characterization_workflow import (
     CharacterizationSettings,
@@ -93,8 +101,14 @@ __all__ = [
     "HealthEngine",
     "HealthReport",
     "Campaign",
+    "campaign_journal_status",
     "scan_rate_strategy",
+    "strategy_from_spec",
     "window_centering_strategy",
+    "Journal",
+    "CheckpointStore",
+    "DedupJournal",
+    "LeaseRegistry",
     "CharacterizationSettings",
     "CharacterizationResult",
     "run_characterization_workflow",

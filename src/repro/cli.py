@@ -271,6 +271,110 @@ def _cmd_scan_rate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scan_campaign_journals(root):
+    """``(directory, status)`` for every campaign journal under ``root``.
+
+    ``root`` may itself be a journal directory (contains
+    ``campaign.jsonl``) or a parent holding one journal directory per
+    campaign.
+    """
+    from pathlib import Path
+
+    from repro.core.campaign import campaign_journal_status
+
+    root = Path(root)
+    status = campaign_journal_status(root)
+    if status is not None:
+        return [(root, status)]
+    found = []
+    if root.is_dir():
+        for child in sorted(p for p in root.iterdir() if p.is_dir()):
+            status = campaign_journal_status(child)
+            if status is not None:
+                found.append((child, status))
+    return found
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import Campaign, ElectrochemistryICE
+    from repro.core.campaign import strategy_from_spec
+    from repro.facility.ice import ICEConfig
+
+    root = Path(args.journal_dir)
+    if not root.exists():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 1
+    found = _scan_campaign_journals(root)
+    if not found:
+        print(f"no campaign journals under {root}", file=sys.stderr)
+        return 1
+
+    print(f"{'campaign':<32} {'completed':>9} {'in-flight':>9} {'state':<12}")
+    for directory, status in found:
+        state = (
+            "finished"
+            if status["finished"]
+            else ("resumable" if status["resumable"] else "empty")
+        )
+        if status["torn_tail"]:
+            state += "+torn"
+        print(
+            f"{directory.name:<32} {len(status['completed_rounds']):>9} "
+            f"{len(status['in_flight_rounds']):>9} {state:<12}"
+        )
+    if args.list:
+        return 0
+
+    resumable = [(d, s) for d, s in found if s["resumable"]]
+    if args.name:
+        resumable = [(d, s) for d, s in resumable if d.name == args.name]
+    if not resumable:
+        print("nothing resumable", file=sys.stderr)
+        return 1
+    target, status = resumable[0]
+    spec = status.get("strategy_spec")
+    if spec is None:
+        print(
+            f"{target.name}: no strategy spec journaled; resume it "
+            "programmatically with the original strategy",
+            file=sys.stderr,
+        )
+        return 1
+
+    config = None
+    if args.durability_dir:
+        # point the fresh daemon at the crashed ICE's durable state so
+        # re-issued calls replay from its dedup journal
+        config = ICEConfig(durability_dir=Path(args.durability_dir))
+    print(f"resuming {target.name} ...")
+    with ElectrochemistryICE.build(config) as ice:
+        campaign = Campaign(
+            ice,
+            strategy_from_spec(spec),
+            journal_dir=target,
+            max_rounds=status.get("max_rounds") or 10,
+        )
+        rounds = campaign.resume()
+        report = campaign.resume_report or {}
+        rerun = set(report.get("rerun_rounds", []))
+        for record in rounds:
+            if record.resumed:
+                disposition = "skipped (restored from checkpoint)"
+            elif record.index in rerun:
+                disposition = "re-run (idempotent re-issue)"
+            else:
+                disposition = "new"
+            print(f"round {record.index}: {disposition}")
+        print(
+            f"resume complete: {len(report.get('skipped_rounds', []))} skipped, "
+            f"{len(rerun)} re-run, {len(rounds)} total"
+            + (" (journal tail was torn)" if report.get("torn_tail") else "")
+        )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import characterize, estimate_k0_from_trace, find_peaks
     from repro.datachannel.formats import read_mpt
@@ -378,6 +482,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument("--e-step", type=float, default=0.002, metavar="V")
     scan.set_defaults(fn=_cmd_scan_rate)
+
+    resume = sub.add_parser(
+        "resume", help="list and continue crash-interrupted campaigns"
+    )
+    resume.add_argument(
+        "journal_dir",
+        help="a campaign journal directory, or a parent holding several",
+    )
+    resume.add_argument(
+        "--list", action="store_true", help="list resumable campaigns and exit"
+    )
+    resume.add_argument(
+        "--name", default=None, help="which campaign directory to resume"
+    )
+    resume.add_argument(
+        "--durability-dir",
+        default=None,
+        metavar="DIR",
+        help="crashed ICE's durable state (dedup journal, lease epochs) "
+        "so re-issued calls replay instead of re-executing",
+    )
+    resume.set_defaults(fn=_cmd_resume)
 
     analyze = sub.add_parser("analyze", help="analyse an .mpt measurement file")
     analyze.add_argument("file")

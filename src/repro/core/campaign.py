@@ -18,14 +18,18 @@ propose the next round's settings or stop. Three strategies ship:
 
 from __future__ import annotations
 
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.analysis.metrics import CVMetrics
+from repro.durability import CheckpointStore, Journal
 from repro.errors import WorkflowError
-from repro.ml.normality import NormalityClassifier
+from repro.ml.normality import NormalityClassifier, NormalityReport
 from repro.facility.ice import ElectrochemistryICE
+from repro.resilience import RetryPolicy
 from repro.obs.health import HealthEngine
 from repro.obs.health import require_healthy as _gate_healthy
 from repro.obs.profiler import SpanProfiler
@@ -44,12 +48,68 @@ class CampaignRound:
 
     ``retry_of`` is the index of the abnormal round this one re-ran
     (None for first attempts) — see :class:`Campaign` retry semantics.
+    ``resumed`` marks rounds restored from a durability checkpoint by
+    :meth:`Campaign.resume` rather than executed in this process.
     """
 
     index: int
     settings: CVWorkflowSettings
     result: CVWorkflowResult
     retry_of: int | None = None
+    resumed: bool = False
+
+
+def _settings_to_json(settings: CVWorkflowSettings) -> dict[str, Any]:
+    """JSON-safe dict for journaling (exception types are dropped)."""
+    doc = asdict(settings)
+    for key in ("client_retry_policy", "task_policy"):
+        policy = doc.get(key)
+        if policy is not None:
+            # retry_on holds exception *types*; rebuilt policies fall
+            # back to the default transient set
+            policy.pop("retry_on", None)
+    return doc
+
+
+def _settings_from_json(doc: dict[str, Any]) -> CVWorkflowSettings:
+    """Inverse of :func:`_settings_to_json`."""
+    doc = dict(doc)
+    for key in ("client_retry_policy", "task_policy"):
+        if doc.get(key) is not None:
+            doc[key] = RetryPolicy(**doc[key])
+    return CVWorkflowSettings(**doc)
+
+
+class _ResumedWorkflowShim:
+    """Stands in for a WorkflowResult on rounds restored from checkpoint.
+
+    Carries just enough surface (``tasks``, ``succeeded``) for campaign
+    bookkeeping and :func:`capture_provenance`; the real task graph died
+    with the process that ran the round.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, Any] = {}
+        self.succeeded = True
+
+
+def _round_from_checkpoint(payload: dict[str, Any]) -> CampaignRound:
+    """Rebuild a completed round from its durability checkpoint."""
+    metrics = payload.get("metrics")
+    normality = payload.get("normality")
+    result = CVWorkflowResult(
+        workflow=_ResumedWorkflowShim(),
+        metrics=CVMetrics(**metrics) if metrics else None,
+        normality=NormalityReport(**normality) if normality else None,
+        measurement_file=payload.get("measurement_file"),
+    )
+    return CampaignRound(
+        index=int(payload["index"]),
+        settings=_settings_from_json(payload["settings"]),
+        result=result,
+        retry_of=payload.get("retry_of"),
+        resumed=True,
+    )
 
 
 #: A strategy inspects history and returns the next settings, or None to stop.
@@ -83,6 +143,15 @@ class Campaign:
             tracer for the whole campaign; the cumulative
             ``repro-profile-1`` document lands on ``profile_doc`` (and
             each round's result carries the snapshot taken at its end).
+        journal_dir: enable durable execution. Every round transition
+            is appended to a crash-consistent write-ahead journal
+            (``<journal_dir>/campaign.jsonl``) and each completed
+            round's payload lands in a checkpoint store, so a campaign
+            killed mid-round can be continued with :meth:`resume` —
+            completed rounds are restored from disk and the torn round
+            is re-issued under its journaled idempotency-key prefix,
+            replaying from the daemon's dedup journal instead of
+            re-executing instrument actions.
     """
 
     ice: ElectrochemistryICE
@@ -96,7 +165,14 @@ class Campaign:
     flight_dir: str | Path | None = None
     profile: bool = False
     profile_doc: dict[str, Any] | None = None
+    journal_dir: str | Path | None = None
+    #: skipped-vs-rerun accounting from the last :meth:`resume` call.
+    resume_report: dict[str, Any] | None = None
     rounds: list[CampaignRound] = field(default_factory=list)
+    _journal: Journal | None = field(default=None, init=False, repr=False)
+    _checkpoints: CheckpointStore | None = field(
+        default=None, init=False, repr=False
+    )
 
     def run(self) -> list[CampaignRound]:
         """Run until the strategy stops, a round fails, or max_rounds.
@@ -115,15 +191,173 @@ class Campaign:
                 self.health_engine = HealthEngine(self.ice.metrics)
             _gate_healthy(self.health_engine, what="campaign")
         self.rounds.clear()
+        self._open_journal(fresh=True)
         profiler, owns_profiler = self._attach_profiler()
         try:
+            self._journal_append(
+                "campaign-started",
+                campaign_id=uuid.uuid4().hex,
+                max_rounds=self.max_rounds,
+                abort_on_abnormal=self.abort_on_abnormal,
+                strategy_spec=getattr(self.strategy, "spec", None),
+            )
             self._run_rounds()
+            self._journal_finished()
         finally:
             if profiler is not None:
                 self.profile_doc = profiler.profile()
                 if owns_profiler:
                     profiler.detach()
+            self._close_journal()
         return self.rounds
+
+    def _journal_finished(self) -> None:
+        """Mark the campaign done — unless a round died, in which case the
+        journal must stay resumable (the failed round is re-issued)."""
+        if all(r.result.succeeded for r in self.rounds):
+            self._journal_append("campaign-finished", rounds=len(self.rounds))
+
+    def resume(self) -> list[CampaignRound]:
+        """Continue a journaled campaign after a crash.
+
+        Replays ``<journal_dir>/campaign.jsonl`` (tolerating a torn
+        tail — a record half-written at the instant of death), restores
+        every completed round from its checkpoint, re-runs the single
+        in-flight (or failed) round under its journaled idempotency-key
+        prefix so calls the dead process already made replay from the
+        daemon's dedup journal rather than re-executing, then hands
+        control back to the strategy loop for the remaining rounds.
+
+        Populates :attr:`resume_report` with the skipped-vs-rerun
+        accounting and returns the full round list.
+        """
+        if self.journal_dir is None:
+            raise WorkflowError("resume() requires journal_dir")
+        if self.max_rounds < 1:
+            raise WorkflowError("max_rounds must be >= 1")
+        path = Path(self.journal_dir) / "campaign.jsonl"
+        if not path.exists():
+            raise WorkflowError(f"no campaign journal at {path}")
+        replay = Journal.replay_file(path)
+        started: dict[int, dict[str, Any]] = {}
+        completed: dict[int, str] = {}
+        finished = False
+        for rec in replay.records:
+            if rec.kind in ("round-started", "round-resumed"):
+                started[int(rec.data["index"])] = rec.data
+            elif rec.kind == "round-completed":
+                completed[int(rec.data["index"])] = str(rec.data["checkpoint"])
+            elif rec.kind == "campaign-finished":
+                finished = True
+        if self.require_healthy:
+            if self.health_engine is None and self.ice.metrics is not None:
+                self.health_engine = HealthEngine(self.ice.metrics)
+            _gate_healthy(self.health_engine, what="campaign")
+        metrics = self.ice.metrics
+        if metrics is not None:
+            metrics.counter(
+                "recovery.resumes_total", "campaign resume attempts"
+            ).inc()
+            if replay.torn_tail:
+                metrics.counter(
+                    "durability.torn_tails_total",
+                    "journal tails torn by a crash",
+                ).inc()
+        self.rounds.clear()
+        self.resume_report = None
+        skipped: list[int] = []
+        rerun: list[int] = []
+        self._open_journal(fresh=False)
+        profiler, owns_profiler = self._attach_profiler()
+        try:
+            for index in sorted(started):
+                if index in completed:
+                    store = self._checkpoints
+                    payload = (
+                        store.load(completed[index])
+                        if store is not None
+                        else None
+                    )
+                    if payload is None:
+                        raise WorkflowError(
+                            f"checkpoint {completed[index]!r} missing for "
+                            f"completed round {index}"
+                        )
+                    self.rounds.append(_round_from_checkpoint(payload))
+                    skipped.append(index)
+                    continue
+                # the torn round: re-issue under the journaled prefix
+                data = started[index]
+                record = self._run_round(
+                    _settings_from_json(data["settings"]),
+                    retry_of=data.get("retry_of"),
+                    idem_prefix=data.get("idem_prefix"),
+                    resumed_start=True,
+                )
+                rerun.append(index)
+                if not record.result.succeeded:
+                    break
+                if self._abnormal(record) and self.abort_on_abnormal:
+                    self.dump_flight("abnormal-round")
+                    break
+            else:
+                if not finished:
+                    self._run_rounds()
+            self._journal_finished()
+        finally:
+            if profiler is not None:
+                self.profile_doc = profiler.profile()
+                if owns_profiler:
+                    profiler.detach()
+            self._close_journal()
+        if metrics is not None:
+            if skipped:
+                metrics.counter(
+                    "recovery.rounds_skipped_total",
+                    "rounds restored from checkpoint on resume",
+                ).inc(len(skipped))
+            if rerun:
+                metrics.counter(
+                    "recovery.rounds_rerun_total",
+                    "rounds re-issued on resume",
+                ).inc(len(rerun))
+        self.resume_report = {
+            "journal": str(path),
+            "torn_tail": replay.torn_tail,
+            "already_finished": finished,
+            "skipped_rounds": skipped,
+            "rerun_rounds": rerun,
+            "total_rounds": len(self.rounds),
+        }
+        return self.rounds
+
+    # -- durability plumbing ------------------------------------------------
+    def _open_journal(self, fresh: bool) -> None:
+        if self.journal_dir is None:
+            return
+        directory = Path(self.journal_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "campaign.jsonl"
+        if fresh and path.exists():
+            path.unlink()
+        self._journal = Journal(path)
+        self._checkpoints = CheckpointStore(directory / "checkpoints")
+
+    def _close_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+        self._journal = None
+        self._checkpoints = None
+
+    def _journal_append(self, kind: str, **data: Any) -> None:
+        if self._journal is None:
+            return
+        self._journal.append(kind, **data)
+        if self.ice.metrics is not None:
+            self.ice.metrics.counter(
+                "durability.journal_appends_total",
+                "campaign journal records written",
+            ).inc(kind=kind)
 
     def _attach_profiler(self) -> tuple[Any, bool]:
         """One shared profiler across all rounds when ``profile=True``.
@@ -209,8 +443,28 @@ class Campaign:
             return None
 
     def _run_round(
-        self, settings: CVWorkflowSettings, retry_of: int | None = None
+        self,
+        settings: CVWorkflowSettings,
+        retry_of: int | None = None,
+        idem_prefix: str | None = None,
+        resumed_start: bool = False,
     ) -> CampaignRound:
+        index = len(self.rounds)
+        prefix = idem_prefix
+        if self._journal is not None:
+            # write-ahead: the start record (with the idempotency-key
+            # prefix this round's client will stamp on every call) hits
+            # disk before any instrument action, so a crash mid-round
+            # leaves enough on disk to re-issue the round idempotently
+            if prefix is None:
+                prefix = uuid.uuid4().hex
+            self._journal_append(
+                "round-resumed" if resumed_start else "round-started",
+                index=index,
+                retry_of=retry_of,
+                idem_prefix=prefix,
+                settings=_settings_to_json(settings),
+            )
         result = run_cv_workflow(
             self.ice,
             settings=settings,
@@ -218,15 +472,38 @@ class Campaign:
             flight_recorder=self.flight_recorder,
             flight_dir=self.flight_dir,
             profile=self.profile,
+            resume_from=prefix,
         )
         record = CampaignRound(
-            index=len(self.rounds),
+            index=index,
             settings=settings,
             result=result,
             retry_of=retry_of,
         )
         self.rounds.append(record)
+        if self._journal is not None:
+            if result.succeeded:
+                name = f"round-{index:03d}"
+                if self._checkpoints is not None:
+                    self._checkpoints.save(name, self._round_payload(record))
+                self._journal_append("round-completed", index=index, checkpoint=name)
+            else:
+                self._journal_append("round-failed", index=index)
         return record
+
+    @staticmethod
+    def _round_payload(record: CampaignRound) -> dict[str, Any]:
+        result = record.result
+        return {
+            "index": record.index,
+            "retry_of": record.retry_of,
+            "settings": _settings_to_json(record.settings),
+            "metrics": asdict(result.metrics) if result.metrics else None,
+            "normality": (
+                asdict(result.normality) if result.normality else None
+            ),
+            "measurement_file": result.measurement_file,
+        }
 
     @staticmethod
     def _abnormal(record: CampaignRound) -> bool:
@@ -415,6 +692,7 @@ class FleetCampaign:
                 )
                 record["round"] = round_.index
                 record["retry_of"] = round_.retry_of
+                record["resumed"] = round_.resumed
                 round_records.append(record)
             cells[name] = {
                 "rounds": round_records,
@@ -450,7 +728,71 @@ def scan_rate_strategy(
             measurement_stem=f"scanrate_{len(history):02d}",
         )
 
+    # journaled so `repro-ice resume` can rebuild the strategy from disk
+    propose.spec = {  # type: ignore[attr-defined]
+        "kind": "scan-rate",
+        "scan_rates_v_s": list(scan_rates_v_s),
+        "base": _settings_to_json(base),
+    }
     return propose
+
+
+def strategy_from_spec(spec: dict[str, Any]) -> Strategy:
+    """Rebuild a strategy from the ``strategy_spec`` a campaign journaled.
+
+    Only strategies that attach a ``spec`` attribute (currently
+    :func:`scan_rate_strategy`) can be rebuilt; campaigns run with
+    bespoke closures must be resumed programmatically by constructing
+    the same strategy again.
+    """
+    kind = spec.get("kind")
+    if kind == "scan-rate":
+        return scan_rate_strategy(
+            tuple(spec["scan_rates_v_s"]),
+            base=_settings_from_json(spec["base"]),
+        )
+    raise WorkflowError(f"cannot rebuild strategy from spec kind {kind!r}")
+
+
+def campaign_journal_status(journal_dir: str | Path) -> dict[str, Any] | None:
+    """Summarise a campaign journal for tooling (``repro-ice resume``).
+
+    Returns None when no journal exists. Otherwise a dict with the
+    per-round disposition a resume would apply: completed round indexes
+    (restorable from checkpoint), the in-flight round (started but never
+    completed — re-issued idempotently), whether the campaign already
+    finished, the journaled strategy spec, and whether the journal tail
+    was torn by the crash.
+    """
+    path = Path(journal_dir) / "campaign.jsonl"
+    if not path.exists():
+        return None
+    replay = Journal.replay_file(path)
+    started: set[int] = set()
+    completed: set[int] = set()
+    spec: dict[str, Any] | None = None
+    max_rounds: int | None = None
+    finished = False
+    for rec in replay.records:
+        if rec.kind == "campaign-started":
+            spec = rec.data.get("strategy_spec")
+            max_rounds = rec.data.get("max_rounds")
+        elif rec.kind in ("round-started", "round-resumed"):
+            started.add(int(rec.data["index"]))
+        elif rec.kind == "round-completed":
+            completed.add(int(rec.data["index"]))
+        elif rec.kind == "campaign-finished":
+            finished = True
+    return {
+        "journal": str(path),
+        "completed_rounds": sorted(completed),
+        "in_flight_rounds": sorted(started - completed),
+        "finished": finished,
+        "torn_tail": replay.torn_tail,
+        "strategy_spec": spec,
+        "max_rounds": max_rounds,
+        "resumable": not finished and bool(started),
+    }
 
 
 def window_centering_strategy(

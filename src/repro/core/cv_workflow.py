@@ -115,6 +115,7 @@ def build_cv_workflow(
     metrics: Any = None,
     flight_recorder: Any = None,
     flight_dir: str | Path | None = None,
+    resume_from: str | None = None,
 ) -> Workflow:
     """Assemble the five-task workflow against a running ICE.
 
@@ -130,6 +131,14 @@ def build_cv_workflow(
     the control channel is already closed — pulls the daemon half over a
     fresh short-timeout proxy and writes the merged black box into
     ``flight_dir`` (default ``<measurement_dir>/flight-recorder``).
+
+    ``resume_from`` pins the control client's idempotency-key prefix
+    (implies a resilient client). A fresh run under a journaled campaign
+    passes the prefix it just journaled; a *resumed* run passes the
+    prefix recorded by its crashed predecessor, so every instrument call
+    the predecessor completed replays from the daemon's dedup journal
+    instead of executing again — the round continues from where the
+    crash cut it.
     """
     settings = settings or CVWorkflowSettings()
     tracer = tracer if tracer is not None else ice.tracer
@@ -154,10 +163,11 @@ def build_cv_workflow(
     )
     def task_a(ctx: Context) -> str:
         ctx.client = ice.client(
-            resilient=settings.resilient_client,
+            resilient=settings.resilient_client or resume_from is not None,
             retry_policy=settings.client_retry_policy,
             tracer=tracer,
             metrics=metrics,
+            idem_prefix=resume_from,
         )
         ctx.client.ping()
         cache = Path(tempfile.mkdtemp(prefix="dgx-cache-"))
@@ -356,6 +366,7 @@ def run_cv_workflow(
     flight_recorder: Any = None,
     flight_dir: str | Path | None = None,
     profile: bool = False,
+    resume_from: str | None = None,
 ) -> CVWorkflowResult:
     """Build, run, and package the paper's workflow in one call.
 
@@ -365,6 +376,10 @@ def run_cv_workflow(
     already carries a profiler (e.g. a campaign profiling several runs),
     that one is shared and left attached; otherwise a private profiler
     is attached for this run and detached afterwards.
+
+    ``resume_from`` pins the control client's idempotency-key prefix for
+    durable at-most-once across daemon restarts (see
+    :func:`build_cv_workflow`).
     """
     flow = build_cv_workflow(
         ice,
@@ -374,6 +389,7 @@ def run_cv_workflow(
         metrics=metrics,
         flight_recorder=flight_recorder,
         flight_dir=flight_dir,
+        resume_from=resume_from,
     )
     profiler = None
     owns_profiler = False

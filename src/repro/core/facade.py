@@ -78,6 +78,8 @@ class Session:
         flight_dir: where black-box dumps land (override per call or via
             the ``flight_dir=`` connect argument).
         ice: the in-process ecosystem, when there is one.
+        lease_epoch: fencing epoch held after :meth:`reattach`; None
+            until a lease is taken.
     """
 
     def __init__(
@@ -103,6 +105,7 @@ class Session:
         self._sp200_ready = False
         self._jkem_ready = False
         self._characterization = None
+        self.lease_epoch: int | None = None
         # client-half black box: DGX-side spans (the daemon half records
         # its own via the ICE) plus the session's metric snapshots
         self.recorder = FlightRecorder("dgx-session", clock=self.tracer.clock)
@@ -239,6 +242,60 @@ class Session:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def reattach(
+        self,
+        resource: str = "acl-workstation",
+        holder: str = "dgx-session",
+    ) -> int:
+        """Take over the control channel under a fresh fencing epoch.
+
+        Acquires (bumps) the lease epoch for ``resource`` on the control
+        daemon's durable :class:`~repro.durability.LeaseRegistry` and
+        stamps the new token on every subsequent call this session makes.
+        Any *older* session still holding the previous epoch is fenced:
+        its next call fails with ``LEASE_FENCED`` before touching an
+        instrument — the split-brain guard for a client that restarts
+        after a crash while its predecessor might still be alive.
+
+        Returns the epoch now held (also on :attr:`lease_epoch`).
+        """
+        epoch = self._acquire_lease_epoch(resource, holder)
+        self.client.set_lease(resource, epoch)
+        self.lease_epoch = epoch
+        # instrument init state is unknown after a takeover; re-init lazily
+        self._sp200_ready = False
+        self._jkem_ready = False
+        self.metrics.counter(
+            "recovery.reattaches_total", "session lease takeovers"
+        ).inc(resource=resource)
+        return epoch
+
+    def _acquire_lease_epoch(self, resource: str, holder: str) -> int:
+        if self.ice is not None:
+            proxy = self.ice.lease_client()
+        else:
+            uri = self._remote_lease_uri()
+            if uri is None:
+                raise WorkflowError(
+                    "reattach() needs an in-process ICE or a control URI"
+                )
+            from repro.rpc.proxy import Proxy
+
+            proxy = Proxy(uri, timeout=10.0)
+        try:
+            return int(proxy.Lease_Acquire(resource, holder))
+        finally:
+            proxy.close()
+
+    def _remote_lease_uri(self) -> str | None:
+        """Lease URI next to the control object (URI mode only)."""
+        uri = self._control_uri
+        if not uri or "@" not in uri:
+            return None
+        from repro.durability import LeaseServer
+
+        return f"PYRO:{LeaseServer.OBJECT_ID}@{uri.split('@', 1)[1]}"
 
     # -- workflows -----------------------------------------------------------
     def workflow(

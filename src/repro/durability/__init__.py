@@ -1,0 +1,46 @@
+"""Durable execution: crash-consistent state that survives process death.
+
+Everything in :mod:`repro.net.chaos` before this package injected
+*network* faults; every recovery primitive (retry, dedup cache, round
+state) lived in memory and died with its process. This package adds the
+crash/restart fault domain:
+
+- :mod:`~repro.durability.atomic` — torn-write-free file replacement;
+- :mod:`~repro.durability.journal` — checksummed, fsync'd write-ahead
+  journal (``repro-journal-1``) with torn-tail detection on replay;
+- :mod:`~repro.durability.checkpoint` — completed-round payload store;
+- :mod:`~repro.durability.dedup_journal` — disk spill for the daemon's
+  idempotency cache, so at-most-once survives daemon restart;
+- :mod:`~repro.durability.lease` — epoch-numbered fencing tokens on
+  instrument ownership (stale epoch → ``LEASE_FENCED``).
+
+The campaign layer journals round transitions through
+:class:`~repro.core.campaign.Campaign` (``journal_dir=``) and resumes
+them with ``Campaign.resume()``; see ``docs/RESILIENCE.md`` for the
+recovery contract.
+"""
+
+from repro.durability.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+)
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.dedup_journal import DedupJournal
+from repro.durability.journal import Journal, JournalRecord, JournalReplay
+from repro.durability.lease import LeaseRegistry, LeaseServer
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "fsync_directory",
+    "CheckpointStore",
+    "DedupJournal",
+    "Journal",
+    "JournalRecord",
+    "JournalReplay",
+    "LeaseRegistry",
+    "LeaseServer",
+]

@@ -1,0 +1,74 @@
+"""Crash-safe file replacement primitives.
+
+A plain ``path.write_text(...)`` truncates the destination before the
+new bytes land, so a crash mid-write leaves a torn document — fatal for
+anything a restart must read back (baselines, flight dumps, checkpoint
+payloads, lease epochs). The pattern here is the classic journal-safe
+replace:
+
+1. write the full payload to a temp file *in the same directory* (same
+   filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``os.fsync`` the temp file so the bytes are on disk, not
+   just in the page cache;
+3. ``os.replace`` onto the destination — atomic on POSIX and Windows;
+4. best-effort fsync of the containing directory so the rename itself
+   survives power loss.
+
+Readers therefore observe either the old document or the new one,
+never a prefix of the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk; best-effort on platforms without
+    directory fds (Windows raises, some filesystems return EINVAL)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: Path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: Path, obj: Any, indent: int | None = 2) -> None:
+    """Atomically replace ``path`` with ``obj`` rendered as JSON."""
+    atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")

@@ -1,0 +1,92 @@
+"""Checkpoint store for completed-round payloads (``repro-checkpoint-1``).
+
+The journal records *that* a transition happened; the checkpoint store
+holds the *payload* a resume needs to reconstruct the completed round
+(metrics, normality verdict, measurement-file path) without re-running
+the experiment. Each checkpoint is one JSON document written atomically
+(:mod:`repro.durability.atomic`) and checksummed, so a crash mid-save
+leaves the previous checkpoint intact and a damaged document is
+detected rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.durability.atomic import atomic_write_json
+from repro.errors import JournalCorruptError
+
+SCHEMA = "repro-checkpoint-1"
+
+
+def _payload_digest(payload: dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Directory of named, checksummed checkpoint documents."""
+
+    SCHEMA = SCHEMA
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid checkpoint name {name!r}")
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, payload: dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``name``; returns the path.
+
+        The returned digest inside the document lets :meth:`load` verify
+        integrity, and callers may journal it as the round's result
+        digest.
+        """
+        path = self._path(name)
+        document = {
+            "schema": SCHEMA,
+            "name": name,
+            "payload": payload,
+            "sha256": _payload_digest(payload),
+        }
+        atomic_write_json(path, document)
+        return path
+
+    def digest(self, payload: dict[str, Any]) -> str:
+        """The digest :meth:`save` would embed for ``payload``."""
+        return _payload_digest(payload)
+
+    def load(self, name: str) -> dict[str, Any] | None:
+        """Load and verify a checkpoint; ``None`` when absent.
+
+        Raises:
+            JournalCorruptError: the document exists but is damaged
+                (unparseable, wrong schema, or checksum mismatch) —
+                atomic writes make this impossible via crash, so the
+                store refuses to guess.
+        """
+        path = self._path(name)
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise JournalCorruptError(f"{path}: unreadable checkpoint: {exc}") from exc
+        if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+            raise JournalCorruptError(f"{path}: not a {SCHEMA} document")
+        payload = document.get("payload")
+        if not isinstance(payload, dict) or document.get("sha256") != _payload_digest(
+            payload
+        ):
+            raise JournalCorruptError(f"{path}: checkpoint checksum mismatch")
+        return payload
+
+    def names(self) -> list[str]:
+        if not self.directory.exists():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.json"))

@@ -1,0 +1,75 @@
+"""Disk spill for the daemon's idempotency (dedup) cache.
+
+The in-memory :class:`~repro.rpc.daemon.DedupCache` makes retried calls
+at-most-once *within* one daemon process; a daemon restart forgets every
+recorded outcome, so a client resuming a half-finished round would
+re-execute instrument calls it already made. The :class:`DedupJournal`
+closes that hole: every finished outcome is appended (checksummed,
+fsync'd — it rides :class:`~repro.durability.journal.Journal`) before
+the reply frame leaves the daemon, and a restarted daemon preloads the
+journal into its cache so replays keep working across process death.
+
+Outcome bodies crossed the wire once already, so they are re-encoded
+with the RPC serializer (base64-wrapped inside the JSON record) —
+anything serializable enough to reply with is serializable enough to
+journal.
+"""
+
+from __future__ import annotations
+
+import base64
+from pathlib import Path
+
+from repro.rpc.protocol import MessageType
+from repro.rpc.serialization import deserialize, serialize
+
+from repro.durability.journal import Journal
+
+KIND_OUTCOME = "dedup-outcome"
+
+
+class DedupJournal:
+    """Append-only journal of finished idempotent-call outcomes."""
+
+    def __init__(self, path: Path, fsync: bool = True):
+        self._journal = Journal(Path(path), fsync=fsync)
+
+    @property
+    def path(self) -> Path:
+        return self._journal.path
+
+    def record(self, key: str, msg_type: MessageType, body: object) -> None:
+        """Durably record one finished outcome before it is replied."""
+        self._journal.append(
+            KIND_OUTCOME,
+            key=key,
+            msg_type=int(msg_type),
+            body=base64.b64encode(serialize(body)).decode("ascii"),
+        )
+
+    def replay(self) -> dict[str, tuple[MessageType, object]]:
+        """Outcomes already on disk when this journal was opened.
+
+        Later records win for a duplicated key (there should be none,
+        but replay is the wrong place to be strict). A torn tail is
+        tolerated — a crash between executing a call and journaling its
+        outcome means that call will re-execute once on replay, which is
+        the at-most-once-*per-journal-record* contract.
+        """
+        outcomes: dict[str, tuple[MessageType, object]] = {}
+        for record in self._journal.initial_replay.of_kind(KIND_OUTCOME):
+            try:
+                key = str(record.data["key"])
+                msg_type = MessageType(int(record.data["msg_type"]))
+                body = deserialize(base64.b64decode(record.data["body"]))
+            except (KeyError, ValueError, TypeError):
+                continue
+            outcomes[key] = (msg_type, body)
+        return outcomes
+
+    @property
+    def torn_tail(self) -> bool:
+        return self._journal.initial_replay.torn_tail
+
+    def close(self) -> None:
+        self._journal.close()

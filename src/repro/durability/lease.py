@@ -1,0 +1,130 @@
+"""Epoch-numbered leases (fencing tokens) on instrument ownership.
+
+A client presumed dead may merely be partitioned; if a successor session
+claims the cell and the original then wakes up and keeps pipetting, two
+controllers split-brain one physical instrument. The classic fix is a
+fencing token: every acquisition of a resource bumps a monotonic
+*epoch*, requests carry the epoch they hold, and the daemon rejects any
+request whose epoch is older than the latest acquisition —
+:class:`~repro.errors.LeaseFencedError`, stable code ``LEASE_FENCED``.
+
+Epochs are persisted atomically (:mod:`repro.durability.atomic`) so a
+daemon restart cannot reset them to zero and silently re-admit a fenced
+client.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import LeaseFencedError
+from repro.rpc.expose import expose
+
+from repro.durability.atomic import atomic_write_json
+
+SCHEMA = "repro-leases-1"
+
+
+class LeaseRegistry:
+    """Monotonic per-resource epochs, optionally persisted to disk."""
+
+    def __init__(self, path: Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._epochs: dict[str, int] = {}
+        self._holders: dict[str, str] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                document = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                document = None
+            if isinstance(document, dict) and document.get("schema") == SCHEMA:
+                epochs = document.get("epochs")
+                if isinstance(epochs, dict):
+                    self._epochs = {
+                        str(k): int(v)
+                        for k, v in epochs.items()
+                        if isinstance(v, int)
+                    }
+                holders = document.get("holders")
+                if isinstance(holders, dict):
+                    self._holders = {str(k): str(v) for k, v in holders.items()}
+
+    def _persist_locked(self) -> None:
+        if self.path is None:
+            return
+        atomic_write_json(
+            self.path,
+            {"schema": SCHEMA, "epochs": self._epochs, "holders": self._holders},
+        )
+
+    def acquire(self, resource: str, holder: str = "") -> int:
+        """Claim ``resource``: bump its epoch, persist, return the new epoch.
+
+        Every prior holder's epoch is now stale — their next fenced
+        request fails with ``LEASE_FENCED``.
+        """
+        with self._lock:
+            epoch = self._epochs.get(resource, 0) + 1
+            self._epochs[resource] = epoch
+            self._holders[resource] = holder
+            self._persist_locked()
+            return epoch
+
+    def current(self, resource: str) -> int:
+        """Latest granted epoch for ``resource`` (0 = never acquired)."""
+        with self._lock:
+            return self._epochs.get(resource, 0)
+
+    def holder(self, resource: str) -> str:
+        with self._lock:
+            return self._holders.get(resource, "")
+
+    def check(self, resource: str, epoch: int) -> None:
+        """Raise :class:`LeaseFencedError` when ``epoch`` is stale.
+
+        An epoch *newer* than the registry's is equally rejected — it
+        can only mean the registry lost state the client still holds,
+        and admitting it would forfeit the fencing guarantee.
+        """
+        with self._lock:
+            current = self._epochs.get(resource, 0)
+        if epoch != current:
+            raise LeaseFencedError(
+                f"lease on {resource!r} is fenced: presented epoch {epoch}, "
+                f"current epoch {current} — a successor holds this resource"
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "epochs": dict(self._epochs),
+                "holders": dict(self._holders),
+            }
+
+
+@expose
+class LeaseServer:
+    """Control-plane service object granting leases over RPC.
+
+    Registered on the control daemon next to the flight recorder and
+    telemetry servers; clients derive its URI from the workstation URI
+    the way they do for those.
+    """
+
+    OBJECT_ID = "ACL_Leases"
+
+    def __init__(self, registry: LeaseRegistry):
+        self.registry = registry
+
+    def Lease_Acquire(self, resource: str, holder: str = "") -> int:
+        return self.registry.acquire(resource, holder=holder)
+
+    def Lease_Current(self, resource: str) -> int:
+        return self.registry.current(resource)
+
+    def Lease_Holder(self, resource: str) -> str:
+        return self.registry.holder(resource)

@@ -378,6 +378,40 @@ class HealthGateError(WorkflowError):
 
 
 # --------------------------------------------------------------------------
+# Durability / recovery
+# --------------------------------------------------------------------------
+class DurabilityError(ReproError):
+    """Base class for durable-state (journal/checkpoint/lease) failures."""
+
+    code = "DURABILITY_ERROR"
+
+
+class JournalCorruptError(DurabilityError):
+    """A journal or checkpoint is damaged beyond what a crash can explain.
+
+    Crash consistency only ever tears the *tail* record of an
+    append-only journal; mid-file damage or a checkpoint checksum
+    mismatch means tampering or hardware lying, and replay refuses to
+    guess.
+    """
+
+    code = "DURABILITY_JOURNAL_CORRUPT"
+
+
+class LeaseFencedError(DurabilityError):
+    """A request carried a stale lease epoch and was fenced.
+
+    Raised daemon-side when a client presents an epoch older than the
+    latest acquisition of the resource — a successor session owns the
+    instrument now, and admitting the straggler would split-brain the
+    cell. Travels back over RPC keeping its identity (default
+    constructor, so the proxy can rebuild it by name).
+    """
+
+    code = "LEASE_FENCED"
+
+
+# --------------------------------------------------------------------------
 # Code registry
 # --------------------------------------------------------------------------
 def code_table() -> dict[str, type[ReproError]]:

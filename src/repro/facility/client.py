@@ -37,6 +37,12 @@ class ACLPyroClient:
             client-side span whose context rides the request frame.
         metrics: optional :class:`repro.obs.MetricsRegistry` receiving
             per-call counters/latencies.
+        idem_prefix: idempotency-key prefix handed to the resilient
+            wrapper. A resumed run passes the prefix journaled by its
+            crashed predecessor so re-issued calls replay from the
+            daemon's dedup journal instead of re-executing (durable
+            at-most-once; requires ``retry_policy``/``breaker`` so a
+            ResilientProxy exists to stamp keys).
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class ACLPyroClient:
         event_log: EventLog | None = None,
         tracer: Any = None,
         metrics: Any = None,
+        idem_prefix: str | None = None,
     ):
         uri = make_uri(object_id, host, port)
         proxy = Proxy(
@@ -70,6 +77,7 @@ class ACLPyroClient:
                 event_log=event_log,
                 tracer=tracer,
                 metrics=metrics,
+                key_prefix=idem_prefix,
             )
         self._proxy = proxy
 
@@ -85,6 +93,7 @@ class ACLPyroClient:
         event_log: EventLog | None = None,
         tracer: Any = None,
         metrics: Any = None,
+        idem_prefix: str | None = None,
     ) -> "ACLPyroClient":
         """Build from a full ``PYRO:`` URI."""
         from repro.rpc.naming import parse_uri
@@ -102,12 +111,29 @@ class ACLPyroClient:
             event_log=event_log,
             tracer=tracer,
             metrics=metrics,
+            idem_prefix=idem_prefix,
         )
 
     @property
     def resilient(self) -> bool:
         """Whether calls retry/replay through a :class:`ResilientProxy`."""
         return isinstance(self._proxy, ResilientProxy)
+
+    @property
+    def idem_prefix(self) -> str | None:
+        """The resilient wrapper's idempotency-key prefix (None when bare)."""
+        return getattr(self._proxy, "key_prefix", None)
+
+    def set_lease(self, resource: str, epoch: int) -> None:
+        """Attach a fencing token to every subsequent request.
+
+        The daemon rejects calls whose epoch is stale with
+        ``LEASE_FENCED`` — see ``docs/PROTOCOLS.md`` §1.6.
+        """
+        self._proxy.lease = {"resource": resource, "epoch": epoch}
+
+    def clear_lease(self) -> None:
+        self._proxy.lease = None
 
     # -- connection management ---------------------------------------------
     def ping(self) -> None:

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.clock import Clock, WALL
+from repro.durability.dedup_journal import DedupJournal
+from repro.durability.lease import LeaseRegistry, LeaseServer
 from repro.errors import NetworkError
 from repro.logging_utils import EventLog
 from repro.net.links import (
@@ -95,6 +97,13 @@ class ICEConfig:
             and characterization) require the HMAC challenge-response and
             the ICE's own clients present it — paper §5's "security
             posture" hardening beyond firewall rules.
+        durability_dir: where the control daemon's durable state lives
+            (dedup journal, lease epochs). None uses a private temp
+            directory — never the measurement share, whose listing must
+            show measurements only; this state
+            deliberately survives :meth:`ElectrochemistryICE.crash_control_daemon`
+            with ``keep_disk=True`` and is what a restarted daemon
+            replays.
     """
 
     workstation: WorkstationConfig = field(default_factory=WorkstationConfig)
@@ -105,6 +114,7 @@ class ICEConfig:
     with_name_server: bool = True
     control_secret: bytes | None = None
     channel_mode: str = ""
+    durability_dir: Path | None = None
 
     def __post_init__(self) -> None:
         if self.transport not in ("sim", "tcp"):
@@ -140,6 +150,7 @@ class ElectrochemistryICE:
         self.measurement_dir: Path = parts["measurement_dir"]
         self.event_log: EventLog = parts["event_log"]
         self._tempdir = parts["tempdir"]
+        self._durability_tempdir = parts["durability_tempdir"]
         self.control_networks: set[str] | None = parts["control_networks"]
         self.data_networks: set[str] | None = parts["data_networks"]
         #: transmission priorities per channel (only meaningful in the
@@ -159,6 +170,14 @@ class ElectrochemistryICE:
         #: :meth:`attach_observability` feeds it daemon-side spans
         self.telemetry_bus: TelemetryBus = parts["telemetry_bus"]
         self.telemetry_uri: str = parts["telemetry_uri"]
+        #: durable control-daemon state (dedup journal + lease epochs);
+        #: survives crash_control_daemon(keep_disk=True) by design
+        self.durability_dir: Path = parts["durability_dir"]
+        self.lease_registry: LeaseRegistry = parts["lease_registry"]
+        self.lease_uri: str = parts["lease_uri"]
+        self._ws_server = parts["ws_server"]
+        self._recorder_server = parts["recorder_server"]
+        self._telemetry_server = parts["telemetry_server"]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -221,21 +240,41 @@ class ElectrochemistryICE:
                 TCPListener("127.0.0.1", 0) if config.with_name_server else None
             )
 
+        # durable daemon state must live OUTSIDE the exported share:
+        # the data channel lists measurement_dir verbatim, and journals
+        # are not measurements
+        durability_tempdir = None
+        if config.durability_dir is not None:
+            durability_dir = Path(config.durability_dir)
+        else:
+            durability_tempdir = tempfile.TemporaryDirectory(
+                prefix="acl-durability-"
+            )
+            durability_dir = Path(durability_tempdir.name)
+        durability_dir.mkdir(parents=True, exist_ok=True)
+        lease_registry = LeaseRegistry(durability_dir / "leases.json")
         control_daemon = Daemon(
             listener=control_listener,
             event_log=log,
             secret=config.control_secret,
+            dedup_journal=DedupJournal(durability_dir / "control-dedup.jsonl"),
+            lease_registry=lease_registry,
         )
+        ws_server = ACLWorkstationServer(workstation)
         control_uri = control_daemon.register(
-            ACLWorkstationServer(workstation), object_id="ACL_Workstation"
+            ws_server, object_id="ACL_Workstation"
+        )
+        lease_uri = control_daemon.register(
+            LeaseServer(lease_registry), object_id=LeaseServer.OBJECT_ID
         )
         # daemon-half black box: captures ACL-side events now and ACL-side
         # spans once attach_observability() wires a tracer; the client pulls
         # it over the control channel via Recorder_Dump when dumping
         recorder = FlightRecorder("acl-daemon", clock=clock)
         recorder.attach_event_log(log)
+        recorder_server = FlightRecorderServer(recorder)
         recorder_uri = control_daemon.register(
-            FlightRecorderServer(recorder),
+            recorder_server,
             object_id=FlightRecorderServer.OBJECT_ID,
         )
         # daemon-half live feed: ACL-side events stream from build time,
@@ -243,8 +282,9 @@ class ElectrochemistryICE:
         # the DGX tails it over the control channel via Telemetry_Poll
         telemetry_bus = TelemetryBus("acl-daemon", clock=clock)
         telemetry_bus.attach_event_log(log)
+        telemetry_server = TelemetryServer(telemetry_bus)
         telemetry_uri = control_daemon.register(
-            TelemetryServer(telemetry_bus),
+            telemetry_server,
             object_id=TelemetryServer.OBJECT_ID,
         )
         control_daemon.start_background()
@@ -307,12 +347,19 @@ class ElectrochemistryICE:
             measurement_dir=measurement_dir,
             event_log=log,
             tempdir=tempdir,
+            durability_tempdir=durability_tempdir,
             control_networks=control_networks,
             data_networks=data_networks,
             recorder=recorder,
             recorder_uri=recorder_uri,
             telemetry_bus=telemetry_bus,
             telemetry_uri=telemetry_uri,
+            durability_dir=durability_dir,
+            lease_registry=lease_registry,
+            lease_uri=lease_uri,
+            ws_server=ws_server,
+            recorder_server=recorder_server,
+            telemetry_server=telemetry_server,
         )
 
     @staticmethod
@@ -417,6 +464,7 @@ class ElectrochemistryICE:
         breaker: "CircuitBreaker | None" = None,
         tracer=None,
         metrics=None,
+        idem_prefix: str | None = None,
     ) -> ACLPyroClient:
         """A control-channel client dialled from the DGX.
 
@@ -424,10 +472,17 @@ class ElectrochemistryICE:
         ``breaker``) calls reconnect and retry across link flaps and
         connection resets, carrying idempotency keys so the daemon
         replays rather than re-executes anything already done.
+
+        ``idem_prefix`` replays a crashed predecessor's idempotency-key
+        sequence (journaled by the campaign layer), so a resumed round's
+        already-executed calls come back from the daemon's dedup journal
+        instead of touching the instrument again.
         """
         from repro.resilience import RetryPolicy
 
         if resilient and retry_policy is None:
+            retry_policy = RetryPolicy()
+        if idem_prefix is not None and retry_policy is None:
             retry_policy = RetryPolicy()
         return ACLPyroClient.from_uri(
             self.control_uri,
@@ -439,6 +494,7 @@ class ElectrochemistryICE:
             event_log=self.event_log,
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
+            idem_prefix=idem_prefix,
         )
 
     def characterization_client(self, timeout: float | None = 120.0) -> ACLPyroClient:
@@ -508,6 +564,103 @@ class ElectrochemistryICE:
             secret=self.config.control_secret,
         )
 
+    def lease_client(self, timeout: float | None = 10.0) -> Proxy:
+        """Control-channel proxy to the lease (fencing-token) service.
+
+        Short default timeout like :meth:`recorder_client`: lease
+        acquisition happens during session attach/reattach and must fail
+        fast when the control channel is down.
+        """
+        return Proxy(
+            self.lease_uri,
+            timeout=timeout,
+            connection_factory=self._factory(self.control_networks),
+            secret=self.config.control_secret,
+        )
+
+    # ------------------------------------------------------------------
+    # Process-level fault domain (used by ChaosController)
+    # ------------------------------------------------------------------
+    def crash_control_daemon(self, keep_disk: bool = True) -> None:
+        """Abruptly kill the control daemon (no joins, no flushes).
+
+        ``keep_disk=True`` models ``kill -9``: in-memory state dies, the
+        fsync'd dedup journal and lease epochs survive for the next
+        incarnation. ``keep_disk=False`` models losing the disk too
+        (reprovisioned host) — restart then starts from nothing.
+        """
+        self.control_daemon.crash()
+        if not keep_disk:
+            for name in ("control-dedup.jsonl", "leases.json"):
+                try:
+                    (self.durability_dir / name).unlink()
+                except FileNotFoundError:
+                    pass
+        self.event_log.emit(
+            "ice",
+            "crash",
+            f"control daemon crashed (keep_disk={keep_disk})",
+        )
+
+    def restart_control_daemon(self) -> Daemon:
+        """Bring a crashed control daemon back on the same address.
+
+        The instrument side (workstation, recorder, telemetry bus) is a
+        different "machine" and survives; the daemon process is rebuilt
+        from scratch — its dedup cache preloads from the dedup journal
+        and its lease registry reloads persisted epochs, which is the
+        whole durability contract under test.
+        """
+        if self.control_daemon._running.is_set():
+            raise NetworkError(
+                "control daemon is still running; crash or shut it down first"
+            )
+        host, port = self.control_daemon.address
+        if self.simnet is not None:
+            listener = self.simnet.listen(host, port)
+        else:
+            from repro.rpc.transport import TCPListener
+
+            listener = TCPListener(host, port)
+        self.lease_registry = LeaseRegistry(self.durability_dir / "leases.json")
+        daemon = Daemon(
+            listener=listener,
+            event_log=self.event_log,
+            secret=self.config.control_secret,
+            dedup_journal=DedupJournal(self.durability_dir / "control-dedup.jsonl"),
+            lease_registry=self.lease_registry,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        daemon.register(self._ws_server, object_id="ACL_Workstation")
+        daemon.register(
+            LeaseServer(self.lease_registry), object_id=LeaseServer.OBJECT_ID
+        )
+        daemon.register(
+            self._recorder_server, object_id=FlightRecorderServer.OBJECT_ID
+        )
+        daemon.register(
+            self._telemetry_server, object_id=TelemetryServer.OBJECT_ID
+        )
+        daemon.start_background()
+        self.control_daemon = daemon
+        if self.metrics is not None:
+            self.metrics.counter(
+                "recovery.daemon_restarts_total", "control daemon restarts"
+            ).inc()
+            if daemon.dedup_preloaded:
+                self.metrics.counter(
+                    "recovery.dedup_preloaded_total",
+                    "idempotent outcomes restored from the dedup journal",
+                ).inc(daemon.dedup_preloaded)
+        self.event_log.emit(
+            "ice",
+            "restart",
+            f"control daemon restarted at {host}:{port} "
+            f"({daemon.dedup_preloaded} dedup outcomes preloaded)",
+        )
+        return daemon
+
     def lookup(self, name: str) -> str:
         """Resolve a logical name via the gateway's name server."""
         if self.ns_daemon is None:
@@ -533,6 +686,8 @@ class ElectrochemistryICE:
         self.workstation.shutdown()
         if self._tempdir is not None:
             self._tempdir.cleanup()
+        if self._durability_tempdir is not None:
+            self._durability_tempdir.cleanup()
 
     def __enter__(self) -> "ElectrochemistryICE":
         return self

@@ -274,6 +274,72 @@ class ChaosController:
                     link.set_up(True)
                     self._emit("heal", f"heal: {link.name} up", link=link.name)
 
+    # -- process-level faults ----------------------------------------------
+    def crash_daemon(
+        self,
+        ice: Any,
+        keep_disk: bool = True,
+        flight_recorder: Any = None,
+        flight_dir: Any = None,
+    ) -> None:
+        """Kill the ICE's control daemon abruptly (process-death model).
+
+        Unlike :meth:`reset_now` — which a :class:`ResilientProxy` rides
+        out by redialling — this is the daemon *process* dying: listener
+        gone, every connection dropped, all in-memory state (dedup cache,
+        in-flight handlers) lost. ``keep_disk=False`` additionally wipes
+        the durable state (dedup journal, lease epochs), modelling a
+        machine whose disk did not survive; the default models the normal
+        crash where only memory is lost and a restart replays the journal.
+
+        When a ``flight_recorder`` is passed, a black box is dumped to
+        ``flight_dir`` *before* the crash metrics land — the post-mortem
+        artifact the operator opens first.
+        """
+        if flight_recorder is not None and flight_dir is not None:
+            try:
+                flight_recorder.dump(flight_dir, trigger="chaos-daemon-crash")
+            except Exception:  # noqa: BLE001 - the crash must still happen
+                pass
+        ice.crash_control_daemon(keep_disk=keep_disk)
+        with self._lock:
+            self._emit(
+                "daemon-crash",
+                f"control daemon crashed (keep_disk={keep_disk})",
+                keep_disk=keep_disk,
+            )
+
+    def restart_daemon(self, ice: Any) -> None:
+        """Bring a crashed control daemon back on the same address.
+
+        The restarted daemon preloads its dedup journal and lease
+        epochs from disk, so idempotent replay and fencing survive the
+        crash — the property the recovery e2e asserts.
+        """
+        ice.restart_control_daemon()
+        with self._lock:
+            self._emit("daemon-restart", "control daemon restarted")
+
+    def crash_client_mid_round(self, client: Any) -> None:
+        """Model the *client* process dying mid-round.
+
+        Abruptly closes the control connection with no teardown protocol
+        (no ``Disconnect_SP200``, no drain) — exactly what the daemon
+        observes when the steering host loses power. The daemon side may
+        have executed the in-flight call; whether it did is unknowable to
+        the successor, which is why resume re-issues under the journaled
+        idempotency prefix instead of guessing.
+        """
+        proxy = getattr(client, "_proxy", client)
+        try:
+            proxy.close()
+        except Exception:  # noqa: BLE001 - dying processes do not clean up
+            pass
+        with self._lock:
+            self._emit(
+                "client-crash", "client connection dropped mid-round"
+            )
+
     # -- teardown ----------------------------------------------------------
     def stop(self) -> None:
         """Detach all hooks and restore links to a healthy state.

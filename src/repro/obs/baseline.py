@@ -181,9 +181,15 @@ class BaselineStore:
             }
 
     def save(self, path: str | Path) -> Path:
+        from repro.durability.atomic import atomic_write_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        # temp + fsync + rename: a crash mid-save leaves the previous
+        # baseline intact instead of a truncated JSON document
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        )
         return path
 
     @classmethod

@@ -54,6 +54,7 @@ SUBSYSTEMS = (
     "workflow",
     "fleet",
     "chaos",
+    "durability",
     "perf",
 )
 
@@ -364,6 +365,7 @@ class HealthEngine:
         self._rule_workflow(subsystems["workflow"], current, baseline)
         self._rule_fleet(subsystems["fleet"], current, baseline)
         self._rule_chaos(subsystems["chaos"], current, baseline)
+        self._rule_durability(subsystems["durability"], current, baseline)
 
         for subsystem, probe in probes:
             target = subsystems.setdefault(subsystem, SubsystemHealth(subsystem))
@@ -523,6 +525,42 @@ class HealthEngine:
         if faults > 0:
             sub.merge(
                 DEGRADED, f"{faults:.0f} chaos fault(s) injected in window"
+            )
+
+    def _rule_durability(
+        self,
+        sub: SubsystemHealth,
+        current: dict[Any, float],
+        baseline: dict[Any, float],
+    ) -> None:
+        # fencing rejections mean a zombie predecessor is still issuing
+        # commands — exactly the split-brain the lease exists to stop,
+        # but a sign the operator should find and kill the old process
+        fenced = self._delta_sum(
+            current, baseline, "durability.lease_fenced_total"
+        )
+        sub.details["lease_fenced"] = fenced
+        if fenced > 0:
+            sub.merge(
+                DEGRADED, f"{fenced:.0f} stale-lease call(s) fenced in window"
+            )
+        torn = self._delta_sum(current, baseline, "durability.torn_tails_total")
+        sub.details["torn_tails"] = torn
+        if torn > 0:
+            sub.merge(
+                DEGRADED,
+                f"{torn:.0f} torn journal tail(s) detected (crash mid-append)",
+            )
+        restarts = self._delta_sum(
+            current, baseline, "recovery.daemon_restarts_total"
+        )
+        resumes = self._delta_sum(current, baseline, "recovery.resumes_total")
+        sub.details["daemon_restarts"] = restarts
+        sub.details["campaign_resumes"] = resumes
+        if restarts > 0:
+            sub.merge(
+                DEGRADED,
+                f"{restarts:.0f} daemon restart(s) in window (recovering)",
             )
 
 

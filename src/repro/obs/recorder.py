@@ -222,7 +222,14 @@ class FlightRecorder:
             c if c.isalnum() or c in "-_" else "-" for c in trigger
         )
         path = directory / f"flightrec-{safe_trigger}-{uuid.uuid4().hex[:8]}.json"
-        path.write_text(json.dumps(doc, indent=2, default=str, sort_keys=False))
+        # dumps happen when things are already going wrong; write through
+        # a fsync'd temp + rename so a crash mid-dump never leaves a
+        # half-written black box masquerading as evidence
+        from repro.durability.atomic import atomic_write_text
+
+        atomic_write_text(
+            path, json.dumps(doc, indent=2, default=str, sort_keys=False)
+        )
         self.last_dump = path
         return path
 

@@ -67,6 +67,12 @@ class ResilientProxy:
             proxy's tracer so one knob configures both layers.
         metrics: optional :class:`repro.obs.MetricsRegistry` receiving
             retry/reconnect counters (defaults to the proxy's registry).
+        key_prefix: idempotency-key prefix. Defaults to a fresh uuid4
+            hex per proxy — globally unique keys, at-most-once within
+            one daemon lifetime. Pass the prefix recorded in a durable
+            journal to make a *resumed* client re-issue byte-identical
+            keys, so calls it already made before a crash replay from
+            the daemon's dedup journal instead of re-executing.
 
     Attributes:
         retry_count: attempts beyond the first, across all calls.
@@ -84,6 +90,7 @@ class ResilientProxy:
         event_log: EventLog | None = None,
         tracer: Any = None,
         metrics: Any = None,
+        key_prefix: str | None = None,
     ):
         self._proxy = proxy
         self._policy = policy or RetryPolicy()
@@ -96,8 +103,9 @@ class ResilientProxy:
             metrics if metrics is not None else getattr(proxy, "metrics", None)
         )
         # one random prefix per proxy + a counter keeps keys globally
-        # unique at a fraction of the cost of a uuid4 per call
-        self._key_prefix = uuid.uuid4().hex
+        # unique at a fraction of the cost of a uuid4 per call; a caller
+        # resuming a journaled run passes the recorded prefix instead
+        self._key_prefix = key_prefix if key_prefix else uuid.uuid4().hex
         self._key_seq = itertools.count()
         self.retry_count = 0
         self.reconnect_count = 0
@@ -118,6 +126,21 @@ class ResilientProxy:
     @property
     def breaker(self) -> CircuitBreaker | None:
         return self._breaker
+
+    @property
+    def key_prefix(self) -> str:
+        """Idempotency-key prefix (journaled so a resume can reuse it)."""
+        return self._key_prefix
+
+    @property
+    def lease(self) -> Any:
+        return self._proxy.lease
+
+    @lease.setter
+    def lease(self, token: Any) -> None:
+        # lives on the wrapped proxy, so it survives redials (close()
+        # only drops the connection, never the proxy object)
+        self._proxy.lease = token
 
     def close(self) -> None:
         self._proxy.close()

@@ -17,6 +17,7 @@ Dispatch rules:
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 import uuid
 from collections import OrderedDict
@@ -38,6 +39,7 @@ from repro.rpc.protocol import (
     error_body,
     recv_message,
     request_idempotency_key,
+    request_lease,
     request_trace_context,
     send_message,
     validate_request_body,
@@ -116,6 +118,21 @@ class DedupCache:
         if event is not None:
             event.set()
 
+    def preload(self, outcomes: dict[str, tuple[MessageType, Any]]) -> int:
+        """Seed the cache with journaled outcomes (daemon restart path).
+
+        Insertion order is preserved, so LRU eviction drops the oldest
+        journaled outcomes first when the journal outgrew ``capacity``.
+        Returns how many entries landed in the cache.
+        """
+        with self._lock:
+            for key, outcome in outcomes.items():
+                self._done[key] = outcome
+                self._done.move_to_end(key)
+            while len(self._done) > self.capacity:
+                self._done.popitem(last=False)
+            return len(self._done)
+
 
 class Daemon:
     """Serves registered objects over a transport listener.
@@ -144,6 +161,17 @@ class Daemon:
             client and daemon spans land in one trace store.
         metrics: optional :class:`repro.obs.MetricsRegistry` receiving
             dispatch counters and latency histograms (also assignable).
+        dedup_journal: optional
+            :class:`~repro.durability.dedup_journal.DedupJournal`. Every
+            finished idempotent outcome is appended (fsync'd) before the
+            reply frame is sent, and outcomes already on disk preload the
+            cache — at-most-once then survives a daemon restart, not just
+            a reconnect. ``dedup_preloaded`` counts the restored entries.
+        lease_registry: optional
+            :class:`~repro.durability.lease.LeaseRegistry`. Requests
+            carrying a ``lease`` token are checked against it before
+            dispatch; a stale epoch is rejected with ``LEASE_FENCED``
+            (counted in ``fenced_count``) and never executes.
     """
 
     def __init__(
@@ -157,6 +185,8 @@ class Daemon:
         dedup_wait_s: float = 300.0,
         tracer: Any = None,
         metrics: Any = None,
+        dedup_journal: Any = None,
+        lease_registry: Any = None,
     ):
         self._listener = listener if listener is not None else TCPListener(host, port)
         self._secret = secret
@@ -168,11 +198,27 @@ class Daemon:
         self._open_connections: set[Connection] = set()
         self._dedup = DedupCache(dedup_capacity)
         self._dedup_wait_s = dedup_wait_s
+        self._dedup_journal = dedup_journal
+        self.lease_registry = lease_registry
         self.log = event_log if event_log is not None else EventLog()
         self.call_count = 0
         self.replay_count = 0
+        self.fenced_count = 0
+        self.dedup_preloaded = 0
+        self.crashed = False
+        self.quiescent = True
         self.tracer = tracer
         self.metrics = metrics
+        if dedup_journal is not None:
+            restored = dedup_journal.replay()
+            if restored:
+                self.dedup_preloaded = self._dedup.preload(restored)
+                self.log.emit(
+                    "daemon",
+                    "dedup-restore",
+                    f"preloaded {self.dedup_preloaded} idempotent outcomes "
+                    "from the dedup journal",
+                )
 
     # -- registry ------------------------------------------------------------
     @property
@@ -243,27 +289,88 @@ class Daemon:
                 name=f"repro-daemon-client-{conn.peer}",
                 daemon=True,
             )
-            self._client_threads.append(thread)
+            with self._lock:
+                # prune finished handlers so a long-lived daemon's thread
+                # list tracks live connections, not connection history
+                self._client_threads = [
+                    t for t in self._client_threads if t.is_alive()
+                ]
+                self._client_threads.append(thread)
             thread.start()
 
-    def shutdown(self) -> None:
-        """Stop serving and drop all live connections."""
+    def shutdown(self, join_timeout_s: float = 5.0) -> None:
+        """Stop serving, drop all live connections, and join handlers.
+
+        Joins the accept thread and every per-connection handler under
+        one shared ``join_timeout_s`` deadline, so callers (tests, the
+        crash/restart helper) observe a quiescent daemon deterministically
+        rather than racing abandoned daemon threads. :attr:`quiescent`
+        reports whether every thread actually exited in time.
+        """
         if not self._running.is_set() and self._accept_thread is None:
             self._listener.close()
+            self._close_dedup_journal()
             return
         self._running.clear()
         self._listener.close()
         with self._lock:
             connections = list(self._open_connections)
+            threads = list(self._client_threads)
         for conn in connections:
             conn.close()
+        deadline = time.monotonic() + join_timeout_s
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+            self._accept_thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            threads.append(self._accept_thread)
             self._accept_thread = None
-        for thread in self._client_threads:
-            thread.join(timeout=5.0)
-        self._client_threads.clear()
+        for thread in threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        stragglers = [t.name for t in threads if t.is_alive()]
+        self.quiescent = not stragglers
+        with self._lock:
+            self._client_threads.clear()
+        self._close_dedup_journal()
+        if stragglers:
+            self.log.emit(
+                "daemon",
+                "shutdown-stragglers",
+                f"{len(stragglers)} handler thread(s) outlived the "
+                f"{join_timeout_s}s join deadline",
+                threads=stragglers,
+            )
         self.log.emit("daemon", "shutdown", "daemon stopped")
+
+    def crash(self) -> None:
+        """Simulate abrupt process death (the chaos ``crash_daemon`` path).
+
+        Unlike :meth:`shutdown`, nothing is joined and nothing is
+        flushed: the listener and every connection drop mid-frame, the
+        in-memory dedup cache is discarded, and only state already
+        fsync'd to the dedup journal survives for the next incarnation —
+        exactly what ``kill -9`` would leave behind.
+        """
+        self.crashed = True
+        self._running.clear()
+        self._listener.close()
+        with self._lock:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+            self._client_threads.clear()
+        for conn in connections:
+            conn.close()
+        self._accept_thread = None
+        # process memory is gone: the cache resets to empty, and the
+        # journal handle closes without any graceful draining
+        self._dedup = DedupCache(self._dedup.capacity)
+        self._close_dedup_journal()
+
+    def _close_dedup_journal(self) -> None:
+        if self._dedup_journal is not None:
+            try:
+                self._dedup_journal.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "Daemon":
         self.start_background()
@@ -366,6 +473,30 @@ class Daemon:
             self._try_send_error(conn, msg.seq, exc)
 
     def _handle_request(self, conn: Connection, msg: Message) -> None:
+        # Fencing precedes dedup: a fenced request must never execute
+        # *and* must never poison the dedup cache, because its key may be
+        # legitimately re-issued by the successor that holds the lease.
+        lease = request_lease(msg.body)
+        if lease is not None and self.lease_registry is not None:
+            try:
+                self.lease_registry.check(lease["resource"], lease["epoch"])
+            except Exception as exc:  # noqa: BLE001 - LeaseFencedError
+                self.fenced_count += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "durability.lease_fenced_total",
+                        "requests rejected for a stale lease epoch",
+                    ).inc(resource=lease["resource"])
+                self.log.emit(
+                    "daemon",
+                    "lease-fenced",
+                    f"fenced {conn.peer}: {exc}",
+                    resource=lease["resource"],
+                    epoch=lease["epoch"],
+                )
+                if not msg.oneway:
+                    self._try_send_error(conn, msg.seq, exc)
+                return
         key = request_idempotency_key(msg.body)
         if key is not None:
             cached = self._dedup.claim(key, wait_s=self._dedup_wait_s)
@@ -380,8 +511,33 @@ class Daemon:
 
         def record(msg_type: MessageType, body: Any) -> None:
             nonlocal recorded
+            if self.crashed:
+                # a dead process records nothing: a handler thread racing
+                # the crash must not journal its outcome post-mortem (the
+                # client never saw a reply and will re-issue the call)
+                return
             if not recorded:
                 recorded = True
+                # write-ahead order: the outcome is durable on disk
+                # before it becomes replayable in memory (and before the
+                # reply frame leaves), so a crash any time after the
+                # client sees the reply can still replay it on restart
+                if self._dedup_journal is not None:
+                    try:
+                        self._dedup_journal.record(key, msg_type, body)
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "durability.dedup_journal_records_total",
+                                "idempotent outcomes spilled to disk",
+                            ).inc()
+                    except Exception as exc:  # noqa: BLE001 - journal loss
+                        # must not fail the live call; it only weakens
+                        # restart-time replay for this one key
+                        self.log.emit(
+                            "daemon",
+                            "dedup-journal-error",
+                            f"failed to journal outcome for {key[:16]}: {exc}",
+                        )
                 self._dedup.finish(key, msg_type, body)
 
         try:

@@ -122,6 +122,7 @@ def request_body(
     kwargs: dict,
     idempotency_key: str | None = None,
     trace_context: dict[str, str] | None = None,
+    lease: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a REQUEST body.
 
@@ -137,6 +138,12 @@ def request_body(
     whose behalf this request is made; a tracing daemon parents its
     dispatch span under it. Same compatibility story as ``idem``: absent
     for untraced calls, ignored by daemons that predate it.
+
+    ``lease`` is an optional ``{"resource": ..., "epoch": ...}`` fencing
+    token (see ``repro.durability.lease``) asserting which acquisition
+    epoch of the named resource the caller holds; a daemon with a lease
+    registry rejects stale epochs with ``LEASE_FENCED`` instead of
+    dispatching. Daemons predating the field ignore it.
     """
     body = {
         "object": object_id,
@@ -148,6 +155,8 @@ def request_body(
         body["idem"] = idempotency_key
     if trace_context is not None:
         body["trace"] = trace_context
+    if lease is not None:
+        body["lease"] = lease
     return body
 
 
@@ -177,6 +186,26 @@ def request_trace_context(body: Any) -> dict[str, str] | None:
             and carrier["span_id"]
         ):
             return {"trace_id": carrier["trace_id"], "span_id": carrier["span_id"]}
+    return None
+
+
+def request_lease(body: Any) -> dict[str, Any] | None:
+    """Extract the optional lease token from a decoded REQUEST body.
+
+    Returns ``{"resource": str, "epoch": int}`` when well-formed, else
+    ``None``. Unlike trace metadata, a *malformed* lease is still
+    ``None`` here — fencing only applies to clients that assert a lease,
+    and asserting garbage is indistinguishable from asserting nothing.
+    """
+    if isinstance(body, dict):
+        token = body.get("lease")
+        if (
+            isinstance(token, dict)
+            and isinstance(token.get("resource"), str)
+            and token["resource"]
+            and isinstance(token.get("epoch"), int)
+        ):
+            return {"resource": token["resource"], "epoch": token["epoch"]}
     return None
 
 

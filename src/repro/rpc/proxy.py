@@ -165,6 +165,9 @@ class Proxy:
         self._metadata: dict[str, Any] | None = None
         self.tracer = tracer
         self.metrics = metrics
+        # optional fencing token: when set, every REQUEST carries it and
+        # a lease-aware daemon rejects stale epochs with LEASE_FENCED
+        self.lease: dict[str, Any] | None = None
         # pipelining state: a waiter map keyed by sequence id plus a
         # "become the reader" condition — at most one thread blocks in
         # recv at a time, depositing replies for everyone else
@@ -325,6 +328,7 @@ class Proxy:
             kwargs,
             idempotency_key=idempotency_key,
             trace_context=trace_context,
+            lease=self.lease,
         )
         flags = FLAG_ONEWAY if oneway else 0
         if self._max_inflight > 1:
@@ -776,6 +780,7 @@ class Pipeline:
             kwargs,
             idempotency_key=key,
             trace_context=trace_context,
+            lease=proxy.lease,
         )
         try:
             conn, _seq, slot = proxy._pipeline_submit(MessageType.REQUEST, body)

@@ -1,0 +1,249 @@
+"""Crash-recovery e2e: the durability acceptance scenario.
+
+The control daemon is killed abruptly in the middle of a journaled
+campaign round (after the instrument started acquiring, before the
+result call returned). The test then restarts the daemon — which
+preloads its fsync'd dedup journal and lease epochs — and calls
+:meth:`Campaign.resume`, asserting:
+
+- a flight-recorder black box was dumped at the moment of death;
+- completed rounds are restored from checkpoints, the torn round is
+  re-issued under its journaled idempotency prefix, and the campaign
+  finishes;
+- **zero duplicated instrument executions**: every call the dead
+  process already made replays from the dedup journal instead of
+  re-running (counted at the instrument server itself);
+- merged provenance marks the restored rounds as resumed;
+- a client holding a pre-takeover lease epoch is fenced with
+  ``LEASE_FENCED`` — even across the daemon restart;
+- a journal whose tail was torn by the crash is detected via checksum
+  and resume re-runs only the torn round.
+"""
+
+import json
+
+import pytest
+
+from repro.core.campaign import (
+    Campaign,
+    FleetCampaign,
+    FleetCellResult,
+    campaign_journal_status,
+    scan_rate_strategy,
+)
+from repro.core.cv_workflow import CVWorkflowSettings
+from repro.errors import LeaseFencedError
+from repro.net.chaos import ChaosController
+from repro.obs import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.resilience import RetryPolicy
+
+FAST_POLICY = RetryPolicy(max_attempts=8, base_delay_s=0.01, jitter="none")
+BASE = CVWorkflowSettings(client_retry_policy=FAST_POLICY)
+RATES = (0.05, 0.1, 0.2)
+
+
+def _count_calls(server, method_name):
+    """Count actual executions of an instrument method, through patching."""
+    original = getattr(server, method_name)
+    counter = {"n": 0}
+
+    def wrapper(*args, **kwargs):
+        counter["n"] += 1
+        return original(*args, **kwargs)
+
+    setattr(server, method_name, wrapper)
+    return counter
+
+
+@pytest.mark.chaos
+class TestCrashRecovery:
+    def test_daemon_killed_mid_round_then_resume(self, ice, tmp_path):
+        journal_dir = tmp_path / "campaign"
+        flight_dir = tmp_path / "flight"
+        ice.attach_observability(metrics=MetricsRegistry())
+        chaos = ChaosController(
+            ice.simnet, event_log=ice.event_log, metrics=ice.metrics
+        )
+        recorder = FlightRecorder("e2e")
+        server = ice._ws_server
+        starts = _count_calls(server, "Start_Channel_SP200")
+
+        # kill the daemon on the SECOND round's result fetch: round 1 has
+        # filled, loaded and started acquiring when its controller dies
+        original_fetch = server.Get_Tech_Path_Rslt
+        fetches = {"n": 0}
+
+        def dying_fetch(*args, **kwargs):
+            fetches["n"] += 1
+            if fetches["n"] == 2:
+                chaos.crash_daemon(
+                    ice,
+                    keep_disk=True,
+                    flight_recorder=recorder,
+                    flight_dir=flight_dir,
+                )
+                raise RuntimeError("daemon process died")
+            return original_fetch(*args, **kwargs)
+
+        server.Get_Tech_Path_Rslt = dying_fetch
+
+        campaign = Campaign(
+            ice,
+            scan_rate_strategy(RATES, base=BASE),
+            journal_dir=journal_dir,
+            max_rounds=5,
+        )
+        rounds = campaign.run()
+
+        # the campaign stopped at the dead round, with round 0 checkpointed
+        assert len(rounds) == 2
+        assert rounds[0].result.succeeded
+        assert not rounds[1].result.succeeded
+        assert chaos.fired("daemon-crash")
+        dumps = list(flight_dir.glob("flightrec-*.json"))
+        assert dumps, "daemon death must leave a black box"
+
+        status = campaign_journal_status(journal_dir)
+        assert status["resumable"]
+        assert status["completed_rounds"] == [0]
+        assert 1 in status["in_flight_rounds"]
+
+        # restart: the daemon preloads every outcome the dead round fsync'd
+        server.Get_Tech_Path_Rslt = original_fetch
+        chaos.restart_daemon(ice)
+        daemon = ice.control_daemon
+        assert daemon.dedup_preloaded > 0
+        assert chaos.fired("daemon-restart")
+
+        starts_before_resume = starts["n"]
+        campaign2 = Campaign(
+            ice,
+            scan_rate_strategy(RATES, base=BASE),
+            journal_dir=journal_dir,
+            max_rounds=5,
+        )
+        rounds2 = campaign2.resume()
+        report = campaign2.resume_report
+
+        # round 0 restored from checkpoint, round 1 re-issued, round 2 fresh
+        assert report["skipped_rounds"] == [0]
+        assert report["rerun_rounds"] == [1]
+        assert len(rounds2) == len(RATES)
+        assert [r.resumed for r in rounds2] == [True, False, False]
+        assert all(r.result.succeeded for r in rounds2)
+        assert rounds2[0].result.metrics is not None  # from the checkpoint
+
+        # ZERO duplicated instrument executions: round 1's pre-crash
+        # Start_Channel replayed from the dedup journal; only round 2's ran
+        assert starts["n"] - starts_before_resume == 1
+        assert starts["n"] == len(RATES)
+        assert daemon.replay_count > 0
+
+        # exactly one fill ever reached the cell
+        client = ice.client()
+        try:
+            assert client.call_Cell_Status()["volume_ml"] == pytest.approx(
+                BASE.fill_volume_ml
+            )
+        finally:
+            client.close()
+
+        # recovery observability landed
+        assert ice.metrics.get("recovery.daemon_restarts_total") is not None
+        assert ice.metrics.get("recovery.resumes_total") is not None
+
+        # merged provenance marks the restored round
+        fleet = FleetCampaign({"cell": campaign2})
+        fleet.results["cell"] = FleetCellResult(cell="cell", rounds=rounds2)
+        doc = fleet.merged_provenance()
+        flags = [r["resumed"] for r in doc["cells"]["cell"]["rounds"]]
+        assert flags == [True, False, False]
+
+        chaos.stop()
+
+    def test_stale_lease_epoch_fenced_across_restart(self, ice):
+        lease = ice.lease_client()
+        try:
+            old_epoch = lease.Lease_Acquire("acl-workstation", "ghost")
+            new_epoch = lease.Lease_Acquire("acl-workstation", "successor")
+        finally:
+            lease.close()
+        assert new_epoch == old_epoch + 1
+
+        ghost = ice.client()
+        ghost.set_lease("acl-workstation", old_epoch)
+        with pytest.raises(LeaseFencedError):
+            ghost.call_Cell_Status()
+        ghost.close()
+
+        # epochs are persisted: the ghost stays fenced after a restart
+        ice.crash_control_daemon(keep_disk=True)
+        ice.restart_control_daemon()
+        ghost = ice.client()
+        ghost.set_lease("acl-workstation", old_epoch)
+        with pytest.raises(LeaseFencedError):
+            ghost.call_Cell_Status()
+        ghost.close()
+
+        successor = ice.client()
+        successor.set_lease("acl-workstation", new_epoch)
+        try:
+            assert "volume_ml" in successor.call_Cell_Status()
+        finally:
+            successor.close()
+        assert ice.control_daemon.fenced_count >= 1
+
+    def test_torn_journal_tail_reruns_only_torn_round(self, ice, tmp_path):
+        journal_dir = tmp_path / "campaign"
+        campaign = Campaign(
+            ice,
+            scan_rate_strategy(RATES, base=BASE),
+            journal_dir=journal_dir,
+            max_rounds=5,
+        )
+        rounds = campaign.run()
+        assert len(rounds) == len(RATES)
+
+        # forge the crash signature: drop the final round's completion
+        # record and leave a half-written line at the tail
+        path = journal_dir / "campaign.jsonl"
+        kept = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            if record["kind"] == "campaign-finished":
+                continue
+            if (
+                record["kind"] == "round-completed"
+                and record["data"]["index"] == 2
+            ):
+                continue
+            kept.append(line)
+        path.write_text(
+            "\n".join(kept) + "\n" + '{"schema": "repro-journal-1", "seq'
+        )
+
+        status = campaign_journal_status(journal_dir)
+        assert status["torn_tail"]
+        assert status["resumable"]
+        assert status["completed_rounds"] == [0, 1]
+        assert status["in_flight_rounds"] == [2]
+
+        campaign2 = Campaign(
+            ice,
+            scan_rate_strategy(RATES, base=BASE),
+            journal_dir=journal_dir,
+            max_rounds=5,
+        )
+        rounds2 = campaign2.resume()
+        report = campaign2.resume_report
+        assert report["torn_tail"]
+        assert report["skipped_rounds"] == [0, 1]
+        assert report["rerun_rounds"] == [2]
+        assert len(rounds2) == len(RATES)
+        assert all(r.result.succeeded for r in rounds2)
+
+        # the journal healed: finished, no torn tail left behind
+        status = campaign_journal_status(journal_dir)
+        assert status["finished"]
+        assert not status["torn_tail"]

@@ -1,0 +1,268 @@
+"""Unit tests for the durability layer: journal, checkpoints, leases,
+atomic writes, dedup journal, and the daemon-side restart/fencing hooks."""
+
+import json
+import threading
+
+import pytest
+
+from repro.durability import (
+    CheckpointStore,
+    DedupJournal,
+    Journal,
+    LeaseRegistry,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.errors import JournalCorruptError, LeaseFencedError
+from repro.rpc.daemon import DedupCache
+from repro.rpc.protocol import MessageType
+
+
+class TestJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("started", run="a")
+            journal.append("progress", step=1)
+            journal.append("finished", ok=True)
+        replay = Journal.replay_file(path)
+        assert not replay.torn_tail
+        assert [r.kind for r in replay.records] == [
+            "started",
+            "progress",
+            "finished",
+        ]
+        assert [r.seq for r in replay.records] == [0, 1, 2]
+        assert replay.records[1].data == {"step": 1}
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("one")
+        with Journal(path) as journal:
+            assert journal.next_seq == 1
+            record = journal.append("two")
+        assert record.seq == 1
+        assert [r.seq for r in Journal.iter_records(path)] == [0, 1]
+
+    def test_torn_tail_detected_and_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("one")
+            journal.append("two")
+        # simulate a crash mid-append: an unterminated JSON fragment
+        with open(path, "a") as handle:
+            handle.write('{"schema": "repro-journal-1", "seq"')
+        replay = Journal.replay_file(path)
+        assert replay.torn_tail
+        assert [r.kind for r in replay.records] == ["one", "two"]
+
+    def test_checksum_damage_on_tail_is_torn(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("one")
+            journal.append("two", value=42)
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace("42", "43")  # bit-flip the tail
+        path.write_text("\n".join(lines) + "\n")
+        replay = Journal.replay_file(path)
+        assert replay.torn_tail
+        assert [r.kind for r in replay.records] == ["one"]
+
+    def test_midfile_damage_refuses_to_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("one", value=1)
+            journal.append("two")
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"value":1', '"value":2')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError):
+            Journal.replay_file(path)
+
+    def test_reopen_truncates_torn_tail_then_appends_cleanly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append("one")
+        with open(path, "a") as handle:
+            handle.write('{"torn')
+        with Journal(path) as journal:
+            assert journal.initial_replay.torn_tail
+            journal.append("two")
+        replay = Journal.replay_file(path)
+        assert not replay.torn_tail
+        assert [r.kind for r in replay.records] == ["one", "two"]
+
+    def test_concurrent_appends_keep_seq_dense(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path, fsync=False)
+        threads = [
+            threading.Thread(
+                target=lambda i=i: [
+                    journal.append("tick", worker=i) for _ in range(20)
+                ]
+            )
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        journal.close()
+        records = list(Journal.iter_records(path))
+        assert [r.seq for r in records] == list(range(80))
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        payload = {"index": 3, "metrics": {"e_half_v": 0.4}}
+        store.save("round-003", payload)
+        assert store.load("round-003") == payload
+        assert store.names() == ["round-003"]
+
+    def test_missing_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert store.load("nope") is None
+
+    def test_damage_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save("r", {"a": 1})
+        path = tmp_path / "ckpt" / "r.json"
+        doc = json.loads(path.read_text())
+        doc["payload"]["a"] = 2  # payload no longer matches sha256
+        path.write_text(json.dumps(doc))
+        with pytest.raises(JournalCorruptError):
+            store.load("r")
+
+    def test_rejects_path_escapes(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(ValueError):
+            store.save("../escape", {})
+
+
+class TestAtomicWrites:
+    def test_replaces_content_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_json_helper(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+
+class TestLeaseRegistry:
+    def test_epochs_monotonic_and_fencing(self, tmp_path):
+        registry = LeaseRegistry(tmp_path / "leases.json")
+        first = registry.acquire("cell", holder="s1")
+        second = registry.acquire("cell", holder="s2")
+        assert second == first + 1
+        registry.check("cell", second)  # current holder passes
+        with pytest.raises(LeaseFencedError):
+            registry.check("cell", first)  # predecessor is fenced
+        with pytest.raises(LeaseFencedError):
+            registry.check("cell", second + 7)  # forged future epoch too
+
+    def test_epochs_survive_reload(self, tmp_path):
+        path = tmp_path / "leases.json"
+        registry = LeaseRegistry(path)
+        registry.acquire("cell", holder="s1")
+        registry.acquire("cell", holder="s2")
+        reloaded = LeaseRegistry(path)
+        assert reloaded.current("cell") == 2
+        assert reloaded.holder("cell") == "s2"
+        assert reloaded.acquire("cell", holder="s3") == 3
+
+
+class TestDedupJournal:
+    def test_record_replay_roundtrip(self, tmp_path):
+        journal = DedupJournal(tmp_path / "dedup.jsonl")
+        journal.record("k:0", MessageType.RESPONSE, {"ok": True})
+        journal.record("k:1", MessageType.ERROR, {"error_type": "Boom"})
+        journal.close()
+        replayed = DedupJournal(tmp_path / "dedup.jsonl").replay()
+        assert replayed["k:0"] == (MessageType.RESPONSE, {"ok": True})
+        assert replayed["k:1"][0] == MessageType.ERROR
+
+    def test_preload_into_dedup_cache(self, tmp_path):
+        journal = DedupJournal(tmp_path / "dedup.jsonl")
+        for i in range(3):
+            journal.record(f"k:{i}", MessageType.RESPONSE, i)
+        journal.close()
+        cache = DedupCache(capacity=8)
+        assert cache.preload(
+            DedupJournal(tmp_path / "dedup.jsonl").replay()
+        ) == 3
+        # a preloaded key replays without executing
+        assert cache.claim("k:1") == (MessageType.RESPONSE, 1)
+        # an unknown key is owned by the caller
+        assert cache.claim("fresh:0") is None
+
+
+class TestDaemonDurabilityHooks:
+    def test_shutdown_reaches_quiescence(self):
+        from repro.facility.ice import ElectrochemistryICE
+
+        ice = ElectrochemistryICE.build()
+        try:
+            client = ice.client()
+            client.call_Cell_Status()
+            client.close()
+        finally:
+            ice.shutdown()
+        assert ice.control_daemon.quiescent
+
+    def test_crash_then_restart_preloads_dedup_journal(self):
+        from repro.facility.ice import ElectrochemistryICE
+        from repro.resilience import RetryPolicy
+
+        ice = ElectrochemistryICE.build()
+        try:
+            client = ice.client(
+                resilient=True,
+                retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+                idem_prefix="restartcase",
+            )
+            client.call_Initialize_SP200_API({"channel": 1})
+            client.call_Cell_Status()
+            client.close()
+            ice.crash_control_daemon(keep_disk=True)
+            daemon = ice.restart_control_daemon()
+            assert daemon.dedup_preloaded >= 2
+            # the same prefix re-issues identical keys: pure replay
+            replays_before = daemon.replay_count
+            again = ice.client(
+                resilient=True,
+                retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+                idem_prefix="restartcase",
+            )
+            again.call_Initialize_SP200_API({"channel": 1})
+            again.call_Cell_Status()
+            again.close()
+            assert daemon.replay_count - replays_before == 2
+        finally:
+            ice.shutdown()
+
+    def test_crash_discarding_disk_forgets_outcomes(self):
+        from repro.facility.ice import ElectrochemistryICE
+        from repro.resilience import RetryPolicy
+
+        ice = ElectrochemistryICE.build()
+        try:
+            client = ice.client(
+                resilient=True,
+                retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+                idem_prefix="wipedcase",
+            )
+            client.call_Cell_Status()
+            client.close()
+            ice.crash_control_daemon(keep_disk=False)
+            daemon = ice.restart_control_daemon()
+            assert daemon.dedup_preloaded == 0
+        finally:
+            ice.shutdown()

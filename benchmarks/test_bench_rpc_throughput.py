@@ -1,0 +1,240 @@
+"""RPC2 — the reactor + binary wire vs the threaded JSON baseline.
+
+PR 7 rewrote the daemon's serving core (one selector thread, bounded
+per-connection outboxes, reply coalescing) and added wire v2 (binary
+bulk framing negotiated via HELLO). This file prices both claims
+head-to-head against :class:`~repro.rpc.ThreadedDaemon`, which still
+serves the PR 1 way — one thread per connection, JSON-only frames —
+and acts as the stand-in for an old peer.
+
+Two gates, both on the same host (loopback, so the deltas measure
+syscall count and serialization, not the network):
+
+- **aggregate RPS**: 8 concurrent clients each firing pipelined bursts
+  of 32 KiB-ndarray echoes must clear >=2x the threaded baseline. The
+  win comes from burst reads + coalesced reply writes (one syscall per
+  burst instead of one per frame) and from skipping base64.
+- **bulk bytes/s**: single-client reads of a 500k-sample trace must
+  clear >=3x. The win is almost entirely wire v2 — the payload travels
+  as one raw blob instead of base64-inside-JSON.
+
+The run emits ``BENCH_rpc.json``: both sides' raw numbers, the ratios,
+the threaded baseline frozen as a ``repro-baseline-1`` document, and
+the reactor run judged against it with :meth:`BaselineStore.compare` —
+the artifact CI uploads so the transport's perf trajectory is diffable
+release to release.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import BaselineStore
+from repro.rpc import Daemon, Proxy, ThreadedDaemon, expose
+from repro.rpc.protocol import BINARY_VERSION, VERSION
+
+CLIENTS = 8
+BURSTS = 8
+BURST = 32
+BEST_OF = 5
+ECHO_SAMPLES = 4096  # 32 KiB of float64 per call: bulk enough to price base64
+BULK_SAMPLES = 500_000
+BULK_REPS = 4
+
+RPS_GATE = 2.0
+BULK_GATE = 3.0
+
+
+@expose
+class BenchService:
+    def echo(self, value):
+        return value
+
+    def wave(self, n: int):
+        return np.linspace(0.0, 1.0, n)
+
+
+def _serve(cls):
+    daemon = cls(host="127.0.0.1")
+    daemon.register(BenchService(), object_id="Bench")
+    daemon.start_background()
+    host, port = daemon.address
+    return daemon, f"PYRO:Bench@{host}:{port}"
+
+
+def _rps_round(uri: str, binary) -> tuple[float, list[float]]:
+    """One round: aggregate calls/s at CLIENTS pipelined clients.
+
+    Also returns the per-call latency samples (burst wall / burst size)
+    for the baseline document.
+    """
+    payload = np.linspace(0.0, 1.0, ECHO_SAMPLES)
+    barrier = threading.Barrier(CLIENTS + 1)
+    counts: list[int] = []
+    samples: list[float] = []
+    lock = threading.Lock()
+
+    def worker():
+        with Proxy(uri, max_inflight=BURST, binary=binary) as proxy:
+            proxy.echo(0)  # connect + negotiate before the clock
+            barrier.wait()
+            done, local = 0, []
+            for _ in range(BURSTS):
+                burst_start = time.perf_counter()
+                with proxy.pipeline() as pipe:
+                    pending = [
+                        pipe.call("echo", payload) for _ in range(BURST)
+                    ]
+                    for future in pending:
+                        future.result()
+                local.append((time.perf_counter() - burst_start) / BURST)
+                done += BURST
+            with lock:
+                counts.append(done)
+                samples.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    return sum(counts) / (time.perf_counter() - start), samples
+
+
+def _bulk_round(uri: str, binary) -> tuple[float, list[float]]:
+    """One round: best bytes/s reading one BULK_SAMPLES-float trace."""
+    best, samples = 0.0, []
+    with Proxy(uri, binary=binary) as proxy:
+        proxy.wave(16)  # connect + negotiate + warm the solver-free path
+        for _ in range(BULK_REPS):
+            start = time.perf_counter()
+            wave = proxy.wave(BULK_SAMPLES)
+            elapsed = time.perf_counter() - start
+            samples.append(elapsed)
+            best = max(best, wave.nbytes / elapsed)
+    return best, samples
+
+
+def _interleaved_best(round_fn, threaded_uri: str, reactor_uri: str):
+    """Alternate baseline/candidate rounds so machine-load drift hits
+    both sides alike (the OBS1/PROF1 method), keeping each side's best
+    round and its samples."""
+    best = {"threaded": (0.0, []), "reactor": (0.0, [])}
+    for _ in range(BEST_OF):
+        for key, uri, binary in (
+            ("threaded", threaded_uri, False),
+            ("reactor", reactor_uri, "auto"),
+        ):
+            value, samples = round_fn(uri, binary)
+            if value > best[key][0]:
+                best[key] = (value, samples)
+    return best["threaded"], best["reactor"]
+
+
+def _stats(samples: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "mean_s": float(arr.mean()),
+        "p95_s": float(np.percentile(arr, 95)),
+        "count": int(arr.size),
+    }
+
+
+def test_reactor_binary_wire_beats_threaded_json(capsys):
+    reactor, reactor_uri = _serve(Daemon)
+    threaded, threaded_uri = _serve(ThreadedDaemon)
+    try:
+        assert reactor.serving_mode == "reactor"
+        assert threaded.serving_mode == "threaded"
+        # sanity: the matrix really is new-vs-old wire
+        with Proxy(reactor_uri) as probe:
+            probe.echo(0)
+            assert probe.wire_version == BINARY_VERSION
+        with Proxy(threaded_uri) as probe:
+            probe.echo(0)
+            assert probe.wire_version == VERSION
+
+        (threaded_rps, threaded_echo), (reactor_rps, reactor_echo) = (
+            _interleaved_best(_rps_round, threaded_uri, reactor_uri)
+        )
+        (threaded_bulk, threaded_reads), (reactor_bulk, reactor_reads) = (
+            _interleaved_best(_bulk_round, threaded_uri, reactor_uri)
+        )
+    finally:
+        reactor.shutdown()
+        threaded.shutdown()
+
+    rps_ratio = reactor_rps / threaded_rps
+    bulk_ratio = reactor_bulk / threaded_bulk
+
+    # freeze the old transport as the baseline, judge the new one
+    # against it: every operation must come back "ok" (i.e. the rewrite
+    # regressed nothing even by the HealthEngine's own yardstick)
+    store = BaselineStore(min_floor_s=0.0)
+    store.record_baseline(
+        {
+            "rpc.echo_32k": _stats(threaded_echo),
+            "rpc.bulk_read": _stats(threaded_reads),
+        }
+    )
+    verdicts = store.compare(
+        {
+            "rpc.echo_32k": _stats(reactor_echo),
+            "rpc.bulk_read": _stats(reactor_reads),
+        }
+    )
+
+    report = {
+        "schema": "repro-bench-rpc-1",
+        "workload": {
+            "clients": CLIENTS,
+            "bursts_per_client": BURSTS,
+            "burst": BURST,
+            "echo_samples": ECHO_SAMPLES,
+            "bulk_samples": BULK_SAMPLES,
+            "best_of": BEST_OF,
+        },
+        "aggregate_rps": {
+            "reactor_v2": reactor_rps,
+            "threaded_v1": threaded_rps,
+            "ratio": rps_ratio,
+            "gate": RPS_GATE,
+        },
+        "bulk_bytes_per_s": {
+            "reactor_v2": reactor_bulk,
+            "threaded_v1": threaded_bulk,
+            "ratio": bulk_ratio,
+            "gate": BULK_GATE,
+        },
+        "baselines": store.to_dict(),
+        "verdicts": verdicts,
+    }
+    Path("BENCH_rpc.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True)
+    )
+
+    with capsys.disabled():
+        print(
+            f"\n[RPC2] rps reactor+v2={reactor_rps:,.0f}/s "
+            f"threaded+v1={threaded_rps:,.0f}/s "
+            f"ratio={rps_ratio:.2f}x (gate >={RPS_GATE}x) | "
+            f"bulk reactor+v2={reactor_bulk / 1e6:.1f}MB/s "
+            f"threaded+v1={threaded_bulk / 1e6:.1f}MB/s "
+            f"ratio={bulk_ratio:.2f}x (gate >={BULK_GATE}x) "
+            f"-> BENCH_rpc.json"
+        )
+
+    assert rps_ratio >= RPS_GATE, (
+        f"aggregate RPS ratio {rps_ratio:.2f}x below the {RPS_GATE}x gate"
+    )
+    assert bulk_ratio >= BULK_GATE, (
+        f"bulk bytes/s ratio {bulk_ratio:.2f}x below the {BULK_GATE}x gate"
+    )
+    assert not BaselineStore.regressions(verdicts), verdicts

@@ -38,8 +38,8 @@ from repro.core.cv_workflow import (
     build_cv_workflow,
     run_cv_workflow,
 )
+from repro.core.config import SessionConfig, TransportConfig
 from repro.core.facade import Session, connect
-from repro.core.session import RemoteSession
 from repro.errors import ReproError, code_table
 from repro.obs import (
     BaselineStore,
@@ -86,8 +86,9 @@ __all__ = [
     "build_cv_workflow",
     "run_cv_workflow",
     "Session",
+    "SessionConfig",
+    "TransportConfig",
     "connect",
-    "RemoteSession",
     "ReproError",
     "code_table",
     "MetricsRegistry",

@@ -9,7 +9,10 @@
   down), including the post-run analysis and ML normality check;
 - :mod:`~repro.core.campaign` — multi-round adaptive experiments: the
   real-time steering loop the ICE exists to enable;
-- :mod:`~repro.core.session` — a notebook-style convenience facade.
+- :mod:`~repro.core.facade` — the :func:`repro.connect` session facade
+  (the sole notebook entry point);
+- :mod:`~repro.core.config` — :class:`~repro.core.config.TransportConfig`
+  and :class:`~repro.core.config.SessionConfig` for ``connect()``.
 """
 
 from repro.core.workflow import Task, TaskResult, TaskState, Workflow, WorkflowResult
@@ -34,7 +37,7 @@ from repro.core.characterization_workflow import (
     build_characterization_workflow,
     run_characterization_workflow,
 )
-from repro.core.session import RemoteSession
+from repro.core.config import SessionConfig, TransportConfig
 from repro.core.streaming import LiveMonitor, MonitorOutcome, compliance_guard
 from repro.core.provenance import (
     capture_provenance,
@@ -63,7 +66,8 @@ __all__ = [
     "CharacterizationResult",
     "build_characterization_workflow",
     "run_characterization_workflow",
-    "RemoteSession",
+    "SessionConfig",
+    "TransportConfig",
     "LiveMonitor",
     "MonitorOutcome",
     "compliance_guard",

@@ -36,6 +36,11 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro.core.config import (
+    SessionConfig,
+    TransportConfig,
+    merge_legacy_kwargs,
+)
 from repro.errors import WorkflowError
 from repro.obs import JsonlSpanExporter, MetricsRegistry, Tracer
 from repro.obs.health import HealthEngine, HealthReport
@@ -80,13 +85,20 @@ class Session:
         ice: the in-process ecosystem, when there is one.
         lease_epoch: fencing epoch held after :meth:`reattach`; None
             until a lease is taken.
+        transport_config: the :class:`~repro.core.config.TransportConfig`
+            this session dialled with.
+        session_config: the :class:`~repro.core.config.SessionConfig`
+            governing resilience, gating, profiling and journaling
+            defaults.
     """
 
     def __init__(
         self,
         target: ElectrochemistryICE | str | None = None,
         *,
-        resilient: bool = True,
+        transport: TransportConfig | None = None,
+        session: SessionConfig | None = None,
+        resilient: bool | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         classifier: NormalityClassifier | None = None,
@@ -94,9 +106,15 @@ class Session:
         data_uri: str | None = None,
         cache_dir: str | Path | None = None,
         flight_dir: str | Path | None = None,
-        health_window_s: float = 300.0,
+        health_window_s: float | None = None,
         breaker: Any = None,
     ):
+        self.transport_config = (
+            transport if transport is not None else TransportConfig()
+        )
+        self.session_config = merge_legacy_kwargs(
+            session, resilient=resilient, health_window_s=health_window_s
+        )
         self._owns_ice = False
         self.ice: ElectrochemistryICE | None = None
         self.tracer = tracer if tracer is not None else Tracer("dgx-session")
@@ -146,10 +164,13 @@ class Session:
             # in the same store as the client's call spans
             self.ice.attach_observability(self.tracer, self.metrics)
             self.client = self.ice.client(
-                resilient=resilient,
+                timeout=self.transport_config.timeout,
+                resilient=self.session_config.resilient,
                 breaker=breaker,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                max_inflight=self.transport_config.max_inflight,
+                binary=self.transport_config.binary,
             )
             self._cache = Path(
                 cache_dir
@@ -157,17 +178,27 @@ class Session:
                 else tempfile.mkdtemp(prefix="session-cache-")
             )
             self.datachannel = self.ice.mount(
-                cache_dir=self._cache, tracer=self.tracer, metrics=self.metrics
+                cache_dir=self._cache,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                pipeline_depth=self.transport_config.pipeline_depth,
+                binary=self.transport_config.binary,
             )
         else:
             from repro.resilience import RetryPolicy
 
             self.client = ACLPyroClient.from_uri(
                 target,
-                retry_policy=RetryPolicy() if resilient else None,
+                timeout=self.transport_config.timeout,
+                secret=self.transport_config.secret,
+                retry_policy=(
+                    RetryPolicy() if self.session_config.resilient else None
+                ),
                 breaker=breaker,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                max_inflight=self.transport_config.max_inflight,
+                binary=self.transport_config.binary,
             )
             self.datachannel = None
             if data_uri is not None:
@@ -180,7 +211,14 @@ class Session:
                     else tempfile.mkdtemp(prefix="session-cache-")
                 )
                 self.datachannel = Mount(
-                    Proxy(data_uri, tracer=self.tracer, metrics=self.metrics),
+                    Proxy(
+                        data_uri,
+                        timeout=self.transport_config.timeout,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                        max_inflight=self.transport_config.pipeline_depth,
+                        binary=self.transport_config.binary,
+                    ),
                     cache_dir=self._cache,
                     metrics=self.metrics,
                 )
@@ -201,7 +239,7 @@ class Session:
         self.health_engine = HealthEngine(
             self.metrics,
             clock=self.tracer.clock,
-            window_s=health_window_s,
+            window_s=self.session_config.health_window_s,
             bus=self.bus,
         )
 
@@ -302,15 +340,17 @@ class Session:
         self,
         settings: Any = None,
         classifier: NormalityClassifier | None = None,
-        require_healthy: bool = False,
+        require_healthy: bool | None = None,
         flight_dir: str | Path | None = None,
     ):
         """Build the paper's five-task CV workflow, observability wired.
 
         ``require_healthy=True`` evaluates :meth:`health` first and
         raises :class:`~repro.errors.HealthGateError` on ``unhealthy``
-        (the pre-flight gate). A safe-state teardown of the built
-        workflow dumps the session's flight recorder automatically.
+        (the pre-flight gate); None defers to the session's
+        :class:`~repro.core.config.SessionConfig`. A safe-state teardown
+        of the built workflow dumps the session's flight recorder
+        automatically.
         """
         from repro.core.cv_workflow import build_cv_workflow
 
@@ -318,6 +358,8 @@ class Session:
             raise WorkflowError(
                 "workflow() needs an in-process ICE; connect() was given a URI"
             )
+        if require_healthy is None:
+            require_healthy = self.session_config.require_healthy
         if require_healthy:
             _gate_healthy(self.health_engine, what="workflow")
         return build_cv_workflow(
@@ -334,15 +376,17 @@ class Session:
         self,
         settings: Any = None,
         classifier=None,
-        require_healthy: bool = False,
+        require_healthy: bool | None = None,
         flight_dir: str | Path | None = None,
-        profile: bool = False,
+        profile: bool | None = None,
     ):
         """Build + run + package the CV workflow (tasks A-E).
 
         ``profile=True`` attaches a
         :class:`~repro.obs.profiler.SpanProfiler` for the run; the
-        ``repro-profile-1`` document lands on ``result.profile``.
+        ``repro-profile-1`` document lands on ``result.profile``. Both
+        ``require_healthy`` and ``profile`` default (None) to the
+        session's :class:`~repro.core.config.SessionConfig`.
         """
         from repro.core.cv_workflow import run_cv_workflow
 
@@ -350,6 +394,10 @@ class Session:
             raise WorkflowError(
                 "run_workflow() needs an in-process ICE; connect() was given a URI"
             )
+        if require_healthy is None:
+            require_healthy = self.session_config.require_healthy
+        if profile is None:
+            profile = self.session_config.profile
         if require_healthy:
             _gate_healthy(self.health_engine, what="workflow")
         return run_cv_workflow(
@@ -362,6 +410,38 @@ class Session:
             flight_dir=flight_dir if flight_dir is not None else self.flight_dir,
             profile=profile,
         )
+
+    def campaign(self, strategy, **kwargs: Any):
+        """Build a closed-loop :class:`~repro.core.campaign.Campaign`.
+
+        The campaign inherits this session's wiring — ICE, classifier,
+        health engine, flight recorder and dump directory — plus the
+        :class:`~repro.core.config.SessionConfig` defaults for
+        ``require_healthy``, ``profile`` and ``journal_dir``. Any
+        keyword argument overrides the inherited value::
+
+            session = repro.connect(
+                session=SessionConfig(journal_dir="runs/c1")
+            )
+            rounds = session.campaign(scan_rate_strategy(...)).run()
+        """
+        from repro.core.campaign import Campaign
+
+        if self.ice is None:
+            raise WorkflowError(
+                "campaign() needs an in-process ICE; connect() was given a URI"
+            )
+        build = dict(
+            classifier=self._classifier,
+            require_healthy=self.session_config.require_healthy,
+            health_engine=self.health_engine,
+            flight_recorder=self.recorder,
+            flight_dir=self.flight_dir,
+            profile=self.session_config.profile,
+            journal_dir=self.session_config.journal_dir,
+        )
+        build.update(kwargs)
+        return Campaign(ice=self.ice, strategy=strategy, **build)
 
     # -- observability ---------------------------------------------------------
     def summarize(self) -> dict[str, Any]:
@@ -665,7 +745,9 @@ class Session:
 def connect(
     target: ElectrochemistryICE | str | None = None,
     *,
-    resilient: bool = True,
+    transport: TransportConfig | None = None,
+    session: SessionConfig | None = None,
+    resilient: bool | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     classifier: NormalityClassifier | None = None,
@@ -673,7 +755,7 @@ def connect(
     data_uri: str | None = None,
     cache_dir: str | Path | None = None,
     flight_dir: str | Path | None = None,
-    health_window_s: float = 300.0,
+    health_window_s: float | None = None,
     breaker: Any = None,
 ) -> Session:
     """Open a :class:`Session` against an ICE, a URI, or a fresh build.
@@ -682,9 +764,16 @@ def connect(
         target: ``None`` (build a simulated ecosystem, owned by the
             session), a running :class:`ElectrochemistryICE`, or a
             ``PYRO:`` control-channel URI.
-        resilient: route calls through a
-            :class:`~repro.resilience.ResilientProxy` (reconnect + retry
-            with idempotent replay). On by default.
+        transport: :class:`~repro.core.config.TransportConfig` — call
+            timeout, control-channel pipelining window, data-channel
+            read-ahead depth, binary wire negotiation policy. Defaults
+            to ``TransportConfig()``.
+        session: :class:`~repro.core.config.SessionConfig` — resilience,
+            the pre-flight health gate, profiling, durable campaign
+            journaling, the health window. Defaults to
+            ``SessionConfig()``.
+        resilient: deprecated; pass
+            ``session=SessionConfig(resilient=...)`` instead.
         tracer: share an existing :class:`~repro.obs.Tracer`; a fresh
             one is created otherwise.
         metrics: share an existing :class:`~repro.obs.MetricsRegistry`;
@@ -697,12 +786,15 @@ def connect(
         cache_dir: local cache for fetched measurement files.
         flight_dir: where flight-recorder black boxes are written
             (defaults to ``<cache_dir>/flight-recorder``).
-        health_window_s: rolling window for :meth:`Session.health`.
+        health_window_s: deprecated; pass
+            ``session=SessionConfig(health_window_s=...)`` instead.
         breaker: share a :class:`~repro.resilience.CircuitBreaker` for
             the control channel; its trips dump a flight recording.
     """
     return Session(
         target,
+        transport=transport,
+        session=session,
         resilient=resilient,
         tracer=tracer,
         metrics=metrics,

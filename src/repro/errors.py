@@ -45,6 +45,20 @@ class ProtocolError(RPCError):
     code = "RPC_PROTOCOL"
 
 
+class FrameCorruptError(ProtocolError):
+    """A binary bulk frame was torn or structurally invalid.
+
+    Subclass of :class:`ProtocolError` so existing handlers keep
+    working, but distinct so callers can tell "the binary envelope was
+    damaged (torn blob table, declared lengths overrunning the payload,
+    oversized frame)" from a generic out-of-sequence frame — the binary
+    path carries raw instrument data and must fail with a stable,
+    machine-readable code rather than desynchronising the stream.
+    """
+
+    code = "RPC_FRAME_CORRUPT"
+
+
 class ConnectionClosedError(RPCError):
     """The peer closed the connection mid-exchange."""
 

@@ -43,6 +43,11 @@ class ACLPyroClient:
             daemon's dedup journal instead of re-executing (durable
             at-most-once; requires ``retry_policy``/``breaker`` so a
             ResilientProxy exists to stamp keys).
+        max_inflight: control-channel pipelining window (PROTOCOLS
+            §1.4); 1 keeps the classic lockstep request/reply.
+        binary: binary wire-format negotiation policy (PROTOCOLS §1.7):
+            ``"auto"`` negotiates down against JSON-only daemons,
+            ``False`` pins v1, ``True`` requires v2.
     """
 
     def __init__(
@@ -59,6 +64,8 @@ class ACLPyroClient:
         tracer: Any = None,
         metrics: Any = None,
         idem_prefix: str | None = None,
+        max_inflight: int = 1,
+        binary: bool | str = "auto",
     ):
         uri = make_uri(object_id, host, port)
         proxy = Proxy(
@@ -68,6 +75,8 @@ class ACLPyroClient:
             secret=secret,
             tracer=tracer,
             metrics=metrics,
+            max_inflight=max_inflight,
+            binary=binary,
         )
         if retry_policy is not None or breaker is not None:
             proxy = ResilientProxy(
@@ -94,6 +103,8 @@ class ACLPyroClient:
         tracer: Any = None,
         metrics: Any = None,
         idem_prefix: str | None = None,
+        max_inflight: int = 1,
+        binary: bool | str = "auto",
     ) -> "ACLPyroClient":
         """Build from a full ``PYRO:`` URI."""
         from repro.rpc.naming import parse_uri
@@ -112,6 +123,8 @@ class ACLPyroClient:
             tracer=tracer,
             metrics=metrics,
             idem_prefix=idem_prefix,
+            max_inflight=max_inflight,
+            binary=binary,
         )
 
     @property

@@ -104,6 +104,11 @@ class ICEConfig:
             deliberately survives :meth:`ElectrochemistryICE.crash_control_daemon`
             with ``keep_disk=True`` and is what a restarted daemon
             replays.
+        daemon_workers: dispatch worker threads per daemon. 0 (default)
+            executes handlers inline on the reactor thread — fastest
+            for the short, non-blocking instrument verbs; N > 0 moves
+            execution to a small pool so a slow handler cannot stall
+            the event loop (per-connection ordering is preserved).
     """
 
     workstation: WorkstationConfig = field(default_factory=WorkstationConfig)
@@ -115,10 +120,15 @@ class ICEConfig:
     control_secret: bytes | None = None
     channel_mode: str = ""
     durability_dir: Path | None = None
+    daemon_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.transport not in ("sim", "tcp"):
             raise NetworkError(f"unknown transport {self.transport!r}")
+        if self.daemon_workers < 0:
+            raise NetworkError(
+                f"daemon_workers must be >= 0, got {self.daemon_workers}"
+            )
         if not self.channel_mode:
             object.__setattr__(
                 self,
@@ -259,6 +269,7 @@ class ElectrochemistryICE:
             secret=config.control_secret,
             dedup_journal=DedupJournal(durability_dir / "control-dedup.jsonl"),
             lease_registry=lease_registry,
+            workers=config.daemon_workers,
         )
         ws_server = ACLWorkstationServer(workstation)
         control_uri = control_daemon.register(
@@ -290,7 +301,9 @@ class ElectrochemistryICE:
         control_daemon.start_background()
 
         share = FileShareService(measurement_dir, share_name="acl-measurements")
-        data_daemon = Daemon(listener=data_listener, event_log=log)
+        data_daemon = Daemon(
+            listener=data_listener, event_log=log, workers=config.daemon_workers
+        )
         share_uri = data_daemon.register(share, object_id="ACL_Share")
         data_daemon.start_background()
 
@@ -304,6 +317,7 @@ class ElectrochemistryICE:
             listener=characterization_listener,
             event_log=log,
             secret=config.control_secret,
+            workers=config.daemon_workers,
         )
         characterization_uri = characterization_daemon.register(
             CharacterizationServer(characterization),
@@ -465,6 +479,8 @@ class ElectrochemistryICE:
         tracer=None,
         metrics=None,
         idem_prefix: str | None = None,
+        max_inflight: int = 1,
+        binary: bool | str = "auto",
     ) -> ACLPyroClient:
         """A control-channel client dialled from the DGX.
 
@@ -477,6 +493,10 @@ class ElectrochemistryICE:
         sequence (journaled by the campaign layer), so a resumed round's
         already-executed calls come back from the daemon's dedup journal
         instead of touching the instrument again.
+
+        ``max_inflight`` opens the control-channel pipelining window
+        (PROTOCOLS §1.4); ``binary`` sets the wire-format negotiation
+        policy (PROTOCOLS §1.7).
         """
         from repro.resilience import RetryPolicy
 
@@ -495,6 +515,8 @@ class ElectrochemistryICE:
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
             idem_prefix=idem_prefix,
+            max_inflight=max_inflight,
+            binary=binary,
         )
 
     def characterization_client(self, timeout: float | None = 120.0) -> ACLPyroClient:
@@ -512,13 +534,16 @@ class ElectrochemistryICE:
         tracer=None,
         metrics=None,
         pipeline_depth: int = 1,
+        binary: bool | str = "auto",
     ) -> Mount:
         """Mount the measurement share on the DGX over the data channel.
 
         ``pipeline_depth > 1`` builds the share proxy with that many
         in-flight requests allowed, so multi-chunk reads pipeline their
         ``read_chunk`` calls instead of paying one WAN round trip per
-        chunk (PROTOCOLS §1.4).
+        chunk (PROTOCOLS §1.4). ``binary`` controls wire-format
+        negotiation (PROTOCOLS §1.7): against a v2 daemon the chunk
+        payloads travel as raw blobs instead of base64-inside-JSON.
         """
         proxy = Proxy(
             self.share_uri,
@@ -529,6 +554,7 @@ class ElectrochemistryICE:
             tracer=tracer if tracer is not None else self.tracer,
             metrics=metrics if metrics is not None else self.metrics,
             max_inflight=pipeline_depth,
+            binary=binary,
         )
         return Mount(
             proxy,
@@ -631,6 +657,7 @@ class ElectrochemistryICE:
             lease_registry=self.lease_registry,
             tracer=self.tracer,
             metrics=self.metrics,
+            workers=self.config.daemon_workers,
         )
         daemon.register(self._ws_server, object_id="ACL_Workstation")
         daemon.register(

@@ -215,6 +215,14 @@ class ResilientProxy:
         ):
             return self._run_with_retry(method, attempt)
 
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a remote method by name, with the retry/breaker policy.
+
+        Mirrors :meth:`repro.rpc.proxy.Proxy.call` so resilient and bare
+        proxies stay drop-in interchangeable at call sites.
+        """
+        return self._call(method, args, kwargs)
+
     def _pyro_ping(self) -> None:
         # ping carries no side effects, so no idempotency key is needed
         self._run_with_retry("_pyro_ping", self._proxy._pyro_ping)

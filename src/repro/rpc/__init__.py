@@ -8,7 +8,12 @@ reimplements the subset the paper uses, with the same shape:
 - :func:`expose` marks classes/methods callable from remote clients;
 - :class:`Daemon` registers objects and serves them — ``daemon.register``
   returns a ``PYRO:ObjectId@host:port`` URI, ``daemon.request_loop()``
-  serves until shut down (a background-thread variant is provided);
+  serves until shut down (a background-thread variant is provided).
+  Serving runs on a selector reactor for TCP listeners (one event-loop
+  thread, bounded per-connection outboxes with backpressure) and falls
+  back to a reader thread per connection for the simulated network;
+  :class:`ThreadedDaemon` keeps the old thread-per-connection, JSON-only
+  daemon alive as the benchmark baseline and mixed-version interop peer;
 - :class:`Proxy` connects to a URI and forwards attribute calls; built
   with ``max_inflight > 1`` it pipelines requests (PROTOCOLS §1.4) and
   offers :meth:`Proxy.pipeline` for explicit bursts;
@@ -17,7 +22,10 @@ reimplements the subset the paper uses, with the same shape:
 
 Serialisation is JSON with explicit type tags (bytes, ndarray, tuple, set,
 complex, non-string-keyed dicts); pickle is deliberately not used because
-the control channel crosses facility trust boundaries.
+the control channel crosses facility trust boundaries. Peers that both
+speak protocol v2 (negotiated via a HELLO handshake on connect) switch to
+binary bulk framing — bulk ndarrays and bytes travel as raw blobs after a
+JSON envelope instead of base64 (PROTOCOLS §1.7).
 
 Example::
 
@@ -35,8 +43,14 @@ Example::
 """
 
 from repro.rpc.expose import expose, is_exposed, exposed_methods, oneway
-from repro.rpc.serialization import serialize, deserialize
+from repro.rpc.serialization import (
+    serialize,
+    deserialize,
+    serialize_binary,
+    deserialize_binary,
+)
 from repro.rpc.daemon import Daemon
+from repro.rpc.threaded import ThreadedDaemon
 from repro.rpc.proxy import PendingReply, Pipeline, Proxy, ProxyPool
 from repro.rpc.naming import (
     NameServer,
@@ -53,7 +67,10 @@ __all__ = [
     "exposed_methods",
     "serialize",
     "deserialize",
+    "serialize_binary",
+    "deserialize_binary",
     "Daemon",
+    "ThreadedDaemon",
     "Proxy",
     "ProxyPool",
     "Pipeline",

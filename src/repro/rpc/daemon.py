@@ -1,26 +1,45 @@
 """The server side of the remote-object layer.
 
 A :class:`Daemon` owns a listener, a registry of exposed objects, and a
-thread per client connection. ``register`` hands back the ``PYRO:`` URI a
-remote :class:`~repro.rpc.proxy.Proxy` dials (paper Fig 3, server side).
+serving core. ``register`` hands back the ``PYRO:`` URI a remote
+:class:`~repro.rpc.proxy.Proxy` dials (paper Fig 3, server side).
 
-Dispatch rules:
+Serving has two modes, chosen by the listener's capabilities:
+
+- **reactor** (TCP, anything with a file descriptor): a single
+  selector-driven event loop (:mod:`repro.rpc.reactor`) serves every
+  connection — per-connection read/write buffers, bounded outboxes with
+  explicit backpressure, and burst-coalesced syscalls. Dispatch runs
+  inline on the loop by default (``workers=0``, fastest for short
+  verbs) or on a small worker pool (``workers=N``) when handlers block
+  on instruments; either way calls from one connection execute in
+  order, exactly like the old thread-per-connection daemon.
+- **threaded** (the simulated ICE network, delayed loopback): those
+  transports are condition-variable byte pipes with no descriptor to
+  select on, so each connection gets a blocking reader thread sharing
+  the same dispatch core.
+
+Dispatch rules (identical in both modes):
 
 - only methods passing :func:`repro.rpc.expose.is_exposed` are callable;
 - exceptions raised by the target method travel back as ERROR frames with
   the class name and formatted traceback; the proxy re-raises them as
   :class:`RemoteInvocationError` (or the matching ``repro.errors`` class
   when one exists — instrument errors keep their identity end to end);
-- ``@oneway`` methods are acknowledged before execution.
+- ``@oneway`` methods are acknowledged before execution;
+- every reply is encoded in the wire version of the request frame, so
+  one daemon serves old JSON-only clients and binary-negotiated ones on
+  neighbouring connections (PROTOCOLS §1.7).
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 import traceback
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Any
 
 from repro.errors import (
@@ -34,9 +53,12 @@ from repro.errors import (
 from repro.logging_utils import EventLog
 from repro.rpc.expose import exposed_methods, is_exposed, is_oneway
 from repro.rpc.protocol import (
+    BINARY_VERSION,
+    VERSION,
     Message,
     MessageType,
     error_body,
+    negotiate_version,
     recv_message,
     request_idempotency_key,
     request_lease,
@@ -44,6 +66,7 @@ from repro.rpc.protocol import (
     send_message,
     validate_request_body,
 )
+from repro.rpc.reactor import DEFAULT_MAX_OUTBOX_BYTES, Reactor, ReactorClient
 from repro.rpc.transport import Connection, Listener, TCPListener
 
 
@@ -134,6 +157,63 @@ class DedupCache:
             return len(self._done)
 
 
+class _WorkerPool:
+    """Tiny fixed-size pool of daemon threads for blocking dispatch.
+
+    Not ``concurrent.futures``: its threads are non-daemonic and joined
+    at interpreter exit, which would let one wedged instrument handler
+    hang a crash test forever. These workers die with the process.
+    """
+
+    def __init__(self, size: int):
+        self._tasks: queue.Queue[tuple[Any, tuple] | None] = queue.Queue()
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-daemon-worker-{i}", daemon=True
+            )
+            for i in range(size)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn: Any, *args: Any) -> None:
+        self._tasks.put((fn, args))
+
+    def _run(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                return
+            fn, args = item
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 - jobs handle their own errors
+                pass
+
+    def stop(self, deadline: float) -> list[str]:
+        """Signal workers to exit and join them; returns stragglers."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        return [t.name for t in self._threads if t.is_alive()]
+
+
+class _ThreadedClient:
+    """Adapter giving a blocking transport connection the dispatch-core
+    surface (``reply``/``peer``) that :class:`ReactorClient` provides."""
+
+    def __init__(self, conn: Connection):
+        self.conn = conn
+        self.peer = conn.peer
+        self._send_lock = threading.Lock()
+        self.data: dict[str, Any] = {}
+
+    def reply(self, msg: Message) -> None:
+        with self._send_lock:
+            send_message(self.conn, msg)
+
+
 class Daemon:
     """Serves registered objects over a transport listener.
 
@@ -172,7 +252,20 @@ class Daemon:
             carrying a ``lease`` token are checked against it before
             dispatch; a stale epoch is rejected with ``LEASE_FENCED``
             (counted in ``fenced_count``) and never executes.
+        workers: reactor-mode dispatch concurrency. 0 (default) runs
+            handlers inline on the event loop — fastest for short verbs,
+            but a handler that blocks on an instrument stalls every
+            connection. N > 0 runs handlers on N pooled threads with
+            per-connection ordering preserved; use this for daemons whose
+            verbs genuinely block (acquisitions, file I/O).
+        max_outbox_bytes: per-connection outbound buffer bound before
+            backpressure pauses reading from that client.
+        max_wire_version: highest protocol version this daemon speaks;
+            HELLO negotiation never settles above it.
     """
+
+    _use_reactor = True  # ThreadedDaemon (benchmark baseline) flips this
+    _speaks_hello = True  # old peers predate HELLO: unknown type, drop
 
     def __init__(
         self,
@@ -187,6 +280,9 @@ class Daemon:
         metrics: Any = None,
         dedup_journal: Any = None,
         lease_registry: Any = None,
+        workers: int = 0,
+        max_outbox_bytes: int = DEFAULT_MAX_OUTBOX_BYTES,
+        max_wire_version: int = BINARY_VERSION,
     ):
         self._listener = listener if listener is not None else TCPListener(host, port)
         self._secret = secret
@@ -199,6 +295,11 @@ class Daemon:
         self._dedup = DedupCache(dedup_capacity)
         self._dedup_wait_s = dedup_wait_s
         self._dedup_journal = dedup_journal
+        self._workers = max(0, int(workers))
+        self._pool: _WorkerPool | None = None
+        self._max_outbox_bytes = max_outbox_bytes
+        self._max_wire_version = max_wire_version
+        self._dispatch_lock = threading.Lock()
         self.lease_registry = lease_registry
         self.log = event_log if event_log is not None else EventLog()
         self.call_count = 0
@@ -209,6 +310,17 @@ class Daemon:
         self.quiescent = True
         self.tracer = tracer
         self.metrics = metrics
+        self._reactor: Reactor | None = None
+        if self._use_reactor and self._listener_selectable():
+            self._reactor = Reactor(
+                self._listener,
+                on_connect=self._reactor_connect,
+                on_frame=self._reactor_frame,
+                on_frame_error=self._reactor_frame_error,
+                on_disconnect=self._reactor_disconnect,
+                max_outbox_bytes=max_outbox_bytes,
+                metrics_provider=lambda: self.metrics,
+            )
         if dedup_journal is not None:
             restored = dedup_journal.replay()
             if restored:
@@ -219,6 +331,25 @@ class Daemon:
                     f"preloaded {self.dedup_preloaded} idempotent outcomes "
                     "from the dedup journal",
                 )
+
+    def _listener_selectable(self) -> bool:
+        try:
+            return (
+                callable(getattr(self._listener, "try_accept", None))
+                and self._listener.fileno() >= 0
+            )
+        except (OSError, AttributeError):
+            return False
+
+    @property
+    def backpressure_total(self) -> int:
+        """Times a client's reads were paused for a full outbox."""
+        return self._reactor.backpressure_total if self._reactor else 0
+
+    @property
+    def serving_mode(self) -> str:
+        """``"reactor"`` or ``"threaded"`` — how connections are served."""
+        return "reactor" if self._reactor is not None else "threaded"
 
     # -- registry ------------------------------------------------------------
     @property
@@ -261,19 +392,31 @@ class Daemon:
 
     # -- serving ---------------------------------------------------------------
     def start_background(self) -> None:
-        """Run the accept loop on a daemon thread (paper's requestLoop)."""
+        """Run the serving core on daemon threads (paper's requestLoop)."""
         if self._running.is_set():
             return
         self._running.set()
+        self._start_pool()
+        if self._reactor is not None:
+            self._reactor.start_background()
+            return
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-daemon-accept", daemon=True
         )
         self._accept_thread.start()
 
     def request_loop(self) -> None:
-        """Blocking accept loop; returns after :meth:`shutdown`."""
+        """Blocking serve loop; returns after :meth:`shutdown`."""
         self._running.set()
-        self._accept_loop()
+        self._start_pool()
+        if self._reactor is not None:
+            self._reactor.run()
+        else:
+            self._accept_loop()
+
+    def _start_pool(self) -> None:
+        if self._workers > 0 and self._pool is None and self._reactor is not None:
+            self._pool = _WorkerPool(self._workers)
 
     def _accept_loop(self) -> None:
         while self._running.is_set():
@@ -301,41 +444,57 @@ class Daemon:
     def shutdown(self, join_timeout_s: float = 5.0) -> None:
         """Stop serving, drop all live connections, and join handlers.
 
-        Joins the accept thread and every per-connection handler under
-        one shared ``join_timeout_s`` deadline, so callers (tests, the
-        crash/restart helper) observe a quiescent daemon deterministically
-        rather than racing abandoned daemon threads. :attr:`quiescent`
-        reports whether every thread actually exited in time.
+        Joins the serving threads (reactor loop or accept + per-connection
+        handlers) and any worker pool under one shared ``join_timeout_s``
+        deadline, so callers (tests, the crash/restart helper) observe a
+        quiescent daemon deterministically rather than racing abandoned
+        daemon threads. :attr:`quiescent` reports whether every thread
+        actually exited in time.
         """
         if not self._running.is_set() and self._accept_thread is None:
+            if self._reactor is not None:
+                self._reactor.stop()
             self._listener.close()
             self._close_dedup_journal()
             return
         self._running.clear()
-        self._listener.close()
-        with self._lock:
-            connections = list(self._open_connections)
-            threads = list(self._client_threads)
-        for conn in connections:
-            conn.close()
         deadline = time.monotonic() + join_timeout_s
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=max(0.0, deadline - time.monotonic()))
-            threads.append(self._accept_thread)
-            self._accept_thread = None
-        for thread in threads:
-            if thread is not threading.current_thread():
-                thread.join(timeout=max(0.0, deadline - time.monotonic()))
-        stragglers = [t.name for t in threads if t.is_alive()]
+        stragglers: list[str] = []
+        if self._reactor is not None:
+            self._reactor.stop()
+            if not self._reactor.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            ):
+                stragglers.append("repro-daemon-reactor")
+        else:
+            self._listener.close()
+            with self._lock:
+                connections = list(self._open_connections)
+                threads = list(self._client_threads)
+            for conn in connections:
+                conn.close()
+            if self._accept_thread is not None:
+                self._accept_thread.join(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+                threads.append(self._accept_thread)
+                self._accept_thread = None
+            for thread in threads:
+                if thread is not threading.current_thread():
+                    thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            stragglers.extend(t.name for t in threads if t.is_alive())
+            with self._lock:
+                self._client_threads.clear()
+        if self._pool is not None:
+            stragglers.extend(self._pool.stop(deadline))
+            self._pool = None
         self.quiescent = not stragglers
-        with self._lock:
-            self._client_threads.clear()
         self._close_dedup_journal()
         if stragglers:
             self.log.emit(
                 "daemon",
                 "shutdown-stragglers",
-                f"{len(stragglers)} handler thread(s) outlived the "
+                f"{len(stragglers)} serving thread(s) outlived the "
                 f"{join_timeout_s}s join deadline",
                 threads=stragglers,
             )
@@ -352,7 +511,10 @@ class Daemon:
         """
         self.crashed = True
         self._running.clear()
-        self._listener.close()
+        if self._reactor is not None:
+            self._reactor.crash()
+        else:
+            self._listener.close()
         with self._lock:
             connections = list(self._open_connections)
             self._open_connections.clear()
@@ -360,6 +522,7 @@ class Daemon:
         for conn in connections:
             conn.close()
         self._accept_thread = None
+        self._pool = None
         # process memory is gone: the cache resets to empty, and the
         # journal handle closes without any graceful draining
         self._dedup = DedupCache(self._dedup.capacity)
@@ -379,8 +542,94 @@ class Daemon:
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
-    # -- authentication --------------------------------------------------------
-    def _authenticate(self, conn: Connection) -> bool:
+    # -- reactor callbacks -----------------------------------------------------
+    def _reactor_connect(self, client: ReactorClient) -> None:
+        if self._secret is None:
+            client.data["stage"] = "ready"
+            return
+        import os
+
+        nonce = os.urandom(32)
+        client.data["stage"] = "auth"
+        client.data["nonce"] = nonce
+        client.reply(Message(MessageType.CHALLENGE, 0, {"nonce": nonce.hex()}))
+
+    def _reactor_frame(self, client: ReactorClient, msg: Message) -> None:
+        if msg.version > self._max_wire_version:
+            raise ProtocolError(f"unsupported protocol version {msg.version}")
+        if client.data.get("stage") == "auth":
+            self._check_auth(client, msg)
+            return
+        if self._pool is None:
+            self._dispatch(client, msg)
+            return
+        # per-connection ordered queue: at most one worker drains a given
+        # connection at a time, preserving the old thread-per-connection
+        # execution order while letting connections run in parallel
+        with self._dispatch_lock:
+            pending: deque = client.data.setdefault("pending", deque())
+            pending.append(msg)
+            if client.data.get("draining"):
+                return
+            client.data["draining"] = True
+        self._pool.submit(self._drain_client, client)
+
+    def _drain_client(self, client: ReactorClient) -> None:
+        while True:
+            with self._dispatch_lock:
+                pending = client.data.get("pending")
+                if not pending:
+                    client.data["draining"] = False
+                    return
+                msg = pending.popleft()
+            self._dispatch(client, msg)
+
+    def _dispatch(self, client: Any, msg: Message) -> None:
+        try:
+            self._handle_message(client, msg)
+        except (CommunicationError, ConnectionClosedError, OSError) as exc:
+            # The peer vanished while we were answering. Any idempotent
+            # outcome is already in the dedup cache, so the reply is
+            # replayed when the client retransmits.
+            self.log.emit(
+                "daemon", "reply-lost", f"reply to {client.peer} lost: {exc}"
+            )
+
+    def _reactor_frame_error(self, client: ReactorClient, exc: Exception) -> None:
+        # A malformed frame poisons stream framing: report and drop.
+        self._try_reply_error(client, 0, exc)
+
+    def _reactor_disconnect(self, client: ReactorClient) -> None:
+        with self._dispatch_lock:
+            pending = client.data.get("pending")
+            if pending:
+                pending.clear()
+
+    def _check_auth(self, client: ReactorClient, msg: Message) -> None:
+        import hashlib
+        import hmac
+
+        from repro.errors import AuthenticationError
+
+        nonce = client.data.get("nonce", b"")
+        expected = hmac.new(self._secret or b"", nonce, hashlib.sha256).hexdigest()
+        provided = msg.body.get("hmac") if isinstance(msg.body, dict) else None
+        if (
+            msg.msg_type is not MessageType.AUTH
+            or not isinstance(provided, str)
+            or not hmac.compare_digest(provided, expected)
+        ):
+            self.log.emit("daemon", "auth", f"authentication failed for {client.peer}")
+            self._try_reply_error(
+                client, msg.seq, AuthenticationError("bad or missing credentials")
+            )
+            client.close_after_flush()
+            return
+        client.data["stage"] = "ready"
+        client.reply(Message(MessageType.RESPONSE, msg.seq, {"auth": "ok"}))
+
+    # -- threaded serving (sim network / delayed loopback) ---------------------
+    def _authenticate(self, client: _ThreadedClient) -> bool:
         """Run the challenge-response; True when the peer may proceed."""
         import hashlib
         import hmac
@@ -389,12 +638,9 @@ class Daemon:
         from repro.errors import AuthenticationError
 
         nonce = os.urandom(32)
-        send_message(
-            conn,
-            Message(MessageType.CHALLENGE, 0, {"nonce": nonce.hex()}),
-        )
+        client.reply(Message(MessageType.CHALLENGE, 0, {"nonce": nonce.hex()}))
         try:
-            reply = recv_message(conn)
+            reply = recv_message(client.conn)
         except (ConnectionClosedError, ProtocolError, SerializationError):
             return False
         expected = hmac.new(self._secret or b"", nonce, hashlib.sha256).hexdigest()
@@ -406,34 +652,42 @@ class Daemon:
             or not isinstance(provided, str)
             or not hmac.compare_digest(provided, expected)
         ):
-            self.log.emit("daemon", "auth", f"authentication failed for {conn.peer}")
-            self._try_send_error(
-                conn, reply.seq, AuthenticationError("bad or missing credentials")
+            self.log.emit("daemon", "auth", f"authentication failed for {client.peer}")
+            self._try_reply_error(
+                client, reply.seq, AuthenticationError("bad or missing credentials")
             )
             return False
-        send_message(conn, Message(MessageType.RESPONSE, reply.seq, {"auth": "ok"}))
+        client.reply(Message(MessageType.RESPONSE, reply.seq, {"auth": "ok"}))
         return True
 
-    # -- per-connection handling -------------------------------------------
     def _serve_connection(self, conn: Connection) -> None:
+        client = _ThreadedClient(conn)
         try:
-            if self._secret is not None and not self._authenticate(conn):
+            if self._secret is not None and not self._authenticate(client):
                 return
             while self._running.is_set():
                 try:
                     msg = recv_message(conn)
+                    if msg.version > self._max_wire_version:
+                        raise ProtocolError(
+                            f"unsupported protocol version {msg.version}"
+                        )
+                    if (
+                        msg.msg_type is MessageType.HELLO
+                        and not self._speaks_hello
+                    ):
+                        # a daemon predating HELLO dies at frame decode
+                        # ("unknown message type 9"): error, then drop
+                        raise ProtocolError("unknown message type 9")
                 except ConnectionClosedError:
                     break
                 except (ProtocolError, SerializationError) as exc:
                     # A malformed frame poisons stream framing: report and drop.
-                    self._try_send_error(conn, 0, exc)
+                    self._try_reply_error(client, 0, exc)
                     break
                 try:
-                    self._handle_message(conn, msg)
+                    self._handle_message(client, msg)
                 except (CommunicationError, ConnectionClosedError, OSError) as exc:
-                    # The peer vanished while we were answering. Any
-                    # idempotent outcome is already in the dedup cache, so
-                    # the reply is replayed when the client retransmits.
                     self.log.emit(
                         "daemon", "reply-lost", f"reply to {conn.peer} lost: {exc}"
                     )
@@ -443,21 +697,39 @@ class Daemon:
             with self._lock:
                 self._open_connections.discard(conn)
 
-    def _handle_message(self, conn: Connection, msg: Message) -> None:
+    # -- dispatch core (mode-agnostic) ----------------------------------------
+    def _handle_message(self, client: Any, msg: Message) -> None:
         if msg.msg_type == MessageType.PING:
-            send_message(conn, Message(MessageType.PONG, msg.seq, None))
+            client.reply(Message(MessageType.PONG, msg.seq, None, version=msg.version))
+            return
+        if msg.msg_type == MessageType.HELLO:
+            self._handle_hello(client, msg)
             return
         if msg.msg_type == MessageType.METADATA:
-            self._handle_metadata(conn, msg)
+            self._handle_metadata(client, msg)
             return
         if msg.msg_type == MessageType.REQUEST:
-            self._handle_request(conn, msg)
+            self._handle_request(client, msg)
             return
-        self._try_send_error(
-            conn, msg.seq, ProtocolError(f"unexpected message type {msg.msg_type}")
+        self._try_reply_error(
+            client,
+            msg.seq,
+            ProtocolError(f"unexpected message type {msg.msg_type}"),
+            version=msg.version,
         )
 
-    def _handle_metadata(self, conn: Connection, msg: Message) -> None:
+    def _handle_hello(self, client: Any, msg: Message) -> None:
+        agreed = negotiate_version(msg.body, self._max_wire_version)
+        client.reply(
+            Message(
+                MessageType.RESPONSE,
+                msg.seq,
+                {"version": agreed},
+                version=msg.version,
+            )
+        )
+
+    def _handle_metadata(self, client: Any, msg: Message) -> None:
         try:
             object_id = msg.body["object"] if isinstance(msg.body, dict) else None
             if not isinstance(object_id, str):
@@ -468,11 +740,13 @@ class Daemon:
                 "methods": methods,
                 "oneway": [m for m in methods if is_oneway(obj, m)],
             }
-            send_message(conn, Message(MessageType.RESPONSE, msg.seq, body))
+            client.reply(
+                Message(MessageType.RESPONSE, msg.seq, body, version=msg.version)
+            )
         except Exception as exc:  # noqa: BLE001 - must answer the client
-            self._try_send_error(conn, msg.seq, exc)
+            self._try_reply_error(client, msg.seq, exc, version=msg.version)
 
-    def _handle_request(self, conn: Connection, msg: Message) -> None:
+    def _handle_request(self, client: Any, msg: Message) -> None:
         # Fencing precedes dedup: a fenced request must never execute
         # *and* must never poison the dedup cache, because its key may be
         # legitimately re-issued by the successor that holds the lease.
@@ -490,20 +764,20 @@ class Daemon:
                 self.log.emit(
                     "daemon",
                     "lease-fenced",
-                    f"fenced {conn.peer}: {exc}",
+                    f"fenced {client.peer}: {exc}",
                     resource=lease["resource"],
                     epoch=lease["epoch"],
                 )
                 if not msg.oneway:
-                    self._try_send_error(conn, msg.seq, exc)
+                    self._try_reply_error(client, msg.seq, exc, version=msg.version)
                 return
         key = request_idempotency_key(msg.body)
         if key is not None:
             cached = self._dedup.claim(key, wait_s=self._dedup_wait_s)
             if cached is not None:
-                self._replay(conn, msg, key, cached)
+                self._replay(client, msg, key, cached)
                 return
-        # This thread now owns execution for ``key`` (when one was sent):
+        # This handler now owns execution for ``key`` (when one was sent):
         # the outcome must be recorded *before* the reply frame is sent, so
         # a retransmission after a lost response replays instead of
         # re-executing the instrument call.
@@ -512,8 +786,8 @@ class Daemon:
         def record(msg_type: MessageType, body: Any) -> None:
             nonlocal recorded
             if self.crashed:
-                # a dead process records nothing: a handler thread racing
-                # the crash must not journal its outcome post-mortem (the
+                # a dead process records nothing: a handler racing the
+                # crash must not journal its outcome post-mortem (the
                 # client never saw a reply and will re-issue the call)
                 return
             if not recorded:
@@ -541,14 +815,14 @@ class Daemon:
                 self._dedup.finish(key, msg_type, body)
 
         try:
-            self._execute_request(conn, msg, record)
+            self._execute_request(client, msg, record)
         finally:
             if not recorded:
                 self._dedup.abandon(key)
 
     def _replay(
         self,
-        conn: Connection,
+        client: Any,
         msg: Message,
         key: str,
         cached: tuple[MessageType, Any],
@@ -568,11 +842,11 @@ class Daemon:
         if msg.oneway:
             return
         try:
-            send_message(conn, Message(msg_type, msg.seq, body))
+            client.reply(Message(msg_type, msg.seq, body, version=msg.version))
         except (ConnectionClosedError, SerializationError):
             pass
 
-    def _execute_request(self, conn: Connection, msg: Message, record) -> None:
+    def _execute_request(self, client: Any, msg: Message, record) -> None:
         trace_parent = request_trace_context(msg.body)
         try:
             object_id, method_name, args, kwargs = validate_request_body(msg.body)
@@ -585,13 +859,15 @@ class Daemon:
         except Exception as exc:  # noqa: BLE001
             record(MessageType.ERROR, self._error_body_for(exc))
             if not msg.oneway:
-                self._try_send_error(conn, msg.seq, exc)
+                self._try_reply_error(client, msg.seq, exc, version=msg.version)
             return
 
         if msg.oneway or is_oneway(obj, method_name):
             if not msg.oneway:
                 # Client used a normal call on a @oneway method: ack first.
-                send_message(conn, Message(MessageType.RESPONSE, msg.seq, None))
+                client.reply(
+                    Message(MessageType.RESPONSE, msg.seq, None, version=msg.version)
+                )
             try:
                 self._invoke_logged(
                     object_id,
@@ -612,13 +888,20 @@ class Daemon:
             )
         except Exception as exc:  # noqa: BLE001 - remote errors travel as frames
             record(MessageType.ERROR, self._error_body_for(exc))
-            self._try_send_error(conn, msg.seq, exc)
+            self._try_reply_error(client, msg.seq, exc, version=msg.version)
             return
         record(MessageType.RESPONSE, {"result": result})
         try:
-            send_message(conn, Message(MessageType.RESPONSE, msg.seq, {"result": result}))
+            client.reply(
+                Message(
+                    MessageType.RESPONSE,
+                    msg.seq,
+                    {"result": result},
+                    version=msg.version,
+                )
+            )
         except SerializationError as exc:
-            self._try_send_error(conn, msg.seq, exc)
+            self._try_reply_error(client, msg.seq, exc, version=msg.version)
 
     def _invoke_logged(
         self,
@@ -641,8 +924,8 @@ class Daemon:
 
         span = None
         if self.tracer is not None:
-            # Each connection runs on its own thread, so the contextvar is
-            # empty here; the parent comes from the wire (or None = root).
+            # Dispatch runs outside any client-side contextvar scope, so
+            # the parent comes from the wire (or None = root).
             span = self.tracer.start_as_current_span(
                 f"rpc.dispatch.{method_name}",
                 parent=extract_context(trace_parent),
@@ -708,9 +991,11 @@ class Daemon:
             code=code if isinstance(code, str) else "",
         )
 
-    def _try_send_error(self, conn: Connection, seq: int, exc: Exception) -> None:
+    def _try_reply_error(
+        self, client: Any, seq: int, exc: Exception, version: int = VERSION
+    ) -> None:
         body = self._error_body_for(exc)
         try:
-            send_message(conn, Message(MessageType.ERROR, seq, body))
+            client.reply(Message(MessageType.ERROR, seq, body, version=version))
         except (ConnectionClosedError, SerializationError):
             pass

@@ -28,6 +28,7 @@ import copy
 import itertools
 import threading
 import uuid
+from dataclasses import replace as _dc_replace
 from typing import Any, Callable
 
 import repro.errors as _errors_module
@@ -39,10 +40,13 @@ from repro.errors import (
 )
 from repro.rpc.naming import PyroURI, parse_uri
 from repro.rpc.protocol import (
+    BINARY_VERSION,
     FLAG_ONEWAY,
+    VERSION,
     Message,
     MessageType,
     encode_message,
+    hello_body,
     recv_message,
     request_body,
     send_message,
@@ -139,6 +143,12 @@ class Proxy:
             pipelines — concurrent threads overlap their round trips on
             the one connection, and :meth:`pipeline` becomes available
             for single-threaded bursts.
+        binary: wire-format selection (PROTOCOLS §1.7). ``"auto"``
+            (default) sends a HELLO on connect and upgrades to the v2
+            binary bulk frames when the daemon agrees, silently staying
+            on v1 JSON against older daemons. ``False`` never negotiates
+            (pure v1, zero handshake cost). ``True`` negotiates and
+            *requires* v2 — :class:`ProtocolError` if the peer cannot.
     """
 
     def __init__(
@@ -150,9 +160,12 @@ class Proxy:
         tracer: Any = None,
         metrics: Any = None,
         max_inflight: int = 1,
+        binary: bool | str = "auto",
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if binary not in (True, False, "auto"):
+            raise ValueError(f"binary must be True, False or 'auto', got {binary!r}")
         self._uri = parse_uri(uri)
         self._timeout = timeout
         self._secret = secret
@@ -163,6 +176,10 @@ class Proxy:
         self._seq = 0
         self._lock = threading.RLock()
         self._metadata: dict[str, Any] | None = None
+        self._binary = binary
+        # negotiated wire version, cached across reconnects: one HELLO
+        # round trip per endpoint, not per redial (None = not yet asked)
+        self._negotiated: int | None = VERSION if binary is False else None
         self.tracer = tracer
         self.metrics = metrics
         # optional fencing token: when set, every REQUEST carries it and
@@ -192,14 +209,66 @@ class Proxy:
         """Size of the in-flight REQUEST window (1 = no pipelining)."""
         return self._max_inflight
 
+    @property
+    def wire_version(self) -> int:
+        """The negotiated protocol version (1 until a HELLO settles it)."""
+        return self._negotiated or VERSION
+
     def _ensure_connected(self) -> Connection:
         if self._conn is None:
             conn = self._connect_fn(self._uri.host, self._uri.port)
             conn.settimeout(self._timeout)
             if self._secret is not None:
                 self._answer_challenge(conn)
+            if self._negotiated is None:
+                conn = self._negotiate(conn)
             self._conn = conn
         return self._conn
+
+    def _negotiate(self, conn: Connection) -> Connection:
+        """Run the HELLO handshake; returns the connection to keep using.
+
+        The HELLO travels as v1, so every daemon can read it. A reactor
+        daemon answers RESPONSE ``{"version": N}``; a daemon predating
+        the handshake chokes on the unknown frame type, answers ERROR
+        and drops the connection — that outcome *is* the downgrade
+        signal, so the proxy settles on v1 and redials. Transport
+        failures that are not a clean ERROR/close (timeouts, routing)
+        propagate: a partition must look like a partition, not like an
+        old peer.
+        """
+        try:
+            send_message(conn, Message(MessageType.HELLO, 0, hello_body()))
+            reply = recv_message(conn)
+        except _errors_module.CallTimeoutError:
+            conn.close()
+            raise
+        except _errors_module.ConnectionClosedError:
+            reply = None
+        if reply is not None and reply.msg_type is MessageType.RESPONSE:
+            agreed = VERSION
+            if isinstance(reply.body, dict):
+                raw = reply.body.get("version")
+                if isinstance(raw, int) and raw >= 1:
+                    agreed = min(raw, BINARY_VERSION)
+            self._negotiated = agreed
+        else:
+            # ERROR reply or an immediate close: an old JSON-only peer.
+            # Its framing is gone (it may already have dropped us), so
+            # settle on v1, redial, and never ask this endpoint again.
+            self._negotiated = VERSION
+            conn.close()
+            conn = self._connect_fn(self._uri.host, self._uri.port)
+            conn.settimeout(self._timeout)
+            if self._secret is not None:
+                self._answer_challenge(conn)
+        if self._binary is True and self._negotiated < BINARY_VERSION:
+            conn.close()
+            raise ProtocolError(
+                f"binary=True but {self._uri} only speaks wire version "
+                f"{self._negotiated}"
+            )
+        return conn
 
     def _answer_challenge(self, conn: Connection) -> None:
         """Complete the daemon's HMAC handshake before first use."""
@@ -260,6 +329,8 @@ class Proxy:
         callers can never misattribute each other's bytes.
         """
         conn = self._ensure_connected()
+        if msg.version != self.wire_version:
+            msg = _dc_replace(msg, version=self.wire_version)
         track = byte_window is not None and hasattr(conn, "bytes_sent")
         sent0 = conn.bytes_sent if track else 0
         recv0 = getattr(conn, "bytes_received", 0) if track else 0
@@ -509,7 +580,9 @@ class Proxy:
             seq = self._next_seq()
         # encode before claiming a window slot: a serialisation error must
         # surface to this caller alone, not fail the whole pipeline
-        payload = encode_message(Message(msg_type, seq, body, flags=flags))
+        payload = encode_message(
+            Message(msg_type, seq, body, flags=flags, version=self.wire_version)
+        )
         slot: _PendingSlot | None = None
         if not oneway:
             # claiming may have to drain replies first — that is the
@@ -555,6 +628,16 @@ class Proxy:
         if byte_window is not None and slot.bytes_sent is not None:
             byte_window.append((slot.bytes_sent, slot.bytes_received or 0))
         return reply
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a remote method by name: ``proxy.call("Start", ch=1)``.
+
+        The explicit spelling of ``proxy.Start(ch=1)`` — it reads the
+        same on :class:`Proxy`, :class:`ProxyPool` and the resilient
+        wrapper, which is what lets orchestration code swap one for
+        another without touching call sites.
+        """
+        return self._call(method, args, kwargs)
 
     def pipeline(self, idempotent: bool = False) -> "Pipeline":
         """Explicit burst issuance over this proxy's connection.
@@ -875,6 +958,7 @@ class ProxyPool:
         tracer: Any = None,
         metrics: Any = None,
         max_inflight: int = 1,
+        binary: bool | str = "auto",
         retry_policy: Any = None,
         breaker: Any = None,
         proxy_factory: Callable[[], Any] | None = None,
@@ -889,6 +973,7 @@ class ProxyPool:
         self.tracer = tracer
         self.metrics = metrics
         self._max_inflight = max_inflight
+        self._binary = binary
         self._retry_policy = retry_policy
         if retry_policy is not None and breaker is None:
             from repro.resilience.policy import CircuitBreaker
@@ -923,6 +1008,7 @@ class ProxyPool:
                 tracer=self.tracer,
                 metrics=self.metrics,
                 max_inflight=self._max_inflight,
+                binary=self._binary,
             )
         if self._retry_policy is not None or self._breaker is not None:
             from repro.resilience.proxy import ResilientProxy
@@ -990,6 +1076,49 @@ class ProxyPool:
         """One call on whichever member is free first."""
         with self.acquire() as proxy:
             return getattr(proxy, method)(*args, **kwargs)
+
+    class _PooledPipeline:
+        """A member checkout wrapping one :class:`Pipeline` burst.
+
+        ``with pool.pipeline() as pipe:`` checks a member out, runs the
+        burst on its (pipelined) connection, and returns the member on
+        exit — the pool analogue of ``with proxy.pipeline() as pipe:``.
+        """
+
+        __slots__ = ("_lease", "_pipe")
+
+        def __init__(self, lease: "ProxyPool._Lease", pipe: "Pipeline"):
+            self._lease = lease
+            self._pipe = pipe
+
+        def __enter__(self) -> "Pipeline":
+            return self._pipe.__enter__()
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            try:
+                self._pipe.__exit__(exc_type, exc, tb)
+            finally:
+                self._lease.__exit__(exc_type, exc, tb)
+
+    def pipeline(self, idempotent: bool = False) -> "ProxyPool._PooledPipeline":
+        """Burst issuance on a checked-out member (context manager).
+
+        Requires the pool's members to be built with ``max_inflight > 1``.
+        Resilient members are unwrapped to their underlying proxy: a
+        pipelined burst manages its own failure semantics (idempotent
+        re-issue), so per-call retries inside the burst would double up.
+        """
+        lease = self.acquire()
+        member = lease.__enter__()
+        try:
+            inner = member if isinstance(member, Proxy) else getattr(
+                member, "_proxy", member
+            )
+            pipe = inner.pipeline(idempotent=idempotent)
+        except BaseException:
+            lease.__exit__(None, None, None)
+            raise
+        return ProxyPool._PooledPipeline(lease, pipe)
 
     def close(self) -> None:
         """Close every idle member and refuse further checkouts.

@@ -1,0 +1,36 @@
+"""The pre-reactor daemon: thread per connection, JSON-only wire.
+
+:class:`ThreadedDaemon` preserves the daemon shape this repo shipped
+before the selector reactor (PR 7) for two jobs:
+
+- **benchmark baseline** — ``benchmarks/test_bench_rpc_throughput.py``
+  measures the reactor's aggregate RPS and bulk bytes/s against this
+  class, so the ≥2×/≥3× gates compare like-for-like dispatch semantics
+  and only the serving core + wire format differ;
+- **interop stand-in** — it behaves exactly like a peer that predates
+  both the v2 binary frames and the HELLO handshake: a HELLO frame dies
+  at decode ("unknown message type 9") with an ERROR followed by a
+  dropped connection, and a v2 frame is rejected as an unsupported
+  protocol version. The proxy's negotiation downgrade path is tested
+  against this, not against a mock.
+
+It shares the full dispatch core (verbs, ACL via ``@expose``, dedup,
+lease fencing, HMAC auth) with :class:`~repro.rpc.daemon.Daemon` — only
+the serving strategy and wire ceiling change.
+"""
+
+from __future__ import annotations
+
+from repro.rpc.daemon import Daemon
+from repro.rpc.protocol import VERSION
+
+
+class ThreadedDaemon(Daemon):
+    """Thread-per-connection daemon speaking only wire version 1."""
+
+    _use_reactor = False  # blocking accept loop + reader thread per client
+    _speaks_hello = False  # HELLO is an unknown frame type to this peer
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("max_wire_version", VERSION)
+        super().__init__(*args, **kwargs)

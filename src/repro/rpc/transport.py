@@ -45,6 +45,15 @@ class Connection:
         """Human-readable peer address for logs."""
         return "?"
 
+    def fileno(self) -> int:
+        """OS-level descriptor, when the transport has one.
+
+        Raises :class:`OSError` for purely in-process transports (the
+        simulated network's byte pipes) — the daemon probes this to
+        decide between the selector reactor and threaded serving.
+        """
+        raise OSError("transport has no OS file descriptor")
+
 
 class Listener:
     """Accepts inbound connections on a bound address."""
@@ -117,6 +126,46 @@ class TCPConnection(Connection):
     def peer(self) -> str:
         return self._peer
 
+    # -- non-blocking surface for the reactor ------------------------------
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def setblocking(self, flag: bool) -> None:
+        self._sock.setblocking(flag)
+
+    def try_recv(self, size: int) -> bytes | None:
+        """Non-blocking read: bytes, or None when no data is ready.
+
+        Raises:
+            ConnectionClosedError: the peer closed or the socket died.
+        """
+        try:
+            chunk = self._sock.recv(size)
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"read from {self._peer} failed: {exc}"
+            ) from exc
+        if not chunk:
+            raise ConnectionClosedError(f"{self._peer} closed the connection")
+        return chunk
+
+    def try_send(self, data: bytes | memoryview) -> int:
+        """Non-blocking write: bytes accepted (0 when the buffer is full).
+
+        Raises:
+            ConnectionClosedError: the peer closed or the socket died.
+        """
+        try:
+            return self._sock.send(data)
+        except (BlockingIOError, InterruptedError):
+            return 0
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"send to {self._peer} failed: {exc}"
+            ) from exc
+
 
 class TCPListener(Listener):
     """Bound, listening TCP socket."""
@@ -139,8 +188,24 @@ class TCPListener(Listener):
             raise ConnectionClosedError(f"listener closed: {exc}") from exc
         return TCPConnection(sock)
 
+    def try_accept(self) -> TCPConnection | None:
+        """Non-blocking accept: a connection, or None when none is pending."""
+        try:
+            sock, _addr = self._sock.accept()
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError as exc:
+            raise ConnectionClosedError(f"listener closed: {exc}") from exc
+        return TCPConnection(sock)
+
     def close(self) -> None:
         self._sock.close()
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def setblocking(self, flag: bool) -> None:
+        self._sock.setblocking(flag)
 
     @property
     def address(self) -> tuple[str, int]:

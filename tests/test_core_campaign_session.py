@@ -11,8 +11,9 @@ from repro.core.campaign import (
     window_centering_strategy,
 )
 from repro.core.cv_workflow import CVWorkflowSettings
-from repro.core.session import RemoteSession
 from repro.errors import WorkflowError
+
+import repro
 
 
 FAST = CVWorkflowSettings(e_step_v=0.002)
@@ -85,9 +86,9 @@ class TestWindowCenteringCampaign:
         assert not campaign.all_normal
 
 
-class TestRemoteSession:
+class TestSessionNotebookFlow:
     def test_notebook_flow(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             status = session.fill_cell(5.0, purge_sccm=25.0)
             assert status["volume_ml"] == pytest.approx(5.0)
             assert status["purge_sccm"] == 25.0
@@ -98,14 +99,14 @@ class TestRemoteSession:
     def test_session_normality_with_injected_classifier(
         self, ice, trained_classifier
     ):
-        with RemoteSession(ice, classifier=trained_classifier) as session:
+        with repro.connect(ice, classifier=trained_classifier) as session:
             session.fill_cell(5.0)
             trace = session.run_cv(e_step_v=0.002)
             report = session.check_normality(trace)
             assert report.normal
 
     def test_multiple_runs_reuse_sp200_session(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             session.fill_cell(5.0)
             first = session.run_cv(e_step_v=0.002, save_as="one")
             second = session.run_cv(e_step_v=0.002, scan_rate_v_s=0.2, save_as="two")
@@ -113,7 +114,7 @@ class TestRemoteSession:
             assert second.metadata["scan_rate_v_s"] == 0.2
 
     def test_cell_status_passthrough(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             assert session.cell_status()["volume_ml"] == 0.0
 
 
@@ -184,7 +185,7 @@ class TestKineticsTargetingCampaign:
 
 class TestSessionExtendedTechniques:
     def test_run_lsv(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             session.fill_cell(5.0)
             trace = session.run_lsv(e_step_v=0.002)
             assert trace.metadata["technique"] == "LSV"
@@ -194,7 +195,7 @@ class TestSessionExtendedTechniques:
     def test_run_dpv(self, ice):
         import numpy as np
 
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             session.fill_cell(5.0)
             trace = session.run_dpv()
             assert trace.metadata["technique"] == "DPV"
@@ -202,7 +203,7 @@ class TestSessionExtendedTechniques:
             assert trace.potential_v[index] == pytest.approx(0.375, abs=0.02)
 
     def test_mixed_technique_sequence(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             session.fill_cell(5.0)
             cv = session.run_cv(e_step_v=0.002)
             lsv = session.run_lsv(e_step_v=0.002)
@@ -216,7 +217,7 @@ class TestSessionExtendedTechniques:
 
 class TestSessionCharacterization:
     def test_fraction_to_chromatogram(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             session.fill_cell(6.0)
             # electrolyze briefly so the fraction contains product
             session._ensure_sp200(1)
@@ -233,6 +234,6 @@ class TestSessionCharacterization:
             assert chromatogram.peak_for("ferrocenium") is not None
 
     def test_robot_state_visible(self, ice):
-        with RemoteSession(ice) as session:
+        with repro.connect(ice) as session:
             status = session.characterization.call_Robot_Status()
             assert status["location"] == "electrochemistry"

@@ -1,4 +1,4 @@
-"""The ``repro.connect()`` facade and the deprecated entry-point shims."""
+"""The ``repro.connect()`` facade, its config objects, and legacy kwargs."""
 
 from __future__ import annotations
 
@@ -7,8 +7,8 @@ import warnings
 import pytest
 
 import repro
+from repro.core.config import SessionConfig, TransportConfig
 from repro.core.cv_workflow import CVWorkflowSettings
-from repro.core.session import RemoteSession
 from repro.errors import ReproError, WorkflowError
 from repro.obs import MetricsRegistry, Tracer, read_jsonl_spans
 
@@ -94,16 +94,91 @@ class TestWorkflowThroughSession:
         assert session.metrics.counter("workflow.tasks_total").total() >= 5
 
 
-class TestDeprecatedShims:
-    def test_remote_session_warns_but_works(self, ice):
-        with pytest.warns(DeprecationWarning, match="repro.connect"):
-            session = RemoteSession(ice)
+class TestConfigObjects:
+    def test_remote_session_shim_is_gone(self):
+        # deleted after a full deprecation cycle; connect() is the sole
+        # entry point now
+        assert not hasattr(repro, "RemoteSession")
+        with pytest.raises(ImportError):
+            from repro.core.session import RemoteSession  # noqa: F401
+
+    def test_default_configs_attached_to_session(self, ice):
+        with repro.connect(ice) as session:
+            assert session.transport_config == TransportConfig()
+            assert session.session_config == SessionConfig()
+            assert session.client.resilient  # SessionConfig default
+
+    def test_transport_config_threads_to_channels(self, ice):
+        transport = TransportConfig(max_inflight=4, pipeline_depth=8)
+        with repro.connect(ice, transport=transport) as session:
+            # the data-channel proxy carries the read-ahead window
+            assert session.datachannel._proxy.max_inflight == 8
+
+    def test_session_config_controls_resilience(self, ice):
+        with repro.connect(
+            ice, session=SessionConfig(resilient=False)
+        ) as session:
+            assert not session.client.resilient
+
+    def test_legacy_resilient_kwarg_warns_and_maps(self, ice):
+        with pytest.warns(DeprecationWarning, match="SessionConfig"):
+            session = repro.connect(ice, resilient=False)
         try:
-            assert session.client.call_Status_JKem()
-            assert session.datachannel is not None
+            assert not session.client.resilient
+            assert session.session_config.resilient is False
         finally:
             session.close()
 
+    def test_legacy_kwarg_conflicting_with_config_rejected(self, ice):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(WorkflowError, match="conflicting"):
+                repro.connect(
+                    ice,
+                    session=SessionConfig(resilient=True),
+                    resilient=False,
+                )
+
+    def test_config_validation(self):
+        with pytest.raises(WorkflowError):
+            TransportConfig(max_inflight=0)
+        with pytest.raises(WorkflowError):
+            TransportConfig(binary="yes please")
+        with pytest.raises(WorkflowError):
+            SessionConfig(health_window_s=0)
+
+    def test_session_config_gates_workflows_by_default(self, ice):
+        from repro.errors import HealthGateError
+        from repro.obs.health import UNHEALTHY
+
+        with repro.connect(
+            ice, session=SessionConfig(require_healthy=True)
+        ) as session:
+            session.health_engine.register_probe(
+                "rpc", lambda: (UNHEALTHY, "forced failure")
+            )
+            with pytest.raises(HealthGateError):
+                session.run_workflow(settings=FAST)
+            # per-call override still wins over the config default
+            result = session.run_workflow(settings=FAST, require_healthy=False)
+            assert result.succeeded
+
+    def test_campaign_helper_inherits_session_config(self, ice, tmp_path):
+        from repro.core.campaign import scan_rate_strategy
+
+        with repro.connect(
+            ice, session=SessionConfig(journal_dir=tmp_path / "journal")
+        ) as session:
+            campaign = session.campaign(
+                scan_rate_strategy((0.05, 0.1), base=FAST)
+            )
+            assert campaign.journal_dir == tmp_path / "journal"
+            assert campaign.flight_dir == session.flight_dir
+            rounds = campaign.run()
+            assert len(rounds) == 2
+            assert (tmp_path / "journal" / "campaign.jsonl").exists()
+
+
+class TestDeprecatedShims:
     def test_facade_is_exported_at_top_level(self):
         assert repro.connect is not None
         assert repro.Session is not None

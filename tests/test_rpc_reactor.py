@@ -1,0 +1,202 @@
+"""The selector-reactor serving core: concurrency, backpressure, workers.
+
+The daemon's TCP path now runs on one event-loop thread with
+per-connection buffers and bounded outboxes. These tests pin the
+properties the rewrite must preserve (dispatch semantics, auth,
+quiescent shutdown, crash behaviour) and the ones it adds
+(backpressure accounting, worker-pool dispatch with per-connection
+ordering).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.rpc import Daemon, Proxy, ProxyPool, expose
+
+
+@expose
+class Service:
+    def __init__(self):
+        self.seen: list[int] = []
+        self._lock = threading.Lock()
+
+    def echo(self, value):
+        return value
+
+    def bulk(self, n: int) -> bytes:
+        return b"\x5a" * n
+
+    def record(self, i: int) -> int:
+        with self._lock:
+            self.seen.append(i)
+        return i
+
+
+def _serve(**kwargs):
+    daemon = Daemon(host="127.0.0.1", **kwargs)
+    service = Service()
+    uri = daemon.register(service, object_id="Svc")
+    daemon.start_background()
+    return daemon, service, uri
+
+
+class TestReactorServing:
+    def test_tcp_daemon_serves_on_reactor(self):
+        daemon, _, uri = _serve()
+        try:
+            assert daemon.serving_mode == "reactor"
+            with Proxy(uri) as proxy:
+                assert proxy.echo(41) == 41
+        finally:
+            daemon.shutdown()
+        assert daemon.quiescent
+
+    def test_many_concurrent_clients(self):
+        daemon, _, uri = _serve()
+        errors: list[Exception] = []
+
+        def storm(worker: int):
+            try:
+                with Proxy(uri) as proxy:
+                    for i in range(25):
+                        assert proxy.echo((worker, i)) == (worker, i)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=storm, args=(w,)) for w in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert daemon.call_count == 8 * 25
+        finally:
+            daemon.shutdown()
+
+    def test_auth_and_binary_negotiation_compose(self):
+        daemon, _, uri = _serve(secret=b"s3cret")
+        try:
+            with Proxy(uri, secret=b"s3cret") as proxy:
+                trace = proxy.echo(np.arange(100.0))
+                assert trace.shape == (100,)
+                assert proxy.wire_version == 2
+        finally:
+            daemon.shutdown()
+
+    def test_shutdown_is_quiescent_with_open_clients(self):
+        daemon, _, uri = _serve()
+        proxy = Proxy(uri)
+        try:
+            assert proxy.echo(1) == 1
+        finally:
+            daemon.shutdown()
+            proxy.close()
+        assert daemon.quiescent
+        assert not daemon.crashed
+
+    def test_crash_frees_the_port_for_a_successor(self):
+        daemon, _, uri = _serve()
+        host, port = daemon.address
+        with Proxy(uri) as proxy:
+            proxy.echo(1)
+            daemon.crash()
+        assert daemon.crashed
+        successor = Daemon(host=host, port=port)
+        successor.register(Service(), object_id="Svc")
+        successor.start_background()
+        try:
+            with Proxy(uri) as proxy:
+                assert proxy.echo(2) == 2
+        finally:
+            successor.shutdown()
+
+
+class TestBackpressure:
+    def test_oversized_replies_count_backpressure(self):
+        metrics = MetricsRegistry()
+        # any reply bigger than the bound must pause the connection's
+        # reads until the client drains it
+        daemon, _, uri = _serve(max_outbox_bytes=4096)
+        daemon.metrics = metrics
+        try:
+            with Proxy(uri, max_inflight=8) as proxy:
+                with proxy.pipeline() as pipe:
+                    pending = [pipe.call("bulk", 64 * 1024) for _ in range(6)]
+                    results = [p.result() for p in pending]
+            assert all(len(r) == 64 * 1024 for r in results)
+            assert daemon.backpressure_total >= 1
+            assert (
+                metrics.counter("rpc.server.backpressure_total").total() >= 1
+            )
+        finally:
+            daemon.shutdown()
+
+    def test_connections_gauge_returns_to_zero(self):
+        import time
+
+        metrics = MetricsRegistry()
+        daemon, _, uri = _serve()
+        daemon.metrics = metrics
+        try:
+            with Proxy(uri) as proxy:
+                proxy.echo(1)
+                assert (
+                    metrics.gauge("rpc.server.connections_active").value() >= 1
+                )
+            # the reactor notices the disconnect on its next loop pass
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if metrics.gauge("rpc.server.connections_active").value() == 0:
+                    break
+                time.sleep(0.01)
+            assert metrics.gauge("rpc.server.connections_active").value() == 0
+        finally:
+            daemon.shutdown()
+
+
+class TestWorkerPool:
+    def test_workers_preserve_per_connection_order(self):
+        daemon, service, uri = _serve(workers=4)
+        try:
+            with Proxy(uri, max_inflight=16) as proxy:
+                with proxy.pipeline() as pipe:
+                    pending = [pipe.call("record", i) for i in range(50)]
+                    results = [p.result() for p in pending]
+            assert results == list(range(50))
+            # one connection: execution order must match issue order even
+            # though four workers share the dispatch queue
+            assert service.seen == list(range(50))
+        finally:
+            daemon.shutdown()
+
+    def test_workers_across_independent_connections(self):
+        daemon, _, uri = _serve(workers=2)
+        try:
+            pool = ProxyPool(uri, size=4)
+            results = []
+            lock = threading.Lock()
+
+            def work(i: int):
+                value = pool.call("echo", i)
+                with lock:
+                    results.append(value)
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(20)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            pool.close()
+            assert sorted(results) == list(range(20))
+        finally:
+            daemon.shutdown()

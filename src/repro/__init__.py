@@ -66,6 +66,13 @@ from repro.durability import (
     Journal,
     LeaseRegistry,
 )
+from repro.gateway import (
+    Cell,
+    Gateway,
+    GatewayClient,
+    GatewayServer,
+    TenantSpec,
+)
 from repro.core.characterization_workflow import (
     CharacterizationSettings,
     CharacterizationResult,
@@ -110,6 +117,11 @@ __all__ = [
     "CheckpointStore",
     "DedupJournal",
     "LeaseRegistry",
+    "Gateway",
+    "GatewayClient",
+    "GatewayServer",
+    "TenantSpec",
+    "Cell",
     "CharacterizationSettings",
     "CharacterizationResult",
     "run_characterization_workflow",

@@ -13,6 +13,8 @@ Subcommands:
 - ``repro-ice health`` — stand the ICE up, run one probe workflow, and
   print the per-subsystem health verdict table (exit code encodes the
   overall status: 0 healthy, 1 degraded, 2 unhealthy);
+- ``repro-ice jobs`` — submit, inspect, cancel and poll campaign jobs
+  on a multi-tenant facility gateway (``ACL_Gateway``) as one tenant;
 - ``repro-ice watch`` — run the workflow while tailing the live
   telemetry feed (``session.stream()``): span completions, health
   flips and event-log lines as they happen, a ``top``-style view of
@@ -375,6 +377,76 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_job_line(view: dict) -> str:
+    line = f"job {view['job_id']}  {view['state']:<9} tenant={view['tenant']}"
+    if view.get("cell"):
+        line += f" cell={view['cell']}"
+    if view.get("rounds"):
+        line += f" rounds={view['rounds']}"
+    if view.get("error"):
+        line += f" error={view['error']}"
+    return line
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Talk to a facility gateway (``ACL_Gateway``) as one tenant."""
+    import json
+
+    from repro.errors import GatewayError
+    from repro.gateway.client import GatewayClient
+
+    secret = args.secret.encode() if args.secret else None
+    try:
+        return _run_jobs_action(args, json, GatewayClient, secret)
+    except GatewayError as exc:
+        # rejections are expected outcomes, not crashes: surface the
+        # stable code so scripts can branch on it
+        print(f"gateway: [{exc.code}] {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_jobs_action(args, json, GatewayClient, secret) -> int:
+    with GatewayClient(
+        args.uri, args.tenant, args.api_key, timeout=args.timeout, secret=secret
+    ) as gateway:
+        if args.action == "submit":
+            spec = {
+                "strategy": {
+                    "kind": "scan-rate",
+                    "scan_rates_v_s": list(args.rates),
+                    "base": {"e_step_v": args.e_step},
+                },
+                "max_rounds": args.max_rounds,
+            }
+            view = gateway.submit(spec, priority=args.priority)
+            print(_format_job_line(view))
+            return 0
+        if args.action == "status":
+            if not args.job_id:
+                print("status needs a JOB_ID", file=sys.stderr)
+                return 2
+            print(_format_job_line(gateway.status(args.job_id)))
+            return 0
+        if args.action == "cancel":
+            if not args.job_id:
+                print("cancel needs a JOB_ID", file=sys.stderr)
+                return 2
+            print(_format_job_line(gateway.cancel(args.job_id)))
+            return 0
+        # poll
+        reply = gateway.poll(cursor=args.cursor, max_events=args.max_events)
+        if args.json:
+            print(json.dumps(reply, indent=2, default=str))
+        else:
+            for event in reply["events"]:
+                print(
+                    f"{event['seq']:>6}  {event['timestamp']:10.3f}  "
+                    f"{event['name']:<13} {event['job_id']}"
+                )
+            print(f"cursor={reply['cursor']} gap={reply['gap']}")
+        return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import characterize, estimate_k0_from_trace, find_peaks
     from repro.datachannel.formats import read_mpt
@@ -504,6 +576,41 @@ def build_parser() -> argparse.ArgumentParser:
         "so re-issued calls replay instead of re-executing",
     )
     resume.set_defaults(fn=_cmd_resume)
+
+    jobs = sub.add_parser(
+        "jobs", help="submit/inspect campaign jobs on a facility gateway"
+    )
+    jobs.add_argument(
+        "action", choices=["submit", "status", "cancel", "poll"]
+    )
+    jobs.add_argument("job_id", nargs="?", default=None)
+    jobs.add_argument(
+        "--uri",
+        required=True,
+        metavar="PYRO_URI",
+        help="the gateway's PYRO:ACL_Gateway@host:port URI",
+    )
+    jobs.add_argument("--tenant", required=True, help="tenant id")
+    jobs.add_argument("--api-key", required=True, help="tenant API key")
+    jobs.add_argument("--secret", default=None, help="channel HMAC secret")
+    jobs.add_argument("--timeout", type=float, default=30.0, metavar="S")
+    jobs.add_argument(
+        "--rates",
+        nargs="*",
+        type=float,
+        default=[0.05, 0.1, 0.2],
+        metavar="V_S",
+        help="scan rates for a submitted scan-rate campaign",
+    )
+    jobs.add_argument("--e-step", type=float, default=0.002, metavar="V")
+    jobs.add_argument("--max-rounds", type=int, default=10)
+    jobs.add_argument("--priority", type=int, default=0)
+    jobs.add_argument("--cursor", type=int, default=0, help="poll cursor")
+    jobs.add_argument("--max-events", type=int, default=256)
+    jobs.add_argument(
+        "--json", action="store_true", help="print the raw poll reply"
+    )
+    jobs.set_defaults(fn=_cmd_jobs)
 
     analyze = sub.add_parser("analyze", help="analyse an .mpt measurement file")
     analyze.add_argument("file")

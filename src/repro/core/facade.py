@@ -123,6 +123,7 @@ class Session:
         self._sp200_ready = False
         self._jkem_ready = False
         self._characterization = None
+        self._gateway_client = None
         self.lease_epoch: int | None = None
         # client-half black box: DGX-side spans (the daemon half records
         # its own via the ICE) plus the session's metric snapshots
@@ -270,6 +271,8 @@ class Session:
             if self.datachannel is not None:
                 self.datachannel.unmount()
             self.client.close()
+            if self._gateway_client is not None:
+                self._gateway_client.close()
             if self._characterization is not None:
                 self._characterization.close()
             if self._owns_ice and self.ice is not None:
@@ -442,6 +445,88 @@ class Session:
         )
         build.update(kwargs)
         return Campaign(ice=self.ice, strategy=strategy, **build)
+
+    # -- multi-tenant gateway --------------------------------------------------
+    def use_gateway(
+        self,
+        target: Any,
+        tenant: str,
+        api_key: str,
+        *,
+        timeout: float | None = None,
+        secret: bytes | None = None,
+    ):
+        """Attach this session to a facility gateway as one tenant.
+
+        ``target`` is a :class:`~repro.gateway.Gateway` object
+        (in-process) or a ``PYRO:ACL_Gateway@host:port`` URI. After
+        this, :meth:`submit_job` / :meth:`job_status` /
+        :meth:`cancel_job` / :meth:`poll_jobs` go through the gateway's
+        queue under this tenant's identity, quota and fair share.
+        Returns the underlying :class:`~repro.gateway.GatewayClient`.
+        """
+        from repro.gateway.client import GatewayClient
+
+        if self._gateway_client is not None:
+            self._gateway_client.close()
+        self._gateway_client = GatewayClient(
+            target,
+            tenant,
+            api_key,
+            timeout=(
+                timeout if timeout is not None else self.transport_config.timeout
+            ),
+            secret=(
+                secret if secret is not None else self.transport_config.secret
+            ),
+        )
+        return self._gateway_client
+
+    def _require_gateway(self):
+        if self._gateway_client is None:
+            raise WorkflowError(
+                "no gateway attached; call session.use_gateway(...) first"
+            )
+        return self._gateway_client
+
+    def submit_job(
+        self,
+        strategy: Any,
+        max_rounds: int = 10,
+        priority: int = 0,
+    ) -> dict[str, Any]:
+        """Queue a campaign on the attached gateway; returns the job view.
+
+        ``strategy`` is either a strategy carrying a journalable
+        ``spec`` attribute (e.g. :func:`~repro.core.campaign.
+        scan_rate_strategy`) or the raw spec dict itself — the gateway
+        journals the spec and rebuilds the strategy cell-side, so only
+        rebuildable strategies can ride through the queue.
+        """
+        spec = getattr(strategy, "spec", strategy)
+        if not isinstance(spec, dict):
+            raise WorkflowError(
+                "submit_job needs a strategy with a .spec attribute or a "
+                f"spec dict, not {strategy!r}"
+            )
+        return self._require_gateway().submit(
+            {"strategy": spec, "max_rounds": max_rounds}, priority=priority
+        )
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        """Current gateway view of one of this tenant's jobs."""
+        return self._require_gateway().status(job_id)
+
+    def cancel_job(self, job_id: str) -> dict[str, Any]:
+        """Cancel a queued job now, or a running one at its next round."""
+        return self._require_gateway().cancel(job_id)
+
+    def poll_jobs(
+        self, cursor: int = 0, max_events: int = 256
+    ) -> dict[str, Any]:
+        """Cursor-poll this tenant's job lifecycle events
+        (``repro-jobs-1``; same cursor/gap contract as telemetry)."""
+        return self._require_gateway().poll(cursor=cursor, max_events=max_events)
 
     # -- observability ---------------------------------------------------------
     def summarize(self) -> dict[str, Any]:

@@ -426,6 +426,66 @@ class LeaseFencedError(DurabilityError):
 
 
 # --------------------------------------------------------------------------
+# Gateway / multi-tenant admission
+# --------------------------------------------------------------------------
+class GatewayError(ReproError):
+    """Base class for multi-tenant gateway admission failures.
+
+    Every subclass keeps the default constructor so the proxy can
+    rebuild it by name from an ERROR frame — a rejected submit must
+    raise the *same* class (and stable code) on the client as on the
+    gateway.
+    """
+
+    code = "GATEWAY_ERROR"
+
+
+class UnknownTenantError(GatewayError):
+    """The request named a tenant the gateway has never registered."""
+
+    code = "GATEWAY_UNKNOWN_TENANT"
+
+
+class TenantAuthError(GatewayError):
+    """The API key presented does not match the tenant's registered key."""
+
+    code = "GATEWAY_TENANT_AUTH"
+
+
+class QuotaExceededError(GatewayError):
+    """The tenant's active-job quota is exhausted; the submit was refused.
+
+    The stable code is the contract the fairness benchmark and clients
+    key on: an over-quota submit is a *policy* outcome, not a transport
+    failure, so it must never be retried blindly.
+    """
+
+    code = "GATEWAY_QUOTA_EXCEEDED"
+
+
+class RateLimitedError(GatewayError):
+    """The tenant exceeded its submit rate limit; try again later."""
+
+    code = "GATEWAY_RATE_LIMITED"
+
+
+class UnknownJobError(GatewayError):
+    """The request named a job id the gateway's store does not hold."""
+
+    code = "GATEWAY_UNKNOWN_JOB"
+
+
+class JobStateError(GatewayError):
+    """The operation is invalid for the job's current state.
+
+    Cancelling an already-finished job, or a tenant touching another
+    tenant's job, lands here — the job exists, the verb does not apply.
+    """
+
+    code = "GATEWAY_JOB_STATE"
+
+
+# --------------------------------------------------------------------------
 # Code registry
 # --------------------------------------------------------------------------
 def code_table() -> dict[str, type[ReproError]]:

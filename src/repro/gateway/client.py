@@ -1,0 +1,105 @@
+"""Uniform client handle to a gateway, local or remote.
+
+The session facade and the CLI both want one call surface whether the
+gateway lives in-process (a :class:`~repro.gateway.gateway.Gateway`
+object) or behind a daemon (a ``PYRO:ACL_Gateway@host:port`` URI).
+:class:`GatewayClient` provides it:
+
+- **in-process** — calls go straight to the gateway object;
+- **remote** — a :class:`~repro.rpc.Proxy` is dialled with its
+  ``tenant`` attribute set, so every REQUEST carries the tenant id in
+  the envelope (PROTOCOLS §1.8) and the server needs no ``tenant=``
+  argument at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GatewayError
+from repro.gateway.gateway import Gateway
+
+
+class GatewayClient:
+    """One tenant's handle to a gateway.
+
+    Args:
+        target: a :class:`Gateway` instance or a ``PYRO:`` URI string.
+        tenant: this client's tenant id.
+        api_key: this client's API key, presented on every verb.
+        timeout / secret / connection_factory: proxy options (URI mode).
+    """
+
+    def __init__(
+        self,
+        target: Gateway | str,
+        tenant: str,
+        api_key: str,
+        *,
+        timeout: float | None = 30.0,
+        secret: bytes | None = None,
+        connection_factory: Any = None,
+    ):
+        if not tenant:
+            raise GatewayError("GatewayClient needs a tenant id")
+        self.tenant = tenant
+        self._api_key = api_key
+        self._gateway: Gateway | None = None
+        self._proxy = None
+        if isinstance(target, Gateway):
+            self._gateway = target
+        elif isinstance(target, str):
+            from repro.rpc.proxy import Proxy
+
+            self._proxy = Proxy(
+                target,
+                timeout=timeout,
+                secret=secret,
+                connection_factory=connection_factory,
+                tenant=tenant,
+            )
+        else:
+            raise GatewayError(
+                f"target must be a Gateway or a PYRO: URI, not {target!r}"
+            )
+
+    # -- verbs --------------------------------------------------------------
+    def submit(
+        self, spec: dict[str, Any], priority: int = 0
+    ) -> dict[str, Any]:
+        if self._gateway is not None:
+            return self._gateway.submit(
+                self.tenant, self._api_key, spec, priority=priority
+            )
+        return self._proxy.Job_Submit(
+            api_key=self._api_key, spec=spec, priority=priority
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        if self._gateway is not None:
+            return self._gateway.status(self.tenant, self._api_key, job_id)
+        return self._proxy.Job_Status(job_id, api_key=self._api_key)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        if self._gateway is not None:
+            return self._gateway.cancel(self.tenant, self._api_key, job_id)
+        return self._proxy.Job_Cancel(job_id, api_key=self._api_key)
+
+    def poll(self, cursor: int = 0, max_events: int = 256) -> dict[str, Any]:
+        if self._gateway is not None:
+            return self._gateway.poll(
+                self.tenant, self._api_key, cursor=cursor, max_events=max_events
+            )
+        return self._proxy.Job_Poll(
+            cursor=cursor, max_events=max_events, api_key=self._api_key
+        )
+
+    def close(self) -> None:
+        if self._proxy is not None:
+            self._proxy.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,196 @@
+"""Tenant registry: who may use the gateway, and how much of it.
+
+A facility gateway fronts shared instruments, so admission control is
+per-tenant, not per-connection:
+
+- **identity** — a tenant id plus an API key. The key is never stored
+  in the clear: registration keeps only an HMAC-SHA256 digest under a
+  per-registry salt, and presentation is verified with
+  ``hmac.compare_digest`` — the same constant-time discipline as the
+  daemon's challenge-response handshake (PROTOCOLS §1.2).
+- **quota** — a cap on *active* jobs (queued + running). Exceeding it
+  rejects the submit with :class:`~repro.errors.QuotaExceededError`
+  (stable code ``GATEWAY_QUOTA_EXCEEDED``) so a runaway client cannot
+  bury everyone else's work under its backlog.
+- **rate limit** — a token bucket on submissions. Bursts up to
+  ``burst`` are fine; a sustained firehose gets
+  :class:`~repro.errors.RateLimitedError` (``GATEWAY_RATE_LIMITED``).
+- **weight** — the tenant's fair-share weight, consumed by the
+  scheduler (a weight of 2 earns twice the placements of a weight
+  of 1 under contention).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, WALL
+from repro.errors import (
+    GatewayError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenantAuthError,
+    UnknownTenantError,
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity and admission limits.
+
+    Attributes:
+        tenant_id: stable identifier carried in the REQUEST ``tenant``
+            field (PROTOCOLS §1.8).
+        api_key: shared secret presented on every gateway verb. Only
+            its HMAC digest is retained by the registry.
+        weight: fair-share weight (> 0); relative, not absolute.
+        max_active: quota on queued + running jobs.
+        submit_rate_per_s: sustained submissions per second the token
+            bucket refills at; ``inf`` disables rate limiting.
+        burst: bucket capacity — how many submits may land back to back
+            before the sustained rate applies.
+    """
+
+    tenant_id: str
+    api_key: str
+    weight: float = 1.0
+    max_active: int = 16
+    submit_rate_per_s: float = math.inf
+    burst: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise GatewayError("tenant_id must be non-empty")
+        if not self.api_key:
+            raise GatewayError(f"tenant {self.tenant_id!r} needs an api_key")
+        if self.weight <= 0:
+            raise GatewayError(
+                f"tenant {self.tenant_id!r} weight must be > 0, "
+                f"got {self.weight}"
+            )
+        if self.max_active < 1:
+            raise GatewayError(
+                f"tenant {self.tenant_id!r} max_active must be >= 1, "
+                f"got {self.max_active}"
+            )
+        if self.submit_rate_per_s <= 0:
+            raise GatewayError(
+                f"tenant {self.tenant_id!r} submit_rate_per_s must be > 0"
+            )
+        if self.burst < 1:
+            raise GatewayError(
+                f"tenant {self.tenant_id!r} burst must be >= 1, "
+                f"got {self.burst}"
+            )
+
+
+@dataclass
+class _TokenBucket:
+    """Classic token bucket; monotonic-clock refill, lock held by caller."""
+
+    rate: float
+    capacity: float
+    tokens: float
+    stamp: float
+
+    def take(self, now: float) -> bool:
+        if math.isinf(self.rate):
+            return True
+        elapsed = max(0.0, now - self.stamp)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class TenantRegistry:
+    """Authentication and admission control for a set of tenants.
+
+    Thread-safe: gateway verbs arrive on daemon dispatch threads while
+    the scheduler mutates usage from its own.
+    """
+
+    def __init__(self, clock: Clock | None = None, salt: bytes | None = None):
+        self._clock = clock or WALL
+        # the salt only has to differ between registries so equal keys
+        # do not share digests; it is not a stored secret
+        self._salt = salt if salt is not None else os.urandom(16)
+        self._lock = threading.Lock()
+        self._specs: dict[str, TenantSpec] = {}
+        self._digests: dict[str, bytes] = {}
+        self._buckets: dict[str, _TokenBucket] = {}
+
+    def _digest(self, api_key: str) -> bytes:
+        return hmac.new(self._salt, api_key.encode(), hashlib.sha256).digest()
+
+    def add(self, spec: TenantSpec) -> None:
+        """Register (or replace) a tenant."""
+        with self._lock:
+            self._specs[spec.tenant_id] = spec
+            self._digests[spec.tenant_id] = self._digest(spec.api_key)
+            self._buckets[spec.tenant_id] = _TokenBucket(
+                rate=spec.submit_rate_per_s,
+                capacity=float(spec.burst),
+                tokens=float(spec.burst),
+                stamp=self._clock.now(),
+            )
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    def spec(self, tenant_id: str) -> TenantSpec:
+        with self._lock:
+            spec = self._specs.get(tenant_id)
+        if spec is None:
+            raise UnknownTenantError(f"unknown tenant {tenant_id!r}")
+        return spec
+
+    def authenticate(self, tenant_id: str | None, api_key: str) -> TenantSpec:
+        """Verify identity; returns the spec or raises.
+
+        Unknown tenant and bad key are distinct errors on purpose: the
+        gateway operator registered the tenants, so naming which half of
+        the credential failed leaks nothing and saves a support round
+        trip (unlike a login form on the open internet).
+        """
+        if not tenant_id:
+            raise UnknownTenantError(
+                "request carried no tenant id (set Proxy.tenant or pass "
+                "tenant= explicitly)"
+            )
+        with self._lock:
+            spec = self._specs.get(tenant_id)
+            stored = self._digests.get(tenant_id)
+        if spec is None or stored is None:
+            raise UnknownTenantError(f"unknown tenant {tenant_id!r}")
+        if not hmac.compare_digest(stored, self._digest(api_key or "")):
+            raise TenantAuthError(f"bad api key for tenant {tenant_id!r}")
+        return spec
+
+    def admit_submit(self, spec: TenantSpec, active_jobs: int) -> None:
+        """Gate one submission: rate limit first, then quota.
+
+        Rate is checked before quota so a hammering client burns its
+        bucket rather than getting free quota probes; a submit rejected
+        here consumes one token either way.
+        """
+        with self._lock:
+            bucket = self._buckets[spec.tenant_id]
+            if not bucket.take(self._clock.now()):
+                raise RateLimitedError(
+                    f"tenant {spec.tenant_id!r} exceeded "
+                    f"{spec.submit_rate_per_s:g}/s (burst {spec.burst})"
+                )
+        if active_jobs >= spec.max_active:
+            raise QuotaExceededError(
+                f"tenant {spec.tenant_id!r} has {active_jobs} active job(s); "
+                f"quota is {spec.max_active}"
+            )

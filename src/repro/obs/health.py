@@ -56,6 +56,7 @@ SUBSYSTEMS = (
     "chaos",
     "durability",
     "perf",
+    "gateway",
 )
 
 #: A probe returns None (nothing to report) or a (status, reason) pair.
@@ -366,6 +367,7 @@ class HealthEngine:
         self._rule_fleet(subsystems["fleet"], current, baseline)
         self._rule_chaos(subsystems["chaos"], current, baseline)
         self._rule_durability(subsystems["durability"], current, baseline)
+        self._rule_gateway(subsystems["gateway"], current, baseline)
 
         for subsystem, probe in probes:
             target = subsystems.setdefault(subsystem, SubsystemHealth(subsystem))
@@ -561,6 +563,40 @@ class HealthEngine:
             sub.merge(
                 DEGRADED,
                 f"{restarts:.0f} daemon restart(s) in window (recovering)",
+            )
+
+    def _rule_gateway(
+        self,
+        sub: SubsystemHealth,
+        current: dict[Any, float],
+        baseline: dict[Any, float],
+    ) -> None:
+        failed = self._delta_sum(
+            current, baseline, "gateway.jobs_finished_total", status="failed"
+        )
+        sub.details["jobs_failed"] = failed
+        if failed > 0:
+            sub.merge(DEGRADED, f"{failed:.0f} gateway job(s) failed in window")
+        auth_rejects = self._delta_sum(
+            current, baseline, "gateway.rejects_total", reason="auth"
+        )
+        sub.details["auth_rejects"] = auth_rejects
+        if auth_rejects > 0:
+            sub.merge(
+                DEGRADED,
+                f"{auth_rejects:.0f} tenant auth rejection(s) in window",
+            )
+        # a cell skipped for health is the scheduler *working*, but a
+        # window full of skips means capacity is down — the operator
+        # should know before the queue does
+        skips = self._delta_sum(
+            current, baseline, "gateway.scheduler_skips_total"
+        )
+        sub.details["unhealthy_cell_skips"] = skips
+        if skips > 0:
+            sub.merge(
+                DEGRADED,
+                f"{skips:.0f} placement(s) skipped an unhealthy cell in window",
             )
 
 

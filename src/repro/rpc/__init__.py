@@ -42,6 +42,7 @@ Example::
     daemon.shutdown()
 """
 
+from repro.rpc.context import current_tenant
 from repro.rpc.expose import expose, is_exposed, exposed_methods, oneway
 from repro.rpc.serialization import (
     serialize,
@@ -61,6 +62,7 @@ from repro.rpc.naming import (
 )
 
 __all__ = [
+    "current_tenant",
     "expose",
     "oneway",
     "is_exposed",

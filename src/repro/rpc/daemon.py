@@ -62,10 +62,12 @@ from repro.rpc.protocol import (
     recv_message,
     request_idempotency_key,
     request_lease,
+    request_tenant,
     request_trace_context,
     send_message,
     validate_request_body,
 )
+from repro.rpc.context import reset_current_tenant, set_current_tenant
 from repro.rpc.reactor import DEFAULT_MAX_OUTBOX_BYTES, Reactor, ReactorClient
 from repro.rpc.transport import Connection, Listener, TCPListener
 
@@ -575,14 +577,27 @@ class Daemon:
         self._pool.submit(self._drain_client, client)
 
     def _drain_client(self, client: ReactorClient) -> None:
-        while True:
+        try:
+            while True:
+                with self._dispatch_lock:
+                    pending = client.data.get("pending")
+                    if not pending or client.closed:
+                        # a dropped peer's leftover frames are dead work:
+                        # executing them would only raise on reply
+                        if pending:
+                            pending.clear()
+                        client.data["draining"] = False
+                        return
+                    msg = pending.popleft()
+                self._dispatch(client, msg)
+        except BaseException:
+            # _dispatch swallows dead-peer reply errors; anything that
+            # still escapes must not leave ``draining`` stuck True, or
+            # every later frame from this connection queues forever with
+            # no worker assigned to it
             with self._dispatch_lock:
-                pending = client.data.get("pending")
-                if not pending:
-                    client.data["draining"] = False
-                    return
-                msg = pending.popleft()
-            self._dispatch(client, msg)
+                client.data["draining"] = False
+            raise
 
     def _dispatch(self, client: Any, msg: Message) -> None:
         try:
@@ -847,6 +862,16 @@ class Daemon:
             pass
 
     def _execute_request(self, client: Any, msg: Message, record) -> None:
+        # bind the request's tenant for the whole dispatch (handlers read
+        # it via repro.rpc.context.current_tenant); reset in the finally
+        # because reactor/worker threads serve many tenants back to back
+        tenant_token = set_current_tenant(request_tenant(msg.body))
+        try:
+            self._execute_request_inner(client, msg, record)
+        finally:
+            reset_current_tenant(tenant_token)
+
+    def _execute_request_inner(self, client: Any, msg: Message, record) -> None:
         trace_parent = request_trace_context(msg.body)
         try:
             object_id, method_name, args, kwargs = validate_request_body(msg.body)

@@ -219,6 +219,7 @@ def request_body(
     idempotency_key: str | None = None,
     trace_context: dict[str, str] | None = None,
     lease: dict[str, Any] | None = None,
+    tenant: str | None = None,
 ) -> dict[str, Any]:
     """Build a REQUEST body.
 
@@ -240,6 +241,11 @@ def request_body(
     epoch of the named resource the caller holds; a daemon with a lease
     registry rejects stale epochs with ``LEASE_FENCED`` instead of
     dispatching. Daemons predating the field ignore it.
+
+    ``tenant`` is an optional tenant identifier (PROTOCOLS §1.8): a
+    gateway daemon attributes the request to that tenant's quotas and
+    fair-share after checking the connection authenticated with the
+    tenant's API key. Daemons predating the field ignore it.
     """
     body = {
         "object": object_id,
@@ -253,6 +259,8 @@ def request_body(
         body["trace"] = trace_context
     if lease is not None:
         body["lease"] = lease
+    if tenant is not None:
+        body["tenant"] = tenant
     return body
 
 
@@ -302,6 +310,21 @@ def request_lease(body: Any) -> dict[str, Any] | None:
             and isinstance(token.get("epoch"), int)
         ):
             return {"resource": token["resource"], "epoch": token["epoch"]}
+    return None
+
+
+def request_tenant(body: Any) -> str | None:
+    """Extract the optional tenant id from a decoded REQUEST body.
+
+    Returns the tenant id when it is a non-empty string, else ``None`` —
+    tolerant like the other optional fields: a request without a tenant
+    is simply not tenant-scoped, and gateways decide whether that is
+    allowed.
+    """
+    if isinstance(body, dict):
+        tenant = body.get("tenant")
+        if isinstance(tenant, str) and tenant:
+            return tenant
     return None
 
 

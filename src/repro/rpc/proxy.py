@@ -161,6 +161,7 @@ class Proxy:
         metrics: Any = None,
         max_inflight: int = 1,
         binary: bool | str = "auto",
+        tenant: str | None = None,
     ):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -177,14 +178,21 @@ class Proxy:
         self._lock = threading.RLock()
         self._metadata: dict[str, Any] | None = None
         self._binary = binary
-        # negotiated wire version, cached across reconnects: one HELLO
-        # round trip per endpoint, not per redial (None = not yet asked)
+        # negotiated wire version for the *current* connection (None =
+        # not yet asked). Forgotten on close: the peer behind an endpoint
+        # can be replaced between dials (daemon restart, downgrade to a
+        # pre-HELLO build), so a cached v2 verdict from the old peer must
+        # never be replayed at a new one that only speaks v1.
         self._negotiated: int | None = VERSION if binary is False else None
         self.tracer = tracer
         self.metrics = metrics
         # optional fencing token: when set, every REQUEST carries it and
         # a lease-aware daemon rejects stale epochs with LEASE_FENCED
         self.lease: dict[str, Any] | None = None
+        # optional tenant id (PROTOCOLS §1.8): when set, every REQUEST
+        # carries it and a gateway-aware daemon scopes the dispatch to
+        # that tenant's session
+        self.tenant: str | None = tenant
         # pipelining state: a waiter map keyed by sequence id plus a
         # "become the reader" condition — at most one thread blocks in
         # recv at a time, depositing replies for everyone else
@@ -307,6 +315,12 @@ class Proxy:
                 self._conn.close()
                 self._conn = None
             self._metadata = None
+            if self._binary is not False:
+                # re-negotiate on the next dial: the endpoint may now be
+                # served by a different daemon (restart/downgrade), and
+                # sending cached-v2 frames at a v1-only peer would poison
+                # its framing instead of downgrading cleanly
+                self._negotiated = None
 
     def __enter__(self) -> "Proxy":
         return self
@@ -400,6 +414,7 @@ class Proxy:
             idempotency_key=idempotency_key,
             trace_context=trace_context,
             lease=self.lease,
+            tenant=self.tenant,
         )
         flags = FLAG_ONEWAY if oneway else 0
         if self._max_inflight > 1:
@@ -864,6 +879,7 @@ class Pipeline:
             idempotency_key=key,
             trace_context=trace_context,
             lease=proxy.lease,
+            tenant=proxy.tenant,
         )
         try:
             conn, _seq, slot = proxy._pipeline_submit(MessageType.REQUEST, body)

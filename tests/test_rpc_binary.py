@@ -206,6 +206,73 @@ class TestVersionNegotiation:
             assert proxy.echo(2) == 2
             assert proxy.wire_version == BINARY_VERSION
 
+    def test_reconnect_to_downgraded_peer_renegotiates(self):
+        # the endpoint's daemon is replaced between connections: a v2
+        # reactor daemon settles the proxy on binary, then dies, and a
+        # JSON-only ThreadedDaemon takes over the same host:port. The
+        # cached v2 verdict must not be replayed at the new peer — the
+        # next dial re-runs HELLO and settles on v1
+        daemon = Daemon(host="127.0.0.1")
+        daemon.register(BulkService(), object_id="Bulk")
+        daemon.start_background()
+        host, port = daemon.address
+        uri = f"PYRO:Bulk@{host}:{port}"
+        proxy = Proxy(uri)
+        successor = None
+        try:
+            proxy.echo(1)
+            assert proxy.wire_version == BINARY_VERSION
+            daemon.shutdown()
+
+            successor = ThreadedDaemon(host=host, port=port)
+            successor.register(BulkService(), object_id="Bulk")
+            successor.start_background()
+            # the stale socket fails once; the redial must renegotiate
+            with pytest.raises(Exception):
+                proxy.echo(2)
+            assert proxy.echo(3) == 3
+            assert proxy.wire_version == VERSION
+            trace = proxy.wave(100)
+            np.testing.assert_allclose(trace[-1], 1.0)
+        finally:
+            proxy.close()
+            daemon.shutdown()
+            if successor is not None:
+                successor.shutdown()
+
+    def test_pool_member_renegotiates_after_daemon_swap(self):
+        # same swap, but through a ProxyPool lease: the member checked
+        # out after the restart carries a dead connection and a cached
+        # v2 verdict; its redial must downgrade cleanly to the new peer
+        from repro.rpc import ProxyPool
+
+        daemon = Daemon(host="127.0.0.1")
+        daemon.register(BulkService(), object_id="Bulk")
+        daemon.start_background()
+        host, port = daemon.address
+        uri = f"PYRO:Bulk@{host}:{port}"
+        pool = ProxyPool(uri, size=1)
+        successor = None
+        try:
+            assert pool.call("echo", 1) == 1
+            with pool.acquire() as member:
+                assert member.wire_version == BINARY_VERSION
+            daemon.shutdown()
+
+            successor = ThreadedDaemon(host=host, port=port)
+            successor.register(BulkService(), object_id="Bulk")
+            successor.start_background()
+            with pytest.raises(Exception):
+                pool.call("echo", 2)
+            assert pool.call("echo", 3) == 3
+            with pool.acquire() as member:
+                assert member.wire_version == VERSION
+        finally:
+            pool.close()
+            daemon.shutdown()
+            if successor is not None:
+                successor.shutdown()
+
     def test_bulk_payloads_identical_across_versions(
         self, reactor_daemon, json_daemon
     ):
@@ -223,8 +290,10 @@ class TestVersionNegotiation:
             with proxy.pipeline() as pipe:
                 pending = [pipe.call("chunk", 4096) for _ in range(16)]
                 chunks = [p.result() for p in pending]
+            # checked before close(): closing forgets the negotiation so
+            # the next dial re-HELLOs (the peer may have been replaced)
+            assert proxy.wire_version == BINARY_VERSION
         assert all(c == b"\xa5" * 4096 for c in chunks)
-        assert proxy.wire_version == BINARY_VERSION
 
 
 class TestCorruptFramesOverTheWire:

@@ -177,6 +177,27 @@ class TestWorkerPool:
         finally:
             daemon.shutdown()
 
+    def test_client_death_mid_burst_does_not_wedge_workers(self):
+        # a client that dies with a pipelined burst in flight (requests
+        # dispatched, replies undeliverable) must not leak its reply
+        # drain into the worker pool's health: other clients keep
+        # getting served afterwards
+        daemon, _, uri = _serve(workers=2)
+        try:
+            victim = Proxy(uri, max_inflight=16)
+            pipe = victim.pipeline()
+            for _ in range(12):
+                pipe.call("bulk", 256 * 1024)
+            # abrupt death: the socket closes with every reply pending
+            victim._conn.close()
+            victim._conn = None
+
+            with Proxy(uri) as survivor:
+                for i in range(20):
+                    assert survivor.echo(i) == i
+        finally:
+            daemon.shutdown()
+
     def test_workers_across_independent_connections(self):
         daemon, _, uri = _serve(workers=2)
         try:

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail CI when a metric is born undocumented.
+
+Every literal metric name passed to ``counter(`` / ``gauge(`` /
+``histogram(`` anywhere under ``src/`` must appear in
+``docs/OBSERVABILITY.md`` — the metrics table is the operator's
+contract, and a name that only exists in code is a dashboard nobody
+will ever build. Dynamic names (f-strings, variables) are out of scope
+by construction: only string literals are matched.
+
+Usage: ``python scripts/lint_metric_names.py`` (exit 1 on violations).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+#: ``.counter("name"`` / ``.gauge('name'`` / ``.histogram(\n    "name"`` —
+#: literal first arguments only, newline-tolerant.
+PATTERN = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*\n?\s*[\"']([A-Za-z0-9_.]+)[\"']"
+)
+
+
+def collect_metric_names(root: Path) -> dict[str, set[str]]:
+    """name -> set of ``path:line`` sites that create it."""
+    sites: dict[str, set[str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in PATTERN.finditer(text):
+            name = match.group(2)
+            line = text.count("\n", 0, match.start()) + 1
+            sites.setdefault(name, set()).add(
+                f"{path.relative_to(REPO)}:{line}"
+            )
+    return sites
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"missing {DOC.relative_to(REPO)}", file=sys.stderr)
+        return 1
+    doc_text = DOC.read_text(encoding="utf-8")
+    sites = collect_metric_names(SRC)
+    missing = {
+        name: where
+        for name, where in sites.items()
+        if name not in doc_text
+    }
+    if missing:
+        print(
+            f"{len(missing)} metric name(s) created in src/ but absent "
+            f"from {DOC.relative_to(REPO)}:",
+            file=sys.stderr,
+        )
+        for name in sorted(missing):
+            for site in sorted(missing[name]):
+                print(f"  {name}  ({site})", file=sys.stderr)
+        return 1
+    print(
+        f"ok: all {len(sites)} literal metric names documented in "
+        f"{DOC.relative_to(REPO)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

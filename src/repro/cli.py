@@ -15,6 +15,9 @@ Subcommands:
   overall status: 0 healthy, 1 degraded, 2 unhealthy);
 - ``repro-ice jobs`` — submit, inspect, cancel and poll campaign jobs
   on a multi-tenant facility gateway (``ACL_Gateway``) as one tenant;
+- ``repro-ice top`` — the operator's per-tenant ops view: call/error
+  rates merged from both facility halves (``Obs_Scrape``), gateway
+  queue depth, SLO burn rates and firing alerts;
 - ``repro-ice watch`` — run the workflow while tailing the live
   telemetry feed (``session.stream()``): span completions, health
   flips and event-log lines as they happen, a ``top``-style view of
@@ -135,6 +138,14 @@ def _format_stream_event(event) -> str | None:
         if "missed" in event.data:
             detail = f" missed={event.data['missed']}"
         return f"{stamp}  stream  {event.service:<11} {event.name}{detail}"
+    if event.kind == "slo":
+        tenant = event.data.get("tenant") or "-"
+        return (
+            f"{stamp}  slo     {event.service:<11} {event.name} "
+            f"{event.data.get('objective', '?')}[{tenant}] "
+            f"burn={event.data.get('burn_fast', 0.0):.1f}x/"
+            f"{event.data.get('burn_slow', 0.0):.1f}x"
+        )
     return f"{stamp}  {event.kind:<7} {event.service:<11} {event.name}"
 
 
@@ -388,6 +399,39 @@ def _format_job_line(view: dict) -> str:
     return line
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Per-tenant ops view over both ICE halves (the operator's ``top``).
+
+    Stands a fresh ICE up, drives tenant-attributed control traffic
+    (every RPC made while a tenant is bound on the context is labelled
+    automatically), optionally injects an error burst for one tenant,
+    then renders the merged two-facility scrape with live SLO burn
+    rates. Exit code 1 while any burn-rate alert is firing.
+    """
+    import repro
+    from repro.rpc.context import reset_current_tenant, set_current_tenant
+
+    with repro.connect() as session:
+        for _ in range(args.rounds):
+            for tenant in args.tenants:
+                token = set_current_tenant(tenant)
+                try:
+                    for _ in range(args.calls):
+                        session.client.call_Status_JKem()
+                    if tenant == args.burst_tenant:
+                        # a misbehaving tenant: unknown verbs come back
+                        # as dispatch errors and burn its error budget
+                        for _ in range(args.burst_calls):
+                            try:
+                                session.client.call_No_Such_Verb()
+                            except Exception:  # noqa: BLE001 - burst is the point
+                                pass
+                finally:
+                    reset_current_tenant(token)
+        print(session.top())
+        return 1 if session.slo_engine.active_alerts() else 0
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     """Talk to a facility gateway (``ACL_Gateway``) as one tenant."""
     import json
@@ -611,6 +655,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the raw poll reply"
     )
     jobs.set_defaults(fn=_cmd_jobs)
+
+    top = sub.add_parser(
+        "top",
+        help="per-tenant ops view: rates, queue depth, SLO burn, alerts",
+    )
+    top.add_argument(
+        "--tenants",
+        nargs="*",
+        default=["lab-a", "lab-b"],
+        help="tenant ids to drive demo traffic for",
+    )
+    top.add_argument(
+        "--calls", type=int, default=20, help="healthy RPCs per tenant per round"
+    )
+    top.add_argument("--rounds", type=int, default=2, help="traffic rounds")
+    top.add_argument(
+        "--burst-tenant",
+        default=None,
+        help="tenant to hit with an error burst (fires its SLO alert)",
+    )
+    top.add_argument(
+        "--burst-calls",
+        type=int,
+        default=15,
+        help="failing RPCs in the burst",
+    )
+    top.set_defaults(fn=_cmd_top)
 
     analyze = sub.add_parser("analyze", help="analyse an .mpt measurement file")
     analyze.add_argument("file")

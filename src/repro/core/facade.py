@@ -51,7 +51,14 @@ from repro.obs.recorder import (
     FlightRecorderServer,
     is_daemon_side_span,
 )
+from repro.obs.scrape import ObsAggregator, ObservabilityServer, format_top
+from repro.obs.slo import SLOEngine, default_objectives
 from repro.obs.stream import SessionStream, TelemetryBus, TelemetryServer
+from repro.obs.timeseries import (
+    SCHEMA as TSDB_SCHEMA,
+    TimeSeriesStore,
+    is_daemon_side_metric,
+)
 from repro.chemistry.voltammogram import Voltammogram
 from repro.analysis.metrics import CVMetrics, characterize
 from repro.ml.normality import NormalityClassifier, NormalityReport
@@ -143,6 +150,22 @@ class Session:
             self.tracer, only=lambda s: not is_daemon_side_span(s)
         )
         self.bus.observe_metrics(self.metrics)
+        # session-half time-series rollups: the DGX slice of the shared
+        # registry (an in-process ICE's store takes the daemon slice),
+        # scrapeable via Session.scrape() and merged by Session.top()
+        self.timeseries = TimeSeriesStore(clock=self.tracer.clock)
+        self.timeseries.attach(
+            self.metrics, only=lambda name: not is_daemon_side_metric(name)
+        )
+        self.slo_engine = SLOEngine(
+            self.timeseries,
+            clock=self.tracer.clock,
+            bus=self.bus,
+            metrics=self.metrics,
+        )
+        for objective in default_objectives():
+            self.slo_engine.add(objective)
+        self._aggregator: ObsAggregator | None = None
 
         self._control_uri: str | None = None
         if target is None:
@@ -243,6 +266,9 @@ class Session:
             window_s=self.session_config.health_window_s,
             bus=self.bus,
         )
+        # burn-rate alerts surface as the "slo" subsystem, so
+        # require_healthy= gates and flight-recorder dumps see them
+        self.slo_engine.attach_health(self.health_engine)
 
     def _hook_breaker_dump(self) -> None:
         from repro.resilience import ResilientProxy
@@ -268,6 +294,7 @@ class Session:
                 self.client.call_Disconnect_SP200()
         finally:
             self.bus.detach()
+            self.timeseries.close()
             if self.datachannel is not None:
                 self.datachannel.unmount()
             self.client.close()
@@ -573,6 +600,79 @@ class Session:
         if not uri or "@" not in uri:
             return None
         return f"PYRO:{TelemetryServer.OBJECT_ID}@{uri.split('@', 1)[1]}"
+
+    def _remote_obs_uri(self) -> str | None:
+        """Scrape URI next to the control object (URI mode only)."""
+        uri = self._control_uri
+        if not uri or "@" not in uri:
+            return None
+        return f"PYRO:{ObservabilityServer.OBJECT_ID}@{uri.split('@', 1)[1]}"
+
+    def slo(self) -> list[dict[str, Any]]:
+        """Evaluate every objective now; one status per (objective, tenant).
+
+        Each status carries the SLI and burn rate over the fast and slow
+        windows plus the firing alert windows (empty list when healthy).
+        Alert *transitions* also land on the telemetry bus as ``slo``
+        events and in :meth:`health` as the ``slo`` subsystem.
+        """
+        return self.slo_engine.evaluate()
+
+    def scrape(
+        self,
+        cursor: int = 0,
+        selectors: dict[str, Any] | None = None,
+        max_rows: int = 512,
+    ) -> dict[str, Any]:
+        """Page rollup rows out of the session-half time-series store.
+
+        Same ``repro-tsdb-1`` reply shape as the daemon's ``Obs_Scrape``
+        verb (PROTOCOLS §1.9), so callers can treat the local half
+        exactly like a remote facility.
+        """
+        rows, next_cursor, gap = self.timeseries.scrape(
+            cursor, selectors, max_rows
+        )
+        return {
+            "schema": TSDB_SCHEMA,
+            "service": "dgx-session",
+            "cursor": next_cursor,
+            "gap": gap,
+            "rows": rows,
+        }
+
+    def aggregator(self) -> ObsAggregator:
+        """The session's cross-facility scrape aggregator (lazy, cached).
+
+        Sources: the local session-half store, plus the in-process ICE's
+        daemon-half store (or the remote ``ACL_Observability`` object in
+        URI mode). Cursors persist across :meth:`top` calls, so each
+        refresh pulls only what is new.
+        """
+        if self._aggregator is None:
+            agg = ObsAggregator()
+            agg.add_store("dgx-session", self.timeseries)
+            if self.ice is not None:
+                agg.add_remote("acl-daemon", self.ice.obs_client())
+            else:
+                uri = self._remote_obs_uri()
+                if uri is not None:
+                    from repro.rpc.proxy import Proxy
+
+                    agg.add_remote("acl-daemon", Proxy(uri, timeout=10.0))
+            self._aggregator = agg
+        return self._aggregator
+
+    def top(self) -> str:
+        """One refresh of the tenant-keyed ops view, rendered as a table.
+
+        Per tenant: call/error rates merged across both facility halves,
+        gateway queue depth, worst burn-rate pair and firing SLO alerts.
+        The string the ``repro-ice top`` subcommand prints.
+        """
+        agg = self.aggregator()
+        agg.refresh()
+        return format_top(agg.view(), self.slo_engine.evaluate())
 
     def record_baseline(
         self, path: str | Path | None = None, store: BaselineStore | None = None

@@ -45,7 +45,9 @@ from repro.obs.recorder import (
     FlightRecorderServer,
     is_daemon_side_span,
 )
+from repro.obs.scrape import ObservabilityServer
 from repro.obs.stream import TelemetryBus, TelemetryServer
+from repro.obs.timeseries import TimeSeriesStore, is_daemon_side_metric
 from repro.rpc.daemon import Daemon
 from repro.rpc.naming import NameServer
 from repro.rpc.proxy import Proxy
@@ -180,6 +182,12 @@ class ElectrochemistryICE:
         #: :meth:`attach_observability` feeds it daemon-side spans
         self.telemetry_bus: TelemetryBus = parts["telemetry_bus"]
         self.telemetry_uri: str = parts["telemetry_uri"]
+        #: daemon-half time-series rollups, scrapeable over the control
+        #: channel (``ObservabilityServer.OBJECT_ID``);
+        #: :meth:`attach_observability` subscribes it to the registry's
+        #: daemon-side metric slice
+        self.obs_store: TimeSeriesStore = parts["obs_store"]
+        self.obs_uri: str = parts["obs_uri"]
         #: durable control-daemon state (dedup journal + lease epochs);
         #: survives crash_control_daemon(keep_disk=True) by design
         self.durability_dir: Path = parts["durability_dir"]
@@ -188,6 +196,7 @@ class ElectrochemistryICE:
         self._ws_server = parts["ws_server"]
         self._recorder_server = parts["recorder_server"]
         self._telemetry_server = parts["telemetry_server"]
+        self._obs_server = parts["obs_server"]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -298,6 +307,15 @@ class ElectrochemistryICE:
             telemetry_server,
             object_id=TelemetryServer.OBJECT_ID,
         )
+        # daemon-half rollup store: empty until attach_observability()
+        # wires a metrics registry; the DGX scrapes it over the control
+        # channel via Obs_Scrape and merges it with its own half
+        obs_store = TimeSeriesStore(clock=clock)
+        obs_server = ObservabilityServer(obs_store, service="acl-daemon")
+        obs_uri = control_daemon.register(
+            obs_server,
+            object_id=ObservabilityServer.OBJECT_ID,
+        )
         control_daemon.start_background()
 
         share = FileShareService(measurement_dir, share_name="acl-measurements")
@@ -368,6 +386,9 @@ class ElectrochemistryICE:
             recorder_uri=recorder_uri,
             telemetry_bus=telemetry_bus,
             telemetry_uri=telemetry_uri,
+            obs_store=obs_store,
+            obs_uri=obs_uri,
+            obs_server=obs_server,
             durability_dir=durability_dir,
             lease_registry=lease_registry,
             lease_uri=lease_uri,
@@ -461,6 +482,14 @@ class ElectrochemistryICE:
             self.telemetry_bus.attach_tracer(tracer, only=is_daemon_side_span)
         if metrics is not None:
             self.recorder.observe_metrics(metrics)
+            # the shared in-process registry is split by metric-name
+            # prefix: this store rolls up only the daemon-side slice,
+            # the session store takes the complement, so a two-source
+            # aggregator never counts a write twice
+            if not self.obs_store.attached:
+                if tracer is not None:
+                    self.obs_store.clock = tracer.clock
+                self.obs_store.attach(metrics, only=is_daemon_side_metric)
 
     # ------------------------------------------------------------------
     # Remote-side helpers (what runs on the DGX)
@@ -590,6 +619,20 @@ class ElectrochemistryICE:
             secret=self.config.control_secret,
         )
 
+    def obs_client(self, timeout: float | None = 10.0) -> Proxy:
+        """Control-channel proxy to the daemon-half time-series store.
+
+        Short default timeout like :meth:`telemetry_client`: scrape
+        polls run inside an aggregator loop and a partitioned facility
+        must show up as a gap on the next poll, not a hang.
+        """
+        return Proxy(
+            self.obs_uri,
+            timeout=timeout,
+            connection_factory=self._factory(self.control_networks),
+            secret=self.config.control_secret,
+        )
+
     def lease_client(self, timeout: float | None = 10.0) -> Proxy:
         """Control-channel proxy to the lease (fencing-token) service.
 
@@ -668,6 +711,9 @@ class ElectrochemistryICE:
         )
         daemon.register(
             self._telemetry_server, object_id=TelemetryServer.OBJECT_ID
+        )
+        daemon.register(
+            self._obs_server, object_id=ObservabilityServer.OBJECT_ID
         )
         daemon.start_background()
         self.control_daemon = daemon

@@ -50,6 +50,7 @@ from repro.gateway.jobs import (
 )
 from repro.gateway.scheduler import Cell, FairShareScheduler
 from repro.gateway.tenants import TenantRegistry, TenantSpec
+from repro.rpc.context import reset_current_tenant, set_current_tenant
 
 
 @dataclass(frozen=True)
@@ -310,6 +311,10 @@ class Gateway:
             cancelled=lambda: self.store.get(job.job_id).cancel_requested,
         )
         state, rounds, error = FAILED, 0, None
+        # bind the job's tenant on this thread for the whole run: every
+        # metric the runner's workflow/RPC stack writes is attributed to
+        # the tenant automatically (see MetricsRegistry tenant labels)
+        tenant_token = set_current_tenant(job.tenant)
         try:
             outcome = self._runner(job, cell, ctx) or {}
             state = str(outcome.get("state", SUCCEEDED))
@@ -318,6 +323,7 @@ class Gateway:
         except Exception as exc:  # noqa: BLE001 - a job failure is data
             state, error = FAILED, f"{type(exc).__name__}: {exc}"
         finally:
+            reset_current_tenant(tenant_token)
             cell.busy = False
         self.store.mark_finished(job.job_id, state, rounds=rounds, error=error)
         if self.metrics is not None:

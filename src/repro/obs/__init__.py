@@ -27,7 +27,16 @@ This package is the measurement substrate:
 - :mod:`repro.obs.profiler` — the :class:`SpanProfiler` transition
   sampler behind ``profile=True`` (schema ``repro-profile-1``);
 - :mod:`repro.obs.baseline` — the :class:`BaselineStore` perf baselines
-  feeding the ``perf`` health subsystem and ``BENCH_profile.json``.
+  feeding the ``perf`` health subsystem and ``BENCH_profile.json``;
+- :mod:`repro.obs.timeseries` — the :class:`TimeSeriesStore` of
+  fixed-memory multi-resolution rollup rings over the metric update
+  stream (schema ``repro-tsdb-1``);
+- :mod:`repro.obs.slo` — the :class:`SLOEngine` evaluating declarative
+  per-tenant objectives with fast/slow burn-rate alert pairs (the
+  ``slo`` health subsystem);
+- :mod:`repro.obs.scrape` — the ``ACL_Observability`` service object and
+  the :class:`ObsAggregator` merging N facilities' scrapes into the
+  tenant-keyed view ``repro-ice top`` renders.
 
 Everything is optional and off by default: components accept
 ``tracer=None`` / ``metrics=None`` and skip all bookkeeping when unset,
@@ -80,6 +89,9 @@ from repro.obs.stream import (
 )
 from repro.obs.profiler import SpanProfiler, profile_tracer
 from repro.obs.baseline import BaselineStore
+from repro.obs.timeseries import TimeSeriesStore, is_daemon_side_metric
+from repro.obs.slo import SLOEngine, SLObjective, default_objectives
+from repro.obs.scrape import ObsAggregator, ObservabilityServer, format_top
 
 __all__ = [
     "Span",
@@ -117,4 +129,12 @@ __all__ = [
     "SpanProfiler",
     "profile_tracer",
     "BaselineStore",
+    "TimeSeriesStore",
+    "is_daemon_side_metric",
+    "SLOEngine",
+    "SLObjective",
+    "default_objectives",
+    "ObsAggregator",
+    "ObservabilityServer",
+    "format_top",
 ]

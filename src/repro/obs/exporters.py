@@ -28,10 +28,30 @@ class JsonlSpanExporter:
     can never interleave. Use as a context manager or call
     :meth:`close` (which flushes; a span exported after close reopens
     the file rather than being lost).
+
+    With ``max_bytes`` set, the file rotates once a completed write
+    crosses the cap: the current file is flushed, closed and renamed to
+    ``<path>.1`` (existing rollovers shift to ``.2`` … ``.max_files``,
+    the oldest is deleted) and a fresh file takes its place. Rotation
+    happens on line boundaries only — no span is ever split across
+    files — so a long-running gateway campaign keeps a bounded trace
+    footprint of ``max_bytes * (max_files + 1)`` at the cost of losing
+    only the oldest spans.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int | None = None,
+        max_files: int = 5,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if max_files < 1:
+            raise ValueError("max_files must be at least 1")
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
         self._lock = threading.Lock()
         self._fh: IO[str] | None = None
 
@@ -45,6 +65,40 @@ class JsonlSpanExporter:
                 self._fh = self.path.open("a", encoding="utf-8")
             self._fh.write(json.dumps(span.to_dict(), default=str) + "\n")
             self._fh.flush()
+            if self.max_bytes is not None and self._fh.tell() >= self.max_bytes:
+                self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Roll the numbered files; caller holds the lock.
+
+        The live handle is flushed and closed *before* any rename so the
+        rolled file is always complete on disk (the flush-on-rotate
+        guarantee); the next span lazily opens a fresh file.
+        """
+        assert self._fh is not None
+        try:
+            self._fh.flush()
+        finally:
+            self._fh.close()
+            self._fh = None
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        if oldest.exists():
+            oldest.unlink()
+        for i in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        if self.path.exists():
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+
+    def rollover_paths(self) -> list[Path]:
+        """Existing rotated files, newest first (``.1`` before ``.2``)."""
+        paths = []
+        for i in range(1, self.max_files + 1):
+            candidate = self.path.with_name(f"{self.path.name}.{i}")
+            if candidate.exists():
+                paths.append(candidate)
+        return paths
 
     def close(self) -> None:
         """Flush and close; idempotent, and late spans reopen the file."""

@@ -57,6 +57,7 @@ SUBSYSTEMS = (
     "durability",
     "perf",
     "gateway",
+    "slo",
 )
 
 #: A probe returns None (nothing to report) or a (status, reason) pair.

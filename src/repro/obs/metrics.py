@@ -34,6 +34,46 @@ LATENCY_BUCKETS_S: tuple[float, ...] = (
     30.0,
 )
 
+#: Label automatically attached to writes when a tenant is bound on the
+#: calling context (see :mod:`repro.rpc.context`). Explicit ``tenant=``
+#: kwargs always win over the ambient value.
+TENANT_LABEL = "tenant"
+
+#: Label *value* that absorbs writes once an instrument hits the
+#: registry's per-metric label-set cap. Every label in the folded set is
+#: replaced by this sentinel so the overflow series stays a single,
+#: bounded bucket no matter how many distinct sets arrive.
+OVERFLOW_VALUE = "__overflow__"
+
+#: Metric names under this prefix are the registry's own bookkeeping;
+#: they are exempt from tenant injection and the cardinality cap so the
+#: guard cannot recurse into itself.
+INTERNAL_METRIC_PREFIX = "obs.metrics."
+
+#: Counter (labelled by ``metric=<name>``) counting writes folded into
+#: the ``__overflow__`` series by the cardinality cap.
+LABEL_OVERFLOW_METRIC = "obs.metrics.label_overflow_total"
+
+_tenant_getter: Callable[[], str | None] | None = None
+
+
+def _ambient_tenant() -> "str | None":
+    """Tenant bound on the calling context, or None.
+
+    Imported lazily: ``repro.obs`` must stay importable without pulling
+    in the RPC package (which imports the daemon and proxy machinery at
+    package-import time).
+    """
+    global _tenant_getter
+    if _tenant_getter is None:
+        try:
+            from repro.rpc.context import current_tenant
+        except ImportError:  # pragma: no cover - rpc package always ships
+            _tenant_getter = lambda: None  # noqa: E731
+        else:
+            _tenant_getter = current_tenant
+    return _tenant_getter()
+
 
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
     """Canonical hashable form of a label set."""
@@ -117,6 +157,25 @@ class _Instrument:
     def _new_state(self) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def _labels_for_write(self, labels: dict[str, Any]) -> dict[str, Any]:
+        """Attach the ambient tenant label to a write's label set.
+
+        No-ops when the registry has tenant attribution disabled, the
+        caller already passed an explicit ``tenant=``, the metric is
+        registry bookkeeping, or no tenant is bound on this context.
+        """
+        registry = self._registry
+        if registry is None or not registry.tenant_labels:
+            return labels
+        if TENANT_LABEL in labels or self.name.startswith(INTERNAL_METRIC_PREFIX):
+            return labels
+        tenant = _ambient_tenant()
+        if tenant is None:
+            return labels
+        labels = dict(labels)
+        labels[TENANT_LABEL] = tenant
+        return labels
+
     def _state(self, labels: dict[str, Any]) -> Any:
         key = _label_key(labels)
         state = self._series.get(key)
@@ -124,6 +183,50 @@ class _Instrument:
             state = self._new_state()
             self._series[key] = state
         return state
+
+    def _locate(
+        self, labels: dict[str, Any]
+    ) -> tuple[Any, dict[str, Any], bool]:
+        """Resolve ``labels`` to a series under the cardinality cap.
+
+        Called with the instrument lock held. Returns ``(state,
+        effective_labels, folded)``: when the write would create a label
+        set beyond the registry's per-metric cap, it is folded into the
+        ``__overflow__`` series instead (every label value replaced by
+        the sentinel, keys preserved) and ``folded`` is True so the
+        caller can count the fold *after* releasing the lock.
+        """
+        key = _label_key(labels)
+        state = self._series.get(key)
+        if state is not None:
+            return state, labels, False
+        registry = self._registry
+        cap = registry.max_label_sets if registry is not None else None
+        if (
+            cap is not None
+            and len(self._series) >= cap
+            and not self.name.startswith(INTERNAL_METRIC_PREFIX)
+        ):
+            key = tuple((k, OVERFLOW_VALUE) for k, _ in key)
+            labels = dict(key)
+            state = self._series.get(key)
+            if state is None:
+                state = self._new_state()
+                self._series[key] = state
+            return state, labels, True
+        state = self._new_state()
+        self._series[key] = state
+        return state, labels, False
+
+    def _count_overflow(self) -> None:
+        """Count one folded write. Called outside the instrument lock."""
+        registry = self._registry
+        if registry is not None:
+            registry.counter(
+                LABEL_OVERFLOW_METRIC,
+                "metric writes folded into the __overflow__ series by "
+                "the label-cardinality cap",
+            ).inc(metric=self.name)
 
     def labels_seen(self) -> list[dict[str, str]]:
         with self._lock:
@@ -147,10 +250,13 @@ class Counter(_Instrument):
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
             raise ValueError("Counter can only increase")
+        labels = self._labels_for_write(labels)
         with self._lock:
-            state = self._state(labels)
+            state, labels, folded = self._locate(labels)
             state[0] += amount
             value = state[0]
+        if folded:
+            self._count_overflow()
         self._notify(labels, value)
 
     def value(self, **labels: Any) -> float:
@@ -173,15 +279,22 @@ class Gauge(_Instrument):
         return [0.0]
 
     def set(self, value: float, **labels: Any) -> None:
+        labels = self._labels_for_write(labels)
         with self._lock:
-            self._state(labels)[0] = float(value)
+            state, labels, folded = self._locate(labels)
+            state[0] = float(value)
+        if folded:
+            self._count_overflow()
         self._notify(labels, float(value))
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        labels = self._labels_for_write(labels)
         with self._lock:
-            state = self._state(labels)
+            state, labels, folded = self._locate(labels)
             state[0] += amount
             value = state[0]
+        if folded:
+            self._count_overflow()
         self._notify(labels, value)
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
@@ -226,8 +339,9 @@ class Histogram(_Instrument):
         return _HistogramState(len(self.buckets))
 
     def observe(self, value: float, **labels: Any) -> None:
+        labels = self._labels_for_write(labels)
         with self._lock:
-            state = self._state(labels)
+            state, labels, folded = self._locate(labels)
             idx = len(self.buckets)
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
@@ -240,6 +354,8 @@ class Histogram(_Instrument):
                 state.minimum = value
             if value > state.maximum:
                 state.maximum = value
+        if folded:
+            self._count_overflow()
         self._notify(labels, value)
 
     def snapshot(self, **labels: Any) -> dict[str, Any]:
@@ -296,12 +412,32 @@ class MetricsRegistry:
     datachannel layers so ``session.metrics.summarize()`` sees the whole
     run. Re-registering a name returns the existing instrument (kind
     mismatch raises — that is always a programming error).
+
+    Two registry-wide policies apply to every write:
+
+    * **tenant attribution** (``tenant_labels=True``): when the calling
+      context has a tenant bound (:func:`repro.rpc.context.current_tenant`
+      — the gateway binds it around job execution, the daemon around
+      each dispatch), a ``tenant=<id>`` label is attached automatically
+      unless the caller passed one explicitly.
+    * **cardinality cap** (``max_label_sets``): once an instrument holds
+      that many distinct label sets, writes that would create a new one
+      are folded into a single ``__overflow__`` series and counted on
+      ``obs.metrics.label_overflow_total{metric=<name>}``. Pass ``None``
+      to disable. Existing series are never evicted, so readers keep
+      exact values for everything admitted before the cap.
     """
 
-    def __init__(self):
+    def __init__(
+        self,
+        max_label_sets: int | None = 256,
+        tenant_labels: bool = True,
+    ):
         self._lock = threading.Lock()
         self._metrics: dict[str, _Instrument] = {}
         self._listeners: list[UpdateListener] = []
+        self.max_label_sets = max_label_sets
+        self.tenant_labels = tenant_labels
 
     def _get_or_create(self, cls, name: str, description: str, **kwargs) -> Any:
         with self._lock:

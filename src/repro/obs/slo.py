@@ -1,0 +1,299 @@
+"""Declarative SLOs with per-tenant multi-window burn-rate alerting.
+
+An :class:`SLObjective` states a target good-fraction for one metric —
+either **availability** (a counter split by a bad-status label) or
+**latency** (a histogram and a threshold; good means at-or-under it).
+The :class:`SLOEngine` evaluates every objective against a
+:class:`~repro.obs.timeseries.TimeSeriesStore`, once per tenant seen on
+the metric, over a fast and a slow rolling window.
+
+The alerting rule is the classic burn-rate pair: with error budget
+``1 - objective``, the burn rate is ``bad_fraction / budget`` — the
+multiple of the budget being spent right now. A fast window with a high
+threshold catches sharp bursts in seconds; a slow window with a lower
+threshold catches slow leaks. Alert transitions are published on the
+``TelemetryBus`` as ``slo`` events (schema ``repro-slo-1``), current
+burn rates are exported as ``obs.slo.*`` gauges (so they scrape across
+facilities like any other metric), and :meth:`SLOEngine.attach_health`
+surfaces firing alerts as the health engine's ``slo`` subsystem so
+``require_healthy=`` gates and flight-recorder dumps pick them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.clock import Clock, WallClock
+from repro.obs.health import DEGRADED, UNHEALTHY, HealthEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import KIND_SLO
+from repro.obs.timeseries import TimeSeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.stream import TelemetryBus
+
+#: Schema tag stamped on every alert/resolve event's data.
+ALERT_SCHEMA = "repro-slo-1"
+
+AVAILABILITY = "availability"
+LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective over one metric.
+
+    ``availability``: ``metric`` is a counter; samples whose
+    ``bad_label == bad_value`` are the bad events, everything on the
+    metric is the total. ``latency``: ``metric`` is a histogram and a
+    sample is bad when it exceeds ``threshold_s`` (judged from rollup
+    bucket deltas, so the verdict is bucket-resolution accurate).
+
+    ``fast_burn``/``slow_burn`` are the page thresholds for the two
+    windows; the defaults (14x over 1 min, 6x over 10 min) follow the
+    usual multiwindow guidance scaled to bench-length runs. Windows with
+    fewer than ``min_events`` samples abstain rather than alert.
+    """
+
+    name: str
+    metric: str
+    objective: float = 0.99
+    kind: str = AVAILABILITY
+    threshold_s: float | None = None
+    bad_label: str = "status"
+    bad_value: str = "error"
+    per_tenant: bool = True
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    fast_burn: float = 14.0
+    slow_burn: float = 6.0
+    min_events: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {self.objective}")
+        if self.kind not in (AVAILABILITY, LATENCY):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == LATENCY and self.threshold_s is None:
+            raise ValueError("latency objectives need threshold_s")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+def default_objectives() -> list[SLObjective]:
+    """The stock session objectives: RPC availability and latency.
+
+    Thresholds are deliberately loose (30 s covers the paper's
+    multi-second CV techniques and file-arrival waits) so a clean
+    baseline run always reports healthy; tighten per deployment via
+    ``SLOEngine.add``.
+    """
+    return [
+        SLObjective(
+            name="rpc-availability",
+            metric="rpc.client.calls_total",
+            objective=0.99,
+        ),
+        SLObjective(
+            name="rpc-latency",
+            metric="rpc.client.call_latency_s",
+            kind=LATENCY,
+            objective=0.95,
+            threshold_s=30.0,
+        ),
+    ]
+
+
+@dataclass
+class _WindowStats:
+    total: float = 0.0
+    bad: float = 0.0
+
+    @property
+    def bad_fraction(self) -> float:
+        return (self.bad / self.total) if self.total > 0 else 0.0
+
+
+class SLOEngine:
+    """Evaluates objectives per tenant and raises burn-rate alerts."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        clock: Clock | None = None,
+        bus: "TelemetryBus | None" = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self._store = store
+        self._clock = clock or WallClock()
+        self._bus = bus
+        self._metrics = metrics
+        self._objectives: list[SLObjective] = []
+        self._firing: dict[tuple[str, str | None], tuple[str, ...]] = {}
+        self._last_statuses: list[dict[str, Any]] = []
+
+    def add(self, objective: SLObjective) -> SLObjective:
+        if any(o.name == objective.name for o in self._objectives):
+            raise ValueError(f"objective {objective.name!r} already registered")
+        self._objectives.append(objective)
+        return objective
+
+    def objectives(self) -> list[SLObjective]:
+        return list(self._objectives)
+
+    # -- evaluation ---------------------------------------------------------
+    def _window(
+        self,
+        objective: SLObjective,
+        tenant: str | None,
+        window_s: float,
+        now: float,
+    ) -> _WindowStats:
+        selector: dict[str, Any] = {}
+        if tenant is not None:
+            selector["tenant"] = tenant
+        stats = self._store.window_stats(
+            objective.metric, selector or None, window_s=window_s, now=now
+        )
+        if objective.kind == AVAILABILITY:
+            bad_selector = dict(selector)
+            bad_selector[objective.bad_label] = objective.bad_value
+            bad = self._store.window_stats(
+                objective.metric, bad_selector, window_s=window_s, now=now
+            )
+            return _WindowStats(total=stats["sum"], bad=bad["sum"])
+        # latency: judge from bucket deltas (last bucket is +Inf overflow)
+        total = float(stats["count"])
+        buckets = stats["buckets"]
+        bounds = self._store.bucket_bounds(objective.metric)
+        if buckets is None or bounds is None:
+            return _WindowStats(total=total, bad=0.0)
+        good = sum(
+            buckets[i]
+            for i, bound in enumerate(bounds)
+            if bound <= objective.threshold_s
+        )
+        return _WindowStats(total=total, bad=max(0.0, total - good))
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate every objective; returns one status dict per
+        (objective, tenant) and publishes alert transitions on the bus."""
+        now = self._clock.now() if now is None else now
+        statuses: list[dict[str, Any]] = []
+        for objective in self._objectives:
+            tenants: list[str | None]
+            if objective.per_tenant:
+                tenants = list(self._store.tenants(objective.metric)) or [None]
+            else:
+                tenants = [None]
+            for tenant in tenants:
+                fast = self._window(objective, tenant, objective.fast_window_s, now)
+                slow = self._window(objective, tenant, objective.slow_window_s, now)
+                budget = objective.budget
+                burn_fast = fast.bad_fraction / budget
+                burn_slow = slow.bad_fraction / budget
+                alerts: list[str] = []
+                if fast.total >= objective.min_events and burn_fast > objective.fast_burn:
+                    alerts.append("fast")
+                if slow.total >= objective.min_events and burn_slow > objective.slow_burn:
+                    alerts.append("slow")
+                status = {
+                    "objective": objective.name,
+                    "metric": objective.metric,
+                    "kind": objective.kind,
+                    "tenant": tenant,
+                    "target": objective.objective,
+                    "sli_fast": 1.0 - fast.bad_fraction,
+                    "sli_slow": 1.0 - slow.bad_fraction,
+                    "events_fast": fast.total,
+                    "events_slow": slow.total,
+                    "burn_fast": burn_fast,
+                    "burn_slow": burn_slow,
+                    "alerts": alerts,
+                    "status": "alerting" if alerts else "ok",
+                }
+                statuses.append(status)
+                self._export_gauges(status)
+                self._publish_transition(objective, tenant, status)
+        self._last_statuses = statuses
+        return statuses
+
+    def active_alerts(self) -> list[dict[str, Any]]:
+        """Firing statuses from the most recent :meth:`evaluate`."""
+        return [s for s in self._last_statuses if s["alerts"]]
+
+    def _export_gauges(self, status: dict[str, Any]) -> None:
+        if self._metrics is None:
+            return
+        tenant = status["tenant"] or ""
+        burn = self._metrics.gauge(
+            "obs.slo.burn_rate", "current error-budget burn-rate multiple"
+        )
+        burn.set(status["burn_fast"], objective=status["objective"], tenant=tenant, window="fast")
+        burn.set(status["burn_slow"], objective=status["objective"], tenant=tenant, window="slow")
+        self._metrics.gauge(
+            "obs.slo.alerting", "1 while a burn-rate alert is firing"
+        ).set(1.0 if status["alerts"] else 0.0, objective=status["objective"], tenant=tenant)
+
+    def _publish_transition(
+        self,
+        objective: SLObjective,
+        tenant: str | None,
+        status: dict[str, Any],
+    ) -> None:
+        key = (objective.name, tenant)
+        previous = self._firing.get(key, ())
+        current = tuple(status["alerts"])
+        if current == previous:
+            return
+        self._firing[key] = current
+        if self._bus is None:
+            return
+        self._bus.publish(
+            KIND_SLO,
+            "slo.alert" if current else "slo.resolved",
+            schema=ALERT_SCHEMA,
+            objective=objective.name,
+            metric=objective.metric,
+            tenant=tenant,
+            windows=list(current),
+            burn_fast=status["burn_fast"],
+            burn_slow=status["burn_slow"],
+            sli_fast=status["sli_fast"],
+            sli_slow=status["sli_slow"],
+        )
+
+    # -- health surfacing ---------------------------------------------------
+    def attach_health(self, engine: HealthEngine) -> None:
+        """Register the ``slo`` subsystem probe on a health engine.
+
+        Any firing alert degrades the subsystem; an objective burning
+        through both windows at once (sustained, not just a blip) marks
+        it unhealthy. The probe re-evaluates on every health check so
+        gates always see current burn rates.
+        """
+
+        def probe() -> tuple[str, str] | None:
+            firing = sorted(
+                (s for s in self.evaluate() if s["alerts"]),
+                key=lambda s: -len(s["alerts"]),
+            )
+            if not firing:
+                return None
+            status = (
+                UNHEALTHY
+                if any(len(s["alerts"]) == 2 for s in firing)
+                else DEGRADED
+            )
+            worst = firing[0]
+            reason = (
+                f"{len(firing)} SLO alert(s); worst {worst['objective']}"
+                f"[{worst['tenant'] or 'global'}] burning "
+                f"{worst['burn_fast']:.1f}x fast / {worst['burn_slow']:.1f}x slow"
+            )
+            return status, reason
+
+        engine.register_probe("slo", probe)

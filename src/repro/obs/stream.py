@@ -57,6 +57,7 @@ KIND_METRIC = "metric"
 KIND_EVENT = "event"
 KIND_HEALTH = "health"
 KIND_STREAM = "stream"
+KIND_SLO = "slo"
 
 
 @dataclass(frozen=True)

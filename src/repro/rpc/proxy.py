@@ -38,6 +38,7 @@ from repro.errors import (
     RemoteInvocationError,
     ReproError,
 )
+from repro.rpc.context import current_tenant
 from repro.rpc.naming import PyroURI, parse_uri
 from repro.rpc.protocol import (
     BINARY_VERSION,
@@ -191,7 +192,9 @@ class Proxy:
         self.lease: dict[str, Any] | None = None
         # optional tenant id (PROTOCOLS §1.8): when set, every REQUEST
         # carries it and a gateway-aware daemon scopes the dispatch to
-        # that tenant's session
+        # that tenant's session; when unset, the envelope falls back to
+        # the tenant bound on the calling context (if any), so daemon-
+        # side metrics stay attributed across the wire
         self.tenant: str | None = tenant
         # pipelining state: a waiter map keyed by sequence id plus a
         # "become the reader" condition — at most one thread blocks in
@@ -308,6 +311,12 @@ class Proxy:
                 else "authentication rejected"
             )
 
+    def _effective_tenant(self) -> "str | None":
+        """The tenant stamped on outgoing REQUESTs: the explicit proxy
+        attribute when set, else whatever is bound on the calling
+        context — attribution follows the call across the wire."""
+        return self.tenant if self.tenant is not None else current_tenant()
+
     def close(self) -> None:
         """Drop the connection; the proxy reconnects lazily if reused."""
         with self._lock:
@@ -414,7 +423,7 @@ class Proxy:
             idempotency_key=idempotency_key,
             trace_context=trace_context,
             lease=self.lease,
-            tenant=self.tenant,
+            tenant=self._effective_tenant(),
         )
         flags = FLAG_ONEWAY if oneway else 0
         if self._max_inflight > 1:
@@ -879,7 +888,7 @@ class Pipeline:
             idempotency_key=key,
             trace_context=trace_context,
             lease=proxy.lease,
-            tenant=proxy.tenant,
+            tenant=proxy._effective_tenant(),
         )
         try:
             conn, _seq, slot = proxy._pipeline_submit(MessageType.REQUEST, body)

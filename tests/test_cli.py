@@ -89,3 +89,48 @@ class TestWatchParser:
         assert args.interval == pytest.approx(0.2)
         assert args.profile is False
         assert args.fn.__name__ == "_cmd_watch"
+
+
+class TestTop:
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.tenants == ["lab-a", "lab-b"]
+        assert args.burst_tenant is None
+        assert args.fn.__name__ == "_cmd_top"
+
+    def test_top_renders_tenant_table(self, capsys):
+        code = main(["top", "--calls", "5", "--rounds", "1"])
+        captured = capsys.readouterr()
+        assert code == 0  # no burst: nothing is alerting
+        assert "TENANT" in captured.out
+        assert "lab-a" in captured.out and "lab-b" in captured.out
+        assert "dgx-session" in captured.out and "acl-daemon" in captured.out
+
+    def test_top_burst_pages_and_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "top",
+                "--calls",
+                "5",
+                "--rounds",
+                "1",
+                "--burst-tenant",
+                "lab-a",
+                "--burst-calls",
+                "10",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1  # the burst tenant's burn-rate alert is firing
+        burst_row = next(
+            line
+            for line in captured.out.splitlines()
+            if line.startswith("lab-a")
+        )
+        idle_row = next(
+            line
+            for line in captured.out.splitlines()
+            if line.startswith("lab-b")
+        )
+        assert "ALERT" in burst_row
+        assert "ALERT" not in idle_row

@@ -1,0 +1,191 @@
+"""SLO engine: objectives, burn-rate math, alerts, health surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.obs.health import DEGRADED, HealthEngine, UNHEALTHY
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import LATENCY, SLOEngine, SLObjective, default_objectives
+from repro.obs.stream import KIND_SLO, TelemetryBus
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def _rig(**objective_kwargs):
+    clock = VirtualClock()
+    reg = MetricsRegistry()
+    store = TimeSeriesStore(clock=clock)
+    store.attach(reg)
+    bus = TelemetryBus("test", clock=clock)
+    engine = SLOEngine(store, clock=clock, bus=bus, metrics=reg)
+    defaults = dict(
+        name="avail", metric="calls_total", objective=0.99, min_events=5
+    )
+    defaults.update(objective_kwargs)
+    engine.add(SLObjective(**defaults))
+    return clock, reg, store, bus, engine
+
+
+class TestObjectiveValidation:
+    def test_objective_must_be_fractional(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", metric="m", objective=1.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", metric="m", kind=LATENCY)
+
+    def test_duplicate_names_rejected(self):
+        _, _, _, _, engine = _rig()
+        with pytest.raises(ValueError):
+            engine.add(SLObjective(name="avail", metric="m2"))
+
+    def test_defaults_are_well_formed(self):
+        names = {o.name for o in default_objectives()}
+        assert names == {"rpc-availability", "rpc-latency"}
+
+
+class TestBurnRates:
+    def test_clean_traffic_is_ok(self):
+        clock, reg, _, _, engine = _rig()
+        counter = reg.counter("calls_total")
+        for _ in range(50):
+            counter.inc(status="ok", tenant="a")
+        (status,) = engine.evaluate()
+        assert status["tenant"] == "a"
+        assert status["status"] == "ok"
+        assert status["burn_fast"] == 0.0
+
+    def test_error_burst_fires_fast_window_only(self):
+        """A long healthy history plus a fresh sharp burst: the fast
+        window pages, the slow window (mostly healthy) stays quiet."""
+        clock, reg, _, _, engine = _rig(
+            fast_window_s=60, slow_window_s=600, fast_burn=14, slow_burn=6
+        )
+        counter = reg.counter("calls_total")
+        for _ in range(540):  # 9 minutes of clean traffic
+            counter.inc(status="ok", tenant="a")
+            clock.advance(1.0)
+        for _ in range(30):  # 30 s burst at 50% errors
+            counter.inc(status="error", tenant="a")
+            counter.inc(status="ok", tenant="a")
+            clock.advance(1.0)
+        (status,) = engine.evaluate()
+        assert status["alerts"] == ["fast"]
+        assert status["burn_fast"] > 14
+        assert status["burn_slow"] < 6
+
+    def test_per_tenant_isolation(self):
+        clock, reg, _, _, engine = _rig()
+        counter = reg.counter("calls_total")
+        for i in range(20):
+            counter.inc(status="error" if i % 2 else "ok", tenant="noisy")
+            counter.inc(status="ok", tenant="quiet")
+        by_tenant = {s["tenant"]: s for s in engine.evaluate()}
+        assert by_tenant["noisy"]["alerts"]
+        assert by_tenant["quiet"]["alerts"] == []
+
+    def test_min_events_abstains(self):
+        clock, reg, _, _, engine = _rig(min_events=10)
+        counter = reg.counter("calls_total")
+        for _ in range(3):
+            counter.inc(status="error", tenant="a")
+        (status,) = engine.evaluate()
+        assert status["alerts"] == []  # 100% errors but too few events
+
+    def test_untenanted_traffic_evaluates_globally(self):
+        clock, reg, _, _, engine = _rig()
+        counter = reg.counter("calls_total")
+        for _ in range(20):
+            counter.inc(status="error")
+        (status,) = engine.evaluate()
+        assert status["tenant"] is None
+        assert status["alerts"]
+
+    def test_latency_objective_judges_threshold_from_buckets(self):
+        clock, reg, _, _, engine = _rig(
+            name="lat",
+            metric="latency_s",
+            kind=LATENCY,
+            threshold_s=1.0,
+            objective=0.9,
+            fast_burn=2.0,
+        )
+        hist = reg.histogram("latency_s", buckets=(0.1, 1.0, 10.0))
+        for _ in range(10):
+            hist.observe(0.05, tenant="a")  # good
+        for _ in range(10):
+            hist.observe(5.0, tenant="a")  # over threshold
+        (status,) = engine.evaluate()
+        assert status["sli_fast"] == pytest.approx(0.5)
+        assert status["burn_fast"] == pytest.approx(5.0)
+        assert status["alerts"]
+
+    def test_burn_gauges_are_exported(self):
+        clock, reg, _, _, engine = _rig()
+        reg.counter("calls_total").inc(status="ok", tenant="a")
+        engine.evaluate()
+        burn = reg.gauge("obs.slo.burn_rate")
+        assert burn.value(objective="avail", tenant="a", window="fast") == 0.0
+
+
+class TestAlertTransitions:
+    def test_bus_sees_alert_then_resolve(self):
+        clock, reg, _, bus, engine = _rig(fast_window_s=30, slow_window_s=60)
+        counter = reg.counter("calls_total")
+        for _ in range(20):
+            counter.inc(status="error", tenant="a")
+        engine.evaluate()
+        events, _, _ = bus.read_since(0)
+        alerts = [e for e in events if e.kind == KIND_SLO]
+        assert len(alerts) == 1 and alerts[0].name == "slo.alert"
+        assert alerts[0].data["tenant"] == "a"
+        assert alerts[0].data["schema"] == "repro-slo-1"
+        # steady state: no duplicate events while still firing
+        engine.evaluate()
+        events, _, _ = bus.read_since(0)
+        assert len([e for e in events if e.kind == KIND_SLO]) == 1
+        # budget recovers once the burst ages out of both windows
+        clock.advance(120)
+        for _ in range(10):
+            counter.inc(status="ok", tenant="a")
+        engine.evaluate()
+        events, _, _ = bus.read_since(0)
+        slo_events = [e for e in events if e.kind == KIND_SLO]
+        assert [e.name for e in slo_events] == ["slo.alert", "slo.resolved"]
+        assert engine.active_alerts() == []
+
+
+class TestHealthSurfacing:
+    def _health(self, engine, reg, clock):
+        health = HealthEngine(reg, clock=clock)
+        engine.attach_health(health)
+        return health
+
+    def test_fast_alert_degrades_slo_subsystem(self):
+        clock, reg, _, _, engine = _rig(
+            fast_window_s=60, slow_window_s=600, fast_burn=14, slow_burn=6
+        )
+        health = self._health(engine, reg, clock)
+        counter = reg.counter("calls_total")
+        for _ in range(540):
+            counter.inc(status="ok", tenant="a")
+            clock.advance(1.0)
+        assert health.evaluate().subsystems["slo"].status == "healthy"
+        for _ in range(30):
+            counter.inc(status="error", tenant="a")
+            counter.inc(status="ok", tenant="a")
+            clock.advance(1.0)
+        report = health.evaluate()
+        assert report.subsystems["slo"].status == DEGRADED
+        assert "burning" in report.subsystems["slo"].reasons[0]
+
+    def test_both_windows_burning_is_unhealthy(self):
+        clock, reg, _, _, engine = _rig()
+        health = self._health(engine, reg, clock)
+        counter = reg.counter("calls_total")
+        for _ in range(50):
+            counter.inc(status="error", tenant="a")
+        report = health.evaluate()
+        assert report.subsystems["slo"].status == UNHEALTHY

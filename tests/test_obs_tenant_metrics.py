@@ -1,0 +1,204 @@
+"""Tenant attribution and cardinality guard on the metrics registry.
+
+PR 8 made the platform multi-tenant; these tests pin the observability
+side of that: every metric written while a tenant is bound on the
+calling context carries a ``tenant`` label automatically, and a hostile
+or buggy label stream (unbounded tenant ids) folds into one
+``__overflow__`` series instead of growing without bound. Plus the
+listener-concurrency contract: notifications always run outside the
+instrument lock and none are lost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LABEL_OVERFLOW_METRIC,
+    MetricsRegistry,
+    OVERFLOW_VALUE,
+)
+from repro.rpc.context import reset_current_tenant, set_current_tenant
+
+
+@pytest.fixture
+def tenant():
+    token = set_current_tenant("lab-a")
+    yield "lab-a"
+    reset_current_tenant(token)
+
+
+class TestTenantAttribution:
+    def test_ambient_tenant_labels_counter_writes(self, tenant):
+        reg = MetricsRegistry()
+        counter = reg.counter("rpc.client.calls_total")
+        counter.inc(method="ping", status="ok")
+        assert counter.value(method="ping", status="ok", tenant="lab-a") == 1
+        assert counter.value(method="ping", status="ok") == 0
+
+    def test_gauge_and_histogram_writes_are_attributed(self, tenant):
+        reg = MetricsRegistry()
+        reg.gauge("gateway.queue_depth").set(3)
+        reg.histogram("rpc.client.call_latency_s").observe(0.01)
+        assert reg.gauge("gateway.queue_depth").value(tenant="lab-a") == 3
+        assert (
+            reg.histogram("rpc.client.call_latency_s").count(tenant="lab-a") == 1
+        )
+
+    def test_no_tenant_bound_means_no_label(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("rpc.client.calls_total")
+        counter.inc(status="ok")
+        assert counter.labels_seen() == [{"status": "ok"}]
+
+    def test_explicit_tenant_label_wins(self, tenant):
+        reg = MetricsRegistry()
+        counter = reg.counter("gateway.jobs_submitted_total")
+        counter.inc(tenant="lab-b")
+        assert counter.value(tenant="lab-b") == 1
+        assert counter.value(tenant="lab-a") == 0
+
+    def test_internal_metrics_skip_attribution(self, tenant):
+        reg = MetricsRegistry()
+        counter = reg.counter("obs.metrics.label_overflow_total")
+        counter.inc(metric="x")
+        assert counter.labels_seen() == [{"metric": "x"}]
+
+    def test_registry_can_disable_attribution(self, tenant):
+        reg = MetricsRegistry(tenant_labels=False)
+        counter = reg.counter("rpc.client.calls_total")
+        counter.inc(status="ok")
+        assert counter.labels_seen() == [{"status": "ok"}]
+
+    def test_daemon_dispatch_attributes_hot_path_metrics(self, ice):
+        """e2e: a tenant-stamped request lands tenant-labelled
+        rpc.daemon.* metrics without any instrumented code changing."""
+        from repro.obs import MetricsRegistry as Registry, Tracer
+
+        metrics = Registry()
+        ice.attach_observability(Tracer("t"), metrics)
+        client = ice.client(metrics=metrics)
+        try:
+            proxy = getattr(client, "_proxy")
+            proxy.tenant = "lab-42"
+            client.call_Status_JKem()
+        finally:
+            client.close()
+        assert (
+            metrics.counter("rpc.daemon.calls_total").value(
+                method="Status_JKem", status="ok", tenant="lab-42"
+            )
+            == 1
+        )
+
+
+class TestCardinalityCap:
+    def test_unbounded_tenant_stream_stabilises_at_cap(self):
+        """The regression the guard exists for: 10k distinct tenant ids
+        must end as cap + 1 series, with every excess write folded."""
+        cap = 32
+        reg = MetricsRegistry(max_label_sets=cap)
+        counter = reg.counter("rpc.client.calls_total")
+        for i in range(10_000):
+            counter.inc(tenant=f"tenant-{i}", status="ok")
+        seen = counter.labels_seen()
+        assert len(seen) == cap + 1
+        folded = [s for s in seen if s.get("tenant") == OVERFLOW_VALUE]
+        assert folded == [{"tenant": OVERFLOW_VALUE, "status": OVERFLOW_VALUE}]
+        # the folded series accumulated every excess write
+        assert (
+            counter.value(tenant=OVERFLOW_VALUE, status=OVERFLOW_VALUE)
+            == 10_000 - cap
+        )
+        assert (
+            reg.counter(LABEL_OVERFLOW_METRIC).value(
+                metric="rpc.client.calls_total"
+            )
+            == 10_000 - cap
+        )
+
+    def test_admitted_series_keep_exact_values_after_cap(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        counter = reg.counter("c")
+        counter.inc(t="a")
+        counter.inc(t="b")
+        counter.inc(t="c")  # folded
+        counter.inc(t="a")  # still exact
+        assert counter.value(t="a") == 2
+        assert counter.value(t=OVERFLOW_VALUE) == 1
+
+    def test_cap_disabled_with_none(self):
+        reg = MetricsRegistry(max_label_sets=None)
+        counter = reg.counter("c")
+        for i in range(500):
+            counter.inc(t=f"t{i}")
+        assert len(counter.labels_seen()) == 500
+
+    def test_overflow_counter_itself_is_exempt(self):
+        """The guard must not recurse: the bookkeeping counter can grow
+        one series per capped metric even past the cap."""
+        reg = MetricsRegistry(max_label_sets=1)
+        for i in range(5):
+            reg.counter(f"m{i}").inc(t="x")
+            reg.counter(f"m{i}").inc(t="y")  # folds, counts overflow
+        overflow = reg.counter(LABEL_OVERFLOW_METRIC)
+        assert len(overflow.labels_seen()) == 5
+
+
+class TestListenerConcurrency:
+    def test_hammer_with_subscribe_churn(self):
+        """8 writer threads on one counter while a listener churns:
+        no deadlock, no notification delivered under the instrument
+        lock, and the stable listener misses nothing."""
+        reg = MetricsRegistry()
+        counter = reg.counter("hammered_total")
+        received = []
+        received_lock = threading.Lock()
+
+        def stable_listener(name, kind, labels, value):
+            # would deadlock if notifications ran inside the instrument
+            # lock (Counter.value re-acquires it, non-reentrant)
+            counter.value(**labels)
+            with received_lock:
+                received.append(value)
+
+        unsubscribe_stable = reg.add_update_listener(stable_listener)
+        stop_churn = threading.Event()
+
+        def churn():
+            while not stop_churn.is_set():
+                unsub = reg.add_update_listener(lambda *a: None)
+                unsub()
+
+        per_thread = 500
+        n_threads = 8
+
+        def writer(idx: int):
+            for _ in range(per_thread):
+                counter.inc(worker=str(idx))
+
+        churner = threading.Thread(target=churn, daemon=True)
+        churner.start()
+        writers = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=30)
+            assert not t.is_alive(), "writer deadlocked"
+        stop_churn.set()
+        churner.join(timeout=10)
+        assert not churner.is_alive(), "churn thread deadlocked"
+        unsubscribe_stable()
+
+        assert counter.total() == per_thread * n_threads
+        # the stable listener saw every write (listeners are snapshotted
+        # per notification, so churn cannot evict it)
+        assert len(received) == per_thread * n_threads
+        # per-series readings are monotone, so the last-seen value per
+        # series must equal the final count
+        for labels in counter.labels_seen():
+            assert counter.value(**labels) == per_thread

@@ -17,7 +17,11 @@ Subcommands:
   on a multi-tenant facility gateway (``ACL_Gateway``) as one tenant;
 - ``repro-ice top`` — the operator's per-tenant ops view: call/error
   rates merged from both facility halves (``Obs_Scrape``), gateway
-  queue depth, SLO burn rates and firing alerts;
+  queue depth, SLO burn rates and firing alerts (``--json`` for the
+  machine-readable view);
+- ``repro-ice explain`` — critical-path blame table for one trace (or
+  one gateway job, resolved through the journal's ``job-trace``
+  records): which op was blocking the run, for how long, per facility;
 - ``repro-ice watch`` — run the workflow while tailing the live
   telemetry feed (``session.stream()``): span completions, health
   flips and event-log lines as they happen, a ``top``-style view of
@@ -396,6 +400,8 @@ def _format_job_line(view: dict) -> str:
         line += f" rounds={view['rounds']}"
     if view.get("error"):
         line += f" error={view['error']}"
+    if view.get("trace_id"):
+        line += f" trace={view['trace_id']}"
     return line
 
 
@@ -428,8 +434,94 @@ def _cmd_top(args: argparse.Namespace) -> int:
                                 pass
                 finally:
                     reset_current_tenant(token)
-        print(session.top())
+        if args.json:
+            import json
+
+            agg = session.aggregator()
+            agg.refresh()
+            print(
+                json.dumps(
+                    {
+                        "view": agg.view(),
+                        "slo": session.slo_engine.evaluate(),
+                    },
+                    indent=2,
+                    default=str,
+                )
+            )
+        else:
+            print(session.top())
         return 1 if session.slo_engine.active_alerts() else 0
+
+
+def _resolve_trace_id(token: str, state_dir: str | None) -> str:
+    """Map a gateway job id to its trace id via the journal's
+    ``job-trace`` records (last one wins, matching replay); unknown
+    tokens pass through as (possibly partial) trace ids."""
+    if state_dir:
+        from pathlib import Path
+
+        from repro.durability.journal import Journal
+
+        path = Path(state_dir) / "gateway.jsonl"
+        if path.exists():
+            latest = None
+            for rec in Journal.replay_file(path).records:
+                if (
+                    rec.kind == "job-trace"
+                    and rec.data.get("job_id") == token
+                ):
+                    latest = rec.data.get("trace_id")
+            if latest:
+                return latest
+    return token
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Blame table for one trace: who was blocking, for how long.
+
+    Reads spans from a JSONL export (``demo --trace-jsonl``,
+    ``session.export_trace``) — both facility halves land in one file
+    because an in-process ICE shares the session tracer. The id may be
+    a unique trace-id prefix, or a gateway job id when ``--state-dir``
+    points at the gateway's journal.
+    """
+    from repro.obs.analysis import critical_path, format_blame
+    from repro.obs.exporters import read_jsonl_spans
+
+    trace_id = _resolve_trace_id(args.id, args.state_dir)
+    try:
+        spans = read_jsonl_spans(args.trace_jsonl)
+    except OSError as exc:
+        print(f"cannot read {args.trace_jsonl}: {exc}", file=sys.stderr)
+        return 1
+    matches = [
+        s for s in spans if str(s.get("trace_id", "")).startswith(trace_id)
+    ]
+    ids = {s.get("trace_id") for s in matches}
+    if not matches:
+        print(
+            f"no spans for trace {trace_id} in {args.trace_jsonl}",
+            file=sys.stderr,
+        )
+        return 1
+    if len(ids) > 1:
+        print(
+            f"ambiguous trace prefix {trace_id!r}: matches {len(ids)} traces",
+            file=sys.stderr,
+        )
+        return 2
+    result = critical_path(matches)
+    if result is None:
+        print(f"trace {trace_id}: no ended root span", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(format_blame(result, top=args.top))
+    return 0
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -681,7 +773,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=15,
         help="failing RPCs in the burst",
     )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable view (tenant rows + SLO statuses)",
+    )
     top.set_defaults(fn=_cmd_top)
+
+    explain = sub.add_parser(
+        "explain",
+        help="critical-path blame table for one trace (or gateway job)",
+    )
+    explain.add_argument(
+        "id", help="trace id (unique prefix ok) or, with --state-dir, a job id"
+    )
+    explain.add_argument(
+        "--trace-jsonl",
+        required=True,
+        metavar="PATH",
+        help="JSONL span export to read (demo --trace-jsonl / export_trace)",
+    )
+    explain.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="gateway state dir: resolve a job id via journal job-trace records",
+    )
+    explain.add_argument(
+        "--top", type=int, default=15, help="blame rows to print"
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="print the raw repro-traceidx-1 doc"
+    )
+    explain.set_defaults(fn=_cmd_explain)
 
     analyze = sub.add_parser("analyze", help="analyse an .mpt measurement file")
     analyze.add_argument("file")

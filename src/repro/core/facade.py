@@ -43,6 +43,7 @@ from repro.core.config import (
 )
 from repro.errors import WorkflowError
 from repro.obs import JsonlSpanExporter, MetricsRegistry, Tracer
+from repro.obs.analysis import TraceIndex, TraceSampler
 from repro.obs.health import HealthEngine, HealthReport
 from repro.obs.health import require_healthy as _gate_healthy
 from repro.obs.baseline import BaselineStore
@@ -87,6 +88,11 @@ class Session:
             transitions; the ACL half streams through ``Telemetry_Poll``).
         health_engine: the session :class:`~repro.obs.HealthEngine`
             behind :meth:`health`.
+        trace_index: the bounded :class:`~repro.obs.analysis.TraceIndex`
+            behind :meth:`traces` / :meth:`explain` (always on).
+        sampler: the tail-based
+            :class:`~repro.obs.analysis.TraceSampler`, or ``None``
+            unless ``SessionConfig(trace_sample_budget=...)`` is set.
         flight_dir: where black-box dumps land (override per call or via
             the ``flight_dir=`` connect argument).
         ice: the in-process ecosystem, when there is one.
@@ -165,6 +171,26 @@ class Session:
         )
         for objective in default_objectives():
             self.slo_engine.add(objective)
+        # tail sampling + per-trace analytics. Order matters on the single
+        # exporter slot: the recorder/bus chain attached above becomes the
+        # sampler's *gated* downstream (dropped traces never reach the
+        # black box or live feed), while the TraceIndex attaches after the
+        # sampler took the slot, so it indexes every finished span
+        # regardless of verdicts — explain() must never miss a trace.
+        self.sampler: TraceSampler | None = None
+        if self.session_config.trace_sample_budget is not None:
+            self.sampler = TraceSampler(
+                budget=self.session_config.trace_sample_budget,
+                slow_threshold_s=self.session_config.trace_slow_threshold_s,
+                breach=lambda root: bool(self.slo_engine.active_alerts()),
+                metrics=self.metrics,
+            )
+            self.sampler.attach(self.tracer)
+            self.slo_engine.attach_sampler(self.sampler)
+        self.trace_index = TraceIndex(
+            clock=self.tracer.clock, metrics=self.metrics
+        )
+        self.trace_index.attach(self.tracer)
         self._aggregator: ObsAggregator | None = None
 
         self._control_uri: str | None = None
@@ -293,6 +319,8 @@ class Session:
             if self._sp200_ready:
                 self.client.call_Disconnect_SP200()
         finally:
+            if self.sampler is not None:
+                self.sampler.flush()
             self.bus.detach()
             self.timeseries.close()
             if self.datachannel is not None:
@@ -755,6 +783,27 @@ class Session:
             for span in spans:
                 export(span)
         return len(spans)
+
+    def traces(self, **filters: Any) -> list[dict[str, Any]]:
+        """Query the session trace index (see :meth:`TraceIndex.query`).
+
+        Filters: ``op=`` (span-name prefix anywhere in the trace),
+        ``tenant=``, ``min_duration_s=``, ``error=``, ``limit=``.
+        Summaries come back newest first.
+        """
+        return self.trace_index.query(**filters)
+
+    def explain(self, trace_id: str) -> dict[str, Any] | None:
+        """Critical-path blame table for one indexed trace.
+
+        Answers "why was *this* run slow": wall time attributed to the
+        innermost blocking span across both facility halves (one shared
+        tracer in-process, so daemon dispatch and instrument spans land
+        in the same tree). Returns the :func:`~repro.obs.analysis.
+        critical_path` document, or None for an unknown trace — render
+        with :func:`~repro.obs.analysis.format_blame`.
+        """
+        return self.trace_index.explain(trace_id)
 
     # -- liquid handling -------------------------------------------------------
     def _ensure_jkem(self) -> None:

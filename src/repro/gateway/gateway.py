@@ -28,6 +28,7 @@ Everything observable lands in ``gateway.*`` metrics, which the
 from __future__ import annotations
 
 import threading
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -50,6 +51,7 @@ from repro.gateway.jobs import (
 )
 from repro.gateway.scheduler import Cell, FairShareScheduler
 from repro.gateway.tenants import TenantRegistry, TenantSpec
+from repro.obs.trace import use_span
 from repro.rpc.context import reset_current_tenant, set_current_tenant
 
 
@@ -133,6 +135,11 @@ class Gateway:
         clock: time source (tests inject a fake).
         runner: override job execution (benchmarks use a synthetic
             runner); defaults to :func:`campaign_runner`.
+        tracer: optional :class:`~repro.obs.Tracer` for per-job root
+            spans (``gateway.job``); falls back to the executing cell's
+            ICE tracer. Even with no tracer at all, every execution is
+            stamped with a fresh root trace id (journal-first) so
+            ``Job_Status`` always carries ``trace_id``.
         fsync: journal durability; leave on outside benchmarks.
     """
 
@@ -145,12 +152,14 @@ class Gateway:
         metrics: Any = None,
         clock: Clock | None = None,
         runner: Runner | None = None,
+        tracer: Any = None,
         feed_capacity: int = 1024,
         fsync: bool = True,
         poll_interval_s: float = 0.01,
     ):
         self._clock = clock or WALL
         self.metrics = metrics
+        self.tracer = tracer
         self.state_dir = Path(state_dir)
         if isinstance(cells, dict):
             cells = [Cell(name=name, ice=ice) for name, ice in cells.items()]
@@ -303,6 +312,32 @@ class Gateway:
             self._update_depth(tenant)
             return job, cell
 
+    def _job_span(self, job: Job, cell: Cell) -> tuple[str, Any]:
+        """A root span (or at least a root trace id) for one execution.
+
+        The span — installed current around the runner — parents every
+        campaign/workflow/RPC span the execution produces, so the whole
+        cross-facility run shares one trace id. Without any tracer a
+        bare trace id is still minted: the journal contract (trace_id
+        stamped before the runner starts) does not depend on tracing
+        being on.
+        """
+        tracer = self.tracer
+        if tracer is None and cell.ice is not None:
+            tracer = getattr(cell.ice, "tracer", None)
+        if tracer is None:
+            return uuid.uuid4().hex, None
+        span = tracer.start_span(
+            "gateway.job",
+            parent=None,
+            attributes={
+                "job_id": job.job_id,
+                "tenant": job.tenant,
+                "cell": cell.name,
+            },
+        )
+        return span.trace_id, span
+
     def _execute(self, job: Job, cell: Cell) -> None:
         ctx = JobContext(
             journal_dir=self.state_dir / "jobs" / job.job_id,
@@ -310,13 +345,18 @@ class Gateway:
             resume=job.job_id in self.store.requeued_on_open,
             cancelled=lambda: self.store.get(job.job_id).cancel_requested,
         )
+        trace_id, job_span = self._job_span(job, cell)
+        # journal-first: the trace linkage must survive a crash during
+        # the run — that is exactly when an operator wants to explain it
+        self.store.assign_trace(job.job_id, trace_id)
         state, rounds, error = FAILED, 0, None
         # bind the job's tenant on this thread for the whole run: every
         # metric the runner's workflow/RPC stack writes is attributed to
         # the tenant automatically (see MetricsRegistry tenant labels)
         tenant_token = set_current_tenant(job.tenant)
         try:
-            outcome = self._runner(job, cell, ctx) or {}
+            with use_span(job_span):
+                outcome = self._runner(job, cell, ctx) or {}
             state = str(outcome.get("state", SUCCEEDED))
             rounds = int(outcome.get("rounds", 0))
             error = outcome.get("error")
@@ -325,6 +365,9 @@ class Gateway:
         finally:
             reset_current_tenant(tenant_token)
             cell.busy = False
+            if job_span is not None:
+                job_span.set_attribute("state", state)
+                job_span.end("ERROR" if state == FAILED else None)
         self.store.mark_finished(job.job_id, state, rounds=rounds, error=error)
         if self.metrics is not None:
             self.metrics.counter(

@@ -67,6 +67,10 @@ class Job:
             executor stops at the next round boundary.
         rounds: completed campaign rounds, filled at finish.
         error: failure description, filled when ``state == "failed"``.
+        trace_id: root trace id of the job's (latest) execution —
+            journaled before the runner starts, so ``Job_Status`` can
+            always point diagnosis at the right trace. A re-execution
+            after a crash restamps it.
     """
 
     job_id: str
@@ -82,6 +86,7 @@ class Job:
     cancel_requested: bool = False
     rounds: int = 0
     error: str | None = None
+    trace_id: str | None = None
     #: monotonically increasing submit index — the FIFO tiebreak
     order: int = 0
 
@@ -100,6 +105,7 @@ class Job:
             "cancel_requested": self.cancel_requested,
             "rounds": self.rounds,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -259,6 +265,10 @@ class JobStore:
                     job.finished_at = data.get("finished_at")
                     job.rounds = int(data.get("rounds", 0))
                     job.error = data.get("error")
+            elif rec.kind == "job-trace":
+                job = self._jobs.get(data.get("job_id", ""))
+                if job is not None:
+                    job.trace_id = data.get("trace_id")
             elif rec.kind == "job-cancelled":
                 job = self._jobs.get(data.get("job_id", ""))
                 if job is not None:
@@ -366,6 +376,21 @@ class JobStore:
             job.started_at = started_at
         self.feed.publish("job.started", job, cell=cell)
         return job
+
+    def assign_trace(self, job_id: str, trace_id: str) -> Job:
+        """Stamp the root trace id of the job's execution, journal-first.
+
+        Written before the runner issues its first call, so a status
+        query — or a post-crash replay — can always link the job to its
+        trace. Re-executions restamp (last record wins on replay).
+        """
+        with self._lock:
+            job = self.get(job_id)
+            self._journal.append(
+                "job-trace", job_id=job_id, trace_id=trace_id
+            )
+            job.trace_id = trace_id
+            return job
 
     def mark_finished(
         self,

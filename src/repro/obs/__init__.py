@@ -36,7 +36,12 @@ This package is the measurement substrate:
   ``slo`` health subsystem);
 - :mod:`repro.obs.scrape` — the ``ACL_Observability`` service object and
   the :class:`ObsAggregator` merging N facilities' scrapes into the
-  tenant-keyed view ``repro-ice top`` renders.
+  tenant-keyed view ``repro-ice top`` renders;
+- :mod:`repro.obs.analysis` — the per-request half of the ops plane:
+  the bounded :class:`TraceIndex` (schema ``repro-traceidx-1``),
+  :func:`critical_path` blame extraction behind ``repro-ice explain``,
+  and the tail-based :class:`TraceSampler` whose kept set feeds SLO
+  alert exemplars.
 
 Everything is optional and off by default: components accept
 ``tracer=None`` / ``metrics=None`` and skip all bookkeeping when unset,
@@ -92,6 +97,12 @@ from repro.obs.baseline import BaselineStore
 from repro.obs.timeseries import TimeSeriesStore, is_daemon_side_metric
 from repro.obs.slo import SLOEngine, SLObjective, default_objectives
 from repro.obs.scrape import ObsAggregator, ObservabilityServer, format_top
+from repro.obs.analysis import (
+    TraceIndex,
+    TraceSampler,
+    critical_path,
+    format_blame,
+)
 
 __all__ = [
     "Span",
@@ -137,4 +148,8 @@ __all__ = [
     "ObsAggregator",
     "ObservabilityServer",
     "format_top",
+    "TraceIndex",
+    "TraceSampler",
+    "critical_path",
+    "format_blame",
 ]

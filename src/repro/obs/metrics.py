@@ -307,7 +307,14 @@ class Gauge(_Instrument):
 
 
 class _HistogramState:
-    __slots__ = ("bucket_counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "bucket_counts",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "exemplars",
+    )
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf overflow
@@ -315,6 +322,9 @@ class _HistogramState:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        #: bucket index -> {"trace_id", "value"}: the most recent traced
+        #: observation per bucket (last-wins keeps it one dict per bucket)
+        self.exemplars: dict[int, dict[str, Any]] = {}
 
 
 class Histogram(_Instrument):
@@ -338,7 +348,16 @@ class Histogram(_Instrument):
     def _new_state(self) -> _HistogramState:
         return _HistogramState(len(self.buckets))
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: str | None = None, **labels: Any
+    ) -> None:
+        """Record one observation.
+
+        ``exemplar`` optionally links the observation to a trace: the
+        trace_id of the span that produced it, kept per bucket
+        (last-wins), so dashboards and SLO alerts can jump from "the
+        p99 bucket" straight to a representative trace.
+        """
         labels = self._labels_for_write(labels)
         with self._lock:
             state, labels, folded = self._locate(labels)
@@ -354,6 +373,8 @@ class Histogram(_Instrument):
                 state.minimum = value
             if value > state.maximum:
                 state.maximum = value
+            if exemplar:
+                state.exemplars[idx] = {"trace_id": exemplar, "value": value}
         if folded:
             self._count_overflow()
         self._notify(labels, value)
@@ -375,7 +396,38 @@ class Histogram(_Instrument):
                     for i, bound in enumerate(self.buckets)
                 }
                 | {"+Inf": state.bucket_counts[-1]},
+                "exemplars": {
+                    self._bucket_name(idx): dict(ex)
+                    for idx, ex in sorted(state.exemplars.items())
+                },
             }
+
+    def _bucket_name(self, idx: int) -> str:
+        return str(self.buckets[idx]) if idx < len(self.buckets) else "+Inf"
+
+    def exemplars(self, **labels: Any) -> list[dict[str, Any]]:
+        """Every recorded bucket exemplar whose label set contains
+        ``labels`` (pass none to scan all series). Each entry carries
+        the series labels, the bucket upper bound and the exemplar's
+        ``trace_id``/``value``.
+        """
+        wanted = {k: str(v) for k, v in labels.items()}
+        out: list[dict[str, Any]] = []
+        with self._lock:
+            items = list(self._series.items())
+        for key, state in items:
+            series_labels = dict(key)
+            if any(series_labels.get(k) != v for k, v in wanted.items()):
+                continue
+            for idx, ex in sorted(state.exemplars.items()):
+                out.append(
+                    {
+                        "labels": series_labels,
+                        "bucket": self._bucket_name(idx),
+                        **ex,
+                    }
+                )
+        return out
 
     def count(self, **labels: Any) -> int:
         with self._lock:

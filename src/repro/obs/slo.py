@@ -131,9 +131,15 @@ class SLOEngine:
         self._clock = clock or WallClock()
         self._bus = bus
         self._metrics = metrics
+        self._sampler: Any = None
         self._objectives: list[SLObjective] = []
         self._firing: dict[tuple[str, str | None], tuple[str, ...]] = {}
         self._last_statuses: list[dict[str, Any]] = []
+
+    def attach_sampler(self, sampler: Any) -> None:
+        """Link a :class:`~repro.obs.analysis.TraceSampler` so alert
+        events can name offending traces (``exemplar_trace_ids``)."""
+        self._sampler = sampler
 
     def add(self, objective: SLObjective) -> SLObjective:
         if any(o.name == objective.name for o in self._objectives):
@@ -264,7 +270,53 @@ class SLOEngine:
             burn_slow=status["burn_slow"],
             sli_fast=status["sli_fast"],
             sli_slow=status["sli_slow"],
+            exemplar_trace_ids=(
+                self._exemplar_trace_ids(objective, tenant) if current else []
+            ),
         )
+
+    def _exemplar_trace_ids(
+        self, objective: SLObjective, tenant: str | None, limit: int = 3
+    ) -> list[str]:
+        """Up to ``limit`` kept traces implicated in an alert.
+
+        Preference order: the objective metric's own histogram bucket
+        exemplars (the observation that landed in the offending series)
+        when the tail sampler kept their trace, padded from the
+        sampler's recent kept set for the tenant. Empty when sampling is
+        off — consumers must treat the field as advisory (``repro-slo-1``
+        stays tolerant).
+        """
+        sampler = self._sampler
+        if sampler is None:
+            return []
+        seen: set[str] = set()
+        ids: list[str] = []
+        metric = (
+            self._metrics.get(objective.metric)
+            if self._metrics is not None
+            else None
+        )
+        if metric is not None and hasattr(metric, "exemplars"):
+            selector = {"tenant": tenant} if tenant else {}
+            for ex in reversed(metric.exemplars(**selector)):
+                trace_id = ex.get("trace_id")
+                if (
+                    isinstance(trace_id, str)
+                    and trace_id not in seen
+                    and sampler.is_kept(trace_id)
+                ):
+                    seen.add(trace_id)
+                    ids.append(trace_id)
+                if len(ids) >= limit:
+                    return ids
+        for trace_id in sampler.kept_trace_ids(tenant=tenant, limit=limit):
+            if trace_id not in seen:
+                seen.add(trace_id)
+                ids.append(trace_id)
+            if len(ids) >= limit:
+                break
+        return ids[:limit]
 
     # -- health surfacing ---------------------------------------------------
     def attach_health(self, engine: HealthEngine) -> None:

@@ -67,7 +67,11 @@ from repro.rpc.protocol import (
     send_message,
     validate_request_body,
 )
-from repro.rpc.context import reset_current_tenant, set_current_tenant
+from repro.rpc.context import (
+    current_tenant,
+    reset_current_tenant,
+    set_current_tenant,
+)
 from repro.rpc.reactor import DEFAULT_MAX_OUTBOX_BYTES, Reactor, ReactorClient
 from repro.rpc.transport import Connection, Listener, TCPListener
 
@@ -956,6 +960,13 @@ class Daemon:
                 parent=extract_context(trace_parent),
                 attributes={"rpc.method": method_name, "rpc.object": object_id},
             )
+            # the envelope tenant is bound on this thread by the
+            # connection handler; stamp it so daemon-half spans carry
+            # the same attribution as the client half
+            span_tenant = current_tenant()
+            if span_tenant is not None:
+                span.set_attribute("tenant", span_tenant)
+        exemplar = span.trace_id if span is not None else None
         clock = self.tracer.clock if self.tracer is not None else None
         start = clock.now() if clock is not None else None
         status = "ok"
@@ -979,7 +990,11 @@ class Daemon:
                     self.metrics.histogram(
                         "rpc.daemon.dispatch_latency_s",
                         "daemon-side method execution time",
-                    ).observe(clock.now() - start, method=method_name)
+                    ).observe(
+                        clock.now() - start,
+                        exemplar=exemplar,
+                        method=method_name,
+                    )
             if span is not None:
                 span.end()
 

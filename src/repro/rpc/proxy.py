@@ -458,6 +458,13 @@ class Proxy:
             if tracer is not None
             else None
         )
+        exemplar = span.trace_id if span is not None else None
+        if span is not None:
+            # stamp the tenant on the span so the trace index and tail
+            # sampler can attribute the whole trace to its owner
+            span_tenant = self._effective_tenant()
+            if span_tenant is not None:
+                span.set_attribute("tenant", span_tenant)
         trace_context = span.context.to_wire() if span is not None else None
         clock = tracer.clock if tracer is not None else None
         start = clock.now() if clock is not None else None
@@ -497,7 +504,7 @@ class Proxy:
                 if start is not None:
                     metrics.histogram(
                         "rpc.client.call_latency_s", "client-observed RPC latency"
-                    ).observe(clock.now() - start, method=method)
+                    ).observe(clock.now() - start, exemplar=exemplar, method=method)
                 if byte_window:
                     sent, received = byte_window[0]
                     if sent > 0:
@@ -747,6 +754,7 @@ class PendingReply:
         "_slot",
         "_method",
         "_span",
+        "_trace_id",
         "_start",
         "_resolved",
         "_value",
@@ -767,6 +775,9 @@ class PendingReply:
         self._slot = slot
         self._method = method
         self._span = span
+        # the span is released on end; keep its trace id for the
+        # latency exemplar recorded after that
+        self._trace_id = span.trace_id if span is not None else None
         self._start = start
         self._resolved = False
         self._value: Any = None
@@ -812,7 +823,11 @@ class PendingReply:
         if self._start is not None and proxy.tracer is not None:
             metrics.histogram(
                 "rpc.client.call_latency_s", "client-observed RPC latency"
-            ).observe(proxy.tracer.clock.now() - self._start, method=method)
+            ).observe(
+                proxy.tracer.clock.now() - self._start,
+                exemplar=self._trace_id,
+                method=method,
+            )
         slot = self._slot
         if slot.bytes_sent:
             metrics.counter(
@@ -878,6 +893,9 @@ class Pipeline:
                     "rpc.pipelined": True,
                 },
             )
+            span_tenant = proxy._effective_tenant()
+            if span_tenant is not None:
+                span.set_attribute("tenant", span_tenant)
             trace_context = span.context.to_wire()
             start = tracer.clock.now()
         body = request_body(
